@@ -1,0 +1,106 @@
+// Ablation of the transaction optimizations (§3.2-3.3).
+//
+// The paper presents its Cuttlesim optimizations as a refinement
+// sequence; this bench measures each tier (T0 naive ... T5 static
+// analysis) on every benchmark design, all running over the same shared
+// expression evaluator so the deltas isolate the transaction machinery:
+// log layout, accumulated logs, reset-on-failure, merged data, and the
+// analysis-driven specializations. The generated C++ model ("codegen")
+// is included as the endpoint the paper ships.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/tiers.hpp"
+
+#include "collatz.model.hpp"
+#include "fft.model.hpp"
+#include "fir.model.hpp"
+#include "rv32i.model.hpp"
+
+namespace {
+
+using koika::sim::make_engine;
+using koika::sim::Tier;
+
+constexpr int kBatch = 5'000;
+constexpr uint32_t kSmallPrimes = 100;
+
+void
+bm_tier_free(benchmark::State& state, const char* design_name, Tier tier)
+{
+    const koika::Design& d = bench::design(design_name);
+    auto engine = make_engine(d, tier);
+    for (auto _ : state)
+        for (int i = 0; i < kBatch; ++i)
+            engine->cycle();
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+bm_tier_cpu(benchmark::State& state, const char* design_name, Tier tier)
+{
+    const koika::Design& d = bench::design(design_name);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto engine = make_engine(d, tier);
+        cycles += bench::run_primes(d, *engine, 1, kSmallPrimes);
+    }
+    state.SetItemsProcessed((int64_t)cycles);
+}
+
+template <typename M>
+void
+bm_codegen_free(benchmark::State& state)
+{
+    M m;
+    for (auto _ : state)
+        for (int i = 0; i < kBatch; ++i)
+            m.cycle();
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+register_design(const char* name)
+{
+    static const Tier kTiers[] = {
+        Tier::kT0Naive,       Tier::kT1SplitSets,
+        Tier::kT2Accumulate,  Tier::kT3ResetOnFail,
+        Tier::kT4MergedData,  Tier::kT5StaticAnalysis};
+    bool cpu = std::string(name).rfind("rv32", 0) == 0;
+    for (Tier t : kTiers) {
+        std::string bname = std::string("ablation/") + name + "/" +
+                            koika::sim::tier_name(t);
+        if (cpu)
+            benchmark::RegisterBenchmark(
+                bname.c_str(),
+                [name, t](benchmark::State& s) { bm_tier_cpu(s, name, t); });
+        else
+            benchmark::RegisterBenchmark(
+                bname.c_str(), [name, t](benchmark::State& s) {
+                    bm_tier_free(s, name, t);
+                });
+    }
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(bm_codegen_free, cuttlesim::models::collatz)
+    ->Name("ablation/collatz/codegen");
+BENCHMARK_TEMPLATE(bm_codegen_free, cuttlesim::models::fir)
+    ->Name("ablation/fir/codegen");
+BENCHMARK_TEMPLATE(bm_codegen_free, cuttlesim::models::fft)
+    ->Name("ablation/fft/codegen");
+
+int
+main(int argc, char** argv)
+{
+    register_design("collatz");
+    register_design("fir");
+    register_design("fft");
+    register_design("rv32i");
+    register_design("msi");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,115 @@
+// Event-driven simulation baseline (§4.1: "Other simulators that we
+// benchmarked against (CVC and Icarus) were orders of magnitude slower
+// than Verilator").
+//
+// Compares, on the same lowered netlists: the compiled cycle-based model
+// (Verilator's execution model), the interpreted cycle-based simulator,
+// and the event-driven (activity-based) simulator that plays the Icarus
+// role. The event simulator also reports its activity factor.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "rtl/cyclesim.hpp"
+#include "rtl/eventsim.hpp"
+#include "rtl/lower.hpp"
+
+#include "collatz_rtl.hpp"
+#include "fir_rtl.hpp"
+#include "rv32i_rtl.hpp"
+
+namespace {
+
+constexpr int kBatch = 20'000;
+
+template <typename M>
+void
+bm_compiled(benchmark::State& state)
+{
+    M m;
+    for (auto _ : state)
+        for (int i = 0; i < kBatch; ++i)
+            m.cycle();
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+bm_interpreted_cycle(benchmark::State& state, const char* name)
+{
+    koika::rtl::CycleSim sim(koika::rtl::lower(bench::design(name)));
+    for (auto _ : state)
+        for (int i = 0; i < kBatch; ++i)
+            sim.cycle();
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+bm_eventsim(benchmark::State& state, const char* name)
+{
+    koika::rtl::EventSim sim(koika::rtl::lower(bench::design(name)));
+    for (auto _ : state)
+        for (int i = 0; i < kBatch; ++i)
+            sim.cycle();
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.counters["events_per_cycle"] =
+        (double)sim.events_processed() / (double)sim.cycles_run();
+}
+
+void
+bm_eventsim_cpu(benchmark::State& state)
+{
+    const koika::Design& d = bench::design("rv32i");
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        koika::rtl::EventSim sim(koika::rtl::lower(d));
+        cycles += bench::run_primes(d, sim, 1, 50);
+    }
+    state.SetItemsProcessed((int64_t)cycles);
+}
+
+void
+bm_cyclesim_cpu(benchmark::State& state)
+{
+    const koika::Design& d = bench::design("rv32i");
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        koika::rtl::CycleSim sim(koika::rtl::lower(d));
+        cycles += bench::run_primes(d, sim, 1, 50);
+    }
+    state.SetItemsProcessed((int64_t)cycles);
+}
+
+void
+bm_compiled_cpu(benchmark::State& state)
+{
+    const koika::Design& d = bench::design("rv32i");
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        koika::codegen::GeneratedModel<cuttlesim::models::rv32i_rtl> m;
+        cycles += bench::run_primes(d, m, 1, 50);
+    }
+    state.SetItemsProcessed((int64_t)cycles);
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(bm_compiled, cuttlesim::models::collatz_rtl)
+    ->Name("eventsim/collatz/compiled-cycle");
+BENCHMARK_CAPTURE(bm_interpreted_cycle, collatz, "collatz")
+    ->Name("eventsim/collatz/interpreted-cycle");
+BENCHMARK_CAPTURE(bm_eventsim, collatz, "collatz")
+    ->Name("eventsim/collatz/event-driven");
+
+BENCHMARK_TEMPLATE(bm_compiled, cuttlesim::models::fir_rtl)
+    ->Name("eventsim/fir/compiled-cycle");
+BENCHMARK_CAPTURE(bm_interpreted_cycle, fir, "fir")
+    ->Name("eventsim/fir/interpreted-cycle");
+BENCHMARK_CAPTURE(bm_eventsim, fir, "fir")
+    ->Name("eventsim/fir/event-driven");
+
+BENCHMARK(bm_compiled_cpu)->Name("eventsim/rv32i-primes/compiled-cycle");
+BENCHMARK(bm_cyclesim_cpu)
+    ->Name("eventsim/rv32i-primes/interpreted-cycle");
+BENCHMARK(bm_eventsim_cpu)->Name("eventsim/rv32i-primes/event-driven");
+
+BENCHMARK_MAIN();

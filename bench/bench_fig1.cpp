@@ -1,0 +1,114 @@
+// Figure 1: performance of Verilator and Cuttlesim models.
+//
+// For each Table 1 design, compares the Cuttlesim-generated C++ model
+// ("cuttlesim") against the compiled cycle-based netlist simulation of
+// the Kôika-generated circuit ("verilator-koika", our Verilator stand-in
+// — see DESIGN.md substitutions). Combinational designs run free; the
+// CPU designs run the primes benchmark to completion. items_per_second
+// is simulated cycles per second (the paper's left panel); per-iteration
+// time on the CPU rows is the program runtime (the right panel).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "collatz.model.hpp"
+#include "collatz_rtl.hpp"
+#include "fft.model.hpp"
+#include "fft_rtl.hpp"
+#include "fir.model.hpp"
+#include "fir_rtl.hpp"
+#include "rv32e.model.hpp"
+#include "rv32e_rtl.hpp"
+#include "rv32i.model.hpp"
+#include "rv32i_bp.model.hpp"
+#include "rv32i_bp_rtl.hpp"
+#include "rv32i_mc.model.hpp"
+#include "rv32i_mc_rtl.hpp"
+#include "rv32i_rtl.hpp"
+
+namespace {
+
+constexpr int kCombBatch = 200'000;
+
+template <typename M>
+void
+bm_comb(benchmark::State& state)
+{
+    M m;
+    for (auto _ : state) {
+        for (int i = 0; i < kCombBatch; ++i)
+            m.cycle();
+        uint64_t sink[8];
+        m.get_reg_words(0, sink);
+        benchmark::DoNotOptimize(sink[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * kCombBatch);
+}
+
+template <typename M>
+void
+bm_cpu(benchmark::State& state, const char* design_name, int cores)
+{
+    const koika::Design& d = bench::design(design_name);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        koika::codegen::GeneratedModel<M> m;
+        cycles += bench::run_primes(d, m, cores);
+    }
+    state.SetItemsProcessed((int64_t)cycles);
+    state.counters["cycles_per_run"] =
+        (double)cycles / (double)state.iterations();
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz)
+    ->Name("fig1/collatz/cuttlesim");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz_rtl)
+    ->Name("fig1/collatz/verilator-koika");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir)
+    ->Name("fig1/fir/cuttlesim");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir_rtl)
+    ->Name("fig1/fir/verilator-koika");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft)
+    ->Name("fig1/fft/cuttlesim");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft_rtl)
+    ->Name("fig1/fft/verilator-koika");
+
+namespace {
+
+template <typename M>
+void
+register_cpu(const char* bench_name, const char* design_name, int cores)
+{
+    benchmark::RegisterBenchmark(
+        bench_name, [design_name, cores](benchmark::State& s) {
+            bm_cpu<M>(s, design_name, cores);
+        });
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cuttlesim::models;
+    register_cpu<rv32e>("fig1/rv32e-primes/cuttlesim", "rv32e", 1);
+    register_cpu<rv32e_rtl>("fig1/rv32e-primes/verilator-koika", "rv32e",
+                            1);
+    register_cpu<rv32i>("fig1/rv32i-primes/cuttlesim", "rv32i", 1);
+    register_cpu<rv32i_rtl>("fig1/rv32i-primes/verilator-koika", "rv32i",
+                            1);
+    register_cpu<rv32i_bp>("fig1/rv32i-bp-primes/cuttlesim", "rv32i-bp",
+                           1);
+    register_cpu<rv32i_bp_rtl>("fig1/rv32i-bp-primes/verilator-koika",
+                               "rv32i-bp", 1);
+    register_cpu<rv32i_mc>("fig1/rv32i-mc-primes/cuttlesim", "rv32i-mc",
+                           2);
+    register_cpu<rv32i_mc_rtl>("fig1/rv32i-mc-primes/verilator-koika",
+                               "rv32i-mc", 2);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 2: performance of models on equivalent Bluespec and Kôika
+// designs.
+//
+// The paper's Q2: is Cuttlesim only winning because Kôika emits naive
+// circuits? It compares against Verilog from the commercial Bluespec
+// compiler, which simulates ~2x faster. Our stand-in for that better
+// circuit compiler is the netlist optimizer (CSE + constant propagation
+// + simplification; DESIGN.md substitutions): "verilator-bluespec" rows
+// run the optimized netlist, "verilator-koika" the plain lowering, and
+// "cuttlesim" the Cuttlesim model.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "collatz.model.hpp"
+#include "collatz_rtl.hpp"
+#include "collatz_rtlopt.hpp"
+#include "fft.model.hpp"
+#include "fft_rtl.hpp"
+#include "fft_rtlopt.hpp"
+#include "fir.model.hpp"
+#include "fir_rtl.hpp"
+#include "fir_rtlopt.hpp"
+#include "rv32i.model.hpp"
+#include "rv32i_rtl.hpp"
+#include "rv32i_rtlopt.hpp"
+
+namespace {
+
+constexpr int kCombBatch = 200'000;
+
+template <typename M>
+void
+bm_comb(benchmark::State& state)
+{
+    M m;
+    for (auto _ : state) {
+        for (int i = 0; i < kCombBatch; ++i)
+            m.cycle();
+        uint64_t sink[8];
+        m.get_reg_words(0, sink);
+        benchmark::DoNotOptimize(sink[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * kCombBatch);
+}
+
+template <typename M>
+void
+bm_cpu(benchmark::State& state)
+{
+    const koika::Design& d = bench::design("rv32i");
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        koika::codegen::GeneratedModel<M> m;
+        cycles += bench::run_primes(d, m, 1);
+    }
+    state.SetItemsProcessed((int64_t)cycles);
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz)
+    ->Name("fig2/collatz/cuttlesim");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz_rtl)
+    ->Name("fig2/collatz/verilator-koika");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz_rtlopt)
+    ->Name("fig2/collatz/verilator-bluespec");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir)
+    ->Name("fig2/fir/cuttlesim");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir_rtl)
+    ->Name("fig2/fir/verilator-koika");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir_rtlopt)
+    ->Name("fig2/fir/verilator-bluespec");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft)
+    ->Name("fig2/fft/cuttlesim");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft_rtl)
+    ->Name("fig2/fft/verilator-koika");
+BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft_rtlopt)
+    ->Name("fig2/fft/verilator-bluespec");
+
+BENCHMARK_TEMPLATE(bm_cpu, cuttlesim::models::rv32i)
+    ->Name("fig2/rv32i-primes/cuttlesim");
+BENCHMARK_TEMPLATE(bm_cpu, cuttlesim::models::rv32i_rtl)
+    ->Name("fig2/rv32i-primes/verilator-koika");
+BENCHMARK_TEMPLATE(bm_cpu, cuttlesim::models::rv32i_rtlopt)
+    ->Name("fig2/rv32i-primes/verilator-bluespec");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries (one binary per paper
+ * table/figure; see DESIGN.md's experiment index).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "codegen/generated_model.hpp"
+#include "designs/designs.hpp"
+#include "designs/rv32.hpp"
+#include "riscv/programs.hpp"
+
+namespace bench {
+
+/** Default prime-sieve bound for the CPU workload (paper: "a simple
+ *  integer arithmetic benchmark"). */
+constexpr uint32_t kPrimesBound = 1000;
+
+/** Cached design handles (building a design is pure setup cost). */
+inline const koika::Design&
+design(const std::string& name)
+{
+    static std::map<std::string, std::unique_ptr<koika::Design>> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, koika::designs::build_design(name)).first;
+    return *it->second;
+}
+
+inline const koika::riscv::Program&
+primes_program(uint32_t bound = kPrimesBound)
+{
+    static std::map<uint32_t, koika::riscv::Program> cache;
+    auto it = cache.find(bound);
+    if (it == cache.end())
+        it = cache.emplace(bound, koika::riscv::build_program(
+                                      koika::riscv::primes_source(bound)))
+                 .first;
+    return it->second;
+}
+
+/** Run the primes program to completion; returns cycles executed. */
+inline uint64_t
+run_primes(const koika::Design& d, koika::sim::Model& m, int cores,
+           uint32_t bound = kPrimesBound)
+{
+    koika::designs::Rv32System sys(d, m, primes_program(bound), cores);
+    uint64_t cycles = sys.run(100'000'000);
+    if (!sys.halted())
+        koika::panic("benchmark program did not halt");
+    return cycles;
+}
+
+} // namespace bench

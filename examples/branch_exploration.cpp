@@ -1,0 +1,123 @@
+// Case study 4: branch prediction exploration with coverage counts.
+//
+// Reproduces the paper's §4.2 workflow: instead of adding hardware
+// performance counters, run the model with code coverage enabled and
+// read the architectural statistics straight off the source lines —
+// mispredictions are the execution count of the execute stage's
+// `pc.wr0(nextPc)` line, and scoreboard stalls fall out of the decode
+// rule's hazard guard counts. Compares the PC+4 baseline against the
+// BTB+BHT variant on a branch-heavy workload.
+//
+//   $ ./examples/branch_exploration
+
+#include <cstdio>
+
+#include "designs/designs.hpp"
+#include "designs/rv32.hpp"
+#include "harness/coverage.hpp"
+#include "interp/reference_model.hpp"
+#include "riscv/programs.hpp"
+
+using namespace koika;
+using namespace koika::designs;
+
+namespace {
+
+/** Find a rule's first write node to a register (an AST "line"). */
+const Action*
+find_write(const Action* a, int reg)
+{
+    if (a == nullptr)
+        return nullptr;
+    if (a->kind == ActionKind::kWrite && a->reg == reg)
+        return a;
+    for (const Action* child : {a->a0, a->a1, a->a2})
+        if (const Action* hit = find_write(child, reg))
+            return hit;
+    for (const Action* arg : a->args)
+        if (const Action* hit = find_write(arg, reg))
+            return hit;
+    return nullptr;
+}
+
+struct Stats
+{
+    uint64_t cycles;
+    uint64_t instret;
+    uint64_t mispredicts;
+    uint64_t decode_attempts;
+    uint64_t decode_issues;
+};
+
+Stats
+run(const std::string& design_name, uint32_t iterations)
+{
+    auto d = build_design(design_name);
+    ReferenceModel model(*d);
+    model.interpreter().enable_coverage();
+    riscv::Program prog =
+        riscv::build_program(riscv::branchy_source(iterations));
+    Rv32System sys(*d, model, prog, 1);
+    Stats s{};
+    s.cycles = sys.run(10'000'000);
+    s.instret = sys.instret(0);
+
+    const auto& cov = model.interpreter().coverage();
+    // Mispredictions: executions of execute's pc.wr0 (the redirect).
+    const Action* redirect =
+        find_write(d->rule(d->rule_index("execute")).body,
+                   d->reg_index("pc"));
+    s.mispredicts = harness::node_count(cov, redirect);
+    // Decode issue rate: executions of the d2e enqueue vs rule entries.
+    const Action* issue =
+        find_write(d->rule(d->rule_index("decode")).body,
+                   d->reg_index("d2e_valid"));
+    s.decode_issues = harness::node_count(cov, issue);
+
+    // Print the paper-style annotated snippet of the execute rule.
+    std::printf("--- %s: execute rule, Gcov-style ---\n",
+                design_name.c_str());
+    std::string listing = harness::coverage_report_rule(
+        *d, d->rule_index("execute"), cov);
+    // Show only the redirect region to keep the output focused.
+    size_t anchor = listing.find("if ((npc != e.ppc))");
+    size_t from = listing.rfind('\n', listing.rfind('\n', anchor) - 1);
+    size_t to = listing.find("}", anchor);
+    to = listing.find('\n', to);
+    std::printf("%s\n", listing.substr(from + 1, to - from).c_str());
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr uint32_t kIters = 2000;
+    std::printf("Case study 4: adding a branch predictor, evaluated "
+                "with coverage alone.\nWorkload: branchy(%u)\n\n",
+                kIters);
+    Stats base = run("rv32i", kIters);
+    Stats bp = run("rv32i-bp", kIters);
+
+    std::printf("\n%-22s %12s %12s\n", "", "baseline", "btb+bht");
+    std::printf("%-22s %12llu %12llu\n", "cycles",
+                (unsigned long long)base.cycles,
+                (unsigned long long)bp.cycles);
+    std::printf("%-22s %12llu %12llu\n", "instructions",
+                (unsigned long long)base.instret,
+                (unsigned long long)bp.instret);
+    std::printf("%-22s %12llu %12llu\n", "mispredictions",
+                (unsigned long long)base.mispredicts,
+                (unsigned long long)bp.mispredicts);
+    std::printf("%-22s %12.3f %12.3f\n", "IPC",
+                (double)base.instret / (double)base.cycles,
+                (double)bp.instret / (double)bp.cycles);
+    std::printf("\nThe misprediction count fell %.1fx without adding a "
+                "single hardware\ncounter — it is just the execution "
+                "count of the pc.wr0 line, exactly\nas the paper reads "
+                "it off Gcov (2'071'903 -> 165'753 in their run).\n",
+                (double)base.mispredicts /
+                    (double)(bp.mispredicts ? bp.mispredicts : 1));
+    return 0;
+}

@@ -1,0 +1,113 @@
+// Case study 1: debugging a deadlock in the MSI coherence system.
+//
+// Scripts the paper's gdb session against the buggy 2-core MSI design:
+// run until the system deadlocks, print the MSHRs and parent state with
+// symbolic enum names (no custom pretty-printers), break on the failing
+// rule (the parent's ConfirmDowngrades step), and use the reverse
+// watchpoint to find where the downgrade request went — discovering that
+// the child cache consumed it without ever acknowledging.
+//
+//   $ ./examples/msi_debugging
+
+#include <cstdio>
+
+#include "designs/msi.hpp"
+#include "harness/debug.hpp"
+#include "sim/tiers.hpp"
+
+using namespace koika;
+using namespace koika::designs;
+
+int
+main()
+{
+    std::printf("Case study 1: a 2-core MSI machine stops making "
+                "progress.\n\n");
+    auto d = build_msi({.bug_silent_drop = true});
+    auto e = sim::make_engine(*d, sim::Tier::kT4MergedData);
+    harness::Debugger dbg(*d, *e, 512);
+    MsiProbe probe = msi_probe(*d);
+
+    // 1. Run until the deadlock (ops counters stop moving).
+    uint64_t last_ops = 0, stuck = 0;
+    dbg.run_until(
+        [&] {
+            uint64_t ops = e->get_reg(probe.ops[0]).to_u64() +
+                           e->get_reg(probe.ops[1]).to_u64();
+            stuck = ops == last_ops ? stuck + 1 : 0;
+            last_ops = ops;
+            return stuck > 300;
+        },
+        50'000);
+    std::printf("Deadlock after %llu completed operations. "
+                "Inspecting state (gdb-style):\n\n",
+                (unsigned long long)last_ops);
+
+    // 2. Print the status registers; enum names are preserved.
+    for (int c = 0; c < 2; ++c)
+        std::printf("  (gdb) p l1_%d.mshr        $ = %s   (addr %s)\n",
+                    c, dbg.reg_str("l1_" + std::to_string(c) + "_mshr")
+                           .c_str(),
+                    dbg.reg_str("l1_" + std::to_string(c) + "_mshr_addr")
+                        .c_str());
+    std::printf("  (gdb) p parent.state     $ = %s\n\n",
+                dbg.reg_str("parent_state").c_str());
+
+    // 3. Why is there no transition out of ConfirmDowngrades? Break on
+    //    the rule's FAIL and look at what it is waiting for.
+    uint64_t to_fail = dbg.break_on_abort("parent_confirm", 100);
+    std::printf("  (gdb) break FAIL if rule == parent_confirm\n"
+                "  -> hits after %llu cycle(s): the rule aborts waiting "
+                "for a downgrade\n     response that never arrives.\n\n",
+                (unsigned long long)to_fail);
+    std::printf("  parent is waiting on addr %s from core %s "
+                "(want M: %s)\n",
+                dbg.reg_str("parent_addr").c_str(),
+                dbg.reg_str("parent_core").c_str(),
+                dbg.reg_str("parent_wantm").c_str());
+
+    // 3b. Step halfway through a cycle, rule by rule (§3.2: mid-cycle
+    //     snapshots), watching which rules commit and which fail.
+    std::printf("\n  Stepping one cycle rule-by-rule (mid-cycle "
+                "snapshots):\n");
+    e->begin_step_cycle();
+    for (int r : d->schedule_order()) {
+        bool fired = e->step_rule(r);
+        if (d->rule(r).name.rfind("parent", 0) == 0)
+            std::printf("    %-16s %s   parent_state(mid) = %s\n",
+                        d->rule(r).name.c_str(),
+                        fired ? "commits" : "FAILS  ",
+                        format_value(
+                            d->reg(d->reg_index("parent_state")).type,
+                            e->get_mid_reg(d->reg_index("parent_state")))
+                            .c_str());
+    }
+    e->end_step_cycle();
+
+    // 4. Reverse execution: when did the downgrade REQUEST channel last
+    //    change? (A watchpoint run backwards, as with rr.)
+    for (int c = 0; c < 2; ++c) {
+        std::string chan = "l1_" + std::to_string(c) + "_p2c_dreq_valid";
+        int ago = dbg.last_change(chan);
+        std::printf("  (rr) reverse-watch %s: changed %d cycles ago "
+                    "(now %s)\n",
+                    chan.c_str(), ago, dbg.reg_str(chan).c_str());
+    }
+    std::printf("\nThe downgrade request was *consumed* (valid fell to "
+                "0) but the response\nchannels stayed empty:\n");
+    for (int c = 0; c < 2; ++c)
+        std::printf("  c2p_dresp_valid[core %d] = %s\n", c,
+                    dbg.reg_str("l1_" + std::to_string(c) +
+                                "_c2p_dresp_valid")
+                        .c_str());
+
+    std::printf(
+        "\nRoot cause found: the cache's downgrade handler consumed a "
+        "request for a\nline it had already evicted without sending the "
+        "'not present' ack — the\nintermediate state wrongly says "
+        "downgrading is unfinished, so the parent\nstays in "
+        "ConfirmDowngrades and the requester in WaitFillResp forever.\n"
+        "(Build the design with bug_silent_drop = false for the fix; "
+        "tests/test_msi.cpp\nverifies both versions.)\n");
+    return 0;
+}

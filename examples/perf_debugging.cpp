@@ -1,0 +1,91 @@
+// Case study 3: performance debugging the NOP pipeline stutter.
+//
+// The paper's scenario: retiring 100 NOPs takes 203 cycles instead of
+// ~100, because the scoreboard tracks x0 like a real register, so every
+// NOP (ADDI x0, x0, 0) appears to depend on the previous one. We run the
+// buggy and fixed cores side by side, then "step through" the buggy
+// pipeline with the scripted debugger to find the stall, exactly
+// following the case study's reasoning.
+//
+//   $ ./examples/perf_debugging
+
+#include <cstdio>
+
+#include "designs/rv32.hpp"
+#include "harness/debug.hpp"
+#include "riscv/programs.hpp"
+#include "sim/tiers.hpp"
+
+using namespace koika;
+using namespace koika::designs;
+
+namespace {
+
+uint64_t
+run_nops(const Design& d, sim::Model& m)
+{
+    riscv::Program prog = riscv::build_program(riscv::nops_source(100));
+    Rv32System sys(d, m, prog, 1);
+    uint64_t cycles = sys.run(100'000);
+    std::printf("  %-14s: %3llu cycles for 100 NOPs (instret %llu)\n",
+                d.name().c_str(), (unsigned long long)cycles,
+                (unsigned long long)sys.instret(0));
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Case study 3: why does a 100-NOP program take ~2x the "
+                "cycles?\n\n");
+
+    auto good = build_rv32({});
+    auto bad = build_rv32({.x0_bug = true});
+    auto good_e = sim::make_engine(*good, sim::Tier::kT5StaticAnalysis);
+    auto bad_e = sim::make_engine(*bad, sim::Tier::kT5StaticAnalysis);
+    uint64_t good_cycles = run_nops(*good, *good_e);
+    uint64_t bad_cycles = run_nops(*bad, *bad_e);
+
+    std::printf("\nThe suspect core takes %.2fx the cycles. "
+                "Investigating with the debugger:\n\n",
+                (double)bad_cycles / (double)good_cycles);
+
+    // Fresh buggy system; follow one NOP through the pipeline.
+    auto probe = build_rv32({.x0_bug = true});
+    auto e = sim::make_engine(*probe, sim::Tier::kT4MergedData);
+    harness::Debugger dbg(*probe, *e);
+    riscv::Program prog = riscv::build_program(riscv::nops_source(100));
+    Rv32System sys(*probe, *e, prog, 1);
+
+    // Warm the pipeline, then watch decode for a few cycles.
+    for (int i = 0; i < 6; ++i) {
+        sys.run(1);
+        dbg.step(); // record; (the extra step cycles are harmless here)
+    }
+    std::printf("Stepping rule by rule (decode commits vs aborts):\n");
+    const auto& commits = e->rule_commit_counts();
+    const auto& aborts = e->rule_abort_counts();
+    int decode = probe->rule_index("decode");
+    for (int i = 0; i < 8; ++i) {
+        uint64_t c0 = commits[(size_t)decode], a0 = aborts[(size_t)decode];
+        sys.run(1);
+        std::printf("  cycle +%d: decode %s   sb[x0] = %s\n", i,
+                    commits[(size_t)decode] > c0
+                        ? "commits"
+                        : (aborts[(size_t)decode] > a0 ? "ABORTS "
+                                                       : "idle   "),
+                    dbg.reg_str("sb0").c_str());
+    }
+
+    std::printf(
+        "\nDecode aborts every other cycle. Stepping into the decode\n"
+        "rule shows the hazard guard checking the scoreboard for the\n"
+        "NOP's source and destination... which are x0. The previous NOP\n"
+        "marked sb[x0] busy: an unintended dependency between NOPs.\n"
+        "In RISC-V a NOP is ADDI x0, x0, 0 and x0 is non-writable; the\n"
+        "designer forgot the special case. The fixed core (above) skips\n"
+        "x0 in the scoreboard and retires ~1 NOP per cycle.\n");
+    return 0;
+}

@@ -1,0 +1,303 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+
+namespace koika::analysis {
+
+using koika::Action;
+using koika::ActionKind;
+using koika::Design;
+using koika::Port;
+
+Tri
+tri_join(Tri a, Tri b)
+{
+    return a == b ? a : Tri::kMaybe;
+}
+
+Tri
+tri_after(Tri a, Tri b)
+{
+    return (uint8_t)a >= (uint8_t)b ? a : b;
+}
+
+const char*
+reg_class_name(RegClass c)
+{
+    switch (c) {
+      case RegClass::kUnused: return "unused";
+      case RegClass::kPlain: return "plain";
+      case RegClass::kWire: return "wire";
+      case RegClass::kEhr: return "EHR";
+    }
+    return "?";
+}
+
+size_t
+DesignAnalysis::num_safe_registers() const
+{
+    return (size_t)std::count(reg_safe.begin(), reg_safe.end(), true);
+}
+
+namespace {
+
+/** Abstract evaluation of one rule body. */
+class RuleWalker
+{
+  public:
+    RuleWalker(const Design& d, const std::vector<AbsEntry>& cycle_log,
+               DesignAnalysis& out, RuleSummary& summary)
+        : d_(d), cycle_(cycle_log), out_(out), summary_(summary)
+    {
+        log_.resize(d.num_registers());
+    }
+
+    void
+    run(const Action* body)
+    {
+        walk(body, Tri::kYes);
+        summary_.log = log_;
+        finish_footprints();
+    }
+
+  private:
+    /** Is the literal a constant 1-bit value? Returns -1/0/1. */
+    static int
+    const_bool(const Action* a)
+    {
+        if (a->kind != ActionKind::kConst || a->value.width() != 1)
+            return -1;
+        return a->value.is_zero() ? 0 : 1;
+    }
+
+    bool
+    log_dirty() const
+    {
+        for (const AbsEntry& e : log_)
+            if (tri_possible(e.wr0) || tri_possible(e.wr1) ||
+                tri_possible(e.rd1))
+                return true;
+        return false;
+    }
+
+    void
+    record_op(const Action* a, bool may_fail)
+    {
+        OpInfo& info = out_.ops[(size_t)a->id];
+        info.may_fail = may_fail;
+        info.clean_at_fail = !log_dirty();
+        if (may_fail) {
+            summary_.may_fail = true;
+            if (a->kind != ActionKind::kGuard)
+                summary_.reg_may_fail[(size_t)a->reg] = true;
+        }
+    }
+
+    void
+    walk(const Action* a, Tri pred)
+    {
+        if (pred == Tri::kNo)
+            return;
+        switch (a->kind) {
+          case ActionKind::kConst:
+          case ActionKind::kVar:
+            return;
+
+          case ActionKind::kLet:
+            walk(a->a0, pred);
+            walk(a->a1, pred);
+            return;
+
+          case ActionKind::kAssign:
+          case ActionKind::kUnop:
+          case ActionKind::kGetField:
+            walk(a->a0, pred);
+            return;
+
+          case ActionKind::kSeq:
+          case ActionKind::kBinop:
+          case ActionKind::kSubstField:
+            walk(a->a0, pred);
+            walk(a->a1, pred);
+            return;
+
+          case ActionKind::kIf: {
+            walk(a->a0, pred);
+            int cb = const_bool(a->a0);
+            if (cb == 1) {
+                walk(a->a1, pred);
+                return;
+            }
+            if (cb == 0) {
+                walk(a->a2, pred);
+                return;
+            }
+            // With a non-constant condition, each branch runs at most
+            // Maybe-often.
+            Tri branch_pred = (pred == Tri::kYes) ? Tri::kMaybe : pred;
+            std::vector<AbsEntry> saved = log_;
+            walk(a->a1, branch_pred);
+            std::vector<AbsEntry> after_then = std::move(log_);
+            log_ = std::move(saved);
+            walk(a->a2, branch_pred);
+            for (size_t i = 0; i < log_.size(); ++i) {
+                log_[i].rd0 = tri_join(log_[i].rd0, after_then[i].rd0);
+                log_[i].rd1 = tri_join(log_[i].rd1, after_then[i].rd1);
+                log_[i].wr0 = tri_join(log_[i].wr0, after_then[i].wr0);
+                log_[i].wr1 = tri_join(log_[i].wr1, after_then[i].wr1);
+            }
+            return;
+          }
+
+          case ActionKind::kRead: {
+            AbsEntry& cl = cycle_[(size_t)a->reg];
+            AbsEntry& rl = log_[(size_t)a->reg];
+            bool may_fail;
+            if (a->port == Port::p0) {
+                may_fail = tri_possible(cl.wr0) || tri_possible(cl.wr1);
+                record_op(a, may_fail);
+                rl.rd0 = tri_after(rl.rd0, pred);
+            } else {
+                may_fail = tri_possible(cl.wr1);
+                record_op(a, may_fail);
+                if (tri_possible(rl.wr1))
+                    out_.goldbergian = true;
+                rl.rd1 = tri_after(rl.rd1, pred);
+            }
+            return;
+          }
+
+          case ActionKind::kWrite: {
+            walk(a->a0, pred);
+            AbsEntry& cl = cycle_[(size_t)a->reg];
+            AbsEntry& rl = log_[(size_t)a->reg];
+            bool may_fail;
+            if (a->port == Port::p0) {
+                may_fail = tri_possible(cl.rd1) || tri_possible(cl.wr0) ||
+                           tri_possible(cl.wr1) || tri_possible(rl.rd1) ||
+                           tri_possible(rl.wr0) || tri_possible(rl.wr1);
+                record_op(a, may_fail);
+                rl.wr0 = tri_after(rl.wr0, pred);
+            } else {
+                may_fail = tri_possible(cl.wr1) || tri_possible(rl.wr1);
+                record_op(a, may_fail);
+                rl.wr1 = tri_after(rl.wr1, pred);
+            }
+            return;
+          }
+
+          case ActionKind::kGuard: {
+            walk(a->a0, pred);
+            int cb = const_bool(a->a0);
+            record_op(a, cb != 1);
+            return;
+          }
+
+          case ActionKind::kCall:
+            // Function bodies are pure; only the arguments matter.
+            for (const Action* arg : a->args)
+                walk(arg, pred);
+            return;
+        }
+    }
+
+    void
+    finish_footprints()
+    {
+        for (size_t r = 0; r < log_.size(); ++r) {
+            const AbsEntry& e = log_[r];
+            if (tri_possible(e.wr0) || tri_possible(e.wr1))
+                summary_.footprint_writes.push_back((int)r);
+            if (tri_possible(e.wr0) || tri_possible(e.wr1) ||
+                tri_possible(e.rd1))
+                summary_.footprint_tracked.push_back((int)r);
+        }
+    }
+
+    const Design& d_;
+    /** Cycle log entering this rule (copied; not mutated). */
+    std::vector<AbsEntry> cycle_;
+    DesignAnalysis& out_;
+    RuleSummary& summary_;
+    std::vector<AbsEntry> log_;
+};
+
+/** Fold a completed rule's log into the running cycle approximation. */
+void
+merge_into_cycle(std::vector<AbsEntry>& cycle, const RuleSummary& summary)
+{
+    // A rule that may fail contributes at most Maybe.
+    auto cap = [&](Tri t) {
+        if (summary.may_fail && t == Tri::kYes)
+            return Tri::kMaybe;
+        return t;
+    };
+    for (size_t i = 0; i < cycle.size(); ++i) {
+        cycle[i].rd0 = tri_after(cycle[i].rd0, cap(summary.log[i].rd0));
+        cycle[i].rd1 = tri_after(cycle[i].rd1, cap(summary.log[i].rd1));
+        cycle[i].wr0 = tri_after(cycle[i].wr0, cap(summary.log[i].wr0));
+        cycle[i].wr1 = tri_after(cycle[i].wr1, cap(summary.log[i].wr1));
+    }
+}
+
+} // namespace
+
+DesignAnalysis
+analyze(const Design& design)
+{
+    KOIKA_CHECK(design.typechecked);
+    DesignAnalysis out;
+    size_t nregs = design.num_registers();
+    out.ops.resize(design.num_nodes());
+    out.rules.resize(design.num_rules());
+    for (auto& rs : out.rules)
+        rs.reg_may_fail.assign(nregs, false);
+    out.cycle_log.assign(nregs, AbsEntry{});
+
+    // Forward pass in schedule order: the cycle log entering rule i is the
+    // combination of the logs of rules scheduled before it.
+    std::vector<bool> analyzed(design.num_rules(), false);
+    for (int r : design.schedule_order()) {
+        RuleSummary& summary = out.rules[(size_t)r];
+        RuleWalker walker(design, out.cycle_log, out, summary);
+        walker.run(design.rule(r).body);
+        merge_into_cycle(out.cycle_log, summary);
+        analyzed[(size_t)r] = true;
+    }
+    // Unscheduled rules still get summaries (against the full cycle log),
+    // so tools that run them ad hoc have conservative facts.
+    for (size_t r = 0; r < design.num_rules(); ++r) {
+        if (analyzed[r])
+            continue;
+        RuleSummary& summary = out.rules[r];
+        RuleWalker walker(design, out.cycle_log, out, summary);
+        walker.run(design.rule((int)r).body);
+    }
+
+    // Classification and safety (over scheduled rules only).
+    out.reg_class.assign(nregs, RegClass::kUnused);
+    out.reg_safe.assign(nregs, true);
+    for (size_t reg = 0; reg < nregs; ++reg) {
+        bool rd0 = false, rd1 = false, wr0 = false, wr1 = false;
+        for (int r : design.schedule_order()) {
+            const AbsEntry& e = out.rules[(size_t)r].log[reg];
+            rd0 |= tri_possible(e.rd0);
+            rd1 |= tri_possible(e.rd1);
+            wr0 |= tri_possible(e.wr0);
+            wr1 |= tri_possible(e.wr1);
+            if (out.rules[(size_t)r].reg_may_fail[reg])
+                out.reg_safe[reg] = false;
+        }
+        if (!rd0 && !rd1 && !wr0 && !wr1)
+            out.reg_class[reg] = RegClass::kUnused;
+        else if (!rd1 && !wr1)
+            out.reg_class[reg] = RegClass::kPlain;
+        else if (wr0 && rd1 && !rd0 && !wr1)
+            out.reg_class[reg] = RegClass::kWire;
+        else
+            out.reg_class[reg] = RegClass::kEhr;
+    }
+    return out;
+}
+
+} // namespace koika::analysis

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Static analysis of Kôika designs (paper §3.3).
+ *
+ * A straightforward abstract-interpretation pass annotates each read,
+ * write, and guard with a conservative approximation of the rule log at
+ * that point, computes per-register "may this operation fail?" flags (a
+ * tribool version of the PLDI'20 Fig. 5 will-fire conditions), and derives
+ * the design-specific facts that the optimized Cuttlesim engines and the
+ * code generator rely on:
+ *
+ *  - register classification (plain register / wire / EHR),
+ *  - safe registers (no operation on them can ever cause a conflict,
+ *    so their read-write sets can be discarded entirely),
+ *  - per-rule footprints (which registers need commit/rollback copies),
+ *  - fail points that need no rollback (early guards),
+ *  - detection of the "Goldbergian" wr1-then-rd1 anti-pattern that the
+ *    merged-data representation does not support (Cuttlesim warns and
+ *    ignores it; we do the same).
+ *
+ * The analysis is schedule-aware: the approximate cycle log for the rule
+ * at position i combines the rule logs of rules scheduled before i.
+ */
+#pragma once
+
+#include <vector>
+
+#include "koika/design.hpp"
+
+namespace koika::analysis {
+
+/** Three-valued "did this operation happen?" flag. */
+enum class Tri : uint8_t { kNo = 0, kMaybe = 1, kYes = 2 };
+
+Tri tri_join(Tri a, Tri b);   ///< Control-flow merge (No ∨ Yes = Maybe).
+Tri tri_after(Tri a, Tri b);  ///< Sequential accumulate (max).
+inline bool tri_possible(Tri t) { return t != Tri::kNo; }
+
+/** Abstract log entry for one register. */
+struct AbsEntry
+{
+    Tri rd0 = Tri::kNo;
+    Tri rd1 = Tri::kNo;
+    Tri wr0 = Tri::kNo;
+    Tri wr1 = Tri::kNo;
+};
+
+/** Per-node facts for read/write/guard nodes (indexed by Action::id). */
+struct OpInfo
+{
+    /** Could this operation abort the rule? */
+    bool may_fail = false;
+    /**
+     * If it aborts, is the accumulated log still pristine (no writes, no
+     * tracked reads), so the failure needs no rollback (§3.3 "speed up
+     * early failures")?
+     */
+    bool clean_at_fail = true;
+};
+
+struct RuleSummary
+{
+    /** Final abstract rule log (the rule's possible effects). */
+    std::vector<AbsEntry> log;
+    /** Per register: may an op on it abort this rule? */
+    std::vector<bool> reg_may_fail;
+    /** May the rule abort at all (conflicts or explicit guards)? */
+    bool may_fail = false;
+    /** Registers this rule may write (data must be committed/rolled back). */
+    std::vector<int> footprint_writes;
+    /**
+     * Registers whose tracked read-write set this rule may change
+     * (writes, plus rd1 marks). Safe registers are filtered out by
+     * consumers that do not track them.
+     */
+    std::vector<int> footprint_tracked;
+};
+
+/** §3.3 register classification. */
+enum class RegClass : uint8_t { kUnused, kPlain, kWire, kEhr };
+
+const char* reg_class_name(RegClass c);
+
+struct DesignAnalysis
+{
+    std::vector<RuleSummary> rules;
+    /** Whole-cycle abstract log over the design's schedule. */
+    std::vector<AbsEntry> cycle_log;
+    std::vector<RegClass> reg_class;
+    /** True if no operation on the register can ever fail. */
+    std::vector<bool> reg_safe;
+    /** Indexed by Action::id. */
+    std::vector<OpInfo> ops;
+    /** wr1-then-rd1 on the same register inside one rule (warned). */
+    bool goldbergian = false;
+
+    size_t num_safe_registers() const;
+};
+
+/** Analyze a typechecked design. */
+DesignAnalysis analyze(const koika::Design& design);
+
+} // namespace koika::analysis

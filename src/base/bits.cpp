@@ -1,0 +1,366 @@
+#include "base/bits.hpp"
+
+#include <algorithm>
+
+namespace koika {
+
+void
+Bits::canonicalize()
+{
+    uint32_t nw = nwords();
+    if (width_ % 64 != 0 && nw > 0) {
+        words_[nw - 1] &= (~uint64_t{0}) >> (64 - width_ % 64);
+    }
+    for (uint32_t i = nw; i < kMaxWords; ++i)
+        words_[i] = 0;
+}
+
+Bits
+Bits::zeroes(uint32_t width)
+{
+    KOIKA_CHECK(width <= kMaxWidth);
+    Bits b;
+    b.width_ = width;
+    b.words_.fill(0);
+    return b;
+}
+
+Bits
+Bits::ones(uint32_t width)
+{
+    Bits b = zeroes(width);
+    b.words_.fill(~uint64_t{0});
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::of(uint32_t width, uint64_t v)
+{
+    Bits b = zeroes(width);
+    b.words_[0] = v;
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::of_words(uint32_t width, const uint64_t* words, size_t n)
+{
+    Bits b = zeroes(width);
+    for (size_t i = 0; i < n && i < kMaxWords; ++i)
+        b.words_[i] = words[i];
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::of_string(const std::string& binary)
+{
+    KOIKA_CHECK(binary.size() <= kMaxWidth);
+    Bits b = zeroes(static_cast<uint32_t>(binary.size()));
+    uint32_t pos = b.width_;
+    for (char c : binary) {
+        --pos;
+        KOIKA_CHECK(c == '0' || c == '1');
+        if (c == '1')
+            b.words_[pos / 64] |= uint64_t{1} << (pos % 64);
+    }
+    return b;
+}
+
+uint64_t
+Bits::to_u64() const
+{
+    KOIKA_CHECK(width_ <= 64);
+    return words_[0];
+}
+
+bool
+Bits::bit(uint32_t i) const
+{
+    KOIKA_CHECK(i < width_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+Bits
+Bits::with_bit(uint32_t i, bool v) const
+{
+    KOIKA_CHECK(i < width_);
+    Bits b = *this;
+    if (v)
+        b.words_[i / 64] |= uint64_t{1} << (i % 64);
+    else
+        b.words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+    return b;
+}
+
+bool
+Bits::is_zero() const
+{
+    for (uint32_t i = 0; i < nwords(); ++i)
+        if (words_[i] != 0)
+            return false;
+    return true;
+}
+
+bool
+Bits::operator==(const Bits& o) const
+{
+    if (width_ != o.width_)
+        return false;
+    for (uint32_t i = 0; i < nwords(); ++i)
+        if (words_[i] != o.words_[i])
+            return false;
+    return true;
+}
+
+Bits
+Bits::band(const Bits& o) const
+{
+    KOIKA_CHECK(width_ == o.width_);
+    Bits b = *this;
+    for (uint32_t i = 0; i < nwords(); ++i)
+        b.words_[i] &= o.words_[i];
+    return b;
+}
+
+Bits
+Bits::bor(const Bits& o) const
+{
+    KOIKA_CHECK(width_ == o.width_);
+    Bits b = *this;
+    for (uint32_t i = 0; i < nwords(); ++i)
+        b.words_[i] |= o.words_[i];
+    return b;
+}
+
+Bits
+Bits::bxor(const Bits& o) const
+{
+    KOIKA_CHECK(width_ == o.width_);
+    Bits b = *this;
+    for (uint32_t i = 0; i < nwords(); ++i)
+        b.words_[i] ^= o.words_[i];
+    return b;
+}
+
+Bits
+Bits::bnot() const
+{
+    Bits b = *this;
+    for (uint32_t i = 0; i < nwords(); ++i)
+        b.words_[i] = ~b.words_[i];
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::add(const Bits& o) const
+{
+    KOIKA_CHECK(width_ == o.width_);
+    Bits b = zeroes(width_);
+    uint64_t carry = 0;
+    for (uint32_t i = 0; i < nwords(); ++i) {
+        uint64_t s1 = words_[i] + o.words_[i];
+        uint64_t c1 = s1 < words_[i];
+        uint64_t s2 = s1 + carry;
+        uint64_t c2 = s2 < s1;
+        b.words_[i] = s2;
+        carry = c1 | c2;
+    }
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::sub(const Bits& o) const
+{
+    return add(o.neg());
+}
+
+Bits
+Bits::neg() const
+{
+    return bnot().add(Bits::of(width_, width_ == 0 ? 0 : 1));
+}
+
+Bits
+Bits::mul(const Bits& o) const
+{
+    KOIKA_CHECK(width_ == o.width_);
+    Bits b = zeroes(width_);
+    // Schoolbook 64x64->128 partial products, keeping the low width_ bits.
+    uint32_t nw = nwords();
+    for (uint32_t i = 0; i < nw; ++i) {
+        uint64_t carry = 0;
+        for (uint32_t j = 0; i + j < nw; ++j) {
+            unsigned __int128 p =
+                (unsigned __int128)words_[i] * o.words_[j] +
+                b.words_[i + j] + carry;
+            b.words_[i + j] = (uint64_t)p;
+            carry = (uint64_t)(p >> 64);
+        }
+    }
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::ltu(const Bits& o) const
+{
+    KOIKA_CHECK(width_ == o.width_);
+    for (int i = (int)nwords() - 1; i >= 0; --i) {
+        if (words_[i] != o.words_[i])
+            return from_bool(words_[i] < o.words_[i]);
+    }
+    return from_bool(false);
+}
+
+Bits
+Bits::leu(const Bits& o) const
+{
+    return from_bool(ltu(o).truthy() || *this == o);
+}
+
+Bits
+Bits::lts(const Bits& o) const
+{
+    KOIKA_CHECK(width_ == o.width_ && width_ > 0);
+    bool sa = bit(width_ - 1), sb = o.bit(width_ - 1);
+    if (sa != sb)
+        return from_bool(sa);
+    return ltu(o);
+}
+
+Bits
+Bits::les(const Bits& o) const
+{
+    return from_bool(lts(o).truthy() || *this == o);
+}
+
+Bits
+Bits::shl_by(uint64_t n) const
+{
+    if (n >= width_)
+        return zeroes(width_);
+    Bits b = zeroes(width_);
+    uint32_t wordshift = (uint32_t)(n / 64), bitshift = (uint32_t)(n % 64);
+    for (uint32_t i = 0; i < nwords(); ++i) {
+        uint64_t v = i >= wordshift ? words_[i - wordshift] << bitshift : 0;
+        if (bitshift != 0 && i > wordshift)
+            v |= words_[i - wordshift - 1] >> (64 - bitshift);
+        b.words_[i] = v;
+    }
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::shr_by(uint64_t n) const
+{
+    if (n >= width_)
+        return zeroes(width_);
+    Bits b = zeroes(width_);
+    uint32_t wordshift = (uint32_t)(n / 64), bitshift = (uint32_t)(n % 64);
+    uint32_t nw = nwords();
+    for (uint32_t i = 0; i < nw; ++i) {
+        uint64_t v =
+            i + wordshift < nw ? words_[i + wordshift] >> bitshift : 0;
+        if (bitshift != 0 && i + wordshift + 1 < nw)
+            v |= words_[i + wordshift + 1] << (64 - bitshift);
+        b.words_[i] = v;
+    }
+    return b;
+}
+
+Bits
+Bits::asr_by(uint64_t n) const
+{
+    if (width_ == 0)
+        return *this;
+    bool sign = bit(width_ - 1);
+    if (n >= width_)
+        return sign ? ones(width_) : zeroes(width_);
+    Bits b = shr_by(n);
+    if (sign)
+        b = b.bor(ones(width_).shl_by(width_ - n));
+    return b;
+}
+
+Bits
+Bits::concat(const Bits& low) const
+{
+    KOIKA_CHECK(width_ + low.width_ <= kMaxWidth);
+    Bits b = zextl(width_ + low.width_).shl_by(low.width_);
+    Bits lo = low.zextl(width_ + low.width_);
+    return b.bor(lo);
+}
+
+Bits
+Bits::slice(uint32_t offset, uint32_t width) const
+{
+    KOIKA_CHECK(offset + width <= width_);
+    Bits b = shr_by(offset);
+    return b.zextl(width);
+}
+
+Bits
+Bits::zextl(uint32_t width) const
+{
+    KOIKA_CHECK(width <= kMaxWidth);
+    Bits b = *this;
+    b.width_ = width;
+    b.canonicalize();
+    return b;
+}
+
+Bits
+Bits::sextl(uint32_t width) const
+{
+    KOIKA_CHECK(width <= kMaxWidth);
+    if (width <= width_ || width_ == 0)
+        return zextl(width);
+    Bits b = zextl(width);
+    if (bit(width_ - 1))
+        b = b.bor(ones(width).shl_by(width_));
+    return b;
+}
+
+std::string
+Bits::str() const
+{
+    if (width_ <= 16) {
+        std::string s = std::to_string(width_) + "'b";
+        for (int i = (int)width_ - 1; i >= 0; --i)
+            s += bit((uint32_t)i) ? '1' : '0';
+        return s;
+    }
+    std::string s = std::to_string(width_) + "'x";
+    char buf[17];
+    bool started = false;
+    for (int i = (int)nwords() - 1; i >= 0; --i) {
+        std::snprintf(buf, sizeof buf, started ? "%016lx" : "%lx",
+                      (unsigned long)words_[i]);
+        if (!started && words_[i] == 0 && i != 0)
+            continue;
+        s += buf;
+        started = true;
+    }
+    return s;
+}
+
+size_t
+Bits::hash() const
+{
+    size_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(width_);
+    for (uint32_t i = 0; i < nwords(); ++i)
+        mix(words_[i]);
+    return h;
+}
+
+} // namespace koika

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Arbitrary-width bit-vector values.
+ *
+ * Every runtime value manipulated by the Kôika toolchain — register
+ * contents, intermediate expression results, packed structs and enums —
+ * is a Bits: a width-annotated unsigned bit vector of up to kMaxWidth
+ * bits, stored inline (no heap allocation) so that logs and register
+ * files can be copied with memcpy-like efficiency.
+ *
+ * All operations follow hardware semantics: arithmetic is modulo 2^width,
+ * comparisons are unsigned unless the signed variant is requested, and
+ * every result is kept canonical (bits above the width are zero).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace koika {
+
+class Bits
+{
+  public:
+    /** Widest representable value, in bits. */
+    static constexpr uint32_t kMaxWidth = 512;
+    /** Number of 64-bit words backing a value. */
+    static constexpr uint32_t kMaxWords = kMaxWidth / 64;
+
+    /** The zero-width (unit) value. */
+    Bits() : width_(0) { words_.fill(0); }
+
+    /** An all-zero value of the given width. */
+    static Bits zeroes(uint32_t width);
+    /** An all-ones value of the given width. */
+    static Bits ones(uint32_t width);
+    /** A value of the given width holding v (mod 2^width). */
+    static Bits of(uint32_t width, uint64_t v);
+    /** A value assembled from little-endian 64-bit words. */
+    static Bits of_words(uint32_t width, const uint64_t* words, size_t n);
+    /** Parse a binary string, MSB first ("1010" -> 4'b1010). */
+    static Bits of_string(const std::string& binary);
+
+    uint32_t width() const { return width_; }
+    /** Number of 64-bit words actually used by this width. */
+    uint32_t nwords() const { return (width_ + 63) / 64; }
+    const uint64_t* words() const { return words_.data(); }
+
+    /** The value as a uint64_t; width must be <= 64. */
+    uint64_t to_u64() const;
+    /** Word i of the value (zero beyond nwords()). */
+    uint64_t word(uint32_t i) const { return i < kMaxWords ? words_[i] : 0; }
+
+    bool bit(uint32_t i) const;
+    Bits with_bit(uint32_t i, bool v) const;
+
+    /** True iff all bits are zero. */
+    bool is_zero() const;
+    /** True iff width is 1 and the bit is set (guard helper). */
+    bool truthy() const { return !is_zero(); }
+
+    bool operator==(const Bits& o) const;
+    bool operator!=(const Bits& o) const { return !(*this == o); }
+
+    // -- Bitwise --------------------------------------------------------
+    Bits band(const Bits& o) const;
+    Bits bor(const Bits& o) const;
+    Bits bxor(const Bits& o) const;
+    Bits bnot() const;
+
+    // -- Arithmetic (modulo 2^width) ------------------------------------
+    Bits add(const Bits& o) const;
+    Bits sub(const Bits& o) const;
+    Bits mul(const Bits& o) const;
+    Bits neg() const;
+
+    // -- Comparisons (1-bit results) ------------------------------------
+    Bits eq(const Bits& o) const { return from_bool(*this == o); }
+    Bits ne(const Bits& o) const { return from_bool(*this != o); }
+    Bits ltu(const Bits& o) const;
+    Bits leu(const Bits& o) const;
+    Bits gtu(const Bits& o) const { return o.ltu(*this); }
+    Bits geu(const Bits& o) const { return o.leu(*this); }
+    Bits lts(const Bits& o) const;
+    Bits les(const Bits& o) const;
+    Bits gts(const Bits& o) const { return o.lts(*this); }
+    Bits ges(const Bits& o) const { return o.les(*this); }
+
+    // -- Shifts (shift amount taken as unsigned value of o) --------------
+    Bits shl(const Bits& o) const { return shl_by(o.low_u64()); }
+    Bits shr(const Bits& o) const { return shr_by(o.low_u64()); }
+    Bits asr(const Bits& o) const { return asr_by(o.low_u64()); }
+    Bits shl_by(uint64_t n) const;
+    Bits shr_by(uint64_t n) const;
+    Bits asr_by(uint64_t n) const;
+
+    // -- Structural ------------------------------------------------------
+    /** Concatenation: *this becomes the most-significant part. */
+    Bits concat(const Bits& low) const;
+    /** Contiguous bit-field [offset, offset+width) counted from LSB. */
+    Bits slice(uint32_t offset, uint32_t width) const;
+    /** Zero-extend (or truncate) to the given width. */
+    Bits zextl(uint32_t width) const;
+    /** Sign-extend (or truncate) to the given width. */
+    Bits sextl(uint32_t width) const;
+
+    /** A 1-bit value from a bool. */
+    static Bits from_bool(bool b) { return of(1, b ? 1 : 0); }
+
+    /** Render as 0b... (short values) or 0x... */
+    std::string str() const;
+
+    /** FNV-style hash over width and payload words. */
+    size_t hash() const;
+
+  private:
+    /** Low 64 bits regardless of width (for shift amounts). */
+    uint64_t low_u64() const { return words_[0]; }
+    /** Zero all bits at positions >= width_. */
+    void canonicalize();
+
+    uint32_t width_;
+    std::array<uint64_t, kMaxWords> words_;
+};
+
+} // namespace koika

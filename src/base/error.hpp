@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Error-reporting helpers shared across the toolchain.
+ *
+ * Following the gem5 convention we distinguish between internal invariant
+ * violations (panic — a bug in this library) and user-facing errors
+ * (fatal — a malformed design, a type error, a bad CLI invocation).
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace koika {
+
+/** Error raised for user-facing problems (type errors, bad designs). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Raise a FatalError with a printf-style message. */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort the process on an internal invariant violation. */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Like assert(), but always on, for cheap internal invariants. */
+#define KOIKA_CHECK(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::koika::panic("check failed at %s:%d: %s", __FILE__, __LINE__,  \
+                           #cond);                                           \
+        }                                                                    \
+    } while (0)
+
+} // namespace koika

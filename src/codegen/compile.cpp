@@ -1,0 +1,171 @@
+#include "codegen/compile.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "codegen/cpp_emit.hpp"
+
+#ifndef CUTTLESIM_RUNTIME_DIR
+#error "CUTTLESIM_RUNTIME_DIR must be defined by the build system"
+#endif
+#ifndef CUTTLESIM_CXX
+#define CUTTLESIM_CXX "c++"
+#endif
+
+namespace koika::codegen {
+
+namespace {
+
+void
+write_file(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write %s", path.c_str());
+    out << text;
+}
+
+std::string
+capture_command(const std::string& cmd, int* exit_code)
+{
+    std::string output;
+    FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (pipe == nullptr)
+        fatal("popen failed for: %s", cmd.c_str());
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
+        output.append(buf, n);
+    int status = pclose(pipe);
+    *exit_code = status;
+    return output;
+}
+
+} // namespace
+
+CompileResult
+compile_cpp(const std::string& workdir,
+            const std::vector<std::pair<std::string, std::string>>& files,
+            const std::string& main_file, const std::string& flags)
+{
+    ::mkdir(workdir.c_str(), 0755);
+    for (const auto& [name, contents] : files)
+        write_file(workdir + "/" + name, contents);
+    std::string binary = workdir + "/" + main_file + ".bin";
+
+    std::ostringstream cmd;
+    cmd << CUTTLESIM_CXX << " -std=c++20 " << flags << " -I "
+        << CUTTLESIM_RUNTIME_DIR << " -I " << workdir << " -o " << binary
+        << " " << workdir << "/" << main_file;
+
+    auto start = std::chrono::steady_clock::now();
+    int exit_code = 0;
+    std::string output = capture_command(cmd.str(), &exit_code);
+    auto end = std::chrono::steady_clock::now();
+    if (exit_code != 0)
+        fatal("compiling generated model failed:\n%s\n%s",
+              cmd.str().c_str(), output.c_str());
+
+    CompileResult result;
+    result.binary = binary;
+    result.compile_seconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+CompileResult
+compile_model_driver(const Design& design, const std::string& workdir,
+                     const std::string& driver_cpp,
+                     const std::string& flags)
+{
+    std::string cls = model_class_name(design);
+    return compile_cpp(workdir,
+                       {{cls + ".model.hpp", emit_model(design)},
+                        {cls + ".driver.cpp", driver_cpp}},
+                       cls + ".driver.cpp", flags);
+}
+
+std::string
+reg_dump_driver(const Design& design)
+{
+    std::string cls = model_class_name(design);
+    std::ostringstream os;
+    os << "#include <cstdio>\n#include <cstdlib>\n";
+    os << "#include \"" << cls << ".model.hpp\"\n";
+    os << "int main(int argc, char** argv) {\n";
+    os << "    unsigned long cycles = argc > 1 ? strtoul(argv[1], "
+          "nullptr, 10) : 10;\n";
+    os << "    cuttlesim::models::" << cls << " m;\n";
+    os << "    for (unsigned long c = 0; c < cycles; ++c) {\n";
+    os << "        m.cycle();\n";
+    os << "        for (size_t r = 0; r < m.kNumRegs; ++r) {\n";
+    os << "            uint64_t w[8];\n";
+    os << "            m.get_reg_words(r, w);\n";
+    os << "            std::printf(\"%lu %zu %llx %llx %llx %llx %llx "
+          "%llx %llx %llx\\n\", c, r,\n";
+    os << "                (unsigned long long)w[0], (unsigned long "
+          "long)w[1], (unsigned long long)w[2],\n";
+    os << "                (unsigned long long)w[3], (unsigned long "
+          "long)w[4], (unsigned long long)w[5],\n";
+    os << "                (unsigned long long)w[6], (unsigned long "
+          "long)w[7]);\n";
+    os << "        }\n";
+    os << "    }\n";
+    os << "    return 0;\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+run_binary(const std::string& binary, const std::string& args)
+{
+    int exit_code = 0;
+    std::string output = capture_command(binary + " " + args, &exit_code);
+    if (exit_code != 0)
+        fatal("binary %s failed (status %d):\n%s", binary.c_str(),
+              exit_code, output.c_str());
+    return output;
+}
+
+double
+time_binary(const std::string& binary, const std::string& args)
+{
+    auto start = std::chrono::steady_clock::now();
+    int exit_code = 0;
+    capture_command(binary + " " + args + " > /dev/null", &exit_code);
+    auto end = std::chrono::steady_clock::now();
+    if (exit_code != 0)
+        fatal("binary %s failed (status %d)", binary.c_str(), exit_code);
+    return std::chrono::duration<double>(end - start).count();
+}
+
+std::vector<std::vector<Bits>>
+parse_reg_dump(const Design& design, const std::string& output)
+{
+    std::vector<std::vector<Bits>> cycles;
+    std::istringstream is(output);
+    std::string line;
+    while (std::getline(is, line)) {
+        unsigned long c, r;
+        unsigned long long w[8];
+        if (std::sscanf(line.c_str(),
+                        "%lu %lu %llx %llx %llx %llx %llx %llx %llx %llx",
+                        &c, &r, &w[0], &w[1], &w[2], &w[3], &w[4], &w[5],
+                        &w[6], &w[7]) != 10)
+            continue;
+        if (cycles.size() <= c)
+            cycles.resize(c + 1,
+                          std::vector<Bits>(design.num_registers()));
+        uint64_t words[8];
+        for (int i = 0; i < 8; ++i)
+            words[i] = w[i];
+        cycles[c][r] =
+            Bits::of_words(design.reg((int)r).type->width, words, 8);
+    }
+    return cycles;
+}
+
+} // namespace koika::codegen

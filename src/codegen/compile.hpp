@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Out-of-process compilation of generated models.
+ *
+ * Cuttlesim's full pipeline is "emit C++, hand it to a C++ compiler"
+ * (§3). The in-tree benchmarks pre-generate models at build time, but the
+ * differential tests and the compiler-sensitivity experiment (Fig. 3)
+ * exercise the real pipeline: emit the model header plus a small driver,
+ * invoke the system C++ compiler with chosen flags, and run the binary.
+ */
+#pragma once
+
+#include <string>
+
+#include "koika/design.hpp"
+
+namespace koika::codegen {
+
+struct CompileResult
+{
+    /** Path of the produced executable. */
+    std::string binary;
+    /** Wall-clock seconds spent in the C++ compiler. */
+    double compile_seconds = 0;
+};
+
+/**
+ * Emit the model for `design` into `workdir`, together with `driver_cpp`
+ * (a main() that may include "<class>.model.hpp"), compile both with the
+ * system compiler and `flags`, and return the binary path. Throws
+ * FatalError with the compiler output on failure.
+ */
+CompileResult compile_model_driver(const Design& design,
+                                   const std::string& workdir,
+                                   const std::string& driver_cpp,
+                                   const std::string& flags = "-O2");
+
+/**
+ * Lower-level entry: write `files` (name -> contents) into workdir,
+ * compile `main_file` (which may include the others and the cuttlesim
+ * runtime) with `flags`, and return the binary. Used by the Fig. 3
+ * compiler-sensitivity bench to build both Cuttlesim and RTL models at
+ * several optimization levels.
+ */
+CompileResult compile_cpp(const std::string& workdir,
+                          const std::vector<std::pair<std::string,
+                                                      std::string>>& files,
+                          const std::string& main_file,
+                          const std::string& flags);
+
+/**
+ * A generic driver: runs argv[1] cycles and dumps every register (as hex
+ * words) after each cycle — the format parse_reg_dump understands.
+ */
+std::string reg_dump_driver(const Design& design);
+
+/** Run a binary, capture stdout; throws on nonzero exit. */
+std::string run_binary(const std::string& binary,
+                       const std::string& args);
+
+/** Wall-clock seconds to run a binary (stdout discarded). */
+double time_binary(const std::string& binary, const std::string& args);
+
+/**
+ * Parse reg_dump_driver output into per-cycle register snapshots.
+ * result[c][r] is register r's value after cycle c.
+ */
+std::vector<std::vector<Bits>> parse_reg_dump(const Design& design,
+                                              const std::string& output);
+
+} // namespace koika::codegen

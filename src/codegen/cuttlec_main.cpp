@@ -1,0 +1,127 @@
+/**
+ * @file
+ * cuttlec: the Cuttlesim compiler driver.
+ *
+ * The paper's workflow tool: compile a Kôika design to (a) a fast,
+ * readable, debuggable C++ model for simulation (the Cuttlesim pipeline)
+ * and, completely separately, (b) RTL for synthesis (here: a netlist,
+ * emitted as Verilog and as a compiled cycle-based C++ simulation that
+ * plays the Verilator role in the benchmarks).
+ *
+ *   cuttlec --design rv32i --out build/generated
+ *       writes rv32i.model.hpp      (Cuttlesim C++ model)
+ *              rv32i_rtl.hpp        (compiled netlist simulation)
+ *              rv32i_rtlopt.hpp     (same, after netlist optimization)
+ *              rv32i.v              (structural Verilog)
+ *   cuttlec --list
+ *   cuttlec --design fir --stats    (sizes only, no files)
+ *   cuttlec --design fir --print-koika
+ */
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "codegen/cpp_emit.hpp"
+#include "designs/designs.hpp"
+#include "koika/print.hpp"
+#include "rtl/lower.hpp"
+#include "rtl/optimize.hpp"
+#include "rtl/rtl_emit.hpp"
+#include "rtl/verilog.hpp"
+
+namespace {
+
+void
+write_file(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path);
+    if (!out)
+        koika::fatal("cannot write %s", path.c_str());
+    out << text;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: cuttlec --design NAME [--out DIR] [--stats]\n"
+           "               [--print-koika] [--no-counters]\n"
+           "       cuttlec --list\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string design_name, out_dir;
+    bool stats = false, print_koika = false, counters = true;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const auto& name : koika::designs::design_names())
+                std::cout << name << "\n";
+            return 0;
+        }
+        if (arg == "--design" && i + 1 < argc) {
+            design_name = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--print-koika") {
+            print_koika = true;
+        } else if (arg == "--no-counters") {
+            counters = false;
+        } else {
+            return usage();
+        }
+    }
+    if (design_name.empty())
+        return usage();
+
+    try {
+        auto design = koika::designs::build_design(design_name);
+        std::string cls = koika::codegen::model_class_name(*design);
+
+        if (print_koika) {
+            std::cout << koika::print_design(*design);
+            return 0;
+        }
+
+        koika::rtl::Netlist netlist = koika::rtl::lower(*design);
+        koika::rtl::Netlist optimized = koika::rtl::optimize(netlist);
+
+        if (stats || out_dir.empty()) {
+            std::cout << "design " << design->name() << ": "
+                      << design->num_registers() << " registers, "
+                      << design->num_rules() << " rules, "
+                      << koika::design_sloc(*design) << " Koika SLOC, "
+                      << koika::codegen::model_sloc(*design)
+                      << " Cuttlesim SLOC, netlist "
+                      << netlist.num_nodes() << " nodes ("
+                      << optimized.num_nodes() << " optimized), "
+                      << koika::rtl::verilog_sloc(netlist)
+                      << " Verilog SLOC\n";
+            if (out_dir.empty())
+                return 0;
+        }
+
+        koika::codegen::EmitOptions opts;
+        opts.counters = counters;
+        write_file(out_dir + "/" + cls + ".model.hpp",
+                   koika::codegen::emit_model(*design, opts));
+        write_file(out_dir + "/" + cls + "_rtl.hpp",
+                   koika::rtl::emit_rtl_model(netlist, cls + "_rtl"));
+        write_file(out_dir + "/" + cls + "_rtlopt.hpp",
+                   koika::rtl::emit_rtl_model(optimized,
+                                              cls + "_rtlopt"));
+        write_file(out_dir + "/" + cls + ".v",
+                   koika::rtl::emit_verilog(netlist, cls));
+        return 0;
+    } catch (const koika::FatalError& err) {
+        std::cerr << "cuttlec: " << err.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Model adapter for Cuttlesim-generated classes.
+ *
+ * Generated models are plain classes with no virtual calls (the C++
+ * compiler must be free to inline across rules, §3). This template wraps
+ * one in the harness-facing sim::Model interface, translating between the
+ * model's flat word representation and koika::Bits.
+ */
+#pragma once
+
+#include "sim/model.hpp"
+
+namespace koika::codegen {
+
+template <typename M>
+class GeneratedModel final : public sim::Model
+{
+  public:
+    M& impl() { return impl_; }
+    const M& impl() const { return impl_; }
+
+    void cycle() override { impl_.cycle(); }
+
+    Bits
+    get_reg(int reg) const override
+    {
+        uint64_t words[8];
+        impl_.get_reg_words((size_t)reg, words);
+        return Bits::of_words(M::kRegWidths[(size_t)reg], words, 8);
+    }
+
+    void
+    set_reg(int reg, const Bits& value) override
+    {
+        KOIKA_CHECK(value.width() == M::kRegWidths[(size_t)reg]);
+        uint64_t words[8];
+        for (uint32_t i = 0; i < 8; ++i)
+            words[i] = value.word(i);
+        impl_.set_reg_words((size_t)reg, words);
+    }
+
+    uint64_t cycles_run() const override { return impl_.cycles; }
+    size_t num_regs() const override { return M::kNumRegs; }
+
+  private:
+    M impl_;
+};
+
+} // namespace koika::codegen

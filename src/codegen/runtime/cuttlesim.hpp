@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Runtime support for Cuttlesim-generated C++ models.
+ *
+ * Generated models (src/codegen/cpp_emit.*) are self-contained, readable
+ * C++ translations of Kôika designs, in the style of the paper's appendix:
+ * one class per design, one member function per rule, early exits on
+ * conflicts and guards, and minimized read-write sets. This header
+ * provides the few zero-cost vocabulary types they use:
+ *
+ *  - bits<N>: a fixed-width bit vector over the smallest unsigned integer
+ *    (or a word array for N > 64) with hardware (mod-2^N) semantics;
+ *  - concat / slice / zextl / sextl / signed comparisons;
+ *  - word_writer / word_reader, used by the generated pack/unpack helpers
+ *    that expose registers to the harness in flat form.
+ *
+ * Everything is header-only and trivially inlinable: the C++ compiler is
+ * the second half of the Cuttlesim pipeline (§3).
+ */
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace cuttlesim {
+
+namespace detail {
+
+template <uint32_t N>
+using storage_t = std::conditional_t<
+    (N <= 8), uint8_t,
+    std::conditional_t<(N <= 16), uint16_t,
+                       std::conditional_t<(N <= 32), uint32_t, uint64_t>>>;
+
+constexpr uint64_t
+mask64(uint32_t n)
+{
+    return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+} // namespace detail
+
+template <uint32_t N, bool Wide = (N > 64)>
+struct bits_impl;
+
+/** Narrow bit vectors: one unsigned integer, masked to N bits. */
+template <uint32_t N>
+struct bits_impl<N, false>
+{
+    using T = detail::storage_t<N>;
+    static constexpr T kMask = (T)detail::mask64(N);
+
+    T v = 0;
+
+    constexpr bits_impl() = default;
+    constexpr explicit bits_impl(uint64_t x) : v((T)(x & kMask)) {}
+
+    static constexpr bits_impl
+    of(uint64_t x)
+    {
+        return bits_impl(x);
+    }
+
+    constexpr uint64_t u64() const { return v; }
+
+    // Hardware arithmetic: everything is mod 2^N.
+    friend constexpr bits_impl
+    operator+(bits_impl a, bits_impl b)
+    {
+        return bits_impl((uint64_t)a.v + b.v);
+    }
+    friend constexpr bits_impl
+    operator-(bits_impl a, bits_impl b)
+    {
+        return bits_impl((uint64_t)a.v - b.v);
+    }
+    friend constexpr bits_impl
+    operator*(bits_impl a, bits_impl b)
+    {
+        return bits_impl((uint64_t)a.v * b.v);
+    }
+    friend constexpr bits_impl
+    operator&(bits_impl a, bits_impl b)
+    {
+        return bits_impl((uint64_t)(a.v & b.v));
+    }
+    friend constexpr bits_impl
+    operator|(bits_impl a, bits_impl b)
+    {
+        return bits_impl((uint64_t)(a.v | b.v));
+    }
+    friend constexpr bits_impl
+    operator^(bits_impl a, bits_impl b)
+    {
+        return bits_impl((uint64_t)(a.v ^ b.v));
+    }
+    constexpr bits_impl operator~() const { return bits_impl((uint64_t)~v); }
+    constexpr bits_impl
+    neg() const
+    {
+        return bits_impl((uint64_t)0 - (uint64_t)v);
+    }
+
+    friend constexpr bool
+    operator==(bits_impl a, bits_impl b)
+    {
+        return a.v == b.v;
+    }
+    friend constexpr bool
+    operator!=(bits_impl a, bits_impl b)
+    {
+        return a.v != b.v;
+    }
+    friend constexpr bool
+    operator<(bits_impl a, bits_impl b)
+    {
+        return a.v < b.v;
+    }
+    friend constexpr bool
+    operator<=(bits_impl a, bits_impl b)
+    {
+        return a.v <= b.v;
+    }
+    friend constexpr bool
+    operator>(bits_impl a, bits_impl b)
+    {
+        return a.v > b.v;
+    }
+    friend constexpr bool
+    operator>=(bits_impl a, bits_impl b)
+    {
+        return a.v >= b.v;
+    }
+
+    constexpr int64_t
+    to_signed() const
+    {
+        if (N == 0)
+            return 0;
+        uint64_t x = v;
+        uint64_t sign = uint64_t{1} << (N - 1);
+        return (int64_t)((x ^ sign)) - (int64_t)sign;
+    }
+
+    template <uint32_t M>
+    friend constexpr bits_impl
+    operator<<(bits_impl a, bits_impl<M, (M > 64)> b)
+    {
+        return b.u64() >= N ? bits_impl() : bits_impl((uint64_t)a.v
+                                                      << b.u64());
+    }
+    template <uint32_t M>
+    friend constexpr bits_impl
+    operator>>(bits_impl a, bits_impl<M, (M > 64)> b)
+    {
+        return b.u64() >= N ? bits_impl()
+                            : bits_impl((uint64_t)a.v >> b.u64());
+    }
+
+    /** 1-bit values are usable directly as conditions. */
+    constexpr explicit operator bool() const
+    {
+        static_assert(N == 1, "only bits<1> converts to bool");
+        return v != 0;
+    }
+};
+
+/** Wide bit vectors: little-endian word arrays. */
+template <uint32_t N>
+struct bits_impl<N, true>
+{
+    static constexpr uint32_t kWords = (N + 63) / 64;
+    std::array<uint64_t, kWords> w{};
+
+    constexpr bits_impl() = default;
+    constexpr explicit bits_impl(uint64_t x) { w[0] = x; }
+
+    static constexpr bits_impl
+    of_words(std::array<uint64_t, kWords> words)
+    {
+        bits_impl r;
+        r.w = words;
+        r.canonicalize();
+        return r;
+    }
+
+    constexpr uint64_t u64() const { return w[0]; }
+
+    constexpr void
+    canonicalize()
+    {
+        if (N % 64 != 0)
+            w[kWords - 1] &= detail::mask64(N % 64);
+    }
+
+    friend bits_impl
+    operator+(const bits_impl& a, const bits_impl& b)
+    {
+        bits_impl r;
+        uint64_t carry = 0;
+        for (uint32_t i = 0; i < kWords; ++i) {
+            uint64_t s1 = a.w[i] + b.w[i];
+            uint64_t c1 = s1 < a.w[i];
+            r.w[i] = s1 + carry;
+            carry = c1 | (r.w[i] < s1);
+        }
+        r.canonicalize();
+        return r;
+    }
+    friend bits_impl
+    operator-(const bits_impl& a, const bits_impl& b)
+    {
+        return a + b.neg();
+    }
+    friend bits_impl
+    operator*(const bits_impl& a, const bits_impl& b)
+    {
+        bits_impl r;
+        for (uint32_t i = 0; i < kWords; ++i) {
+            uint64_t carry = 0;
+            for (uint32_t j = 0; i + j < kWords; ++j) {
+                unsigned __int128 p =
+                    (unsigned __int128)a.w[i] * b.w[j] + r.w[i + j] +
+                    carry;
+                r.w[i + j] = (uint64_t)p;
+                carry = (uint64_t)(p >> 64);
+            }
+        }
+        r.canonicalize();
+        return r;
+    }
+    friend bits_impl
+    operator&(const bits_impl& a, const bits_impl& b)
+    {
+        bits_impl r;
+        for (uint32_t i = 0; i < kWords; ++i)
+            r.w[i] = a.w[i] & b.w[i];
+        return r;
+    }
+    friend bits_impl
+    operator|(const bits_impl& a, const bits_impl& b)
+    {
+        bits_impl r;
+        for (uint32_t i = 0; i < kWords; ++i)
+            r.w[i] = a.w[i] | b.w[i];
+        return r;
+    }
+    friend bits_impl
+    operator^(const bits_impl& a, const bits_impl& b)
+    {
+        bits_impl r;
+        for (uint32_t i = 0; i < kWords; ++i)
+            r.w[i] = a.w[i] ^ b.w[i];
+        return r;
+    }
+    bits_impl
+    operator~() const
+    {
+        bits_impl r;
+        for (uint32_t i = 0; i < kWords; ++i)
+            r.w[i] = ~w[i];
+        r.canonicalize();
+        return r;
+    }
+    bits_impl
+    neg() const
+    {
+        bits_impl one;
+        one.w[0] = 1;
+        return ~*this + one;
+    }
+
+    friend bool
+    operator==(const bits_impl& a, const bits_impl& b)
+    {
+        return a.w == b.w;
+    }
+    friend bool
+    operator!=(const bits_impl& a, const bits_impl& b)
+    {
+        return !(a == b);
+    }
+    friend bool
+    operator<(const bits_impl& a, const bits_impl& b)
+    {
+        for (uint32_t i = kWords; i-- > 0;)
+            if (a.w[i] != b.w[i])
+                return a.w[i] < b.w[i];
+        return false;
+    }
+    friend bool
+    operator<=(const bits_impl& a, const bits_impl& b)
+    {
+        return !(b < a);
+    }
+    friend bool
+    operator>(const bits_impl& a, const bits_impl& b)
+    {
+        return b < a;
+    }
+    friend bool
+    operator>=(const bits_impl& a, const bits_impl& b)
+    {
+        return b <= a;
+    }
+
+    bool
+    sign_bit() const
+    {
+        return (w[(N - 1) / 64] >> ((N - 1) % 64)) & 1;
+    }
+
+    template <uint32_t M>
+    friend bits_impl
+    operator<<(const bits_impl& a, bits_impl<M, (M > 64)> b)
+    {
+        uint64_t n = b.u64();
+        bits_impl r;
+        if (n >= N)
+            return r;
+        uint32_t ws = (uint32_t)(n / 64), bs = (uint32_t)(n % 64);
+        for (uint32_t i = 0; i < kWords; ++i) {
+            uint64_t v = i >= ws ? a.w[i - ws] << bs : 0;
+            if (bs != 0 && i > ws)
+                v |= a.w[i - ws - 1] >> (64 - bs);
+            r.w[i] = v;
+        }
+        r.canonicalize();
+        return r;
+    }
+    template <uint32_t M>
+    friend bits_impl
+    operator>>(const bits_impl& a, bits_impl<M, (M > 64)> b)
+    {
+        uint64_t n = b.u64();
+        bits_impl r;
+        if (n >= N)
+            return r;
+        uint32_t ws = (uint32_t)(n / 64), bs = (uint32_t)(n % 64);
+        for (uint32_t i = 0; i < kWords; ++i) {
+            uint64_t v = i + ws < kWords ? a.w[i + ws] >> bs : 0;
+            if (bs != 0 && i + ws + 1 < kWords)
+                v |= a.w[i + ws + 1] << (64 - bs);
+            r.w[i] = v;
+        }
+        return r;
+    }
+};
+
+template <uint32_t N>
+using bits = bits_impl<N>;
+
+// -- Signed comparisons ------------------------------------------------------
+
+template <uint32_t N>
+constexpr bool
+lts(bits<N> a, bits<N> b)
+{
+    if constexpr (N <= 64) {
+        return a.to_signed() < b.to_signed();
+    } else {
+        bool sa = a.sign_bit(), sb = b.sign_bit();
+        if (sa != sb)
+            return sa;
+        return a < b;
+    }
+}
+
+template <uint32_t N>
+constexpr bool
+les(bits<N> a, bits<N> b)
+{
+    return lts(a, b) || a == b;
+}
+
+template <uint32_t N>
+constexpr bool
+gts(bits<N> a, bits<N> b)
+{
+    return lts(b, a);
+}
+
+template <uint32_t N>
+constexpr bool
+ges(bits<N> a, bits<N> b)
+{
+    return les(b, a);
+}
+
+// -- Structural operations ---------------------------------------------------
+
+namespace detail {
+
+template <uint32_t N>
+constexpr uint64_t
+word_of(const bits<N>& x, uint32_t i)
+{
+    if constexpr (N <= 64) {
+        return i == 0 ? (uint64_t)x.v : 0;
+    } else {
+        return i < bits<N>::kWords ? x.w[i] : 0;
+    }
+}
+
+template <uint32_t N>
+constexpr void
+set_word(bits<N>& x, uint32_t i, uint64_t v)
+{
+    if constexpr (N <= 64) {
+        if (i == 0)
+            x.v = (typename bits<N>::T)(v & bits<N>::kMask);
+    } else {
+        if (i < bits<N>::kWords)
+            x.w[i] = v;
+    }
+}
+
+/** Copy `width` bits from src (starting at src_off) into dst at dst_off. */
+template <uint32_t NS, uint32_t ND>
+constexpr void
+copy_bits(const bits<NS>& src, uint32_t src_off, bits<ND>& dst,
+          uint32_t dst_off, uint32_t width)
+{
+    for (uint32_t k = 0; k < width;) {
+        uint32_t sw = src_off + k, dw = dst_off + k;
+        uint32_t chunk = std::min({width - k, 64 - sw % 64, 64 - dw % 64});
+        uint64_t piece =
+            (word_of(src, sw / 64) >> (sw % 64)) & mask64(chunk);
+        uint64_t old = word_of(dst, dw / 64);
+        old &= ~(mask64(chunk) << (dw % 64));
+        old |= piece << (dw % 64);
+        set_word(dst, dw / 64, old);
+        k += chunk;
+    }
+}
+
+} // namespace detail
+
+/** hi becomes the most-significant part. */
+template <uint32_t NA, uint32_t NB>
+constexpr bits<NA + NB>
+concat(const bits<NA>& hi, const bits<NB>& lo)
+{
+    bits<NA + NB> r;
+    detail::copy_bits(lo, 0, r, 0, NB);
+    detail::copy_bits(hi, 0, r, NB, NA);
+    if constexpr (NA + NB > 64)
+        r.canonicalize();
+    return r;
+}
+
+template <uint32_t Off, uint32_t W, uint32_t N>
+constexpr bits<W>
+slice(const bits<N>& x)
+{
+    static_assert(Off + W <= N, "slice out of range");
+    bits<W> r;
+    detail::copy_bits(x, Off, r, 0, W);
+    return r;
+}
+
+template <uint32_t W, uint32_t N>
+constexpr bits<W>
+zextl(const bits<N>& x)
+{
+    bits<W> r;
+    detail::copy_bits(x, 0, r, 0, W < N ? W : N);
+    return r;
+}
+
+template <uint32_t W, uint32_t N>
+constexpr bits<W>
+sextl(const bits<N>& x)
+{
+    bits<W> r = zextl<W>(x);
+    if constexpr (W > N && N > 0) {
+        bool sign;
+        if constexpr (N <= 64)
+            sign = (x.v >> (N - 1)) & 1;
+        else
+            sign = x.sign_bit();
+        if (sign) {
+            // Fill bits [N, W) with ones.
+            for (uint32_t k = N; k < W;) {
+                uint32_t chunk = std::min(64 - k % 64, W - k);
+                uint64_t old = detail::word_of(r, k / 64);
+                old |= detail::mask64(chunk) << (k % 64);
+                detail::set_word(r, k / 64, old);
+                k += chunk;
+            }
+        }
+    }
+    return r;
+}
+
+/** Arithmetic shift right. */
+template <uint32_t N, uint32_t M>
+constexpr bits<N>
+asr(const bits<N> a, bits<M> b)
+{
+    bool sign;
+    if constexpr (N <= 64)
+        sign = N > 0 && ((a.v >> (N - 1)) & 1);
+    else
+        sign = a.sign_bit();
+    uint64_t n = b.u64() >= N ? N : b.u64();
+    bits<N> r = a >> bits<M>(n >= N ? 0 : n);
+    if (b.u64() >= N) {
+        r = bits<N>();
+    }
+    if (sign) {
+        for (uint32_t k = (uint32_t)(N - n); k < N;) {
+            uint32_t chunk = std::min<uint32_t>(64 - k % 64, N - k);
+            uint64_t old = detail::word_of(r, k / 64);
+            old |= detail::mask64(chunk) << (k % 64);
+            detail::set_word(r, k / 64, old);
+            k += chunk;
+        }
+    }
+    return r;
+}
+
+// -- Flat packing for the harness interface ----------------------------------
+
+/** Appends fields LSB-first into a word buffer. */
+struct word_writer
+{
+    uint64_t* out;
+    uint32_t pos = 0;
+
+    void
+    put(uint64_t v, uint32_t width)
+    {
+        for (uint32_t k = 0; k < width;) {
+            uint32_t p = pos + k;
+            uint32_t chunk = std::min(width - k, 64 - p % 64);
+            uint64_t piece = (v >> k) & detail::mask64(chunk);
+            out[p / 64] &= ~(detail::mask64(chunk) << (p % 64));
+            out[p / 64] |= piece << (p % 64);
+            k += chunk;
+        }
+        pos += width;
+    }
+
+    template <uint32_t N>
+    void
+    put_bits(const bits<N>& v)
+    {
+        for (uint32_t i = 0; i * 64 < N; ++i)
+            put(detail::word_of(v, i), std::min<uint32_t>(64, N - i * 64));
+    }
+};
+
+/** Reads fields LSB-first from a word buffer. */
+struct word_reader
+{
+    const uint64_t* in;
+    uint32_t pos = 0;
+
+    uint64_t
+    get(uint32_t width)
+    {
+        uint64_t v = 0;
+        for (uint32_t k = 0; k < width;) {
+            uint32_t p = pos + k;
+            uint32_t chunk = std::min(width - k, 64 - p % 64);
+            uint64_t piece = (in[p / 64] >> (p % 64)) & detail::mask64(chunk);
+            v |= piece << k;
+            k += chunk;
+        }
+        pos += width;
+        return v;
+    }
+
+    template <uint32_t N>
+    bits<N>
+    get_bits()
+    {
+        bits<N> r;
+        for (uint32_t i = 0; i * 64 < N; ++i)
+            detail::set_word(r, i,
+                             get(std::min<uint32_t>(64, N - i * 64)));
+        return r;
+    }
+};
+
+} // namespace cuttlesim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The "collatz" benchmark: the paper's trivial state machine.
+ *
+ * Three mutually exclusive guarded rules drive a Collatz iteration: an
+ * even step (x / 2), an odd step (3x + 1), and a reload rule that pulls
+ * the next seed from an LFSR when the sequence reaches 1. Exactly one
+ * rule commits per cycle — the canonical case where RTL simulation pays
+ * for every rule's datapath while a sequential model exits the two
+ * non-matching rules after one guard check (§2.3).
+ */
+#include "designs/designs.hpp"
+
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+namespace koika::designs {
+
+namespace {
+
+/** 16-bit Fibonacci LFSR (taps 16, 14, 13, 11). */
+Action*
+lfsr_next(Builder& b, Action* v)
+{
+    Action* bit = b.xor_(
+        b.xor_(b.slice(b.clone(v), 0, 1), b.slice(b.clone(v), 2, 1)),
+        b.xor_(b.slice(b.clone(v), 3, 1), b.slice(b.clone(v), 5, 1)));
+    return b.concat(bit, b.slice(v, 1, 15));
+}
+
+} // namespace
+
+std::unique_ptr<Design>
+build_collatz()
+{
+    auto d = std::make_unique<Design>("collatz");
+    Builder b(*d);
+
+    int x = b.reg("x", 32, 27);
+    int steps = b.reg("steps", 32, 0);
+    int sequences = b.reg("sequences", 32, 0);
+    int lfsr = b.reg("lfsr", 16, 0xACE1);
+
+    // rule step_even: x even and not done -> halve.
+    d->add_rule(
+        "step_even",
+        b.seq({b.guard(b.and_(
+                   b.eq(b.slice(b.read0(x), 0, 1), b.k(1, 0)),
+                   b.ne(b.read0(x), b.k(32, 1)))),
+               b.write0(x, b.lsr(b.read0(x), b.k(32, 1))),
+               b.write0(steps, b.add(b.read0(steps), b.k(32, 1)))}));
+
+    // rule step_odd: x odd and not 1 -> 3x + 1.
+    d->add_rule(
+        "step_odd",
+        b.seq({b.guard(b.and_(
+                   b.eq(b.slice(b.read0(x), 0, 1), b.k(1, 1)),
+                   b.ne(b.read0(x), b.k(32, 1)))),
+               b.write0(x, b.add(b.add(b.add(b.read0(x), b.read0(x)),
+                                       b.read0(x)),
+                                 b.k(32, 1))),
+               b.write0(steps, b.add(b.read0(steps), b.k(32, 1)))}));
+
+    // rule reload: sequence finished -> pull the next seed.
+    d->add_rule(
+        "reload",
+        b.seq({b.guard(b.eq(b.read0(x), b.k(32, 1))),
+               b.write0(x, b.or_(b.zextl(b.read0(lfsr), 32),
+                                 b.k(32, 1) /* never reload zero */)),
+               b.write0(lfsr, lfsr_next(b, b.read0(lfsr))),
+               b.write0(sequences,
+                        b.add(b.read0(sequences), b.k(32, 1)))}));
+
+    d->schedule("step_even");
+    d->schedule("step_odd");
+    d->schedule("reload");
+    typecheck(*d);
+    return d;
+}
+
+} // namespace koika::designs

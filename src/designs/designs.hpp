@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The benchmark design suite (paper Table 1) and the case-study designs.
+ *
+ * | name      | description                                            |
+ * |-----------|--------------------------------------------------------|
+ * | collatz   | trivial state machine (guarded mutually-exclusive rules)|
+ * | fir       | finite impulse response filter (combinational, metaprog)|
+ * | fft       | butterfly stage of an FFT (combinational, metaprog)     |
+ * | rv32i     | 4-stage pipelined RV32I core, PC+4 predictor            |
+ * | rv32e     | embedded variant (16 registers)                          |
+ * | rv32i-bp  | rv32i with a BTB + BHT branch predictor                  |
+ * | rv32i-mc  | dual-core rv32i                                          |
+ * | msi       | 2-core MSI cache-coherence system (case study 1)         |
+ *
+ * All designs are self-contained Kôika designs built through the EDSL;
+ * the RISC-V cores talk to magic memory through register-handshake ports
+ * (src/harness/memory.hpp).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "koika/design.hpp"
+
+namespace koika::designs {
+
+/** The paper's "trivial state machine" running Collatz sequences. */
+std::unique_ptr<Design> build_collatz();
+
+/** FIR filter with `taps` coefficients, fed by an internal LFSR. */
+std::unique_ptr<Design> build_fir(int taps = 8);
+
+/** One radix-2 butterfly stage over `points` complex samples. */
+std::unique_ptr<Design> build_fft(int points = 8);
+
+/** Names of all registry designs. */
+std::vector<std::string> design_names();
+
+/** Build a design by registry name; throws on unknown names. */
+std::unique_ptr<Design> build_design(const std::string& name);
+
+} // namespace koika::designs

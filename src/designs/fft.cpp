@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The "fft" benchmark: the butterfly part of an FFT design.
+ *
+ * Meta-programmed radix-2 butterflies over `points` complex samples in
+ * Q8 fixed point: a' = a + w*b, b' = a - w*b, with constant twiddle
+ * factors. A single mul-heavy combinational rule with an LFSR stirring
+ * sample 0 so the datapath never quiesces. Like fir, this is the regime
+ * where RTL and sequential simulation do comparable work per cycle.
+ */
+#include "designs/designs.hpp"
+
+#include <cmath>
+
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+namespace koika::designs {
+
+namespace {
+
+Action*
+lfsr_next16(Builder& b, Action* v)
+{
+    Action* bit = b.xor_(
+        b.xor_(b.slice(b.clone(v), 0, 1), b.slice(b.clone(v), 2, 1)),
+        b.xor_(b.slice(b.clone(v), 3, 1), b.slice(b.clone(v), 5, 1)));
+    return b.concat(bit, b.slice(v, 1, 15));
+}
+
+/** Q8 fixed-point multiply of two 16-bit values, truncated to 16 bits. */
+Action*
+qmul(Builder& b, Action* x, Action* y)
+{
+    // (x * y) >> 8 in 32-bit precision, then truncate.
+    Action* wide = b.mul(b.sextl(x, 32), b.sextl(y, 32));
+    return b.slice(wide, 8, 16);
+}
+
+} // namespace
+
+std::unique_ptr<Design>
+build_fft(int points)
+{
+    KOIKA_CHECK(points >= 2 && (points & (points - 1)) == 0);
+    auto d = std::make_unique<Design>("fft");
+    Builder b(*d);
+
+    int lfsr = b.reg("lfsr", 16, 0x1D4B);
+    std::vector<int> re = b.reg_array("re", (size_t)points, bits_type(16),
+                                      Bits::zeroes(16));
+    std::vector<int> im = b.reg_array("im", (size_t)points, bits_type(16),
+                                      Bits::zeroes(16));
+
+    std::vector<Action*> body;
+    // Stir sample 0 so values keep changing.
+    body.push_back(b.write0(lfsr, lfsr_next16(b, b.read0(lfsr))));
+
+    // One butterfly stage: pairs (k, k + points/2) with twiddle W^k.
+    int half = points / 2;
+    for (int k = 0; k < half; ++k) {
+        double angle = -2.0 * M_PI * k / points;
+        auto q8 = [](double x) {
+            return (uint64_t)(uint16_t)(int16_t)std::lround(x * 256.0);
+        };
+        uint64_t wr = q8(std::cos(angle)), wi = q8(std::sin(angle));
+
+        size_t a = (size_t)k, c = (size_t)(k + half);
+        Action* ar = b.read0(re[a]);
+        Action* ai = b.read0(im[a]);
+        // t = W * b (complex Q8 multiply).
+        Action* tr = b.sub(qmul(b, b.read0(re[c]), b.k(16, wr)),
+                           qmul(b, b.read0(im[c]), b.k(16, wi)));
+        Action* ti = b.add(qmul(b, b.read0(re[c]), b.k(16, wi)),
+                           qmul(b, b.read0(im[c]), b.k(16, wr)));
+        // a' = a + t, b' = a - t.
+        body.push_back(b.let(
+            "tr" + std::to_string(k), tr,
+            b.let("ti" + std::to_string(k), ti,
+                  b.seq({b.write0(re[a],
+                                  b.add(ar, b.var("tr" +
+                                                  std::to_string(k)))),
+                         b.write0(im[a],
+                                  b.add(ai, b.var("ti" +
+                                                  std::to_string(k)))),
+                         b.write0(re[c],
+                                  b.sub(b.read0(re[a]),
+                                        b.var("tr" + std::to_string(k)))),
+                         b.write0(im[c],
+                                  b.sub(b.read0(im[a]),
+                                        b.var("ti" +
+                                              std::to_string(k))))}))));
+    }
+    // Inject fresh energy into sample 0 (after the butterflies, at
+    // port 1 so it lands next cycle without conflicting).
+    body.push_back(
+        b.write1(re[0], b.xor_(b.read1(re[0]), b.slice(b.read0(lfsr), 0, 16))));
+
+    d->add_rule("butterfly", b.seq(std::move(body)));
+    d->schedule("butterfly");
+    typecheck(*d);
+    return d;
+}
+
+} // namespace koika::designs

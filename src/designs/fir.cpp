@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The "fir" benchmark: a finite impulse response filter.
+ *
+ * Meta-programmed (the C++ builder loop plays the role of Kôika's Coq
+ * meta-programming, Table 1 column M): `taps` delay registers, constant
+ * coefficients, and a single rule that shifts the delay line and computes
+ * the convolution. One rule, no conflicts, no aborts — a purely
+ * combinational design where the paper expects Cuttlesim's advantage
+ * over RTL simulation to be narrowest (§4.1 Q1).
+ */
+#include "designs/designs.hpp"
+
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+namespace koika::designs {
+
+namespace {
+
+Action*
+lfsr_next16(Builder& b, Action* v)
+{
+    Action* bit = b.xor_(
+        b.xor_(b.slice(b.clone(v), 0, 1), b.slice(b.clone(v), 2, 1)),
+        b.xor_(b.slice(b.clone(v), 3, 1), b.slice(b.clone(v), 5, 1)));
+    return b.concat(bit, b.slice(v, 1, 15));
+}
+
+} // namespace
+
+std::unique_ptr<Design>
+build_fir(int taps)
+{
+    KOIKA_CHECK(taps >= 2);
+    auto d = std::make_unique<Design>("fir");
+    Builder b(*d);
+
+    int lfsr = b.reg("lfsr", 16, 0xBEEF);
+    std::vector<int> delay =
+        b.reg_array("s", (size_t)(taps - 1), bits_type(32),
+                    Bits::zeroes(32));
+    int y = b.reg("y", 32, 0);
+
+    // Symmetric low-pass-ish coefficient set, scaled integers.
+    std::vector<uint64_t> coeffs;
+    for (int i = 0; i < taps; ++i) {
+        int k = std::min(i, taps - 1 - i) + 1;
+        coeffs.push_back((uint64_t)(k * 3));
+    }
+
+    // rule fir: shift the delay line, accumulate the convolution.
+    std::vector<Action*> body;
+    body.push_back(b.write0(lfsr, lfsr_next16(b, b.read0(lfsr))));
+    Action* acc = b.mul(b.zextl(b.read0(lfsr), 32), b.k(32, coeffs[0]));
+    for (int i = 1; i < taps; ++i)
+        acc = b.add(acc, b.mul(b.read0(delay[(size_t)i - 1]),
+                               b.k(32, coeffs[(size_t)i])));
+    body.push_back(b.write0(y, acc));
+    // Delay-line shift: s0 <- in, s_i <- s_{i-1}.
+    body.push_back(b.write0(delay[0], b.zextl(b.read0(lfsr), 32)));
+    for (int i = 1; i < taps - 1; ++i)
+        body.push_back(
+            b.write0(delay[(size_t)i], b.read0(delay[(size_t)i - 1])));
+
+    d->add_rule("fir", b.seq(std::move(body)));
+    d->schedule("fir");
+    typecheck(*d);
+    return d;
+}
+
+} // namespace koika::designs

@@ -1,0 +1,593 @@
+#include "designs/msi.hpp"
+
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+namespace koika::designs {
+
+namespace {
+
+constexpr int kMemWords = 8; ///< 3-bit word addresses.
+constexpr int kLines = 4;    ///< direct-mapped, 1-bit tags.
+
+class MsiBuilder
+{
+  public:
+    MsiBuilder(Design& d, const MsiConfig& cfg) : d_(d), b_(d), cfg_(cfg)
+    {
+    }
+
+    void
+    build()
+    {
+        msi_ = make_enum("msi", {"I", "S", "M"});
+        mshr_ = make_enum("mshr_tag",
+                          {"Ready", "SendFillReq", "WaitFillResp"});
+        pstate_ = make_enum("pstate", {"Idle", "ConfirmDowngrades"});
+        for (int c = 0; c < 2; ++c)
+            make_cache_registers(c);
+        make_parent_registers();
+        for (int c = 0; c < 2; ++c)
+            make_cache_rules(c);
+        make_parent_rules();
+        typecheck(d_);
+    }
+
+  private:
+    struct Cache
+    {
+        std::vector<int> state, tag, data;
+        int mshr, mshr_addr, mshr_write, mshr_wdata;
+        int creq_v, creq_a, creq_w, creq_d;
+        int cresp_v, cresp_d;
+        int req_v, req_a, req_m;   ///< c2p fill request.
+        int resp_v, resp_d, resp_m; ///< p2c fill response.
+        int dreq_v, dreq_a, dreq_i; ///< p2c downgrade request.
+        int drsp_v, drsp_a, drsp_d, drsp_dirty; ///< c2p downgrade resp.
+        int lfsr, waiting, ops, lastval, seqno;
+    };
+
+    Action* e_i() { return b_.enum_k(msi_, "I"); }
+    Action* e_s() { return b_.enum_k(msi_, "S"); }
+    Action* e_m() { return b_.enum_k(msi_, "M"); }
+
+    void
+    make_cache_registers(int c)
+    {
+        Builder& b = b_;
+        std::string p = "l1_" + std::to_string(c) + "_";
+        Cache& l1 = l1_[c];
+        l1.state = b.reg_array(p + "state", kLines, msi_, Bits::of(2, 0));
+        l1.tag = b.reg_array(p + "tag", kLines, bits_type(1),
+                             Bits::zeroes(1));
+        l1.data = b.reg_array(p + "data", kLines, bits_type(32),
+                              Bits::zeroes(32));
+        l1.mshr = d_.add_register(p + "mshr", mshr_, Bits::of(2, 0));
+        l1.mshr_addr = b.reg(p + "mshr_addr", 3, 0);
+        l1.mshr_write = b.reg(p + "mshr_write", 1, 0);
+        l1.mshr_wdata = b.reg(p + "mshr_wdata", 32, 0);
+        l1.creq_v = b.reg(p + "creq_valid", 1, 0);
+        l1.creq_a = b.reg(p + "creq_addr", 3, 0);
+        l1.creq_w = b.reg(p + "creq_write", 1, 0);
+        l1.creq_d = b.reg(p + "creq_wdata", 32, 0);
+        l1.cresp_v = b.reg(p + "cresp_valid", 1, 0);
+        l1.cresp_d = b.reg(p + "cresp_data", 32, 0);
+        l1.req_v = b.reg(p + "c2p_req_valid", 1, 0);
+        l1.req_a = b.reg(p + "c2p_req_addr", 3, 0);
+        l1.req_m = b.reg(p + "c2p_req_wantm", 1, 0);
+        l1.resp_v = b.reg(p + "p2c_resp_valid", 1, 0);
+        l1.resp_d = b.reg(p + "p2c_resp_data", 32, 0);
+        l1.resp_m = b.reg(p + "p2c_resp_grantm", 1, 0);
+        l1.dreq_v = b.reg(p + "p2c_dreq_valid", 1, 0);
+        l1.dreq_a = b.reg(p + "p2c_dreq_addr", 3, 0);
+        l1.dreq_i = b.reg(p + "p2c_dreq_toi", 1, 0);
+        l1.drsp_v = b.reg(p + "c2p_dresp_valid", 1, 0);
+        l1.drsp_a = b.reg(p + "c2p_dresp_addr", 3, 0);
+        l1.drsp_d = b.reg(p + "c2p_dresp_data", 32, 0);
+        l1.drsp_dirty = b.reg(p + "c2p_dresp_dirty", 1, 0);
+        std::string q = "core" + std::to_string(c) + "_";
+        l1.lfsr = b.reg(q + "lfsr", 16, c == 0 ? 0xACE1 : 0x53B9);
+        l1.waiting = b.reg(q + "waiting", 1, 0);
+        l1.ops = b.reg(q + "ops", 32, 0);
+        l1.lastval = b.reg(q + "lastval", 32, 0);
+        l1.seqno = b.reg(q + "seq", 8, 0);
+    }
+
+    void
+    make_parent_registers()
+    {
+        Builder& b = b_;
+        mem_.clear();
+        for (int a = 0; a < kMemWords; ++a)
+            mem_.push_back(b.reg("parent_mem" + std::to_string(a), 32,
+                                 0x100u + (uint32_t)a));
+        for (int c = 0; c < 2; ++c)
+            dir_[c] = b.reg_array("parent_dir" + std::to_string(c),
+                                  kMemWords, msi_, Bits::of(2, 0));
+        pst_ = d_.add_register("parent_state", pstate_, Bits::of(1, 0));
+        p_core_ = b.reg("parent_core", 1, 0);
+        p_addr_ = b.reg("parent_addr", 3, 0);
+        p_wantm_ = b.reg("parent_wantm", 1, 0);
+    }
+
+    // -- Cache rules -------------------------------------------------------
+    /** idx/tag of the line for address var `a`. */
+    Action* line_idx(const std::string& a) { return b_.slice(b_.var(a), 0, 2); }
+    Action* addr_tag(const std::string& a) { return b_.slice(b_.var(a), 2, 1); }
+
+    void
+    make_cache_rules(int c)
+    {
+        Builder& b = b_;
+        Cache& l1 = l1_[c];
+        std::string p = "l1_" + std::to_string(c) + "_";
+        std::string q = "core" + std::to_string(c) + "_";
+
+        // -- evict: a conflicting non-I line blocks a miss; write it back.
+        {
+            Action* body = b.seq(
+                {b.guard(b.eq(b.read0(l1.creq_v), b.k(1, 1))),
+                 b.guard(b.eq(b.read0(l1.mshr), b.enum_k(mshr_, "Ready"))),
+                 b.let(
+                     "a", b.read0(l1.creq_a),
+                     b.let(
+                         "idx", line_idx("a"),
+                         b.let(
+                             "lst",
+                             b.mux_read(l1.state, b.var("idx"), Port::p0),
+                             b.let(
+                                 "ltag",
+                                 b.mux_read(l1.tag, b.var("idx"),
+                                            Port::p0),
+                                 b.seq(
+                                     {b.guard(b.and_(
+                                          b.ne(b.var("lst"), e_i()),
+                                          b.ne(b.var("ltag"),
+                                               addr_tag("a")))),
+                                      b.guard(b.eq(b.read0(l1.drsp_v),
+                                                   b.k(1, 0))),
+                                      b.write0(
+                                          l1.drsp_a,
+                                          b.concat(b.var("ltag"),
+                                                   b.var("idx"))),
+                                      b.write0(l1.drsp_d,
+                                               b.mux_read(l1.data,
+                                                          b.var("idx"),
+                                                          Port::p0)),
+                                      b.write0(l1.drsp_dirty,
+                                               b.eq(b.var("lst"),
+                                                    e_m())),
+                                      b.write0(l1.drsp_v, b.k(1, 1)),
+                                      b.mux_write(l1.state,
+                                                  b.var("idx"), e_i(),
+                                                  Port::p0)})))))});
+            d_.add_rule(p + "evict", body);
+        }
+
+        // -- process_req: hit responds; miss/upgrade allocates the MSHR.
+        {
+            Action* hit_path = b.seq(
+                {b.guard(b.eq(b.read0(l1.cresp_v), b.k(1, 0))),
+                 b.if_(b.eq(b.var("wr"), b.k(1, 1)),
+                       b.seq({b.mux_write(l1.data, b.var("idx"),
+                                          b.var("wd"), Port::p0),
+                              b.write0(l1.cresp_d, b.var("wd"))}),
+                       b.write0(l1.cresp_d,
+                                b.mux_read(l1.data, b.var("idx"),
+                                           Port::p0))),
+                 b.write0(l1.cresp_v, b.k(1, 1)),
+                 b.write0(l1.creq_v, b.k(1, 0))});
+            Action* miss_path = b.seq(
+                {b.write0(l1.mshr, b.enum_k(mshr_, "SendFillReq")),
+                 b.write0(l1.mshr_addr, b.var("a")),
+                 b.write0(l1.mshr_write, b.var("wr")),
+                 b.write0(l1.mshr_wdata, b.var("wd")),
+                 b.write0(l1.creq_v, b.k(1, 0))});
+            Action* body = b.seq(
+                {b.guard(b.eq(b.read0(l1.creq_v), b.k(1, 1))),
+                 b.guard(b.eq(b.read0(l1.mshr), b.enum_k(mshr_, "Ready"))),
+                 b.let(
+                     "a", b.read0(l1.creq_a),
+                     b.let(
+                         "wr", b.read0(l1.creq_w),
+                         b.let(
+                             "wd", b.read0(l1.creq_d),
+                             b.let(
+                                 "idx", line_idx("a"),
+                                 b.let(
+                                     "lst",
+                                     b.mux_read(l1.state, b.var("idx"),
+                                                Port::p0),
+                                     b.let(
+                                         "ltag",
+                                         b.mux_read(l1.tag,
+                                                    b.var("idx"),
+                                                    Port::p0),
+                                         b.let(
+                                             "present",
+                                             b.and_(
+                                                 b.ne(b.var("lst"),
+                                                      e_i()),
+                                                 b.eq(b.var("ltag"),
+                                                      addr_tag("a"))),
+                                             b.seq(
+                                                 {// Leave conflicting
+                                                  // lines to evict.
+                                                  b.guard(b.not_(b.and_(
+                                                      b.ne(b.var("lst"),
+                                                           e_i()),
+                                                      b.ne(b.var("ltag"),
+                                                           addr_tag(
+                                                               "a"))))),
+                                                  b.if_(
+                                                      b.and_(
+                                                          b.var(
+                                                              "present"),
+                                                          b.or_(
+                                                              b.eq(
+                                                                  b.var(
+                                                                      "wr"),
+                                                                  b.k(1,
+                                                                      0)),
+                                                              b.eq(
+                                                                  b.var(
+                                                                      "lst"),
+                                                                  e_m()))),
+                                                      hit_path,
+                                                      miss_path)}))))))))});
+            d_.add_rule(p + "process_req", body);
+        }
+
+        // -- send_fill: forward the miss to the parent.
+        d_.add_rule(
+            p + "send_fill",
+            b.seq({b.guard(b.eq(b.read0(l1.mshr),
+                                b.enum_k(mshr_, "SendFillReq"))),
+                   b.guard(b.eq(b.read0(l1.req_v), b.k(1, 0))),
+                   b.write0(l1.req_a, b.read0(l1.mshr_addr)),
+                   b.write0(l1.req_m, b.read0(l1.mshr_write)),
+                   b.write0(l1.req_v, b.k(1, 1)),
+                   b.write0(l1.mshr,
+                            b.enum_k(mshr_, "WaitFillResp"))}));
+
+        // -- fill_resp: install the line, answer the core.
+        {
+            Action* body = b.seq(
+                {b.guard(b.eq(b.read0(l1.mshr),
+                              b.enum_k(mshr_, "WaitFillResp"))),
+                 b.guard(b.eq(b.read0(l1.resp_v), b.k(1, 1))),
+                 b.guard(b.eq(b.read0(l1.cresp_v), b.k(1, 0))),
+                 b.let(
+                     "a", b.read0(l1.mshr_addr),
+                     b.let(
+                         "idx", line_idx("a"),
+                         b.let(
+                             "wr", b.read0(l1.mshr_write),
+                             b.let(
+                                 "nd",
+                                 b.if_(b.eq(b.var("wr"), b.k(1, 1)),
+                                       b.read0(l1.mshr_wdata),
+                                       b.read0(l1.resp_d)),
+                                 b.seq(
+                                     {b.mux_write(l1.data, b.var("idx"),
+                                                  b.var("nd"), Port::p0),
+                                      b.mux_write(l1.tag, b.var("idx"),
+                                                  addr_tag("a"),
+                                                  Port::p0),
+                                      b.mux_write(
+                                          l1.state, b.var("idx"),
+                                          b.if_(b.eq(b.var("wr"),
+                                                     b.k(1, 1)),
+                                                e_m(), e_s()),
+                                          Port::p0),
+                                      b.write0(l1.cresp_d, b.var("nd")),
+                                      b.write0(l1.cresp_v, b.k(1, 1)),
+                                      b.write0(l1.resp_v, b.k(1, 0)),
+                                      b.write0(l1.mshr,
+                                               b.enum_k(mshr_,
+                                                        "Ready"))})))))});
+            d_.add_rule(p + "fill_resp", body);
+        }
+
+        // -- downgrade: answer the parent's downgrade request.
+        {
+            Action* present_path = b.seq(
+                {b.guard(b.eq(b.read0(l1.drsp_v), b.k(1, 0))),
+                 b.write0(l1.drsp_a, b.var("a")),
+                 b.write0(l1.drsp_d,
+                          b.mux_read(l1.data, b.var("idx"), Port::p0)),
+                 b.write0(l1.drsp_dirty, b.eq(b.var("lst"), e_m())),
+                 b.write0(l1.drsp_v, b.k(1, 1)),
+                 b.mux_write(l1.state, b.var("idx"),
+                             b.if_(b.eq(b.var("toi"), b.k(1, 1)), e_i(),
+                                   e_s()),
+                             Port::p0),
+                 b.write0(l1.dreq_v, b.k(1, 0))});
+            // Not present: acknowledge with a clean response — unless
+            // the case-study bug silently drops the request.
+            Action* absent_path =
+                cfg_.bug_silent_drop
+                    ? b.write0(l1.dreq_v, b.k(1, 0))
+                    : b.seq({b.guard(b.eq(b.read0(l1.drsp_v),
+                                          b.k(1, 0))),
+                             b.write0(l1.drsp_a, b.var("a")),
+                             b.write0(l1.drsp_d, b.k(32, 0)),
+                             b.write0(l1.drsp_dirty, b.k(1, 0)),
+                             b.write0(l1.drsp_v, b.k(1, 1)),
+                             b.write0(l1.dreq_v, b.k(1, 0))});
+            Action* body = b.seq(
+                {b.guard(b.eq(b.read0(l1.dreq_v), b.k(1, 1))),
+                 b.let(
+                     "a", b.read0(l1.dreq_a),
+                     b.let(
+                         "toi", b.read0(l1.dreq_i),
+                         b.let(
+                             "idx", line_idx("a"),
+                             b.let(
+                                 "lst",
+                                 b.mux_read(l1.state, b.var("idx"),
+                                            Port::p0),
+                                 b.let(
+                                     "ltag",
+                                     b.mux_read(l1.tag, b.var("idx"),
+                                                Port::p0),
+                                     b.if_(
+                                         b.and_(
+                                             b.ne(b.var("lst"), e_i()),
+                                             b.eq(b.var("ltag"),
+                                                  addr_tag("a"))),
+                                         present_path,
+                                         absent_path))))))});
+            d_.add_rule(p + "downgrade", body);
+        }
+
+        // -- core stimulus: issue LFSR-driven loads/stores; retire.
+        d_.add_rule(
+            q + "retire",
+            b.seq({b.guard(b.eq(b.read0(l1.cresp_v), b.k(1, 1))),
+                   b.write0(l1.lastval, b.read0(l1.cresp_d)),
+                   b.write0(l1.cresp_v, b.k(1, 0)),
+                   b.write0(l1.waiting, b.k(1, 0)),
+                   b.write0(l1.ops,
+                            b.add(b.read0(l1.ops), b.k(32, 1)))}));
+        {
+            Action* lf = b.read0(l1.lfsr);
+            Action* bit = b.xor_(
+                b.xor_(b.slice(b.clone(lf), 0, 1),
+                       b.slice(b.clone(lf), 2, 1)),
+                b.xor_(b.slice(b.clone(lf), 3, 1),
+                       b.slice(b.clone(lf), 5, 1)));
+            Action* next_lfsr = b.concat(bit, b.slice(lf, 1, 15));
+            d_.add_rule(
+                q + "issue",
+                b.seq({b.guard(b.eq(b.read0(l1.waiting), b.k(1, 0))),
+                       b.guard(b.eq(b.read0(l1.creq_v), b.k(1, 0))),
+                       b.write0(l1.creq_a,
+                                b.slice(b.read0(l1.lfsr), 0, 3)),
+                       b.write0(l1.creq_w,
+                                b.slice(b.read0(l1.lfsr), 3, 1)),
+                       b.write0(l1.creq_d,
+                                b.zextl(b.concat(
+                                            b.k(8, 0xC0 + (uint64_t)c),
+                                            b.read0(l1.seqno)),
+                                        32)),
+                       b.write0(l1.seqno,
+                                b.add(b.read0(l1.seqno), b.k(8, 1))),
+                       b.write0(l1.lfsr, next_lfsr),
+                       b.write0(l1.creq_v, b.k(1, 1)),
+                       b.write0(l1.waiting, b.k(1, 1))}));
+        }
+    }
+
+    // -- Parent rules -------------------------------------------------------
+    Action*
+    dir_read(int core, const std::string& addr_var)
+    {
+        return b_.mux_read(dir_[core], b_.var(addr_var), Port::p0);
+    }
+
+    Action*
+    dir_write(int core, const std::string& addr_var, Action* value)
+    {
+        return b_.mux_write(dir_[core], b_.var(addr_var), value,
+                            Port::p0);
+    }
+
+    /** Parent-side handling of a fill request from core k. */
+    Action*
+    parent_handle(int k)
+    {
+        Builder& b = b_;
+        Cache& rq = l1_[k];
+        Cache& ot = l1_[1 - k];
+        Action* need_downgrade = b.if_(
+            b.eq(b.var("wantm"), b.k(1, 1)),
+            b.ne(dir_read(1 - k, "pa"), e_i()),
+            b.eq(dir_read(1 - k, "pa"), e_m()));
+        Action* start_downgrade = b.seq(
+            {b.guard(b.eq(b.read0(ot.dreq_v), b.k(1, 0))),
+             b.write0(ot.dreq_a, b.var("pa")),
+             b.write0(ot.dreq_i, b.var("wantm")),
+             b.write0(ot.dreq_v, b.k(1, 1)),
+             b.write0(pst_, b.enum_k(pstate_, "ConfirmDowngrades")),
+             b.write0(p_core_, b.k(1, (uint64_t)k)),
+             b.write0(p_addr_, b.var("pa")),
+             b.write0(p_wantm_, b.var("wantm"))});
+        Action* grant = b.seq(
+            {b.guard(b.eq(b.read0(rq.resp_v), b.k(1, 0))),
+             b.write0(rq.resp_d,
+                      b.mux_read(mem_, b.var("pa"), Port::p0)),
+             b.write0(rq.resp_m, b.var("wantm")),
+             b.write0(rq.resp_v, b.k(1, 1)),
+             dir_write(k, "pa",
+                       b.if_(b.eq(b.var("wantm"), b.k(1, 1)), e_m(),
+                             e_s())),
+             b.write0(rq.req_v, b.k(1, 0))});
+        return b.let(
+            "pa", b.read0(rq.req_a),
+            b.let("wantm", b.read0(rq.req_m),
+                  b.if_(need_downgrade, start_downgrade, grant)));
+    }
+
+    /** Confirm a downgrade ack from core o and grant core k. */
+    Action*
+    parent_confirm(int k)
+    {
+        Builder& b = b_;
+        Cache& rq = l1_[k];
+        Cache& ot = l1_[1 - k];
+        return b.seq(
+            {b.guard(b.eq(b.read0(ot.drsp_v), b.k(1, 1))),
+             b.guard(b.eq(b.read0(ot.drsp_a), b.var("pa2"))),
+             b.let(
+                 "dirty", b.read0(ot.drsp_dirty),
+                 b.let(
+                     "dd", b.read0(ot.drsp_d),
+                     b.seq(
+                         {b.when(b.eq(b.var("dirty"), b.k(1, 1)),
+                                 b.mux_write(mem_, b.var("pa2"),
+                                             b.var("dd"), Port::p0)),
+                          dir_write(1 - k, "pa2",
+                                    b.if_(b.eq(b.var("wm2"), b.k(1, 1)),
+                                          e_i(), e_s())),
+                          b.guard(b.eq(b.read0(rq.resp_v), b.k(1, 0))),
+                          b.write0(
+                              rq.resp_d,
+                              b.if_(b.eq(b.var("dirty"), b.k(1, 1)),
+                                    b.var("dd"),
+                                    b.mux_read(mem_, b.var("pa2"),
+                                               Port::p0))),
+                          b.write0(rq.resp_m, b.var("wm2")),
+                          b.write0(rq.resp_v, b.k(1, 1)),
+                          dir_write(k, "pa2",
+                                    b.if_(b.eq(b.var("wm2"), b.k(1, 1)),
+                                          e_m(), e_s())),
+                          b.write0(rq.req_v, b.k(1, 0)),
+                          b.write0(ot.drsp_v, b.k(1, 0)),
+                          b.write0(pst_,
+                                   b.enum_k(pstate_, "Idle"))})))});
+    }
+
+    void
+    make_parent_rules()
+    {
+        Builder& b = b_;
+
+        // process: take a new request when idle (core 0 first).
+        d_.add_rule(
+            "parent_process",
+            b.seq({b.guard(b.eq(b.read0(pst_),
+                                b.enum_k(pstate_, "Idle"))),
+                   b.if_(b.eq(b.read0(l1_[0].req_v), b.k(1, 1)),
+                         parent_handle(0),
+                         b.seq({b.guard(b.eq(b.read0(l1_[1].req_v),
+                                             b.k(1, 1))),
+                                parent_handle(1)}))}));
+
+        // confirm: consume the awaited downgrade ack, then grant.
+        d_.add_rule(
+            "parent_confirm",
+            b.seq({b.guard(b.eq(b.read0(pst_),
+                                b.enum_k(pstate_, "ConfirmDowngrades"))),
+                   b.let("pa2", b.read0(p_addr_),
+                         b.let("wm2", b.read0(p_wantm_),
+                               b.if_(b.eq(b.read0(p_core_), b.k(1, 0)),
+                                     parent_confirm(0),
+                                     parent_confirm(1))))}));
+
+        // evictions: absorb downgrade responses nobody is waiting for.
+        for (int o = 0; o < 2; ++o) {
+            Cache& src = l1_[o];
+            Action* awaited = b.and_(
+                b.eq(b.read0(pst_),
+                     b.enum_k(pstate_, "ConfirmDowngrades")),
+                b.and_(b.eq(b.read0(p_core_), b.k(1, (uint64_t)(1 - o))),
+                       b.eq(b.read0(src.drsp_a), b.read0(p_addr_))));
+            d_.add_rule(
+                "parent_evict" + std::to_string(o),
+                b.seq({b.guard(b.eq(b.read0(src.drsp_v), b.k(1, 1))),
+                       b.guard(b.not_(awaited)),
+                       b.let("ea", b.read0(src.drsp_a),
+                             b.seq({b.when(b.eq(b.read0(src.drsp_dirty),
+                                                b.k(1, 1)),
+                                           b.mux_write(
+                                               mem_, b.var("ea"),
+                                               b.read0(src.drsp_d),
+                                               Port::p0)),
+                                    dir_write(o, "ea", e_i())})),
+                       b.write0(src.drsp_v, b.k(1, 0))}));
+        }
+
+        // Schedule: per-cache pipelines, then the parent.
+        for (int c = 0; c < 2; ++c) {
+            std::string p = "l1_" + std::to_string(c) + "_";
+            std::string q = "core" + std::to_string(c) + "_";
+            d_.schedule(q + "retire");
+            d_.schedule(p + "fill_resp");
+            d_.schedule(p + "downgrade");
+            d_.schedule(p + "evict");
+            d_.schedule(p + "process_req");
+            d_.schedule(p + "send_fill");
+            d_.schedule(q + "issue");
+        }
+        d_.schedule("parent_confirm");
+        d_.schedule("parent_evict0");
+        d_.schedule("parent_evict1");
+        d_.schedule("parent_process");
+    }
+
+    Design& d_;
+    Builder b_;
+    MsiConfig cfg_;
+    TypePtr msi_, mshr_, pstate_;
+    Cache l1_[2];
+    std::vector<int> mem_;
+    std::vector<int> dir_[2];
+    int pst_ = -1, p_core_ = -1, p_addr_ = -1, p_wantm_ = -1;
+};
+
+} // namespace
+
+std::unique_ptr<Design>
+build_msi(const MsiConfig& config)
+{
+    auto d = std::make_unique<Design>(config.bug_silent_drop
+                                          ? "msi-buggy"
+                                          : "msi");
+    MsiBuilder(*d, config).build();
+    return d;
+}
+
+MsiProbe
+msi_probe(const Design& d)
+{
+    auto idx = [&](const std::string& name) {
+        int i = d.reg_index(name);
+        KOIKA_CHECK(i >= 0);
+        return i;
+    };
+    MsiProbe probe;
+    for (int c = 0; c < 2; ++c) {
+        std::string p = "l1_" + std::to_string(c) + "_";
+        std::string q = "core" + std::to_string(c) + "_";
+        for (int l = 0; l < kLines; ++l) {
+            probe.state[c].push_back(idx(p + "state" + std::to_string(l)));
+            probe.tag[c].push_back(idx(p + "tag" + std::to_string(l)));
+            probe.data[c].push_back(idx(p + "data" + std::to_string(l)));
+        }
+        probe.mshr[c] = idx(p + "mshr");
+        probe.mshr_addr[c] = idx(p + "mshr_addr");
+        probe.cresp_valid[c] = idx(p + "cresp_valid");
+        probe.cresp_data[c] = idx(p + "cresp_data");
+        probe.creq_addr[c] = idx(p + "creq_addr");
+        probe.creq_write[c] = idx(p + "creq_write");
+        probe.creq_wdata[c] = idx(p + "creq_wdata");
+        probe.ops[c] = idx(q + "ops");
+    }
+    probe.parent_state = idx("parent_state");
+    for (int a = 0; a < kMemWords; ++a)
+        probe.mem.push_back(idx("parent_mem" + std::to_string(a)));
+    return probe;
+}
+
+} // namespace koika::designs

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Case study 1's system: a 2-core machine with L1 "child" caches and a
+ * "parent" protocol engine implementing the MSI coherence protocol.
+ *
+ * Each core runs an LFSR-driven load/store stimulus against a small
+ * shared word-addressed memory. Each L1 is direct-mapped (4 lines, one
+ * word per line) with a single MSHR whose tag is Ready / SendFillReq /
+ * WaitFillResp — exactly the structure the paper's debugging walkthrough
+ * inspects in gdb. The parent serializes requests, tracks a directory,
+ * and confirms downgrades before granting (its ConfirmDowngrades state
+ * is where the case study's deadlock is observed).
+ *
+ * `bug_silent_drop` re-introduces the deadlock: a cache receiving a
+ * downgrade request for a line it has already evicted consumes the
+ * request without acknowledging, so the parent waits in
+ * ConfirmDowngrades forever and the requesting cache sticks in
+ * WaitFillResp — the situation debugged in §4.2.
+ */
+#pragma once
+
+#include <memory>
+
+#include "koika/design.hpp"
+
+namespace koika::designs {
+
+struct MsiConfig
+{
+    /** Plant the case-study deadlock bug. */
+    bool bug_silent_drop = false;
+};
+
+std::unique_ptr<Design> build_msi(const MsiConfig& config = {});
+
+/** Registers a coherence checker / debugger needs, resolved by name. */
+struct MsiProbe
+{
+    /** Per cache: line states/tags/data (4 lines each). */
+    std::vector<int> state[2], tag[2], data[2];
+    int mshr[2], mshr_addr[2];
+    int cresp_valid[2], cresp_data[2];
+    int creq_addr[2], creq_write[2], creq_wdata[2];
+    int ops[2];
+    int parent_state;
+    /** Parent memory words (8). */
+    std::vector<int> mem;
+};
+
+MsiProbe msi_probe(const Design& design);
+
+} // namespace koika::designs

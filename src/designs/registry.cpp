@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Design registry: the names used by cuttlec, the benches, and tests.
+ */
+#include "designs/designs.hpp"
+
+#include "designs/msi.hpp"
+#include "designs/rv32.hpp"
+
+namespace koika::designs {
+
+std::vector<std::string>
+design_names()
+{
+    return {"collatz", "fir",      "fft",      "rv32i",
+            "rv32e",   "rv32i-bp", "rv32i-mc", "msi"};
+}
+
+std::unique_ptr<Design>
+build_design(const std::string& name)
+{
+    if (name == "collatz")
+        return build_collatz();
+    if (name == "fir")
+        return build_fir();
+    if (name == "fft")
+        return build_fft();
+    if (name == "rv32i")
+        return build_rv32({});
+    if (name == "rv32e")
+        return build_rv32({.rv32e = true});
+    if (name == "rv32i-bp")
+        return build_rv32({.branch_predictor = true});
+    if (name == "rv32i-mc")
+        return build_rv32({.cores = 2});
+    if (name == "rv32i-x0bug")
+        return build_rv32({.x0_bug = true});
+    if (name == "msi")
+        return build_msi({});
+    fatal("unknown design '%s'", name.c_str());
+}
+
+} // namespace koika::designs

@@ -1,0 +1,917 @@
+#include "designs/rv32.hpp"
+
+#include "harness/peripheral.hpp"
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+namespace koika::designs {
+
+namespace {
+
+/** Opcode constants (RV32I base). */
+constexpr uint64_t kOpAlu = 0x33, kOpAluImm = 0x13, kOpLui = 0x37,
+                   kOpAuipc = 0x17, kOpJal = 0x6F, kOpJalr = 0x67,
+                   kOpBranch = 0x63, kOpLoad = 0x03, kOpStore = 0x23,
+                   kOpSystem = 0x73;
+
+class Rv32Builder
+{
+  public:
+    Rv32Builder(Design& d, const Rv32Config& cfg)
+        : d_(d), b_(d), cfg_(cfg),
+          nregs_(cfg.rv32e ? 16 : 32)
+    {
+    }
+
+    void
+    build()
+    {
+        make_types();
+        make_functions();
+        cores_.resize((size_t)cfg_.cores);
+        for (int c = 0; c < cfg_.cores; ++c)
+            make_core_registers(c);
+        for (int c = 0; c < cfg_.cores; ++c)
+            make_core_rules(c);
+        typecheck(d_);
+    }
+
+  private:
+    std::string
+    prefix(int core) const
+    {
+        return cfg_.cores > 1 ? "c" + std::to_string(core) + "_" : "";
+    }
+
+    // -- Types ---------------------------------------------------------------
+    void
+    make_types()
+    {
+        ik_ = make_enum("instr_kind",
+                        {"alu", "aluimm", "lui", "auipc", "jal", "jalr",
+                         "branch", "load", "store", "halt", "illegal"});
+        wk_ = make_enum("wb_kind",
+                        {"none", "wr", "load", "release", "drop"});
+        fmeta_ = make_struct("fetch_meta", {{"pc", bits_type(32), 0},
+                                            {"ppc", bits_type(32), 0},
+                                            {"epoch", bits_type(1), 0}});
+        dec_ = make_struct("dec_result", {{"kind", ik_, 0},
+                                          {"f3", bits_type(3), 0},
+                                          {"f7b", bits_type(1), 0},
+                                          {"rd", bits_type(5), 0},
+                                          {"rs1", bits_type(5), 0},
+                                          {"rs2", bits_type(5), 0},
+                                          {"imm", bits_type(32), 0}});
+        d2e_t_ = make_struct("d2e_entry", {{"pc", bits_type(32), 0},
+                                           {"ppc", bits_type(32), 0},
+                                           {"epoch", bits_type(1), 0},
+                                           {"sbw", bits_type(1), 0},
+                                           {"kind", ik_, 0},
+                                           {"f3", bits_type(3), 0},
+                                           {"f7b", bits_type(1), 0},
+                                           {"rd", bits_type(5), 0},
+                                           {"v1", bits_type(32), 0},
+                                           {"v2", bits_type(32), 0},
+                                           {"imm", bits_type(32), 0}});
+        e2w_t_ = make_struct("e2w_entry", {{"kind", wk_, 0},
+                                           {"rd", bits_type(5), 0},
+                                           {"val", bits_type(32), 0},
+                                           {"f3", bits_type(3), 0},
+                                           {"off", bits_type(2), 0}});
+    }
+
+    Action*
+    ik(const std::string& member)
+    {
+        return b_.enum_k(ik_, member);
+    }
+
+    Action*
+    wk(const std::string& member)
+    {
+        return b_.enum_k(wk_, member);
+    }
+
+    // -- Combinational functions ----------------------------------------------
+    void
+    make_functions()
+    {
+        decode_fn_ = make_decode();
+        alu_fn_ = make_alu();
+        taken_fn_ = make_taken();
+        ldext_fn_ = make_ldext();
+    }
+
+    FunctionDef*
+    make_decode()
+    {
+        Builder& b = b_;
+        auto inst = [&] { return b.var("inst"); };
+        auto op = [&] { return b.var("op"); };
+        auto kind = [&] { return b.var("kind"); };
+
+        // Immediate forms.
+        Action* imm_i = b.sextl(b.slice(inst(), 20, 12), 32);
+        Action* imm_s = b.sextl(
+            b.concat(b.slice(inst(), 25, 7), b.slice(inst(), 7, 5)), 32);
+        Action* imm_b = b.sextl(
+            b.concat(b.slice(inst(), 31, 1),
+                     b.concat(b.slice(inst(), 7, 1),
+                              b.concat(b.slice(inst(), 25, 6),
+                                       b.concat(b.slice(inst(), 8, 4),
+                                                b.k(1, 0))))),
+            32);
+        Action* imm_u =
+            b.concat(b.slice(inst(), 12, 20), b.k(12, 0));
+        Action* imm_j = b.sextl(
+            b.concat(b.slice(inst(), 31, 1),
+                     b.concat(b.slice(inst(), 12, 8),
+                              b.concat(b.slice(inst(), 20, 1),
+                                       b.concat(b.slice(inst(), 21, 10),
+                                                b.k(1, 0))))),
+            32);
+
+        // Kind from the major opcode.
+        auto opeq = [&](uint64_t code) {
+            return b.eq(op(), b.k(7, code));
+        };
+        Action* kind_expr = b.if_(
+            opeq(kOpAlu), ik("alu"),
+            b.if_(opeq(kOpAluImm), ik("aluimm"),
+                  b.if_(opeq(kOpLui), ik("lui"),
+                        b.if_(opeq(kOpAuipc), ik("auipc"),
+                              b.if_(opeq(kOpJal), ik("jal"),
+                                    b.if_(opeq(kOpJalr), ik("jalr"),
+                                          b.if_(opeq(kOpBranch),
+                                                ik("branch"),
+                                                b.if_(opeq(kOpLoad),
+                                                      ik("load"),
+                                                      b.if_(opeq(kOpStore),
+                                                            ik("store"),
+                                                            b.if_(opeq(kOpSystem),
+                                                                  ik("halt"),
+                                                                  ik("illegal")))))))))));
+
+        auto keq = [&](const char* member) {
+            return b.eq(kind(), ik(member));
+        };
+        Action* imm_expr = b.if_(
+            b.or_(keq("aluimm"), b.or_(b.clone(keq("load")), keq("jalr"))),
+            imm_i,
+            b.if_(keq("store"), imm_s,
+                  b.if_(keq("branch"), imm_b,
+                        b.if_(b.or_(keq("lui"), keq("auipc")), imm_u,
+                              b.if_(keq("jal"), imm_j, b.k(32, 0))))));
+
+        // Effective funct7 bit: OP always, OP-IMM only for shifts-right.
+        Action* f7b_expr = b.if_(
+            b.eq(op(), b.k(7, kOpAlu)), b.slice(inst(), 30, 1),
+            b.if_(b.and_(b.eq(op(), b.k(7, kOpAluImm)),
+                         b.eq(b.slice(inst(), 12, 3), b.k(3, 5))),
+                  b.slice(inst(), 30, 1), b.k(1, 0)));
+
+        Action* body = b.let(
+            "op", b.slice(inst(), 0, 7),
+            b.let(
+                "kind", kind_expr,
+                b.struct_init(
+                    dec_,
+                    {{"kind", kind()},
+                     {"f3", b.slice(inst(), 12, 3)},
+                     {"f7b", f7b_expr},
+                     {"rd", b.slice(inst(), 7, 5)},
+                     {"rs1", b.slice(inst(), 15, 5)},
+                     {"rs2", b.slice(inst(), 20, 5)},
+                     {"imm", imm_expr}})));
+        return b.fn("decode_instr", {{"inst", bits_type(32)}}, dec_, body);
+    }
+
+    FunctionDef*
+    make_alu()
+    {
+        Builder& b = b_;
+        auto f3 = [&] { return b.var("f3"); };
+        auto f7b = [&] { return b.var("f7b"); };
+        auto x = [&] { return b.var("x"); };
+        auto y = [&] { return b.var("y"); };
+        auto f3eq = [&](uint64_t v) { return b.eq(f3(), b.k(3, v)); };
+        Action* body = b.if_(
+            f3eq(0),
+            b.if_(b.eq(f7b(), b.k(1, 1)), b.sub(x(), y()),
+                  b.add(x(), y())),
+            b.if_(f3eq(1), b.lsl(x(), b.slice(y(), 0, 5)),
+                  b.if_(f3eq(2), b.zextl(b.lts(x(), y()), 32),
+                        b.if_(f3eq(3), b.zextl(b.ltu(x(), y()), 32),
+                              b.if_(f3eq(4), b.xor_(x(), y()),
+                                    b.if_(f3eq(5),
+                                          b.if_(b.eq(f7b(), b.k(1, 1)),
+                                                b.asr(x(),
+                                                      b.slice(y(), 0, 5)),
+                                                b.lsr(x(),
+                                                      b.slice(y(), 0,
+                                                              5))),
+                                          b.if_(f3eq(6),
+                                                b.or_(x(), y()),
+                                                b.and_(x(), y()))))))));
+        return b.fn("alu",
+                    {{"f3", bits_type(3)},
+                     {"f7b", bits_type(1)},
+                     {"x", bits_type(32)},
+                     {"y", bits_type(32)}},
+                    bits_type(32), body);
+    }
+
+    FunctionDef*
+    make_taken()
+    {
+        Builder& b = b_;
+        auto f3 = [&] { return b.var("f3"); };
+        auto x = [&] { return b.var("x"); };
+        auto y = [&] { return b.var("y"); };
+        auto f3eq = [&](uint64_t v) { return b.eq(f3(), b.k(3, v)); };
+        Action* body = b.if_(
+            f3eq(0), b.eq(x(), y()),
+            b.if_(f3eq(1), b.ne(x(), y()),
+                  b.if_(f3eq(4), b.lts(x(), y()),
+                        b.if_(f3eq(5), b.ges(x(), y()),
+                              b.if_(f3eq(6), b.ltu(x(), y()),
+                                    b.if_(f3eq(7), b.geu(x(), y()),
+                                          b.k(1, 0)))))));
+        return b.fn("branch_taken",
+                    {{"f3", bits_type(3)},
+                     {"x", bits_type(32)},
+                     {"y", bits_type(32)}},
+                    bits_type(1), body);
+    }
+
+    FunctionDef*
+    make_ldext()
+    {
+        Builder& b = b_;
+        auto f3 = [&] { return b.var("f3"); };
+        auto sh = [&] { return b.var("sh"); };
+        auto f3eq = [&](uint64_t v) { return b.eq(f3(), b.k(3, v)); };
+        Action* body = b.let(
+            "sh",
+            b.lsr(b.var("raw"), b.concat(b.var("off"), b.k(3, 0))),
+            b.if_(f3eq(0), b.sextl(b.slice(sh(), 0, 8), 32),
+                  b.if_(f3eq(1), b.sextl(b.slice(sh(), 0, 16), 32),
+                        b.if_(f3eq(4), b.zextl(b.slice(sh(), 0, 8), 32),
+                              b.if_(f3eq(5),
+                                    b.zextl(b.slice(sh(), 0, 16), 32),
+                                    sh())))));
+        return b.fn("load_extract",
+                    {{"raw", bits_type(32)},
+                     {"f3", bits_type(3)},
+                     {"off", bits_type(2)}},
+                    bits_type(32), body);
+    }
+
+    // -- Registers --------------------------------------------------------------
+    struct Core
+    {
+        int pc, epoch, halted, instret;
+        std::vector<int> rf; ///< [0] unused (-1).
+        std::vector<int> sb; ///< [0..nregs).
+        int f2d_v, f2d_d;
+        int toi_v, toi_a;
+        int fri_v, fri_d;
+        int d2e_v, d2e_d;
+        int e2w_v, e2w_d;
+        int tod_v, tod_a, tod_d, tod_w;
+        int frd_v, frd_d;
+        std::vector<int> btb_v, btb_pc, btb_tgt, bht;
+    };
+
+    void
+    make_core_registers(int core)
+    {
+        Builder& b = b_;
+        std::string p = prefix(core);
+        Core& c = cores_[(size_t)core];
+        c.pc = b.reg(p + "pc", 32, 0);
+        c.epoch = b.reg(p + "epoch", 1, 0);
+        c.halted = b.reg(p + "halted", 1, 0);
+        c.instret = b.reg(p + "instret", 32, 0);
+        c.rf.assign((size_t)nregs_, -1);
+        for (int i = 1; i < nregs_; ++i)
+            c.rf[(size_t)i] = b.reg(p + "x" + std::to_string(i), 32, 0);
+        c.sb.clear();
+        for (int i = 0; i < nregs_; ++i)
+            c.sb.push_back(b.reg(p + "sb" + std::to_string(i), 2, 0));
+        c.f2d_v = b.reg(p + "f2d_valid", 1, 0);
+        c.f2d_d = d_.add_register(p + "f2d_data", fmeta_,
+                                  Bits::zeroes(fmeta_->width));
+        c.toi_v = b.reg(p + "toimem_valid", 1, 0);
+        c.toi_a = b.reg(p + "toimem_addr", 32, 0);
+        c.fri_v = b.reg(p + "fromimem_valid", 1, 0);
+        c.fri_d = b.reg(p + "fromimem_data", 32, 0);
+        c.d2e_v = b.reg(p + "d2e_valid", 1, 0);
+        c.d2e_d = d_.add_register(p + "d2e_data", d2e_t_,
+                                  Bits::zeroes(d2e_t_->width));
+        c.e2w_v = b.reg(p + "e2w_valid", 1, 0);
+        c.e2w_d = d_.add_register(p + "e2w_data", e2w_t_,
+                                  Bits::zeroes(e2w_t_->width));
+        c.tod_v = b.reg(p + "todmem_valid", 1, 0);
+        c.tod_a = b.reg(p + "todmem_addr", 32, 0);
+        c.tod_d = b.reg(p + "todmem_data", 32, 0);
+        c.tod_w = b.reg(p + "todmem_wstrb", 4, 0);
+        c.frd_v = b.reg(p + "fromdmem_valid", 1, 0);
+        c.frd_d = b.reg(p + "fromdmem_data", 32, 0);
+        if (cfg_.branch_predictor) {
+            c.btb_v = b.reg_array(p + "btb_valid", 16, bits_type(1),
+                                  Bits::zeroes(1));
+            c.btb_pc = b.reg_array(p + "btb_pc", 16, bits_type(32),
+                                   Bits::zeroes(32));
+            c.btb_tgt = b.reg_array(p + "btb_tgt", 16, bits_type(32),
+                                    Bits::zeroes(32));
+            // Weakly not-taken.
+            c.bht = b.reg_array(p + "bht", 64, bits_type(2),
+                                Bits::of(2, 1));
+        }
+    }
+
+    // -- Register-file / scoreboard helpers -------------------------------------
+    /** rf[var] at the given port; x0 reads as zero. */
+    Action*
+    rf_read(const Core& c, const std::string& idx_var, Port port)
+    {
+        Action* acc = b_.k(32, 0);
+        for (int i = nregs_ - 1; i >= 1; --i)
+            acc = b_.if_(b_.eq(b_.var(idx_var), b_.k(5, (uint64_t)i)),
+                         b_.read(c.rf[(size_t)i], port), acc);
+        return acc;
+    }
+
+    /** rf[var].wr0(val_var); writes to x0 are dropped. */
+    Action*
+    rf_write(const Core& c, const std::string& idx_var,
+             const std::string& val_var)
+    {
+        std::vector<Action*> writes;
+        for (int i = 1; i < nregs_; ++i)
+            writes.push_back(
+                b_.when(b_.eq(b_.var(idx_var), b_.k(5, (uint64_t)i)),
+                        b_.write0(c.rf[(size_t)i], b_.var(val_var))));
+        return b_.seq(std::move(writes));
+    }
+
+    /** Scoreboard value of register `var` (rd1). x0 is always free
+     *  unless the case-study-3 bug is enabled. */
+    Action*
+    sb_value(const Core& c, const std::string& idx_var)
+    {
+        Action* acc = cfg_.x0_bug ? b_.read1(c.sb[0]) : b_.k(2, 0);
+        for (int i = nregs_ - 1; i >= 1; --i)
+            acc = b_.if_(b_.eq(b_.var(idx_var), b_.k(5, (uint64_t)i)),
+                         b_.read1(c.sb[(size_t)i]), acc);
+        return acc;
+    }
+
+    /** Increment (decode, rd1/wr1) or decrement (writeback, rd0/wr0)
+     *  the scoreboard entry selected by `var`. */
+    Action*
+    sb_bump(const Core& c, const std::string& idx_var, bool inc)
+    {
+        std::vector<Action*> ops;
+        int lo = cfg_.x0_bug ? 0 : 1;
+        for (int i = lo; i < nregs_; ++i) {
+            int reg = c.sb[(size_t)i];
+            Action* update =
+                inc ? b_.write1(reg, b_.add(b_.read1(reg), b_.k(2, 1)))
+                    : b_.write0(reg, b_.sub(b_.read0(reg), b_.k(2, 1)));
+            ops.push_back(b_.when(
+                b_.eq(b_.var(idx_var), b_.k(5, (uint64_t)i)), update));
+        }
+        if (ops.empty())
+            return b_.unit();
+        return b_.seq(std::move(ops));
+    }
+
+    /** kind writes an architectural register. */
+    Action*
+    writes_rd(const std::string& kind_var)
+    {
+        Action* acc = b_.k(1, 0);
+        for (const char* m :
+             {"alu", "aluimm", "lui", "auipc", "jal", "jalr", "load"})
+            acc = b_.or_(acc, b_.eq(b_.var(kind_var), ik(m)));
+        return acc;
+    }
+
+    // -- Rules ---------------------------------------------------------------
+    void
+    make_core_rules(int core)
+    {
+        std::string p = prefix(core);
+        d_.add_rule(p + "writeback", rule_writeback(core));
+        d_.add_rule(p + "execute", rule_execute(core));
+        d_.add_rule(p + "decode", rule_decode(core));
+        d_.add_rule(p + "fetch", rule_fetch(core));
+        d_.schedule(p + "writeback");
+        d_.schedule(p + "execute");
+        d_.schedule(p + "decode");
+        d_.schedule(p + "fetch");
+    }
+
+    Action*
+    rule_writeback(int core)
+    {
+        Builder& b = b_;
+        const Core& c = cores_[(size_t)core];
+        auto w = [&] { return b.var("w"); };
+
+        Action* do_load = b.seq(
+            {b.guard(b.eq(b.read0(c.frd_v), b.k(1, 1))),
+             b.let("ldval",
+                   b.call(ldext_fn_, {b.read0(c.frd_d),
+                                      b.get(w(), "f3"),
+                                      b.get(w(), "off")}),
+                   b.seq({b.write0(c.frd_v, b.k(1, 0)),
+                          b.let("wrd", b.get(w(), "rd"),
+                                b.seq({rf_write(c, "wrd", "ldval"),
+                                       sb_bump(c, "wrd", false)}))})),
+             b.write0(c.instret,
+                      b.add(b.read0(c.instret), b.k(32, 1)))});
+
+        Action* do_wr = b.let(
+            "wval", b.get(w(), "val"),
+            b.let("wrd2", b.get(w(), "rd"),
+                  b.seq({rf_write(c, "wrd2", "wval"),
+                         sb_bump(c, "wrd2", false),
+                         b.write0(c.instret, b.add(b.read0(c.instret),
+                                                   b.k(32, 1)))})));
+
+        Action* do_release =
+            b.let("wrd3", b.get(w(), "rd"), sb_bump(c, "wrd3", false));
+
+        Action* do_none = b.write0(
+            c.instret, b.add(b.read0(c.instret), b.k(32, 1)));
+
+        return b.seq(
+            {b.guard(b.eq(b.read0(c.e2w_v), b.k(1, 1))),
+             b.let("w", b.read0(c.e2w_d),
+                   b.seq({b.if_(b.eq(b.get(w(), "kind"), wk("load")),
+                                do_load,
+                                b.if_(b.eq(b.get(w(), "kind"), wk("wr")),
+                                      do_wr,
+                                      b.if_(b.eq(b.get(w(), "kind"),
+                                                 wk("release")),
+                                            do_release,
+                                            b.if_(b.eq(b.get(w(),
+                                                             "kind"),
+                                                       wk("drop")),
+                                                  b.unit(),
+                                                  do_none)))),
+                          b.write0(c.e2w_v, b.k(1, 0))}))});
+    }
+
+    Action*
+    rule_execute(int core)
+    {
+        Builder& b = b_;
+        const Core& c = cores_[(size_t)core];
+        auto e = [&] { return b.var("e"); };
+        auto f = [&](const char* field) { return b.get(e(), field); };
+
+        // Poisoned (stale-epoch) instructions just release the
+        // scoreboard entry decode claimed (if any).
+        Action* poisoned = b.seq(
+            {b.write1(c.e2w_d,
+                      b.struct_init(
+                          e2w_t_,
+                          {{"kind", b.if_(b.eq(f("sbw"), b.k(1, 1)),
+                                          wk("release"), wk("drop"))},
+                           {"rd", f("rd")}})),
+             b.write1(c.e2w_v, b.k(1, 1))});
+
+        // ALU-style result value.
+        auto keq = [&](const char* m) {
+            return b.eq(f("kind"), ik(m));
+        };
+        Action* alu_y =
+            b.if_(keq("alu"), f("v2"), f("imm"));
+        Action* result = b.if_(
+            keq("lui"), f("imm"),
+            b.if_(keq("auipc"), b.add(f("pc"), f("imm")),
+                  b.if_(b.or_(keq("jal"), keq("jalr")),
+                        b.add(f("pc"), b.k(32, 4)),
+                        b.call(alu_fn_, {f("f3"), f("f7b"), f("v1"),
+                                         alu_y}))));
+
+        // Next PC. Halt redirects to itself: the epoch flip poisons the
+        // younger instructions fetched past the ecall.
+        Action* next_pc = b.if_(
+            b.or_(keq("halt"), keq("illegal")), f("pc"),
+            b.if_(
+            keq("jal"), b.add(f("pc"), f("imm")),
+            b.if_(keq("jalr"),
+                  b.and_(b.add(f("v1"), f("imm")),
+                         b.k(32, 0xFFFFFFFE)),
+                  b.if_(b.and_(keq("branch"),
+                               b.call(taken_fn_,
+                                      {f("f3"), f("v1"), f("v2")})),
+                        b.add(f("pc"), f("imm")),
+                        b.add(f("pc"), b.k(32, 4))))));
+
+        // Memory operation pieces.
+        Action* addr = b.add(f("v1"), f("imm"));
+        Action* load_part = b.seq(
+            {b.guard(b.eq(b.read1(c.tod_v), b.k(1, 0))),
+             b.write1(c.tod_a,
+                      b.and_(b.var("maddr"), b.k(32, 0xFFFFFFFC))),
+             b.write1(c.tod_w, b.k(4, 0)),
+             b.write1(c.tod_d, b.k(32, 0)),
+             b.write1(c.tod_v, b.k(1, 1)),
+             b.write1(c.e2w_d,
+                      b.struct_init(
+                          e2w_t_,
+                          {{"kind", wk("load")},
+                           {"rd", f("rd")},
+                           {"f3", f("f3")},
+                           {"off", b.slice(b.var("maddr"), 0, 2)}}))});
+
+        // Store strobe and data shifted into byte lanes.
+        Action* off8 =
+            b.concat(b.slice(b.var("maddr"), 0, 2), b.k(3, 0));
+        Action* wstrb = b.if_(
+            b.eq(f("f3"), b.k(3, 0)),
+            b.lsl(b.k(4, 1), b.slice(b.var("maddr"), 0, 2)),
+            b.if_(b.eq(f("f3"), b.k(3, 1)),
+                  b.lsl(b.k(4, 3), b.slice(b.var("maddr"), 0, 2)),
+                  b.k(4, 0xF)));
+        Action* store_part = b.seq(
+            {b.guard(b.eq(b.read1(c.tod_v), b.k(1, 0))),
+             b.write1(c.tod_a,
+                      b.and_(b.var("maddr"), b.k(32, 0xFFFFFFFC))),
+             b.write1(c.tod_w, wstrb),
+             b.write1(c.tod_d, b.lsl(f("v2"), off8)),
+             b.write1(c.tod_v, b.k(1, 1)),
+             b.write1(c.e2w_d,
+                      b.struct_init(e2w_t_, {{"kind", wk("none")}}))});
+
+        Action* wr_part = b.let(
+            "xval", result,
+            b.seq({b.write1(c.e2w_d,
+                            b.struct_init(e2w_t_,
+                                          {{"kind", wk("wr")},
+                                           {"rd", f("rd")},
+                                           {"val", b.var("xval")}})),
+                   b.unit()}));
+
+        Action* halt_part = b.seq(
+            {b.write0(c.halted, b.k(1, 1)),
+             b.write1(c.e2w_d,
+                      b.struct_init(e2w_t_, {{"kind", wk("none")}}))});
+
+        Action* branch_part = b.write1(
+            c.e2w_d, b.struct_init(e2w_t_, {{"kind", wk("none")}}));
+
+        Action* dispatch = b.if_(
+            keq("load"), load_part,
+            b.if_(keq("store"), store_part,
+                  b.if_(b.or_(keq("halt"), keq("illegal")), halt_part,
+                        b.if_(keq("branch"), branch_part, wr_part))));
+
+        // Redirect on misprediction.
+        Action* redirect = b.when(
+            b.ne(b.var("npc"), f("ppc")),
+            b.seq({b.write0(c.pc, b.var("npc")),
+                   b.write0(c.epoch, b.not_(b.read0(c.epoch)))}));
+
+        // The predictor trains inside the maddr/npc scope.
+        std::vector<Action*> inner = {dispatch, redirect};
+        if (cfg_.branch_predictor)
+            inner.push_back(train_predictor(core));
+        inner.push_back(b.write1(c.e2w_v, b.k(1, 1)));
+        Action* live =
+            b.let("maddr", addr,
+                  b.let("npc", next_pc, b.seq(std::move(inner))));
+
+        return b.seq(
+            {b.guard(b.eq(b.read1(c.e2w_v), b.k(1, 0))),
+             b.guard(b.eq(b.read0(c.d2e_v), b.k(1, 1))),
+             b.let("e", b.read0(c.d2e_d),
+                   b.seq({b.write0(c.d2e_v, b.k(1, 0)),
+                          b.if_(b.ne(b.get(e(), "epoch"),
+                                     b.read0(c.epoch)),
+                                poisoned, live)}))});
+    }
+
+    /** BTB/BHT training at execute (bp variant). */
+    Action*
+    train_predictor(int core)
+    {
+        Builder& b = b_;
+        const Core& c = cores_[(size_t)core];
+        auto e = [&] { return b.var("e"); };
+        auto f = [&](const char* field) { return b.get(e(), field); };
+        auto keq = [&](const char* m) {
+            return b.eq(f("kind"), ik(m));
+        };
+
+        Action* is_jump = b.or_(keq("jal"), keq("jalr"));
+        Action* is_br = keq("branch");
+        Action* br_taken = b.and_(
+            b.clone(is_br),
+            b.call(taken_fn_, {f("f3"), f("v1"), f("v2")}));
+
+        // BTB: record taken control transfers.
+        Action* btb_update = b.when(
+            b.or_(b.clone(is_jump), b.clone(br_taken)),
+            b.let("bidx", b.slice(f("pc"), 2, 4),
+                  b.seq({b_.mux_write(c.btb_v, b.var("bidx"), b.k(1, 1),
+                                      Port::p0),
+                         b_.mux_write(c.btb_pc, b.var("bidx"), f("pc"),
+                                      Port::p0),
+                         b_.mux_write(c.btb_tgt, b.var("bidx"),
+                                      b.var("npc"), Port::p0)})));
+
+        // BHT: 2-bit saturating counters; jumps train toward taken.
+        Action* hidx = b.slice(f("pc"), 2, 6);
+        Action* taken_bit = b.or_(b.clone(is_jump), b.clone(br_taken));
+        Action* bht_update = b.when(
+            b.or_(is_jump, is_br),
+            b.let(
+                "hidx", hidx,
+                b.let(
+                    "hold", b_.mux_read(c.bht, b.var("hidx"), Port::p0),
+                    b.let(
+                        "hnew",
+                        b.if_(taken_bit,
+                              b.if_(b.eq(b.var("hold"), b.k(2, 3)),
+                                    b.k(2, 3),
+                                    b.add(b.var("hold"), b.k(2, 1))),
+                              b.if_(b.eq(b.var("hold"), b.k(2, 0)),
+                                    b.k(2, 0),
+                                    b.sub(b.var("hold"), b.k(2, 1)))),
+                        b_.mux_write(c.bht, b.var("hidx"),
+                                     b.var("hnew"), Port::p0)))));
+
+        return b.seq({btb_update, bht_update});
+    }
+
+    Action*
+    rule_decode(int core)
+    {
+        Builder& b = b_;
+        const Core& c = cores_[(size_t)core];
+        auto meta = [&] { return b.var("meta"); };
+        auto dec = [&](const char* field) {
+            return b.get(b.var("dec"), field);
+        };
+
+        // Which source registers this kind actually reads.
+        Action* reads_rs1 = b.k(1, 0);
+        for (const char* m : {"alu", "aluimm", "jalr", "branch", "load",
+                              "store"})
+            reads_rs1 = b.or_(reads_rs1, b.eq(dec("kind"), ik(m)));
+        Action* reads_rs2 = b.k(1, 0);
+        for (const char* m : {"alu", "branch", "store"})
+            reads_rs2 = b.or_(reads_rs2, b.eq(dec("kind"), ik(m)));
+
+        Action* proceed = b.let(
+            "rs1n", b.if_(reads_rs1, dec("rs1"), b.k(5, 0)),
+            b.let(
+                "rs2n", b.if_(reads_rs2, dec("rs2"), b.k(5, 0)),
+                b.let(
+                    "rdn",
+                    b.if_(b.var("wrw"), dec("rd"), b.k(5, 0)),
+                    b.seq(
+                        {// Hazard stall: any involved register busy.
+                         b.guard(b.and_(
+                             b.eq(sb_value(c, "rs1n"), b.k(2, 0)),
+                             b.and_(b.eq(sb_value(c, "rs2n"),
+                                         b.k(2, 0)),
+                                    b.eq(sb_value(c, "rdn"),
+                                         b.k(2, 0))))),
+                         // Consume the fetch bundle.
+                         b.write0(c.f2d_v, b.k(1, 0)),
+                         b.write0(c.fri_v, b.k(1, 0)),
+                         // Claim the destination (only real writers).
+                         b.when(b.var("wrw"), sb_bump(c, "rdn", true)),
+                         // Register reads see same-cycle writeback.
+                         b.let(
+                             "v1", rf_read(c, "rs1n", Port::p1),
+                             b.let(
+                                 "v2", rf_read(c, "rs2n", Port::p1),
+                                 b.seq(
+                                     {b.write1(
+                                          c.d2e_d,
+                                          b.struct_init(
+                                              d2e_t_,
+                                              {{"pc",
+                                                b.get(meta(), "pc")},
+                                               {"ppc",
+                                                b.get(meta(), "ppc")},
+                                               {"epoch",
+                                                b.get(meta(),
+                                                      "epoch")},
+                                               {"sbw", b.var("wrw")},
+                                               {"kind",
+                                                b.var("kind_v")},
+                                               {"f3", dec("f3")},
+                                               {"f7b", dec("f7b")},
+                                               {"rd", b.var("rdn")},
+                                               {"v1", b.var("v1")},
+                                               {"v2", b.var("v2")},
+                                               {"imm", dec("imm")}})),
+                                      b.write1(c.d2e_v,
+                                               b.k(1, 1))})))}))));
+
+        Action* drop = b.seq({b.write0(c.f2d_v, b.k(1, 0)),
+                              b.write0(c.fri_v, b.k(1, 0))});
+
+        return b.seq(
+            {b.guard(b.eq(b.read1(c.d2e_v), b.k(1, 0))),
+             b.guard(b.eq(b.read0(c.f2d_v), b.k(1, 1))),
+             b.guard(b.eq(b.read0(c.fri_v), b.k(1, 1))),
+             b.let("meta", b.read0(c.f2d_d),
+                   b.if_(b.ne(b.get(b.var("meta"), "epoch"),
+                              b.read1(c.epoch)),
+                         b.clone(drop),
+                         b.let("dec",
+                               b.call(decode_fn_,
+                                      {b.read0(c.fri_d)}),
+                               b.let("kind_v",
+                                     b.get(b.var("dec"), "kind"),
+                                     b.let("wrw",
+                                           writes_rd("kind_v"),
+                                           proceed)))))});
+    }
+
+    Action*
+    rule_fetch(int core)
+    {
+        Builder& b = b_;
+        const Core& c = cores_[(size_t)core];
+
+        Action* prediction;
+        if (cfg_.branch_predictor) {
+            // BTB hit with a taken-leaning BHT counter -> target.
+            Action* hit = b.and_(
+                b.mux_read(c.btb_v, b.slice(b.var("cur"), 2, 4),
+                           Port::p1),
+                b.eq(b.mux_read(c.btb_pc, b.slice(b.var("cur"), 2, 4),
+                                Port::p1),
+                     b.var("cur")));
+            Action* take = b.geu(
+                b.mux_read(c.bht, b.slice(b.var("cur"), 2, 6), Port::p1),
+                b.k(2, 2));
+            prediction = b.if_(
+                b.and_(hit, take),
+                b.mux_read(c.btb_tgt, b.slice(b.var("cur"), 2, 4),
+                           Port::p1),
+                b.add(b.var("cur"), b.k(32, 4)));
+        } else {
+            prediction = b.add(b.var("cur"), b.k(32, 4));
+        }
+
+        return b.seq(
+            {b.guard(b.eq(b.read1(c.halted), b.k(1, 0))),
+             b.guard(b.eq(b.read1(c.f2d_v), b.k(1, 0))),
+             b.guard(b.eq(b.read1(c.toi_v), b.k(1, 0))),
+             b.let(
+                 "cur", b.read1(c.pc),
+                 b.let(
+                     "pred", prediction,
+                     b.seq({b.write1(c.toi_a, b.var("cur")),
+                            b.write1(c.toi_v, b.k(1, 1)),
+                            b.write1(
+                                c.f2d_d,
+                                b.struct_init(
+                                    fmeta_,
+                                    {{"pc", b.var("cur")},
+                                     {"ppc", b.var("pred")},
+                                     {"epoch", b.read1(c.epoch)}})),
+                            b.write1(c.f2d_v, b.k(1, 1)),
+                            b.write1(c.pc, b.var("pred"))})))});
+    }
+
+    Design& d_;
+    Builder b_;
+    Rv32Config cfg_;
+    int nregs_;
+    TypePtr ik_, wk_, fmeta_, dec_, d2e_t_, e2w_t_;
+    FunctionDef* decode_fn_ = nullptr;
+    FunctionDef* alu_fn_ = nullptr;
+    FunctionDef* taken_fn_ = nullptr;
+    FunctionDef* ldext_fn_ = nullptr;
+    std::vector<Core> cores_;
+};
+
+} // namespace
+
+std::unique_ptr<Design>
+build_rv32(const Rv32Config& config)
+{
+    std::string name = config.name;
+    if (name.empty()) {
+        name = config.rv32e ? "rv32e" : "rv32i";
+        if (config.branch_predictor)
+            name += "-bp";
+        if (config.cores > 1)
+            name += "-mc";
+        if (config.x0_bug)
+            name += "-x0bug";
+    }
+    auto d = std::make_unique<Design>(name);
+    Rv32Builder(*d, config).build();
+    return d;
+}
+
+Rv32CorePorts
+rv32_ports(const Design& design, int core, int cores)
+{
+    std::string p =
+        cores > 1 ? "c" + std::to_string(core) + "_" : "";
+    auto idx = [&](const std::string& name) {
+        int i = design.reg_index(p + name);
+        if (i < 0)
+            fatal("design %s has no register %s%s",
+                  design.name().c_str(), p.c_str(), name.c_str());
+        return i;
+    };
+    Rv32CorePorts ports;
+    ports.imem = {idx("toimem_valid"), idx("toimem_addr"), -1, -1,
+                  idx("fromimem_valid"), idx("fromimem_data")};
+    ports.dmem = {idx("todmem_valid"), idx("todmem_addr"),
+                  idx("todmem_data"), idx("todmem_wstrb"),
+                  idx("fromdmem_valid"), idx("fromdmem_data")};
+    ports.halted = idx("halted");
+    ports.instret = idx("instret");
+    ports.d2e_valid = idx("d2e_valid");
+    ports.e2w_valid = idx("e2w_valid");
+    ports.regfile.push_back(-1);
+    for (int i = 1; i < 32; ++i) {
+        int r = design.reg_index(p + "x" + std::to_string(i));
+        if (r < 0)
+            break;
+        ports.regfile.push_back(r);
+    }
+    return ports;
+}
+
+Rv32System::Rv32System(const Design& design, sim::Model& model,
+                       const riscv::Program& program, int cores)
+    : design_(design), model_(model), cores_(cores)
+{
+    for (int c = 0; c < cores; ++c) {
+        ports_.push_back(rv32_ports(design, c, cores));
+        mems_.push_back(std::make_unique<harness::MemoryDevice>());
+        mems_.back()->load_words(program.words, program.base);
+        mem_ports_.push_back(std::make_unique<harness::MemPort>(
+            *mems_.back(), ports_.back().imem));
+        mem_ports_.push_back(std::make_unique<harness::MemPort>(
+            *mems_.back(), ports_.back().dmem));
+    }
+}
+
+uint64_t
+Rv32System::run(uint64_t max_cycles)
+{
+    std::vector<harness::Peripheral*> devices;
+    for (auto& p : mem_ports_)
+        devices.push_back(p.get());
+    return harness::run_system(
+        model_, devices, max_cycles,
+        [this](sim::Model&) { return halted(); });
+}
+
+bool
+Rv32System::halted() const
+{
+    // Halted and drained: in-flight (poisoned) instructions must clear
+    // the pipeline so instret and the scoreboard settle.
+    for (const auto& ports : ports_) {
+        if (model_.get_reg(ports.halted).is_zero())
+            return false;
+        if (!model_.get_reg(ports.d2e_valid).is_zero() ||
+            !model_.get_reg(ports.e2w_valid).is_zero())
+            return false;
+    }
+    return true;
+}
+
+const std::vector<uint32_t>&
+Rv32System::tohost(int core) const
+{
+    return mems_[(size_t)core]->tohost();
+}
+
+uint32_t
+Rv32System::read_xreg(int core, int index) const
+{
+    if (index == 0)
+        return 0;
+    int reg = ports_[(size_t)core].regfile[(size_t)index];
+    return (uint32_t)model_.get_reg(reg).to_u64();
+}
+
+uint64_t
+Rv32System::instret(int core) const
+{
+    return model_.get_reg(ports_[(size_t)core].instret).to_u64();
+}
+
+} // namespace koika::designs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pipelined RISC-V cores (paper Table 1: rv32i, rv32e, rv32i-bp,
+ * rv32i-mc) expressed as Kôika designs.
+ *
+ * Microarchitecture: a 4-stage pipeline (fetch, decode, execute,
+ * writeback) with one rule per stage, communicating through one-element
+ * FIFOs built from {valid, data} register pairs with the standard Kôika
+ * port discipline (consumer rd0/wr0 scheduled before producer rd1/wr1).
+ * Hazards are handled with a per-register scoreboard; branches with an
+ * epoch bit and either a "PC+4" predictor or a BTB+BHT predictor (-bp).
+ * Memory is reached through register-handshake ports driven by the magic
+ * memory peripheral (src/harness/memory.hpp); `ecall` sets a halted
+ * register. The dual-core variant (-mc) instantiates everything twice
+ * with c0_/c1_ prefixes.
+ *
+ * The `x0_bug` knob reintroduces case study 3's performance bug: the
+ * scoreboard tracks x0 like a real register, so back-to-back NOPs (ADDI
+ * x0, x0, 0) appear data-dependent and the pipeline stutters (~203
+ * cycles for 100 NOPs instead of ~10x fewer stalls).
+ */
+#pragma once
+
+#include <memory>
+
+#include "harness/memory.hpp"
+#include "koika/design.hpp"
+#include "riscv/assembler.hpp"
+
+namespace koika::designs {
+
+struct Rv32Config
+{
+    /** RV32E: 16 architectural registers instead of 32. */
+    bool rv32e = false;
+    /** BTB + BHT branch predictor instead of PC+4. */
+    bool branch_predictor = false;
+    /** Number of cores (1 or 2). */
+    int cores = 1;
+    /** Reintroduce the case-study-3 x0 scoreboard bug. */
+    bool x0_bug = false;
+    /** Design name override (defaults to rv32i / rv32e / ...). */
+    std::string name;
+};
+
+std::unique_ptr<Design> build_rv32(const Rv32Config& config = {});
+
+/** Register indices a core exposes to the harness. */
+struct Rv32CorePorts
+{
+    harness::MemPortRegs imem;
+    harness::MemPortRegs dmem;
+    int halted = -1;
+    int instret = -1;
+    /** Pipeline-occupancy registers (for drain detection). */
+    int d2e_valid = -1;
+    int e2w_valid = -1;
+    /** Architectural register file indices; entry 0 is -1 (x0). */
+    std::vector<int> regfile;
+};
+
+/** Look up a core's port registers by name ("c<i>_" prefixes if mc). */
+Rv32CorePorts rv32_ports(const Design& design, int core, int cores);
+
+/**
+ * Convenience wrapper: a model of an rv32 design plus per-core memories
+ * loaded with a program, runnable to completion.
+ */
+class Rv32System
+{
+  public:
+    Rv32System(const Design& design, sim::Model& model,
+               const riscv::Program& program, int cores = 1);
+
+    /** Run until every core halts (or max_cycles); returns cycles. */
+    uint64_t run(uint64_t max_cycles);
+
+    bool halted() const;
+    const std::vector<uint32_t>& tohost(int core = 0) const;
+    uint32_t read_xreg(int core, int index) const;
+    uint64_t instret(int core = 0) const;
+
+    sim::Model& model() { return model_; }
+
+  private:
+    const Design& design_;
+    sim::Model& model_;
+    int cores_;
+    std::vector<Rv32CorePorts> ports_;
+    std::vector<std::unique_ptr<harness::MemoryDevice>> mems_;
+    std::vector<std::unique_ptr<harness::MemPort>> mem_ports_;
+};
+
+} // namespace koika::designs

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Interactive-style debugging utilities over any engine (case studies
+ * 1 and 3).
+ *
+ * The paper's debugging experience comes from running Cuttlesim models
+ * under gdb/rr: breakpoints on FAIL(), watchpoints on read-write sets,
+ * reverse execution to find a previous write, symbolic printing of enums
+ * and structs. This harness reproduces the same moves programmatically
+ * on top of the committed-state interface, so the examples can script
+ * the case studies end to end:
+ *
+ *  - Debugger::step() advances one cycle and records a snapshot ring
+ *    buffer (rr's reverse execution over committed state);
+ *  - break_on_abort acts like `break FAIL` for a chosen rule;
+ *  - last_change acts like a hardware watchpoint run backwards ("which
+ *    cycle last wrote this register, and what did the write change?");
+ *  - reg_str prints registers with enum members and struct fields
+ *    resolved symbolically, like gdb on the generated C++ types.
+ */
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "koika/print.hpp"
+#include "sim/tiers.hpp"
+
+namespace koika::harness {
+
+class Debugger
+{
+  public:
+    Debugger(const Design& design, sim::TierModel& model,
+             size_t history = 256)
+        : d_(design), m_(model), capacity_(history)
+    {
+    }
+
+    /** Advance one cycle, recording history. */
+    void
+    step()
+    {
+        m_.cycle();
+        Frame frame;
+        frame.cycle = m_.cycles_run();
+        frame.state = m_.snapshot();
+        frame.fired = m_.fired();
+        history_.push_back(std::move(frame));
+        if (history_.size() > capacity_)
+            history_.pop_front();
+    }
+
+    /** Run until `pred` holds (checked after each cycle) or budget. */
+    uint64_t
+    run_until(const std::function<bool()>& pred, uint64_t max_cycles)
+    {
+        for (uint64_t c = 0; c < max_cycles; ++c) {
+            step();
+            if (pred())
+                return c + 1;
+        }
+        return max_cycles;
+    }
+
+    /** `break FAIL` for one rule: run until it aborts. */
+    uint64_t
+    break_on_abort(const std::string& rule_name, uint64_t max_cycles)
+    {
+        int rule = d_.rule_index(rule_name);
+        KOIKA_CHECK(rule >= 0);
+        uint64_t before = m_.rule_abort_counts()[(size_t)rule];
+        return run_until(
+            [&] {
+                return m_.rule_abort_counts()[(size_t)rule] > before;
+            },
+            max_cycles);
+    }
+
+    /** Run until a rule commits. */
+    uint64_t
+    break_on_commit(const std::string& rule_name, uint64_t max_cycles)
+    {
+        int rule = d_.rule_index(rule_name);
+        KOIKA_CHECK(rule >= 0);
+        uint64_t before = m_.rule_commit_counts()[(size_t)rule];
+        return run_until(
+            [&] {
+                return m_.rule_commit_counts()[(size_t)rule] > before;
+            },
+            max_cycles);
+    }
+
+    /** Committed register value, printed symbolically. */
+    std::string
+    reg_str(const std::string& name) const
+    {
+        int reg = d_.reg_index(name);
+        KOIKA_CHECK(reg >= 0);
+        return format_value(d_.reg(reg).type, m_.get_reg(reg));
+    }
+
+    /**
+     * Reverse watchpoint: how many recorded cycles ago did this
+     * register last change? Returns -1 if it never changed within the
+     * recorded window. `ago` counts back from the current cycle; the
+     * returned index is where the NEW value first appeared.
+     */
+    int
+    last_change(const std::string& name) const
+    {
+        int reg = d_.reg_index(name);
+        KOIKA_CHECK(reg >= 0);
+        if (history_.empty())
+            return -1;
+        const Bits& current = history_.back().state[(size_t)reg];
+        for (size_t i = history_.size(); i-- > 1;) {
+            if (history_[i - 1].state[(size_t)reg] != current)
+                return (int)(history_.size() - 1 - i);
+        }
+        return -1;
+    }
+
+    /** Register value as of `ago` recorded cycles back. */
+    std::string
+    reg_str_ago(const std::string& name, size_t ago) const
+    {
+        int reg = d_.reg_index(name);
+        KOIKA_CHECK(reg >= 0 && ago < history_.size());
+        const Bits& v =
+            history_[history_.size() - 1 - ago].state[(size_t)reg];
+        return format_value(d_.reg(reg).type, v);
+    }
+
+    /** Which rules committed, `ago` recorded cycles back. */
+    std::vector<std::string>
+    fired_rules_ago(size_t ago) const
+    {
+        KOIKA_CHECK(ago < history_.size());
+        const Frame& f = history_[history_.size() - 1 - ago];
+        std::vector<std::string> names;
+        for (size_t r = 0; r < f.fired.size(); ++r)
+            if (f.fired[r])
+                names.push_back(d_.rule((int)r).name);
+        return names;
+    }
+
+    sim::TierModel& model() { return m_; }
+    const Design& design() const { return d_; }
+    size_t recorded() const { return history_.size(); }
+
+  private:
+    struct Frame
+    {
+        uint64_t cycle;
+        std::vector<Bits> state;
+        std::vector<bool> fired;
+    };
+
+    const Design& d_;
+    sim::TierModel& m_;
+    size_t capacity_;
+    std::deque<Frame> history_;
+};
+
+} // namespace koika::harness

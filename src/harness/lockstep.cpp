@@ -1,0 +1,42 @@
+#include "harness/lockstep.hpp"
+
+#include <sstream>
+
+namespace koika::harness {
+
+LockstepResult
+run_lockstep(const koika::Design& design,
+             const std::vector<sim::Model*>& models, uint64_t cycles,
+             const std::function<void(sim::Model&, uint64_t)>& stimulus)
+{
+    LockstepResult result;
+    KOIKA_CHECK(!models.empty());
+    for (uint64_t c = 0; c < cycles; ++c) {
+        for (sim::Model* m : models)
+            m->cycle();
+        if (stimulus)
+            for (sim::Model* m : models)
+                stimulus(*m, c);
+        for (size_t i = 0; i < design.num_registers(); ++i) {
+            Bits expect = models[0]->get_reg((int)i);
+            for (size_t m = 1; m < models.size(); ++m) {
+                Bits got = models[m]->get_reg((int)i);
+                if (got != expect) {
+                    std::ostringstream os;
+                    os << "cycle " << c << ": register '"
+                       << design.reg((int)i).name << "' diverges: model 0 = "
+                       << expect.str() << ", model " << m << " = "
+                       << got.str();
+                    result.ok = false;
+                    result.cycle = c;
+                    result.reg = (int)i;
+                    result.detail = os.str();
+                    return result;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace koika::harness

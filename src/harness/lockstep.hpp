@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Lockstep differential execution of multiple engines.
+ *
+ * Cycle-accuracy across engines is the paper's core correctness claim
+ * (§1): every state element must be updated in the same cycle in every
+ * model. This harness drives any number of Model implementations in
+ * lockstep, applying the same external stimulus to each, and reports the
+ * first divergence with a readable diagnosis.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "koika/design.hpp"
+#include "sim/model.hpp"
+
+namespace koika::harness {
+
+struct LockstepResult
+{
+    bool ok = true;
+    /** First divergent cycle (counting from 0). */
+    uint64_t cycle = 0;
+    /** Index of the first divergent register. */
+    int reg = -1;
+    /** Human-readable diagnosis. */
+    std::string detail;
+};
+
+/**
+ * Run `cycles` cycles on every model; after each cycle, apply `stimulus`
+ * (if given) to each model identically, then compare all committed
+ * registers against the first model.
+ */
+LockstepResult
+run_lockstep(const koika::Design& design,
+             const std::vector<sim::Model*>& models, uint64_t cycles,
+             const std::function<void(sim::Model&, uint64_t)>& stimulus =
+                 nullptr);
+
+} // namespace koika::harness

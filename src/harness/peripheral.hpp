@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Peripherals: external devices driven in lockstep with a design.
+ *
+ * Kôika designs in this repository do all external I/O through
+ * registers: a design exposes request registers that a peripheral
+ * observes (and clears) between cycles, and response registers that the
+ * peripheral fills. Because peripherals only ever see and touch
+ * *committed* state, the same peripheral drives every engine (reference
+ * interpreter, Cuttlesim tiers, generated models, RTL simulators)
+ * identically — preserving cycle-accuracy across the whole comparison
+ * matrix (see DESIGN.md, substitutions).
+ */
+#pragma once
+
+#include <functional>
+
+#include "sim/model.hpp"
+
+namespace koika::harness {
+
+class Peripheral
+{
+  public:
+    virtual ~Peripheral() = default;
+    /** Called after every design cycle, on committed state. */
+    virtual void tick(sim::Model& model) = 0;
+};
+
+/**
+ * Drive a model with peripherals until `stop` returns true or
+ * `max_cycles` elapse. Returns the number of cycles run.
+ */
+inline uint64_t
+run_system(sim::Model& model, const std::vector<Peripheral*>& peripherals,
+           uint64_t max_cycles,
+           const std::function<bool(sim::Model&)>& stop = nullptr)
+{
+    for (uint64_t c = 0; c < max_cycles; ++c) {
+        model.cycle();
+        for (Peripheral* p : peripherals)
+            p->tick(model);
+        if (stop && stop(model))
+            return c + 1;
+    }
+    return max_cycles;
+}
+
+} // namespace koika::harness

@@ -1,0 +1,225 @@
+#include "harness/random_design.hpp"
+
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+namespace koika::harness {
+
+namespace {
+
+class Generator
+{
+  public:
+    Generator(uint64_t seed, const RandomDesignConfig& config)
+        : cfg_(config), rng_(seed),
+          design_(std::make_unique<Design>("random" +
+                                           std::to_string(seed))),
+          b_(*design_)
+    {
+    }
+
+    std::unique_ptr<Design>
+    run()
+    {
+        make_registers();
+        int nrules = 1 + (int)(rng_() % (uint64_t)cfg_.num_rules);
+        for (int i = 0; i < nrules; ++i) {
+            rule_wr1_.assign(widths_.size(), false);
+            let_depth_ = 0;
+            Action* body = statements(1 + (int)(rng_() % (uint64_t)
+                                                cfg_.max_stmts_per_rule));
+            design_->add_rule("rl" + std::to_string(i), body);
+            design_->schedule("rl" + std::to_string(i));
+        }
+        typecheck(*design_);
+        return std::move(design_);
+    }
+
+  private:
+    uint32_t
+    pick_width()
+    {
+        static const uint32_t narrow[] = {1, 2, 4, 7, 8, 12, 16, 32, 64};
+        static const uint32_t wide[] = {65, 96, 128, 200};
+        if (cfg_.wide_registers && rng_() % 4 == 0)
+            return wide[rng_() % 4];
+        return narrow[rng_() % 9];
+    }
+
+    void
+    make_registers()
+    {
+        int n = 2 + (int)(rng_() % (uint64_t)cfg_.num_registers);
+        for (int i = 0; i < n; ++i) {
+            uint32_t w = pick_width();
+            uint64_t init = rng_();
+            regs_.push_back(
+                b_.reg("r" + std::to_string(i), w, init));
+            widths_.push_back(w);
+        }
+    }
+
+    /** A register with exactly the given width, or -1. */
+    int
+    reg_of_width(uint32_t w)
+    {
+        std::vector<int> candidates;
+        for (size_t i = 0; i < widths_.size(); ++i)
+            if (widths_[i] == w)
+                candidates.push_back(regs_[i]);
+        if (candidates.empty())
+            return -1;
+        return candidates[rng_() % candidates.size()];
+    }
+
+    int
+    any_reg()
+    {
+        return regs_[rng_() % regs_.size()];
+    }
+
+    Action*
+    read_expr(int reg)
+    {
+        // Avoid the Goldbergian pattern: no rd1 after a wr1 on the same
+        // register within this rule.
+        bool rd1_ok = !rule_wr1_[reg_slot(reg)];
+        bool use_rd1 = rd1_ok && (rng_() % 2 == 0);
+        return use_rd1 ? b_.read1(reg) : b_.read0(reg);
+    }
+
+    /** Random pure expression of the requested width. */
+    Action*
+    expr(uint32_t w, int depth)
+    {
+        uint64_t choice = rng_() % 10;
+        if (depth <= 0 || choice < 2)
+            return b_.konst(random_bits(w));
+        if (choice < 5) {
+            int r = reg_of_width(w);
+            if (r >= 0)
+                return read_expr(r);
+            return b_.konst(random_bits(w));
+        }
+        if (choice < 8) {
+            static const Op binops[] = {Op::kAnd, Op::kOr, Op::kXor,
+                                        Op::kAdd, Op::kSub};
+            Op op = binops[rng_() % 5];
+            return b_.binop(op, expr(w, depth - 1), expr(w, depth - 1));
+        }
+        if (choice == 8)
+            return b_.not_(expr(w, depth - 1));
+        // Slice or extend from a different width.
+        uint32_t src_w = pick_width();
+        if (src_w >= w && src_w > 0) {
+            uint32_t max_off = src_w - w;
+            uint32_t off = (uint32_t)(rng_() % (uint64_t)(max_off + 1));
+            Action* s = expr(src_w, depth - 1);
+            return b_.slice(s, off, w);
+        }
+        return rng_() % 2 ? b_.zextl(expr(src_w, depth - 1), w)
+                          : b_.sextl(expr(src_w, depth - 1), w);
+    }
+
+    /** Random 1-bit expression (conditions, guards). */
+    Action*
+    cond(int depth)
+    {
+        uint64_t choice = rng_() % 6;
+        if (choice < 2)
+            return expr(1, depth);
+        uint32_t w = pick_width();
+        static const Op cmps[] = {Op::kEq, Op::kNe, Op::kLtu, Op::kGeu,
+                                  Op::kLts};
+        Op op = cmps[rng_() % 5];
+        if (op == Op::kLts && w == 0)
+            op = Op::kEq;
+        return b_.binop(op, expr(w, depth - 1), expr(w, depth - 1));
+    }
+
+    Action*
+    statement(int depth)
+    {
+        uint64_t choice = rng_() % 10;
+        if (choice < 5) {
+            int r = any_reg();
+            uint32_t w = widths_[reg_slot(r)];
+            bool wr1 = rng_() % 3 == 0;
+            if (wr1)
+                rule_wr1_[(size_t)reg_slot(r)] = true;
+            Action* v = expr(w, cfg_.max_expr_depth);
+            return wr1 ? b_.write1(r, v) : b_.write0(r, v);
+        }
+        if (choice < 7) {
+            // Guards that mostly pass keep traces interesting.
+            Action* c = cond(2);
+            return b_.guard(b_.or_(c, b_.konst(Bits::of(1, rng_() % 4
+                                                               ? 1
+                                                               : 0))));
+        }
+        if (choice < 9 && depth > 0) {
+            return b_.if_(cond(2), statements(2, depth - 1),
+                          statements(2, depth - 1));
+        }
+        if (let_depth_ < 3) {
+            ++let_depth_;
+            uint32_t w = pick_width();
+            std::string name = "v" + std::to_string(rng_() % 1000);
+            Action* body =
+                b_.seq({statement(depth > 0 ? depth - 1 : 0),
+                        b_.when(b_.eq(b_.var(name),
+                                      b_.konst(random_bits(w))),
+                                statement(0))});
+            --let_depth_;
+            return b_.let(name, expr(w, 2), body);
+        }
+        return statement(0);
+    }
+
+    Action*
+    statements(int n, int depth = 2)
+    {
+        std::vector<Action*> stmts;
+        for (int i = 0; i < n; ++i)
+            stmts.push_back(statement(depth));
+        return b_.seq(std::move(stmts));
+    }
+
+    size_t
+    reg_slot(int reg)
+    {
+        for (size_t i = 0; i < regs_.size(); ++i)
+            if (regs_[i] == reg)
+                return i;
+        panic("unknown register");
+    }
+
+    Bits
+    random_bits(uint32_t w)
+    {
+        uint64_t words[Bits::kMaxWords];
+        for (auto& word : words)
+            word = rng_();
+        return Bits::of_words(w, words, Bits::kMaxWords);
+    }
+
+    RandomDesignConfig cfg_;
+    std::mt19937_64 rng_;
+    std::unique_ptr<Design> design_;
+    Builder b_;
+    std::vector<int> regs_;
+    std::vector<uint32_t> widths_;
+    /** Registers written at port 1 in the current rule. */
+    std::vector<bool> rule_wr1_;
+    int let_depth_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Design>
+random_design(uint64_t seed, const RandomDesignConfig& config)
+{
+    return Generator(seed, config).run();
+}
+
+} // namespace koika::harness

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Seeded random well-typed Kôika designs.
+ *
+ * Used by the differential property tests: every engine (reference
+ * interpreter, Cuttlesim tiers, generated models, RTL simulators) must
+ * produce identical committed register traces on thousands of random
+ * designs. The generator deliberately produces conflicting rules, failing
+ * guards, port mixes, and nested control flow, but avoids the Goldbergian
+ * wr1-then-rd1 pattern that merged-data engines do not support (the
+ * paper's Cuttlesim warns about and ignores that pattern, §3.2).
+ */
+#pragma once
+
+#include <memory>
+#include <random>
+
+#include "koika/design.hpp"
+
+namespace koika::harness {
+
+struct RandomDesignConfig
+{
+    int num_registers = 6;
+    int num_rules = 5;
+    int max_stmts_per_rule = 6;
+    int max_expr_depth = 4;
+    /** Allow wide (>64-bit) registers. */
+    bool wide_registers = false;
+};
+
+/** Build a typechecked random design from a seed. */
+std::unique_ptr<koika::Design>
+random_design(uint64_t seed, const RandomDesignConfig& config = {});
+
+} // namespace koika::harness

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * VCD (Value Change Dump) waveform writer.
+ *
+ * The traditional RTL debugging flow the paper contrasts against
+ * (GTKWave-style wave analysis) is still occasionally useful; any engine
+ * can dump its committed registers as a standard VCD file, one sample
+ * per cycle.
+ */
+#pragma once
+
+#include <ostream>
+
+#include "koika/design.hpp"
+#include "sim/model.hpp"
+
+namespace koika::harness {
+
+class VcdWriter
+{
+  public:
+    VcdWriter(const Design& design, std::ostream& out)
+        : d_(design), out_(out), prev_(design.num_registers())
+    {
+        out_ << "$timescale 1ns $end\n$scope module "
+             << sanitize(d_.name()) << " $end\n";
+        for (size_t r = 0; r < d_.num_registers(); ++r) {
+            out_ << "$var wire " << d_.reg((int)r).type->width << " "
+                 << ident(r) << " " << sanitize(d_.reg((int)r).name)
+                 << " $end\n";
+        }
+        out_ << "$upscope $end\n$enddefinitions $end\n";
+    }
+
+    /** Emit one sample of the model's committed state. */
+    void
+    sample(const sim::Model& model)
+    {
+        out_ << "#" << time_++ << "\n";
+        for (size_t r = 0; r < d_.num_registers(); ++r) {
+            Bits v = model.get_reg((int)r);
+            if (time_ > 1 && v == prev_[r])
+                continue;
+            prev_[r] = v;
+            uint32_t w = v.width();
+            if (w == 1) {
+                out_ << (v.is_zero() ? "0" : "1") << ident(r) << "\n";
+            } else {
+                out_ << "b";
+                for (uint32_t i = w; i-- > 0;)
+                    out_ << (v.bit(i) ? '1' : '0');
+                out_ << " " << ident(r) << "\n";
+            }
+        }
+    }
+
+  private:
+    static std::string
+    sanitize(const std::string& name)
+    {
+        std::string out;
+        for (char c : name)
+            out += std::isalnum((unsigned char)c) ? c : '_';
+        return out;
+    }
+
+    /** Short printable identifier for register r. */
+    static std::string
+    ident(size_t r)
+    {
+        std::string id;
+        do {
+            id += (char)('!' + (r % 90));
+            r /= 90;
+        } while (r != 0);
+        return id;
+    }
+
+    const Design& d_;
+    std::ostream& out_;
+    std::vector<Bits> prev_;
+    uint64_t time_ = 0;
+};
+
+} // namespace koika::harness

@@ -1,0 +1,249 @@
+#include "interp/reference.hpp"
+
+namespace koika {
+
+ReferenceSim::ReferenceSim(const Design& design) : d_(design)
+{
+    KOIKA_CHECK(d_.typechecked);
+    state_ = d_.initial_state();
+    cycle_log_.resize(d_.num_registers());
+    rule_log_.resize(d_.num_registers());
+    fired_.resize(d_.num_rules(), false);
+}
+
+void
+ReferenceSim::set_reg(int i, Bits v)
+{
+    KOIKA_CHECK(v.width() == d_.reg(i).type->width);
+    state_[(size_t)i] = std::move(v);
+}
+
+void
+ReferenceSim::cycle()
+{
+    cycle_with_order(d_.schedule_order());
+}
+
+void
+ReferenceSim::cycle_with_order(const std::vector<int>& order)
+{
+    // A cycle starts with an empty cycle log.
+    for (auto& e : cycle_log_)
+        e = LogEntry{};
+    fired_.assign(d_.num_rules(), false);
+
+    for (int r : order)
+        fired_[(size_t)r] = run_rule(r);
+
+    // Commit: wr1 beats wr0 beats the old value.
+    for (size_t i = 0; i < state_.size(); ++i) {
+        if (cycle_log_[i].wr1)
+            state_[i] = cycle_log_[i].data1;
+        else if (cycle_log_[i].wr0)
+            state_[i] = cycle_log_[i].data0;
+    }
+    ++cycles_;
+}
+
+bool
+ReferenceSim::run_rule(int rule_index)
+{
+    const Rule& rule = d_.rule(rule_index);
+    // Entering a rule resets the rule log.
+    for (auto& e : rule_log_)
+        e = LogEntry{};
+    frames_.clear();
+    frames_.emplace_back((size_t)rule.nslots);
+
+    try {
+        eval(rule.body);
+    } catch (RuleAbort&) {
+        return false; // Rule log is discarded.
+    }
+
+    // Success: append the rule log to the cycle log.
+    for (size_t i = 0; i < cycle_log_.size(); ++i) {
+        LogEntry& cl = cycle_log_[i];
+        const LogEntry& rl = rule_log_[i];
+        cl.rd0 |= rl.rd0;
+        cl.rd1 |= rl.rd1;
+        if (rl.wr0) {
+            cl.wr0 = true;
+            cl.data0 = rl.data0;
+        }
+        if (rl.wr1) {
+            cl.wr1 = true;
+            cl.data1 = rl.data1;
+        }
+    }
+    return true;
+}
+
+Bits
+ReferenceSim::do_read(const Action* a)
+{
+    LogEntry& cl = cycle_log_[(size_t)a->reg];
+    LogEntry& rl = rule_log_[(size_t)a->reg];
+    if (a->port == Port::p0) {
+        // rd0 observes the beginning-of-cycle value; it conflicts with any
+        // previously-committed write in this cycle.
+        if (cl.wr0 || cl.wr1)
+            throw RuleAbort{};
+        rl.rd0 = true;
+        return state_[(size_t)a->reg];
+    }
+    // rd1 observes the latest wr0; it conflicts with a committed wr1.
+    if (cl.wr1)
+        throw RuleAbort{};
+    rl.rd1 = true;
+    if (rl.wr0)
+        return rl.data0;
+    if (cl.wr0)
+        return cl.data0;
+    return state_[(size_t)a->reg];
+}
+
+void
+ReferenceSim::do_write(const Action* a, Bits value)
+{
+    LogEntry& cl = cycle_log_[(size_t)a->reg];
+    LogEntry& rl = rule_log_[(size_t)a->reg];
+    if (a->port == Port::p0) {
+        // wr0 must precede every rd1/wr0/wr1 in the cycle.
+        if (cl.rd1 || cl.wr0 || cl.wr1 || rl.rd1 || rl.wr0 || rl.wr1)
+            throw RuleAbort{};
+        rl.wr0 = true;
+        rl.data0 = std::move(value);
+    } else {
+        // At most one wr1 per register per cycle.
+        if (cl.wr1 || rl.wr1)
+            throw RuleAbort{};
+        rl.wr1 = true;
+        rl.data1 = std::move(value);
+    }
+}
+
+void
+ReferenceSim::enable_coverage()
+{
+    coverage_enabled_ = true;
+    coverage_.assign(d_.num_nodes(), 0);
+}
+
+Bits
+ReferenceSim::eval(const Action* a)
+{
+    if (coverage_enabled_)
+        ++coverage_[(size_t)a->id];
+    switch (a->kind) {
+      case ActionKind::kConst:
+        return a->value;
+
+      case ActionKind::kVar:
+        return frames_.back()[(size_t)a->slot];
+
+      case ActionKind::kLet: {
+        Bits v = eval(a->a0);
+        frames_.back()[(size_t)a->slot] = std::move(v);
+        return eval(a->a1);
+      }
+
+      case ActionKind::kAssign: {
+        Bits v = eval(a->a0);
+        frames_.back()[(size_t)a->slot] = std::move(v);
+        return Bits();
+      }
+
+      case ActionKind::kSeq:
+        eval(a->a0);
+        return eval(a->a1);
+
+      case ActionKind::kIf:
+        return eval(a->a0).truthy() ? eval(a->a1) : eval(a->a2);
+
+      case ActionKind::kRead:
+        return do_read(a);
+
+      case ActionKind::kWrite:
+        do_write(a, eval(a->a0));
+        return Bits();
+
+      case ActionKind::kGuard:
+        if (!eval(a->a0).truthy())
+            throw RuleAbort{};
+        return Bits();
+
+      case ActionKind::kUnop: {
+        Bits v = eval(a->a0);
+        switch (a->op) {
+          case Op::kNot: return v.bnot();
+          case Op::kNeg: return v.neg();
+          case Op::kZExtL: return v.zextl(a->imm0);
+          case Op::kSExtL: return v.sextl(a->imm0);
+          case Op::kSlice: return v.slice(a->imm0, a->imm1);
+          default: panic("bad unop");
+        }
+      }
+
+      case ActionKind::kBinop: {
+        Bits x = eval(a->a0);
+        Bits y = eval(a->a1);
+        switch (a->op) {
+          case Op::kAnd: return x.band(y);
+          case Op::kOr: return x.bor(y);
+          case Op::kXor: return x.bxor(y);
+          case Op::kAdd: return x.add(y);
+          case Op::kSub: return x.sub(y);
+          case Op::kMul: return x.mul(y);
+          case Op::kEq: return x.eq(y);
+          case Op::kNe: return x.ne(y);
+          case Op::kLtu: return x.ltu(y);
+          case Op::kLeu: return x.leu(y);
+          case Op::kGtu: return x.gtu(y);
+          case Op::kGeu: return x.geu(y);
+          case Op::kLts: return x.lts(y);
+          case Op::kLes: return x.les(y);
+          case Op::kGts: return x.gts(y);
+          case Op::kGes: return x.ges(y);
+          case Op::kLsl: return x.shl(y);
+          case Op::kLsr: return x.shr(y);
+          case Op::kAsr: return x.asr(y);
+          case Op::kConcat: return x.concat(y);
+          default: break;
+        }
+        panic("bad binop");
+      }
+
+      case ActionKind::kGetField: {
+        Bits v = eval(a->a0);
+        const Field& f =
+            a->a0->type->fields[(size_t)a->field_index];
+        return v.slice(f.offset, f.type->width);
+      }
+
+      case ActionKind::kSubstField: {
+        Bits s = eval(a->a0);
+        Bits v = eval(a->a1);
+        const Field& f =
+            a->a0->type->fields[(size_t)a->field_index];
+        uint32_t w = s.width();
+        // Clear the field, then or in the new value.
+        Bits mask =
+            Bits::ones(f.type->width).zextl(w).shl_by(f.offset).bnot();
+        return s.band(mask).bor(v.zextl(w).shl_by(f.offset));
+      }
+
+      case ActionKind::kCall: {
+        std::vector<Bits> frame((size_t)a->fn->nslots);
+        for (size_t i = 0; i < a->args.size(); ++i)
+            frame[i] = eval(a->args[i]);
+        frames_.push_back(std::move(frame));
+        Bits r = eval(a->fn->body);
+        frames_.pop_back();
+        return r;
+      }
+    }
+    panic("unreachable");
+}
+
+} // namespace koika

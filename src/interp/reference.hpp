@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The reference interpreter: Kôika's specification semantics.
+ *
+ * Implements the naive model of §3.1 directly: a beginning-of-cycle state,
+ * a cycle log, and a rule log, where each log entry stores the read/write
+ * set (rd0/rd1/wr0/wr1) and the data written at each port. Every other
+ * execution engine in this repository (the Cuttlesim tiers, the generated
+ * C++ models, the RTL simulators) is differential-tested against this
+ * interpreter's committed register trace.
+ *
+ * Port semantics (paper §3.1):
+ *  - rd0: forbidden if the cycle log has a write at either port; returns
+ *    the beginning-of-cycle value.
+ *  - rd1: forbidden if the cycle log has a wr1; returns the latest wr0
+ *    data (rule log, then cycle log), else the beginning-of-cycle value.
+ *  - wr0: forbidden if either log has rd1, wr0, or wr1.
+ *  - wr1: forbidden if either log has wr1.
+ */
+#pragma once
+
+#include <vector>
+
+#include "koika/design.hpp"
+
+namespace koika {
+
+/** Read/write set plus port data for one register in one log. */
+struct LogEntry
+{
+    bool rd0 = false;
+    bool rd1 = false;
+    bool wr0 = false;
+    bool wr1 = false;
+    Bits data0;
+    Bits data1;
+};
+
+class ReferenceSim
+{
+  public:
+    explicit ReferenceSim(const Design& design);
+
+    /** Run one cycle using the design's scheduler. */
+    void cycle();
+
+    /**
+     * Run one cycle with an explicit rule order (case study 2:
+     * scheduler randomization).
+     */
+    void cycle_with_order(const std::vector<int>& order);
+
+    /** Committed architectural state (valid between cycles). */
+    const std::vector<Bits>& state() const { return state_; }
+    const Bits& reg(int i) const { return state_[(size_t)i]; }
+    /** Poke a register between cycles (peripherals, test setup). */
+    void set_reg(int i, Bits v);
+
+    /** Which rules committed during the most recent cycle. */
+    const std::vector<bool>& fired() const { return fired_; }
+
+    uint64_t cycles_run() const { return cycles_; }
+
+    const Design& design() const { return d_; }
+
+    /**
+     * Enable Gcov-style execution counting: every AST node's evaluation
+     * count is recorded (case study 4 gathers architectural statistics
+     * this way — see harness/coverage.hpp for the annotated report).
+     */
+    void enable_coverage();
+    /** Per-node execution counts (indexed by Action::id). */
+    const std::vector<uint64_t>& coverage() const { return coverage_; }
+
+  private:
+    struct RuleAbort {};
+
+    /** Run one rule; returns true if it committed. */
+    bool run_rule(int rule_index);
+    Bits eval(const Action* a);
+    Bits do_read(const Action* a);
+    void do_write(const Action* a, Bits value);
+
+    const Design& d_;
+    std::vector<Bits> state_;
+    std::vector<LogEntry> cycle_log_;
+    std::vector<LogEntry> rule_log_;
+    /** Stack of evaluation frames (rule frame + one per active call). */
+    std::vector<std::vector<Bits>> frames_;
+    std::vector<bool> fired_;
+    uint64_t cycles_ = 0;
+    bool coverage_enabled_ = false;
+    std::vector<uint64_t> coverage_;
+};
+
+} // namespace koika

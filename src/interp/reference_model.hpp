@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Model adapter for the reference interpreter, so the specification
+ * semantics can participate in lockstep differential runs alongside the
+ * optimized engines.
+ */
+#pragma once
+
+#include "interp/reference.hpp"
+#include "sim/model.hpp"
+
+namespace koika {
+
+class ReferenceModel final : public sim::Model
+{
+  public:
+    explicit ReferenceModel(const Design& design) : sim_(design) {}
+
+    void cycle() override { sim_.cycle(); }
+    Bits get_reg(int reg) const override { return sim_.reg(reg); }
+
+    void
+    set_reg(int reg, const Bits& value) override
+    {
+        sim_.set_reg(reg, value);
+    }
+
+    uint64_t cycles_run() const override { return sim_.cycles_run(); }
+
+    size_t
+    num_regs() const override
+    {
+        return sim_.design().num_registers();
+    }
+
+    ReferenceSim& interpreter() { return sim_; }
+
+  private:
+    ReferenceSim sim_;
+};
+
+} // namespace koika

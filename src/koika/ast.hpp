@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The Kôika action AST.
+ *
+ * Kôika is an expression language: every action produces a value (unit
+ * for writes and guards) and may additionally read or write registers or
+ * abort the enclosing rule. The AST below covers the full language of the
+ * paper (§2.1): conditionals, variable bindings, sequencing, combinational
+ * functions, the read/write port primitives, and abort/guard.
+ *
+ * Nodes are owned by their Design's arena and carry a dense id so that
+ * analyses can attach information in side tables (src/analysis).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "koika/types.hpp"
+
+namespace koika {
+
+/** Read/write port (paper §2.1): port 0 or port 1. */
+enum class Port : uint8_t { p0 = 0, p1 = 1 };
+
+/** Pure operator applied by kUnop/kBinop nodes. */
+enum class Op : uint8_t {
+    // Unary.
+    kNot, kNeg, kZExtL, kSExtL, kSlice,
+    // Binary bitwise / arithmetic.
+    kAnd, kOr, kXor, kAdd, kSub, kMul,
+    // Binary comparisons (1-bit result).
+    kEq, kNe, kLtu, kLeu, kGtu, kGeu, kLts, kLes, kGts, kGes,
+    // Shifts.
+    kLsl, kLsr, kAsr,
+    // Structural.
+    kConcat,
+};
+
+const char* op_name(Op op);
+
+struct Action;
+struct FunctionDef;
+
+/** Kinds of AST nodes. */
+enum class ActionKind : uint8_t {
+    kConst,      ///< Literal value.
+    kVar,        ///< Reference to a let-bound variable.
+    kLet,        ///< Bind a variable for the scope of a body.
+    kAssign,     ///< Update a let-bound variable (Kôika's `set`).
+    kSeq,        ///< Sequence two actions, discarding the first value.
+    kIf,         ///< Conditional expression.
+    kRead,       ///< Register read at port 0 or 1.
+    kWrite,      ///< Register write at port 0 or 1.
+    kGuard,      ///< Abort the rule unless the 1-bit operand is set.
+    kUnop,       ///< Pure unary operator.
+    kBinop,      ///< Pure binary operator.
+    kGetField,   ///< Struct field projection.
+    kSubstField, ///< Functional struct field update.
+    kCall,       ///< Call of a combinational internal function.
+};
+
+const char* action_kind_name(ActionKind kind);
+
+struct Action
+{
+    ActionKind kind;
+    /** Dense per-design node id, assigned by the arena. */
+    int id = -1;
+    /** Result type; filled in by the typechecker. */
+    TypePtr type;
+
+    // -- kConst ----------------------------------------------------------
+    Bits value;
+    /** Declared type of the literal (enum constants carry their enum). */
+    TypePtr const_type;
+
+    // -- kVar / kLet / kAssign --------------------------------------------
+    std::string var;
+    /** Variable slot in the rule's evaluation frame (typechecker). */
+    int slot = -1;
+
+    // -- Children ----------------------------------------------------------
+    // kLet: a0 = bound value, a1 = body.          kSeq: a0, a1.
+    // kIf: a0 = cond, a1 = then, a2 = else.       kWrite/kGuard/kAssign: a0.
+    // kUnop: a0.  kBinop: a0, a1.  kGetField: a0. kSubstField: a0, a1.
+    Action* a0 = nullptr;
+    Action* a1 = nullptr;
+    Action* a2 = nullptr;
+
+    // -- kRead / kWrite ----------------------------------------------------
+    int reg = -1;
+    Port port = Port::p0;
+
+    // -- kUnop / kBinop ----------------------------------------------------
+    Op op = Op::kNot;
+    /** Slice offset / zextl-sextl target width. */
+    uint32_t imm0 = 0;
+    /** Slice width. */
+    uint32_t imm1 = 0;
+
+    // -- kGetField / kSubstField -------------------------------------------
+    std::string field;
+    int field_index = -1;
+
+    // -- kCall --------------------------------------------------------------
+    const FunctionDef* fn = nullptr;
+    std::vector<Action*> args;
+};
+
+/**
+ * A combinational internal function: pure (no reads, writes, or guards),
+ * checked by the typechecker. Calls are evaluated with their own frame.
+ */
+struct FunctionDef
+{
+    std::string name;
+    std::vector<std::pair<std::string, TypePtr>> params;
+    TypePtr ret;
+    Action* body = nullptr;
+    /** Evaluation frame size (typechecker). */
+    int nslots = 0;
+};
+
+} // namespace koika

@@ -1,0 +1,324 @@
+#include "koika/builder.hpp"
+
+namespace koika {
+
+int
+Builder::reg(const std::string& name, TypePtr type, Bits init)
+{
+    return d_.add_register(name, std::move(type), std::move(init));
+}
+
+int
+Builder::reg(const std::string& name, uint32_t width, uint64_t init)
+{
+    return d_.add_register(name, bits_type(width), Bits::of(width, init));
+}
+
+std::vector<int>
+Builder::reg_array(const std::string& name, size_t n, TypePtr type,
+                   Bits init)
+{
+    std::vector<int> regs;
+    regs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        regs.push_back(d_.add_register(name + std::to_string(i), type, init));
+    return regs;
+}
+
+Action*
+Builder::k(uint32_t width, uint64_t v)
+{
+    return konst(Bits::of(width, v));
+}
+
+Action*
+Builder::konst(Bits v)
+{
+    Action* a = d_.alloc(ActionKind::kConst);
+    a->const_type = bits_type(v.width());
+    a->value = std::move(v);
+    return a;
+}
+
+Action*
+Builder::konst_typed(TypePtr type, Bits v)
+{
+    KOIKA_CHECK(type->width == v.width());
+    Action* a = d_.alloc(ActionKind::kConst);
+    a->const_type = std::move(type);
+    a->value = std::move(v);
+    return a;
+}
+
+Action*
+Builder::enum_k(TypePtr enum_type, const std::string& member)
+{
+    int idx = enum_type->member_index(member);
+    if (idx < 0)
+        fatal("enum %s has no member '%s'", enum_type->name.c_str(),
+              member.c_str());
+    return konst_typed(enum_type, enum_type->members[(size_t)idx].value);
+}
+
+Action*
+Builder::unit()
+{
+    return k(0, 0);
+}
+
+Action*
+Builder::var(const std::string& name)
+{
+    Action* a = d_.alloc(ActionKind::kVar);
+    a->var = name;
+    return a;
+}
+
+Action*
+Builder::let(const std::string& name, Action* value, Action* body)
+{
+    Action* a = d_.alloc(ActionKind::kLet);
+    a->var = name;
+    a->a0 = value;
+    a->a1 = body;
+    return a;
+}
+
+Action*
+Builder::assign(const std::string& name, Action* value)
+{
+    Action* a = d_.alloc(ActionKind::kAssign);
+    a->var = name;
+    a->a0 = value;
+    return a;
+}
+
+Action*
+Builder::seq(std::vector<Action*> actions)
+{
+    KOIKA_CHECK(!actions.empty());
+    Action* acc = actions.back();
+    for (size_t i = actions.size() - 1; i-- > 0;) {
+        Action* s = d_.alloc(ActionKind::kSeq);
+        s->a0 = actions[i];
+        s->a1 = acc;
+        acc = s;
+    }
+    return acc;
+}
+
+Action*
+Builder::if_(Action* cond, Action* then_a, Action* else_a)
+{
+    Action* a = d_.alloc(ActionKind::kIf);
+    a->a0 = cond;
+    a->a1 = then_a;
+    a->a2 = else_a != nullptr ? else_a : unit();
+    return a;
+}
+
+Action*
+Builder::guard(Action* cond)
+{
+    Action* a = d_.alloc(ActionKind::kGuard);
+    a->a0 = cond;
+    return a;
+}
+
+Action*
+Builder::abort()
+{
+    return guard(k(1, 0));
+}
+
+Action*
+Builder::read0(int reg)
+{
+    Action* a = d_.alloc(ActionKind::kRead);
+    a->reg = reg;
+    a->port = Port::p0;
+    return a;
+}
+
+Action*
+Builder::read1(int reg)
+{
+    Action* a = d_.alloc(ActionKind::kRead);
+    a->reg = reg;
+    a->port = Port::p1;
+    return a;
+}
+
+Action*
+Builder::write0(int reg, Action* value)
+{
+    Action* a = d_.alloc(ActionKind::kWrite);
+    a->reg = reg;
+    a->port = Port::p0;
+    a->a0 = value;
+    return a;
+}
+
+Action*
+Builder::write1(int reg, Action* value)
+{
+    Action* a = d_.alloc(ActionKind::kWrite);
+    a->reg = reg;
+    a->port = Port::p1;
+    a->a0 = value;
+    return a;
+}
+
+Action*
+Builder::unop(Op op, Action* a0)
+{
+    Action* a = d_.alloc(ActionKind::kUnop);
+    a->op = op;
+    a->a0 = a0;
+    return a;
+}
+
+Action*
+Builder::binop(Op op, Action* a0, Action* a1)
+{
+    Action* a = d_.alloc(ActionKind::kBinop);
+    a->op = op;
+    a->a0 = a0;
+    a->a1 = a1;
+    return a;
+}
+
+Action*
+Builder::zextl(Action* a0, uint32_t width)
+{
+    Action* a = unop(Op::kZExtL, a0);
+    a->imm0 = width;
+    return a;
+}
+
+Action*
+Builder::sextl(Action* a0, uint32_t width)
+{
+    Action* a = unop(Op::kSExtL, a0);
+    a->imm0 = width;
+    return a;
+}
+
+Action*
+Builder::slice(Action* a0, uint32_t offset, uint32_t width)
+{
+    Action* a = unop(Op::kSlice, a0);
+    a->imm0 = offset;
+    a->imm1 = width;
+    return a;
+}
+
+Action*
+Builder::get(Action* a0, const std::string& field)
+{
+    Action* a = d_.alloc(ActionKind::kGetField);
+    a->a0 = a0;
+    a->field = field;
+    return a;
+}
+
+Action*
+Builder::subst(Action* a0, const std::string& field, Action* value)
+{
+    Action* a = d_.alloc(ActionKind::kSubstField);
+    a->a0 = a0;
+    a->a1 = value;
+    a->field = field;
+    return a;
+}
+
+Action*
+Builder::struct_init(TypePtr type,
+                     std::vector<std::pair<std::string, Action*>> fields)
+{
+    KOIKA_CHECK(type->is_struct());
+    Action* acc = konst_typed(type, Bits::zeroes(type->width));
+    for (auto& [fname, fval] : fields)
+        acc = subst(acc, fname, fval);
+    return acc;
+}
+
+FunctionDef*
+Builder::fn(const std::string& name,
+            std::vector<std::pair<std::string, TypePtr>> params, TypePtr ret,
+            Action* body)
+{
+    FunctionDef* f = d_.alloc_function();
+    f->name = name;
+    f->params = std::move(params);
+    f->ret = std::move(ret);
+    f->body = body;
+    return f;
+}
+
+Action*
+Builder::call(const FunctionDef* fn, std::vector<Action*> args)
+{
+    Action* a = d_.alloc(ActionKind::kCall);
+    a->fn = fn;
+    a->args = std::move(args);
+    return a;
+}
+
+Action*
+Builder::mux_read(const std::vector<int>& regs, Action* idx, Port port)
+{
+    KOIKA_CHECK(!regs.empty());
+    uint32_t iw = 1;
+    while ((size_t{1} << iw) < regs.size())
+        ++iw;
+    // Chain of muxes: if (idx == i) read(regs[i]) else ...
+    Action* acc = read(regs.back(), port);
+    for (size_t i = regs.size() - 1; i-- > 0;) {
+        Action* cond = eq(clone(idx), k(iw, i));
+        acc = if_(cond, read(regs[i], port), acc);
+    }
+    return acc;
+}
+
+Action*
+Builder::mux_write(const std::vector<int>& regs, Action* idx, Action* value,
+                   Port port)
+{
+    KOIKA_CHECK(!regs.empty());
+    uint32_t iw = 1;
+    while ((size_t{1} << iw) < regs.size())
+        ++iw;
+    std::vector<Action*> writes;
+    for (size_t i = 0; i < regs.size(); ++i) {
+        Action* cond = eq(clone(idx), k(iw, i));
+        writes.push_back(when(cond, write(regs[i], port, clone(value))));
+    }
+    return seq(std::move(writes));
+}
+
+Action*
+Builder::clone(const Action* a)
+{
+    if (a == nullptr)
+        return nullptr;
+    Action* c = d_.alloc(a->kind);
+    c->value = a->value;
+    c->const_type = a->const_type;
+    c->var = a->var;
+    c->a0 = clone(a->a0);
+    c->a1 = clone(a->a1);
+    c->a2 = clone(a->a2);
+    c->reg = a->reg;
+    c->port = a->port;
+    c->op = a->op;
+    c->imm0 = a->imm0;
+    c->imm1 = a->imm1;
+    c->field = a->field;
+    c->fn = a->fn;
+    for (const Action* arg : a->args)
+        c->args.push_back(clone(arg));
+    return c;
+}
+
+} // namespace koika

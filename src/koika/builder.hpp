@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Convenience layer for constructing Kôika designs from C++.
+ *
+ * This plays the role of the Coq/EDSL frontend of the original Kôika: a
+ * thin, type-unaware construction API. All checking happens later in the
+ * typechecker. Builder methods allocate nodes in the target Design's
+ * arena; every Action* must appear exactly once in the finished AST (use
+ * clone() to reuse a subtree).
+ */
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "koika/design.hpp"
+
+namespace koika {
+
+class Builder
+{
+  public:
+    explicit Builder(Design& design) : d_(design) {}
+
+    Design& design() { return d_; }
+
+    // -- Registers --------------------------------------------------------
+    int reg(const std::string& name, TypePtr type, Bits init);
+    int reg(const std::string& name, uint32_t width, uint64_t init = 0);
+    /** An array of registers name0..name{n-1}. */
+    std::vector<int> reg_array(const std::string& name, size_t n,
+                               TypePtr type, Bits init);
+
+    // -- Constants ----------------------------------------------------------
+    Action* k(uint32_t width, uint64_t v);
+    Action* konst(Bits v);
+    Action* konst_typed(TypePtr type, Bits v);
+    /** Enum constant by member name. */
+    Action* enum_k(TypePtr enum_type, const std::string& member);
+    /** The unit value (bits<0>). */
+    Action* unit();
+
+    // -- Variables ------------------------------------------------------------
+    Action* var(const std::string& name);
+    Action* let(const std::string& name, Action* value, Action* body);
+    Action* assign(const std::string& name, Action* value);
+
+    // -- Control ---------------------------------------------------------------
+    Action* seq(std::vector<Action*> actions);
+    Action* if_(Action* cond, Action* then_a, Action* else_a = nullptr);
+    /** if without else (unit-typed branches). */
+    Action* when(Action* cond, Action* body) { return if_(cond, body); }
+    Action* guard(Action* cond);
+    /** Unconditional abort. */
+    Action* abort();
+
+    // -- State access -------------------------------------------------------
+    Action* read0(int reg);
+    Action* read1(int reg);
+    Action* write0(int reg, Action* value);
+    Action* write1(int reg, Action* value);
+    Action* read(int reg, Port p) { return p == Port::p0 ? read0(reg) : read1(reg); }
+    Action* write(int reg, Port p, Action* v) { return p == Port::p0 ? write0(reg, v) : write1(reg, v); }
+
+    // -- Pure operators -------------------------------------------------------
+    Action* unop(Op op, Action* a);
+    Action* binop(Op op, Action* a, Action* b);
+    Action* not_(Action* a) { return unop(Op::kNot, a); }
+    Action* neg(Action* a) { return unop(Op::kNeg, a); }
+    Action* zextl(Action* a, uint32_t width);
+    Action* sextl(Action* a, uint32_t width);
+    Action* slice(Action* a, uint32_t offset, uint32_t width);
+    Action* and_(Action* a, Action* b) { return binop(Op::kAnd, a, b); }
+    Action* or_(Action* a, Action* b) { return binop(Op::kOr, a, b); }
+    Action* xor_(Action* a, Action* b) { return binop(Op::kXor, a, b); }
+    Action* add(Action* a, Action* b) { return binop(Op::kAdd, a, b); }
+    Action* sub(Action* a, Action* b) { return binop(Op::kSub, a, b); }
+    Action* mul(Action* a, Action* b) { return binop(Op::kMul, a, b); }
+    Action* eq(Action* a, Action* b) { return binop(Op::kEq, a, b); }
+    Action* ne(Action* a, Action* b) { return binop(Op::kNe, a, b); }
+    Action* ltu(Action* a, Action* b) { return binop(Op::kLtu, a, b); }
+    Action* leu(Action* a, Action* b) { return binop(Op::kLeu, a, b); }
+    Action* gtu(Action* a, Action* b) { return binop(Op::kGtu, a, b); }
+    Action* geu(Action* a, Action* b) { return binop(Op::kGeu, a, b); }
+    Action* lts(Action* a, Action* b) { return binop(Op::kLts, a, b); }
+    Action* les(Action* a, Action* b) { return binop(Op::kLes, a, b); }
+    Action* gts(Action* a, Action* b) { return binop(Op::kGts, a, b); }
+    Action* ges(Action* a, Action* b) { return binop(Op::kGes, a, b); }
+    Action* lsl(Action* a, Action* b) { return binop(Op::kLsl, a, b); }
+    Action* lsr(Action* a, Action* b) { return binop(Op::kLsr, a, b); }
+    Action* asr(Action* a, Action* b) { return binop(Op::kAsr, a, b); }
+    Action* concat(Action* hi, Action* lo) { return binop(Op::kConcat, hi, lo); }
+
+    // -- Structs ---------------------------------------------------------------
+    Action* get(Action* a, const std::string& field);
+    Action* subst(Action* a, const std::string& field, Action* value);
+    /** Build a struct value field by field (missing fields are zero). */
+    Action* struct_init(
+        TypePtr type,
+        std::vector<std::pair<std::string, Action*>> fields);
+
+    // -- Functions ----------------------------------------------------------
+    FunctionDef* fn(const std::string& name,
+                    std::vector<std::pair<std::string, TypePtr>> params,
+                    TypePtr ret, Action* body);
+    Action* call(const FunctionDef* fn, std::vector<Action*> args);
+
+    // -- Register-array helpers (mux lowering) --------------------------------
+    /** Read regs[idx] via a mux tree over the dynamic index. */
+    Action* mux_read(const std::vector<int>& regs, Action* idx, Port port);
+    /** Write regs[idx] via a chain of predicated writes. */
+    Action* mux_write(const std::vector<int>& regs, Action* idx,
+                      Action* value, Port port);
+
+    /** Deep-copy a subtree (for reusing an expression in two places). */
+    Action* clone(const Action* a);
+
+  private:
+    Design& d_;
+};
+
+} // namespace koika

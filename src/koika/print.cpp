@@ -1,0 +1,290 @@
+#include "koika/print.hpp"
+
+#include <sstream>
+
+namespace koika {
+
+namespace {
+
+class Printer
+{
+  public:
+    explicit Printer(const Design& d) : d_(d) {}
+
+    std::string
+    action_line(const Action* a)
+    {
+        std::ostringstream os;
+        expr(os, a);
+        return os.str();
+    }
+
+    std::string
+    design()
+    {
+        std::ostringstream os;
+        os << "design " << d_.name() << " {\n";
+        for (size_t i = 0; i < d_.num_registers(); ++i) {
+            const RegInfo& r = d_.reg((int)i);
+            os << "  register " << r.name << " : " << r.type->str()
+               << " = " << r.init.str() << ";\n";
+        }
+        for (const auto& f : d_.functions()) {
+            os << "  function " << f->name << "(";
+            for (size_t i = 0; i < f->params.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << f->params[i].first << " : "
+                   << f->params[i].second->str();
+            }
+            os << ") : " << f->ret->str() << " =\n";
+            block(os, f->body, 4);
+            os << "\n";
+        }
+        for (size_t i = 0; i < d_.num_rules(); ++i) {
+            os << "  rule " << d_.rule((int)i).name << " =\n";
+            block(os, d_.rule((int)i).body, 4);
+            os << "\n";
+        }
+        os << "  schedule:";
+        for (int r : d_.schedule_order())
+            os << " " << d_.rule(r).name;
+        os << "\n}\n";
+        return os.str();
+    }
+
+  private:
+    void
+    indent(std::ostringstream& os, int n)
+    {
+        for (int i = 0; i < n; ++i)
+            os << ' ';
+    }
+
+    /** Statement-level rendering: one action per line. */
+    void
+    block(std::ostringstream& os, const Action* a, int ind)
+    {
+        switch (a->kind) {
+          case ActionKind::kSeq:
+            block(os, a->a0, ind);
+            os << ";\n";
+            block(os, a->a1, ind);
+            return;
+          case ActionKind::kLet:
+            indent(os, ind);
+            os << "let " << a->var << " := ";
+            expr(os, a->a0);
+            os << " in\n";
+            block(os, a->a1, ind);
+            return;
+          case ActionKind::kIf: {
+            indent(os, ind);
+            os << "if (";
+            expr(os, a->a0);
+            os << ") {\n";
+            block(os, a->a1, ind + 2);
+            os << "\n";
+            indent(os, ind);
+            if (is_unit_const(a->a2)) {
+                os << "}";
+            } else {
+                os << "} else {\n";
+                block(os, a->a2, ind + 2);
+                os << "\n";
+                indent(os, ind);
+                os << "}";
+            }
+            return;
+          }
+          default:
+            indent(os, ind);
+            expr(os, a);
+            return;
+        }
+    }
+
+    std::string
+    reg_name(int reg) const
+    {
+        if (reg >= 0 && (size_t)reg < d_.num_registers())
+            return d_.reg(reg).name;
+        return "r" + std::to_string(reg);
+    }
+
+    static bool
+    is_unit_const(const Action* a)
+    {
+        return a->kind == ActionKind::kConst && a->value.width() == 0;
+    }
+
+    void
+    expr(std::ostringstream& os, const Action* a)
+    {
+        switch (a->kind) {
+          case ActionKind::kConst:
+            if (a->const_type != nullptr && a->const_type->is_enum()) {
+                for (const auto& m : a->const_type->members) {
+                    if (m.value == a->value) {
+                        os << a->const_type->name << "::" << m.name;
+                        return;
+                    }
+                }
+            }
+            os << a->value.str();
+            return;
+          case ActionKind::kVar:
+            os << a->var;
+            return;
+          case ActionKind::kLet:
+            os << "(let " << a->var << " := ";
+            expr(os, a->a0);
+            os << " in ";
+            expr(os, a->a1);
+            os << ")";
+            return;
+          case ActionKind::kAssign:
+            os << "set " << a->var << " := ";
+            expr(os, a->a0);
+            return;
+          case ActionKind::kSeq:
+            os << "(";
+            expr(os, a->a0);
+            os << "; ";
+            expr(os, a->a1);
+            os << ")";
+            return;
+          case ActionKind::kIf:
+            os << "(if ";
+            expr(os, a->a0);
+            os << " then ";
+            expr(os, a->a1);
+            os << " else ";
+            expr(os, a->a2);
+            os << ")";
+            return;
+          case ActionKind::kRead:
+            os << reg_name(a->reg) << ".rd"
+               << (a->port == Port::p0 ? "0" : "1") << "()";
+            return;
+          case ActionKind::kWrite:
+            os << reg_name(a->reg) << ".wr"
+               << (a->port == Port::p0 ? "0" : "1") << "(";
+            expr(os, a->a0);
+            os << ")";
+            return;
+          case ActionKind::kGuard:
+            os << "guard(";
+            expr(os, a->a0);
+            os << ")";
+            return;
+          case ActionKind::kUnop:
+            switch (a->op) {
+              case Op::kZExtL:
+              case Op::kSExtL:
+                os << op_name(a->op) << "(";
+                expr(os, a->a0);
+                os << ", " << a->imm0 << ")";
+                return;
+              case Op::kSlice:
+                expr(os, a->a0);
+                os << "[" << a->imm0 << " +: " << a->imm1 << "]";
+                return;
+              default:
+                os << op_name(a->op) << "(";
+                expr(os, a->a0);
+                os << ")";
+                return;
+            }
+          case ActionKind::kBinop:
+            os << "(";
+            expr(os, a->a0);
+            os << " " << op_name(a->op) << " ";
+            expr(os, a->a1);
+            os << ")";
+            return;
+          case ActionKind::kGetField:
+            expr(os, a->a0);
+            os << "." << a->field;
+            return;
+          case ActionKind::kSubstField:
+            os << "{ ";
+            expr(os, a->a0);
+            os << " with " << a->field << " := ";
+            expr(os, a->a1);
+            os << " }";
+            return;
+          case ActionKind::kCall:
+            os << a->fn->name << "(";
+            for (size_t i = 0; i < a->args.size(); ++i) {
+                if (i)
+                    os << ", ";
+                expr(os, a->args[i]);
+            }
+            os << ")";
+            return;
+        }
+    }
+
+    const Design& d_;
+};
+
+} // namespace
+
+std::string
+print_action(const Action* a, const Design* design)
+{
+    static Design dummy("(printer)");
+    Printer p(design != nullptr ? *design : dummy);
+    return p.action_line(a);
+}
+
+std::string
+print_design(const Design& d)
+{
+    return Printer(d).design();
+}
+
+std::string
+format_value(const TypePtr& type, const Bits& value)
+{
+    if (type->is_enum()) {
+        for (const EnumMember& m : type->members)
+            if (m.value == value)
+                return type->name + "::" + m.name;
+        return "(" + type->name + ")" + value.str();
+    }
+    if (type->is_struct()) {
+        std::string out = type->name + "{";
+        for (size_t i = 0; i < type->fields.size(); ++i) {
+            const Field& f = type->fields[i];
+            if (i)
+                out += ", ";
+            out += f.name + " = " +
+                   format_value(f.type,
+                                value.slice(f.offset, f.type->width));
+        }
+        return out + "}";
+    }
+    return value.str();
+}
+
+size_t
+design_sloc(const Design& d)
+{
+    std::string text = print_design(d);
+    size_t lines = 0;
+    bool nonblank = false;
+    for (char c : text) {
+        if (c == '\n') {
+            if (nonblank)
+                ++lines;
+            nonblank = false;
+        } else if (c != ' ') {
+            nonblank = true;
+        }
+    }
+    return lines;
+}
+
+} // namespace koika

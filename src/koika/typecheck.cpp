@@ -1,0 +1,354 @@
+#include "koika/typecheck.hpp"
+
+#include <set>
+
+namespace koika {
+
+namespace {
+
+struct Binding
+{
+    std::string name;
+    int slot;
+    TypePtr type;
+};
+
+class Checker
+{
+  public:
+    explicit Checker(Design& d) : d_(d) {}
+
+    void
+    run()
+    {
+        for (const auto& f : d_.functions())
+            check_function(f.get());
+        std::set<int> scheduled;
+        for (int r : d_.schedule_order()) {
+            if (scheduled.count(r))
+                fatal("rule '%s' scheduled more than once",
+                      d_.rule(r).name.c_str());
+            scheduled.insert(r);
+        }
+        for (size_t i = 0; i < d_.num_rules(); ++i) {
+            Rule& rule = d_.rule_mut((int)i);
+            scope_.clear();
+            max_slots_ = 0;
+            in_function_ = false;
+            TypePtr t = check(rule.body);
+            (void)t;
+            rule.nslots = max_slots_;
+        }
+        d_.typechecked = true;
+    }
+
+  private:
+    void
+    check_function(FunctionDef* f)
+    {
+        scope_.clear();
+        max_slots_ = 0;
+        in_function_ = true;
+        for (const auto& [pname, ptype] : f->params)
+            push_binding(pname, ptype);
+        TypePtr body_t = check(f->body);
+        if (!same_type(body_t, f->ret))
+            fatal("function '%s': body has type %s, declared %s",
+                  f->name.c_str(), body_t->str().c_str(),
+                  f->ret->str().c_str());
+        f->nslots = max_slots_;
+        checked_fns_.insert(f);
+    }
+
+    void
+    push_binding(const std::string& name, TypePtr type)
+    {
+        int slot = (int)scope_.size();
+        scope_.push_back({name, slot, std::move(type)});
+        if ((int)scope_.size() > max_slots_)
+            max_slots_ = (int)scope_.size();
+    }
+
+    const Binding*
+    lookup(const std::string& name) const
+    {
+        for (size_t i = scope_.size(); i-- > 0;)
+            if (scope_[i].name == name)
+                return &scope_[i];
+        return nullptr;
+    }
+
+    TypePtr
+    check(Action* a)
+    {
+        KOIKA_CHECK(a != nullptr);
+        if (a->type != nullptr)
+            fatal("AST node %d (%s) appears more than once; "
+                  "use Builder::clone for subtree reuse",
+                  a->id, action_kind_name(a->kind));
+        TypePtr t = check_inner(a);
+        a->type = t;
+        return t;
+    }
+
+    TypePtr
+    check_inner(Action* a)
+    {
+        switch (a->kind) {
+          case ActionKind::kConst:
+            KOIKA_CHECK(a->const_type != nullptr);
+            if (a->const_type->width != a->value.width())
+                fatal("literal width %u does not match type %s",
+                      a->value.width(), a->const_type->str().c_str());
+            return a->const_type;
+
+          case ActionKind::kVar: {
+            const Binding* b = lookup(a->var);
+            if (b == nullptr)
+                fatal("unbound variable '%s'", a->var.c_str());
+            a->slot = b->slot;
+            return b->type;
+          }
+
+          case ActionKind::kLet: {
+            TypePtr vt = check(a->a0);
+            size_t depth = scope_.size();
+            push_binding(a->var, vt);
+            a->slot = (int)depth;
+            TypePtr bt = check(a->a1);
+            scope_.resize(depth);
+            return bt;
+          }
+
+          case ActionKind::kAssign: {
+            const Binding* b = lookup(a->var);
+            if (b == nullptr)
+                fatal("assignment to unbound variable '%s'", a->var.c_str());
+            TypePtr vt = check(a->a0);
+            if (!same_type(vt, b->type))
+                fatal("assignment to '%s': value has type %s, variable %s",
+                      a->var.c_str(), vt->str().c_str(),
+                      b->type->str().c_str());
+            a->slot = b->slot;
+            return unit_type();
+          }
+
+          case ActionKind::kSeq:
+            check(a->a0);
+            return check(a->a1);
+
+          case ActionKind::kIf: {
+            TypePtr ct = check(a->a0);
+            if (!ct->is_bits() || ct->width != 1)
+                fatal("if condition must be bits<1>, got %s",
+                      ct->str().c_str());
+            TypePtr tt = check(a->a1);
+            TypePtr et = check(a->a2);
+            if (!same_type(tt, et))
+                fatal("if branches disagree: %s vs %s", tt->str().c_str(),
+                      et->str().c_str());
+            return tt;
+          }
+
+          case ActionKind::kRead:
+            check_stateful(a);
+            check_reg(a->reg);
+            return d_.reg(a->reg).type;
+
+          case ActionKind::kWrite: {
+            check_stateful(a);
+            check_reg(a->reg);
+            TypePtr vt = check(a->a0);
+            if (!same_type(vt, d_.reg(a->reg).type))
+                fatal("write to '%s': value has type %s, register %s",
+                      d_.reg(a->reg).name.c_str(), vt->str().c_str(),
+                      d_.reg(a->reg).type->str().c_str());
+            return unit_type();
+          }
+
+          case ActionKind::kGuard: {
+            check_stateful(a);
+            TypePtr ct = check(a->a0);
+            if (!ct->is_bits() || ct->width != 1)
+                fatal("guard condition must be bits<1>, got %s",
+                      ct->str().c_str());
+            return unit_type();
+          }
+
+          case ActionKind::kUnop:
+            return check_unop(a);
+
+          case ActionKind::kBinop:
+            return check_binop(a);
+
+          case ActionKind::kGetField: {
+            TypePtr st = check(a->a0);
+            if (!st->is_struct())
+                fatal("field access '.%s' on non-struct %s",
+                      a->field.c_str(), st->str().c_str());
+            int idx = st->field_index(a->field);
+            if (idx < 0)
+                fatal("struct %s has no field '%s'", st->name.c_str(),
+                      a->field.c_str());
+            a->field_index = idx;
+            return st->fields[(size_t)idx].type;
+          }
+
+          case ActionKind::kSubstField: {
+            TypePtr st = check(a->a0);
+            if (!st->is_struct())
+                fatal("field update '.%s' on non-struct %s",
+                      a->field.c_str(), st->str().c_str());
+            int idx = st->field_index(a->field);
+            if (idx < 0)
+                fatal("struct %s has no field '%s'", st->name.c_str(),
+                      a->field.c_str());
+            a->field_index = idx;
+            TypePtr vt = check(a->a1);
+            if (!same_type(vt, st->fields[(size_t)idx].type))
+                fatal("update of %s.%s: value has type %s, field %s",
+                      st->name.c_str(), a->field.c_str(), vt->str().c_str(),
+                      st->fields[(size_t)idx].type->str().c_str());
+            return st;
+          }
+
+          case ActionKind::kCall: {
+            if (!checked_fns_.count(a->fn))
+                fatal("call to function '%s' before its definition "
+                      "(recursion is not allowed)",
+                      a->fn->name.c_str());
+            if (a->args.size() != a->fn->params.size())
+                fatal("call to '%s': %zu args, %zu params",
+                      a->fn->name.c_str(), a->args.size(),
+                      a->fn->params.size());
+            for (size_t i = 0; i < a->args.size(); ++i) {
+                TypePtr at = check(a->args[i]);
+                if (!same_type(at, a->fn->params[i].second))
+                    fatal("call to '%s': arg %zu has type %s, param %s",
+                          a->fn->name.c_str(), i, at->str().c_str(),
+                          a->fn->params[i].second->str().c_str());
+            }
+            return a->fn->ret;
+          }
+        }
+        panic("unreachable action kind");
+    }
+
+    void
+    check_stateful(const Action* a)
+    {
+        if (in_function_)
+            fatal("internal functions must be combinational: "
+                  "%s is not allowed inside a function body",
+                  action_kind_name(a->kind));
+    }
+
+    void
+    check_reg(int reg) const
+    {
+        if (reg < 0 || (size_t)reg >= d_.num_registers())
+            fatal("reference to unknown register index %d", reg);
+    }
+
+    TypePtr
+    check_unop(Action* a)
+    {
+        TypePtr at = check(a->a0);
+        auto need_bits = [&]() {
+            if (!at->is_bits())
+                fatal("operator %s needs a bits operand, got %s",
+                      op_name(a->op), at->str().c_str());
+        };
+        switch (a->op) {
+          case Op::kNot:
+          case Op::kNeg:
+            need_bits();
+            return at;
+          case Op::kZExtL:
+          case Op::kSExtL:
+            need_bits();
+            return bits_type(a->imm0);
+          case Op::kSlice:
+            need_bits();
+            if (a->imm0 + a->imm1 > at->width)
+                fatal("slice [%u +: %u] out of range for %s", a->imm0,
+                      a->imm1, at->str().c_str());
+            return bits_type(a->imm1);
+          default:
+            fatal("operator %s is not unary", op_name(a->op));
+        }
+    }
+
+    TypePtr
+    check_binop(Action* a)
+    {
+        TypePtr at = check(a->a0);
+        TypePtr bt = check(a->a1);
+        auto need_bits_same = [&]() {
+            if (!at->is_bits() || !bt->is_bits() || at->width != bt->width)
+                fatal("operator %s needs equal-width bits operands, "
+                      "got %s and %s",
+                      op_name(a->op), at->str().c_str(), bt->str().c_str());
+        };
+        switch (a->op) {
+          case Op::kAnd:
+          case Op::kOr:
+          case Op::kXor:
+          case Op::kAdd:
+          case Op::kSub:
+          case Op::kMul:
+            need_bits_same();
+            return at;
+          case Op::kEq:
+          case Op::kNe:
+            if (!same_type(at, bt))
+                fatal("equality between %s and %s", at->str().c_str(),
+                      bt->str().c_str());
+            return bits_type(1);
+          case Op::kLtu:
+          case Op::kLeu:
+          case Op::kGtu:
+          case Op::kGeu:
+            need_bits_same();
+            return bits_type(1);
+          case Op::kLts:
+          case Op::kLes:
+          case Op::kGts:
+          case Op::kGes:
+            need_bits_same();
+            if (at->width == 0)
+                fatal("signed comparison on bits<0>");
+            return bits_type(1);
+          case Op::kLsl:
+          case Op::kLsr:
+          case Op::kAsr:
+            if (!at->is_bits() || !bt->is_bits())
+                fatal("shift needs bits operands");
+            if (a->op == Op::kAsr && at->width == 0)
+                fatal("arithmetic shift on bits<0>");
+            return at;
+          case Op::kConcat:
+            if (!at->is_bits() || !bt->is_bits())
+                fatal("concat needs bits operands");
+            return bits_type(at->width + bt->width);
+          default:
+            fatal("operator %s is not binary", op_name(a->op));
+        }
+    }
+
+    Design& d_;
+    std::vector<Binding> scope_;
+    int max_slots_ = 0;
+    bool in_function_ = false;
+    std::set<const FunctionDef*> checked_fns_;
+};
+
+} // namespace
+
+void
+typecheck(Design& design)
+{
+    Checker(design).run();
+}
+
+} // namespace koika

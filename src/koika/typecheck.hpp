@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The Kôika typechecker.
+ *
+ * Checks widths and types, resolves variable references to evaluation-frame
+ * slots, verifies that internal functions are purely combinational, and
+ * verifies that the AST is a tree (no shared subtrees, which would confuse
+ * per-node analyses). On success, every node carries its type and the
+ * design is marked typechecked; on failure a FatalError describes the
+ * problem.
+ */
+#pragma once
+
+#include "koika/design.hpp"
+
+namespace koika {
+
+/** Typecheck a whole design (throws FatalError on ill-typed input). */
+void typecheck(Design& design);
+
+} // namespace koika

@@ -1,0 +1,127 @@
+#include "koika/types.hpp"
+
+#include <map>
+
+namespace koika {
+
+int
+Type::field_index(const std::string& fname) const
+{
+    for (size_t i = 0; i < fields.size(); ++i)
+        if (fields[i].name == fname)
+            return (int)i;
+    return -1;
+}
+
+int
+Type::member_index(const std::string& mname) const
+{
+    for (size_t i = 0; i < members.size(); ++i)
+        if (members[i].name == mname)
+            return (int)i;
+    return -1;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind) {
+      case Kind::kBits:
+        return "bits<" + std::to_string(width) + ">";
+      case Kind::kEnum:
+        return "enum " + name;
+      case Kind::kStruct:
+        return "struct " + name;
+    }
+    return "?";
+}
+
+TypePtr
+bits_type(uint32_t width)
+{
+    KOIKA_CHECK(width <= Bits::kMaxWidth);
+    static std::map<uint32_t, TypePtr>* interned =
+        new std::map<uint32_t, TypePtr>();
+    auto it = interned->find(width);
+    if (it != interned->end())
+        return it->second;
+    auto t = std::make_shared<Type>();
+    t->kind = Type::Kind::kBits;
+    t->width = width;
+    (*interned)[width] = t;
+    return t;
+}
+
+TypePtr
+unit_type()
+{
+    return bits_type(0);
+}
+
+TypePtr
+make_enum(const std::string& name,
+          const std::vector<std::string>& member_names, uint32_t width)
+{
+    KOIKA_CHECK(!member_names.empty());
+    if (width == 0) {
+        uint32_t n = (uint32_t)member_names.size();
+        width = 1;
+        while ((1u << width) < n)
+            ++width;
+    }
+    std::vector<EnumMember> members;
+    for (size_t i = 0; i < member_names.size(); ++i)
+        members.push_back({member_names[i], Bits::of(width, i)});
+    return make_enum_explicit(name, members);
+}
+
+TypePtr
+make_enum_explicit(const std::string& name,
+                   const std::vector<EnumMember>& members)
+{
+    KOIKA_CHECK(!members.empty());
+    auto t = std::make_shared<Type>();
+    t->kind = Type::Kind::kEnum;
+    t->name = name;
+    t->width = members[0].value.width();
+    t->members = members;
+    for (const auto& m : members)
+        KOIKA_CHECK(m.value.width() == t->width);
+    return t;
+}
+
+TypePtr
+make_struct(const std::string& name, std::vector<Field> fields)
+{
+    auto t = std::make_shared<Type>();
+    t->kind = Type::Kind::kStruct;
+    t->name = name;
+    t->fields = std::move(fields);
+    // First field is most significant: assign offsets from the end.
+    uint32_t total = 0;
+    for (const auto& f : t->fields)
+        total += f.type->width;
+    KOIKA_CHECK(total <= Bits::kMaxWidth);
+    uint32_t off = total;
+    for (auto& f : t->fields) {
+        off -= f.type->width;
+        f.offset = off;
+    }
+    t->width = total;
+    return t;
+}
+
+bool
+same_type(const TypePtr& a, const TypePtr& b)
+{
+    if (a.get() == b.get())
+        return true;
+    if (a->kind != b->kind || a->width != b->width)
+        return false;
+    if (a->is_bits())
+        return true;
+    // Named types compare nominally.
+    return a->name == b->name;
+}
+
+} // namespace koika

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Kôika type system: sized bit vectors, enums, and structs.
+ *
+ * Types are structural wrappers around a bit width. Enums and structs add
+ * interpretation (named members / named fields) on top of a packed bits
+ * representation; at simulation time every value is a flat koika::Bits,
+ * while the Cuttlesim code generator maps enums and structs to native C++
+ * enum classes and structs for readability (paper §4.2, case study 1).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/bits.hpp"
+
+namespace koika {
+
+struct Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/** A named, typed struct field. */
+struct Field
+{
+    std::string name;
+    TypePtr type;
+    /** Bit offset of the field from the LSB of the packed value. */
+    uint32_t offset = 0;
+};
+
+/** A named enum member and its encoding. */
+struct EnumMember
+{
+    std::string name;
+    Bits value;
+};
+
+struct Type
+{
+    enum class Kind { kBits, kEnum, kStruct };
+
+    Kind kind = Kind::kBits;
+    uint32_t width = 0;
+    /** Type name; empty for anonymous bits types. */
+    std::string name;
+
+    /** Enum members (kind == kEnum). */
+    std::vector<EnumMember> members;
+    /** Struct fields, first field most significant (kind == kStruct). */
+    std::vector<Field> fields;
+
+    bool is_bits() const { return kind == Kind::kBits; }
+    bool is_enum() const { return kind == Kind::kEnum; }
+    bool is_struct() const { return kind == Kind::kStruct; }
+
+    /** Index of a field by name, or -1. */
+    int field_index(const std::string& fname) const;
+    /** Index of an enum member by name, or -1. */
+    int member_index(const std::string& mname) const;
+
+    /** Human-readable type name ("bits<32>", "enum state", ...). */
+    std::string str() const;
+};
+
+/** The anonymous bits type of a given width (interned for small widths). */
+TypePtr bits_type(uint32_t width);
+
+/** The unit type: bits<0>. */
+TypePtr unit_type();
+
+/**
+ * Define an enum type. Member encodings default to 0, 1, 2... in the
+ * smallest width that fits unless explicit values are supplied.
+ */
+TypePtr make_enum(const std::string& name,
+                  const std::vector<std::string>& member_names,
+                  uint32_t width = 0);
+
+/** Define an enum with explicit member encodings (all same width). */
+TypePtr make_enum_explicit(const std::string& name,
+                           const std::vector<EnumMember>& members);
+
+/**
+ * Define a struct type; fields are listed most-significant first, matching
+ * Kôika's packing convention. Field offsets and total width are computed.
+ */
+TypePtr make_struct(const std::string& name, std::vector<Field> fields);
+
+/** Structural type equality (same kind, width, names, members/fields). */
+bool same_type(const TypePtr& a, const TypePtr& b);
+
+} // namespace koika

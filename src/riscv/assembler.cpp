@@ -1,0 +1,452 @@
+#include "riscv/assembler.hpp"
+
+#include <sstream>
+
+#include "base/error.hpp"
+#include "riscv/encoding.hpp"
+
+namespace koika::riscv {
+
+int
+parse_register(const std::string& name)
+{
+    static const std::map<std::string, int> abi = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},  {"gp", 3},  {"tp", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},  {"s0", 8},  {"fp", 8},
+        {"s1", 9},   {"a0", 10}, {"a1", 11}, {"a2", 12}, {"a3", 13},
+        {"a4", 14},  {"a5", 15}, {"a6", 16}, {"a7", 17}, {"s2", 18},
+        {"s3", 19},  {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+        {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29},  {"t5", 30}, {"t6", 31}};
+    auto it = abi.find(name);
+    if (it != abi.end())
+        return it->second;
+    if (name.size() >= 2 && name[0] == 'x') {
+        int n = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit((unsigned char)name[i]))
+                return -1;
+            n = n * 10 + (name[i] - '0');
+        }
+        return n <= 31 ? n : -1;
+    }
+    return -1;
+}
+
+namespace {
+
+struct Stmt
+{
+    int line;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    uint32_t addr = 0;
+};
+
+[[noreturn]] void
+err(int line, const std::string& msg)
+{
+    fatal("assembler: line %d: %s", line, msg.c_str());
+}
+
+bool
+parse_int(const std::string& text, int64_t* out)
+{
+    if (text.empty())
+        return false;
+    size_t pos = 0;
+    bool negate = false;
+    if (text[0] == '-' || text[0] == '+') {
+        negate = text[0] == '-';
+        pos = 1;
+    }
+    if (pos >= text.size())
+        return false;
+    int base = 10;
+    if (text.size() > pos + 2 && text[pos] == '0' &&
+        (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+        base = 16;
+        pos += 2;
+    }
+    int64_t value = 0;
+    for (; pos < text.size(); ++pos) {
+        char c = (char)std::tolower((unsigned char)text[pos]);
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = 10 + c - 'a';
+        else
+            return false;
+        value = value * base + digit;
+    }
+    *out = negate ? -value : value;
+    return true;
+}
+
+class Assembler
+{
+  public:
+    Assembler(const std::string& source, uint32_t base)
+        : source_(source)
+    {
+        program_.base = base;
+    }
+
+    Program
+    run()
+    {
+        parse();
+        layout();
+        encode();
+        return std::move(program_);
+    }
+
+  private:
+    void
+    parse()
+    {
+        std::istringstream is(source_);
+        std::string text;
+        int line = 0;
+        while (std::getline(is, text)) {
+            ++line;
+            size_t hash = text.find('#');
+            if (hash != std::string::npos)
+                text = text.substr(0, hash);
+            // Pull off any labels ("name:") at the start.
+            for (;;) {
+                size_t start = text.find_first_not_of(" \t");
+                if (start == std::string::npos) {
+                    text.clear();
+                    break;
+                }
+                size_t colon = text.find(':');
+                size_t word_end = text.find_first_of(" \t", start);
+                if (colon != std::string::npos &&
+                    (word_end == std::string::npos || colon < word_end)) {
+                    std::string label =
+                        text.substr(start, colon - start);
+                    if (label.empty())
+                        err(line, "empty label");
+                    pending_labels_.push_back(label);
+                    stmt_labels_.push_back((int)stmts_.size());
+                    text = text.substr(colon + 1);
+                } else {
+                    break;
+                }
+            }
+            // Tokenize the remaining statement.
+            size_t start = text.find_first_not_of(" \t");
+            if (start == std::string::npos)
+                continue;
+            size_t mn_end = text.find_first_of(" \t", start);
+            Stmt s;
+            s.line = line;
+            s.mnemonic = text.substr(start, mn_end == std::string::npos
+                                                ? std::string::npos
+                                                : mn_end - start);
+            if (mn_end != std::string::npos) {
+                std::string rest = text.substr(mn_end);
+                std::string token;
+                for (char c : rest) {
+                    if (c == ',' || c == '(' || c == ')' || c == ' ' ||
+                        c == '\t') {
+                        if (!token.empty()) {
+                            s.operands.push_back(token);
+                            token.clear();
+                        }
+                    } else {
+                        token += c;
+                    }
+                }
+                if (!token.empty())
+                    s.operands.push_back(token);
+            }
+            stmts_.push_back(std::move(s));
+        }
+    }
+
+    /** Number of words a statement expands to. */
+    uint32_t
+    stmt_words(const Stmt& s)
+    {
+        if (s.mnemonic == "li") {
+            if (s.operands.size() != 2)
+                err(s.line, "li needs 2 operands");
+            int64_t imm;
+            if (!parse_int(s.operands[1], &imm))
+                err(s.line, "li needs a numeric immediate");
+            return (imm >= -2048 && imm <= 2047) ? 1 : 2;
+        }
+        return 1;
+    }
+
+    void
+    layout()
+    {
+        uint32_t addr = program_.base;
+        size_t label_idx = 0;
+        for (size_t i = 0; i < stmts_.size(); ++i) {
+            while (label_idx < stmt_labels_.size() &&
+                   stmt_labels_[label_idx] == (int)i) {
+                program_.labels[pending_labels_[label_idx]] = addr;
+                ++label_idx;
+            }
+            stmts_[i].addr = addr;
+            addr += 4 * stmt_words(stmts_[i]);
+        }
+        while (label_idx < stmt_labels_.size()) {
+            program_.labels[pending_labels_[label_idx]] = addr;
+            ++label_idx;
+        }
+    }
+
+    int
+    reg_op(const Stmt& s, size_t i)
+    {
+        if (i >= s.operands.size())
+            err(s.line, "missing register operand");
+        int r = parse_register(s.operands[i]);
+        if (r < 0)
+            err(s.line, "bad register '" + s.operands[i] + "'");
+        return r;
+    }
+
+    int64_t
+    imm_op(const Stmt& s, size_t i, int64_t lo, int64_t hi)
+    {
+        if (i >= s.operands.size())
+            err(s.line, "missing immediate operand");
+        int64_t v;
+        if (!parse_int(s.operands[i], &v)) {
+            auto it = program_.labels.find(s.operands[i]);
+            if (it == program_.labels.end())
+                err(s.line, "bad immediate '" + s.operands[i] + "'");
+            v = it->second;
+        }
+        if (v < lo || v > hi)
+            err(s.line, "immediate out of range");
+        return v;
+    }
+
+    /** Branch/jump target: label (PC-relative) or numeric offset. */
+    int64_t
+    target_op(const Stmt& s, size_t i)
+    {
+        if (i >= s.operands.size())
+            err(s.line, "missing branch target");
+        int64_t v;
+        if (parse_int(s.operands[i], &v))
+            return v;
+        auto it = program_.labels.find(s.operands[i]);
+        if (it == program_.labels.end())
+            err(s.line, "unknown label '" + s.operands[i] + "'");
+        return (int64_t)it->second - (int64_t)s.addr;
+    }
+
+    void
+    emit(uint32_t word)
+    {
+        program_.words.push_back(word);
+    }
+
+    void
+    encode()
+    {
+        for (const Stmt& s : stmts_)
+            encode_stmt(s);
+    }
+
+    void
+    encode_stmt(const Stmt& s)
+    {
+        const std::string& m = s.mnemonic;
+        auto r = [&](size_t i) { return (uint32_t)reg_op(s, i); };
+
+        // Directives.
+        if (m == ".word") {
+            emit((uint32_t)imm_op(s, 0, INT32_MIN, UINT32_MAX));
+            return;
+        }
+
+        // R-type.
+        static const std::map<std::string,
+                              uint32_t (*)(uint32_t, uint32_t, uint32_t)>
+            rtype = {{"add", add},   {"sub", sub},   {"sll", sll},
+                     {"slt", slt},   {"sltu", sltu}, {"xor", xor_},
+                     {"srl", srl},   {"sra", sra},   {"or", or_},
+                     {"and", and_}};
+        auto rt = rtype.find(m);
+        if (rt != rtype.end()) {
+            emit(rt->second(r(0), r(1), r(2)));
+            return;
+        }
+
+        // I-type ALU.
+        static const std::map<std::string,
+                              uint32_t (*)(uint32_t, uint32_t, int32_t)>
+            itype = {{"addi", addi}, {"slti", slti},   {"sltiu", sltiu},
+                     {"xori", xori}, {"ori", ori},     {"andi", andi}};
+        auto it = itype.find(m);
+        if (it != itype.end()) {
+            emit(it->second(r(0), r(1),
+                            (int32_t)imm_op(s, 2, -2048, 2047)));
+            return;
+        }
+        if (m == "slli" || m == "srli" || m == "srai") {
+            uint32_t sh = (uint32_t)imm_op(s, 2, 0, 31);
+            emit(m == "slli" ? slli(r(0), r(1), sh)
+                 : m == "srli" ? srli(r(0), r(1), sh)
+                               : srai(r(0), r(1), sh));
+            return;
+        }
+
+        // Upper immediates.
+        if (m == "lui" || m == "auipc") {
+            int32_t imm = (int32_t)imm_op(s, 1, 0, 0xFFFFF);
+            emit(m == "lui" ? lui(r(0), imm) : auipc(r(0), imm));
+            return;
+        }
+
+        // Jumps.
+        if (m == "jal") {
+            if (s.operands.size() == 1)
+                emit(jal(1, (int32_t)target_op(s, 0)));
+            else
+                emit(jal(r(0), (int32_t)target_op(s, 1)));
+            return;
+        }
+        if (m == "jalr") {
+            if (s.operands.size() == 1) {
+                emit(jalr(1, r(0), 0));
+            } else if (s.operands.size() == 2) {
+                emit(jalr(r(0), r(1), 0));
+            } else {
+                // jalr rd, imm(rs1) tokenizes as rd, imm, rs1.
+                int64_t imm;
+                if (parse_int(s.operands[1], &imm))
+                    emit(jalr(r(0), r(2), (int32_t)imm));
+                else
+                    emit(jalr(r(0), r(1),
+                              (int32_t)imm_op(s, 2, -2048, 2047)));
+            }
+            return;
+        }
+
+        // Branches.
+        static const std::map<std::string,
+                              uint32_t (*)(uint32_t, uint32_t, int32_t)>
+            btype = {{"beq", beq},   {"bne", bne},   {"blt", blt},
+                     {"bge", bge},   {"bltu", bltu}, {"bgeu", bgeu}};
+        auto bt = btype.find(m);
+        if (bt != btype.end()) {
+            emit(bt->second(r(0), r(1), (int32_t)target_op(s, 2)));
+            return;
+        }
+        if (m == "ble") {
+            emit(bge(r(1), r(0), (int32_t)target_op(s, 2)));
+            return;
+        }
+        if (m == "bgt") {
+            emit(blt(r(1), r(0), (int32_t)target_op(s, 2)));
+            return;
+        }
+        if (m == "beqz") {
+            emit(beq(r(0), 0, (int32_t)target_op(s, 1)));
+            return;
+        }
+        if (m == "bnez") {
+            emit(bne(r(0), 0, (int32_t)target_op(s, 1)));
+            return;
+        }
+
+        // Loads and stores: "lw rd, imm(rs1)" tokenizes as rd, imm, rs1.
+        static const std::map<std::string,
+                              uint32_t (*)(uint32_t, uint32_t, int32_t)>
+            loads = {{"lb", lb}, {"lh", lh}, {"lw", lw},
+                     {"lbu", lbu}, {"lhu", lhu}};
+        auto lt = loads.find(m);
+        if (lt != loads.end()) {
+            emit(lt->second(r(0), r(2),
+                            (int32_t)imm_op(s, 1, -2048, 2047)));
+            return;
+        }
+        static const std::map<std::string,
+                              uint32_t (*)(uint32_t, uint32_t, int32_t)>
+            stores = {{"sb", sb}, {"sh", sh}, {"sw", sw}};
+        auto st = stores.find(m);
+        if (st != stores.end()) {
+            emit(st->second(r(0), r(2),
+                            (int32_t)imm_op(s, 1, -2048, 2047)));
+            return;
+        }
+
+        // Pseudo-instructions.
+        if (m == "nop") {
+            emit(nop());
+            return;
+        }
+        if (m == "mv") {
+            emit(addi(r(0), r(1), 0));
+            return;
+        }
+        if (m == "not") {
+            emit(xori(r(0), r(1), -1));
+            return;
+        }
+        if (m == "neg") {
+            emit(sub(r(0), 0, r(1)));
+            return;
+        }
+        if (m == "j") {
+            emit(jal(0, (int32_t)target_op(s, 0)));
+            return;
+        }
+        if (m == "ret") {
+            emit(jalr(0, 1, 0));
+            return;
+        }
+        if (m == "call") {
+            emit(jal(1, (int32_t)target_op(s, 0)));
+            return;
+        }
+        if (m == "li") {
+            int64_t imm = imm_op(s, 1, INT32_MIN, UINT32_MAX);
+            if (imm >= -2048 && imm <= 2047) {
+                emit(addi(r(0), 0, (int32_t)imm));
+            } else {
+                uint32_t u = (uint32_t)imm;
+                uint32_t hi = (u + 0x800) >> 12;
+                int32_t lo = (int32_t)(u & 0xFFF);
+                if (lo >= 0x800)
+                    lo -= 0x1000;
+                emit(lui(r(0), (int32_t)(hi & 0xFFFFF)));
+                emit(addi(r(0), r(0), lo));
+            }
+            return;
+        }
+        if (m == "ecall" || m == "halt") {
+            emit(ecall());
+            return;
+        }
+
+        err(s.line, "unknown mnemonic '" + m + "'");
+    }
+
+    const std::string& source_;
+    Program program_;
+    std::vector<Stmt> stmts_;
+    std::vector<std::string> pending_labels_;
+    std::vector<int> stmt_labels_;
+};
+
+} // namespace
+
+Program
+assemble(const std::string& source, uint32_t base)
+{
+    return Assembler(source, base).run();
+}
+
+} // namespace koika::riscv

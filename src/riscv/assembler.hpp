@@ -1,0 +1,38 @@
+/**
+ * @file
+ * A small two-pass RV32I assembler.
+ *
+ * Replaces the RISC-V GNU toolchain for building the paper's benchmark
+ * programs (see DESIGN.md, substitutions). Supports the RV32I base ISA
+ * (minus system instructions, which our cores treat as a halt marker),
+ * labels, ABI register names, the common pseudo-instructions, `.word`,
+ * and `#` comments.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace koika::riscv {
+
+struct Program
+{
+    /** Instruction/data words, starting at `base`. */
+    std::vector<uint32_t> words;
+    /** Label addresses. */
+    std::map<std::string, uint32_t> labels;
+    uint32_t base = 0;
+};
+
+/**
+ * Assemble RV32I source text. Throws FatalError with a line number on
+ * syntax errors, unknown mnemonics, or out-of-range immediates.
+ */
+Program assemble(const std::string& source, uint32_t base = 0);
+
+/** Parse a register name ("x7", "t0", "a5", ...); -1 if not one. */
+int parse_register(const std::string& name);
+
+} // namespace koika::riscv

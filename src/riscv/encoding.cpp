@@ -1,0 +1,113 @@
+#include "riscv/encoding.hpp"
+
+namespace koika::riscv {
+
+namespace {
+constexpr uint32_t kOpImm = 0x13;
+constexpr uint32_t kOp = 0x33;
+constexpr uint32_t kLui = 0x37;
+constexpr uint32_t kAuipc = 0x17;
+constexpr uint32_t kJal = 0x6F;
+constexpr uint32_t kJalr = 0x67;
+constexpr uint32_t kBranch = 0x63;
+constexpr uint32_t kLoad = 0x03;
+constexpr uint32_t kStore = 0x23;
+constexpr uint32_t kSystem = 0x73;
+} // namespace
+
+uint32_t
+enc_r(uint32_t opcode, uint32_t rd, uint32_t funct3, uint32_t rs1,
+      uint32_t rs2, uint32_t funct7)
+{
+    return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) |
+           (rs2 << 20) | (funct7 << 25);
+}
+
+uint32_t
+enc_i(uint32_t opcode, uint32_t rd, uint32_t funct3, uint32_t rs1,
+      int32_t imm)
+{
+    return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) |
+           (((uint32_t)imm & 0xFFF) << 20);
+}
+
+uint32_t
+enc_s(uint32_t opcode, uint32_t funct3, uint32_t rs1, uint32_t rs2,
+      int32_t imm)
+{
+    uint32_t u = (uint32_t)imm;
+    return opcode | ((u & 0x1F) << 7) | (funct3 << 12) | (rs1 << 15) |
+           (rs2 << 20) | (((u >> 5) & 0x7F) << 25);
+}
+
+uint32_t
+enc_b(uint32_t opcode, uint32_t funct3, uint32_t rs1, uint32_t rs2,
+      int32_t imm)
+{
+    uint32_t u = (uint32_t)imm;
+    return opcode | (((u >> 11) & 1) << 7) | (((u >> 1) & 0xF) << 8) |
+           (funct3 << 12) | (rs1 << 15) | (rs2 << 20) |
+           (((u >> 5) & 0x3F) << 25) | (((u >> 12) & 1) << 31);
+}
+
+uint32_t
+enc_u(uint32_t opcode, uint32_t rd, int32_t imm)
+{
+    return opcode | (rd << 7) | (((uint32_t)imm & 0xFFFFF) << 12);
+}
+
+uint32_t
+enc_j(uint32_t opcode, uint32_t rd, int32_t imm)
+{
+    uint32_t u = (uint32_t)imm;
+    return opcode | (rd << 7) | (((u >> 12) & 0xFF) << 12) |
+           (((u >> 11) & 1) << 20) | (((u >> 1) & 0x3FF) << 21) |
+           (((u >> 20) & 1) << 31);
+}
+
+uint32_t add(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 0, rs1, rs2, 0); }
+uint32_t sub(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 0, rs1, rs2, 0x20); }
+uint32_t sll(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 1, rs1, rs2, 0); }
+uint32_t slt(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 2, rs1, rs2, 0); }
+uint32_t sltu(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 3, rs1, rs2, 0); }
+uint32_t xor_(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 4, rs1, rs2, 0); }
+uint32_t srl(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 5, rs1, rs2, 0); }
+uint32_t sra(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 5, rs1, rs2, 0x20); }
+uint32_t or_(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 6, rs1, rs2, 0); }
+uint32_t and_(uint32_t rd, uint32_t rs1, uint32_t rs2) { return enc_r(kOp, rd, 7, rs1, rs2, 0); }
+
+uint32_t addi(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kOpImm, rd, 0, rs1, imm); }
+uint32_t slti(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kOpImm, rd, 2, rs1, imm); }
+uint32_t sltiu(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kOpImm, rd, 3, rs1, imm); }
+uint32_t xori(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kOpImm, rd, 4, rs1, imm); }
+uint32_t ori(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kOpImm, rd, 6, rs1, imm); }
+uint32_t andi(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kOpImm, rd, 7, rs1, imm); }
+uint32_t slli(uint32_t rd, uint32_t rs1, uint32_t shamt) { return enc_i(kOpImm, rd, 1, rs1, (int32_t)shamt); }
+uint32_t srli(uint32_t rd, uint32_t rs1, uint32_t shamt) { return enc_i(kOpImm, rd, 5, rs1, (int32_t)shamt); }
+uint32_t srai(uint32_t rd, uint32_t rs1, uint32_t shamt) { return enc_i(kOpImm, rd, 5, rs1, (int32_t)(shamt | 0x400)); }
+
+uint32_t lui(uint32_t rd, int32_t imm20) { return enc_u(kLui, rd, imm20); }
+uint32_t auipc(uint32_t rd, int32_t imm20) { return enc_u(kAuipc, rd, imm20); }
+uint32_t jal(uint32_t rd, int32_t offset) { return enc_j(kJal, rd, offset); }
+uint32_t jalr(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kJalr, rd, 0, rs1, imm); }
+
+uint32_t beq(uint32_t rs1, uint32_t rs2, int32_t offset) { return enc_b(kBranch, 0, rs1, rs2, offset); }
+uint32_t bne(uint32_t rs1, uint32_t rs2, int32_t offset) { return enc_b(kBranch, 1, rs1, rs2, offset); }
+uint32_t blt(uint32_t rs1, uint32_t rs2, int32_t offset) { return enc_b(kBranch, 4, rs1, rs2, offset); }
+uint32_t bge(uint32_t rs1, uint32_t rs2, int32_t offset) { return enc_b(kBranch, 5, rs1, rs2, offset); }
+uint32_t bltu(uint32_t rs1, uint32_t rs2, int32_t offset) { return enc_b(kBranch, 6, rs1, rs2, offset); }
+uint32_t bgeu(uint32_t rs1, uint32_t rs2, int32_t offset) { return enc_b(kBranch, 7, rs1, rs2, offset); }
+
+uint32_t lb(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kLoad, rd, 0, rs1, imm); }
+uint32_t lh(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kLoad, rd, 1, rs1, imm); }
+uint32_t lw(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kLoad, rd, 2, rs1, imm); }
+uint32_t lbu(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kLoad, rd, 4, rs1, imm); }
+uint32_t lhu(uint32_t rd, uint32_t rs1, int32_t imm) { return enc_i(kLoad, rd, 5, rs1, imm); }
+uint32_t sb(uint32_t rs2, uint32_t rs1, int32_t imm) { return enc_s(kStore, 0, rs1, rs2, imm); }
+uint32_t sh(uint32_t rs2, uint32_t rs1, int32_t imm) { return enc_s(kStore, 1, rs1, rs2, imm); }
+uint32_t sw(uint32_t rs2, uint32_t rs1, int32_t imm) { return enc_s(kStore, 2, rs1, rs2, imm); }
+
+uint32_t ecall() { return enc_i(kSystem, 0, 0, 0, 0); }
+uint32_t nop() { return addi(0, 0, 0); }
+
+} // namespace koika::riscv

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RV32I instruction encoders.
+ *
+ * The paper evaluates embedded cores running "a simple integer arithmetic
+ * benchmark"; with no RISC-V cross-compiler available offline, this
+ * module (with the assembler) is the from-scratch toolchain substrate
+ * that produces those benchmark binaries. Encodings follow the RISC-V
+ * unprivileged spec for RV32I minus system instructions (the subset the
+ * paper's cores implement).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace koika::riscv {
+
+// Instruction formats.
+uint32_t enc_r(uint32_t opcode, uint32_t rd, uint32_t funct3, uint32_t rs1,
+               uint32_t rs2, uint32_t funct7);
+uint32_t enc_i(uint32_t opcode, uint32_t rd, uint32_t funct3, uint32_t rs1,
+               int32_t imm);
+uint32_t enc_s(uint32_t opcode, uint32_t funct3, uint32_t rs1, uint32_t rs2,
+               int32_t imm);
+uint32_t enc_b(uint32_t opcode, uint32_t funct3, uint32_t rs1, uint32_t rs2,
+               int32_t imm);
+uint32_t enc_u(uint32_t opcode, uint32_t rd, int32_t imm);
+uint32_t enc_j(uint32_t opcode, uint32_t rd, int32_t imm);
+
+// R-type ALU.
+uint32_t add(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t sub(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t sll(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t slt(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t sltu(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t xor_(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t srl(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t sra(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t or_(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t and_(uint32_t rd, uint32_t rs1, uint32_t rs2);
+
+// I-type ALU.
+uint32_t addi(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t slti(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t sltiu(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t xori(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t ori(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t andi(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t slli(uint32_t rd, uint32_t rs1, uint32_t shamt);
+uint32_t srli(uint32_t rd, uint32_t rs1, uint32_t shamt);
+uint32_t srai(uint32_t rd, uint32_t rs1, uint32_t shamt);
+
+// Upper immediates and jumps.
+uint32_t lui(uint32_t rd, int32_t imm20);
+uint32_t auipc(uint32_t rd, int32_t imm20);
+uint32_t jal(uint32_t rd, int32_t offset);
+uint32_t jalr(uint32_t rd, uint32_t rs1, int32_t imm);
+
+// Branches (offset relative to the branch instruction).
+uint32_t beq(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t bne(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t blt(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t bge(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t bltu(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t bgeu(uint32_t rs1, uint32_t rs2, int32_t offset);
+
+// Loads / stores.
+uint32_t lb(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t lh(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t lw(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t lbu(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t lhu(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t sb(uint32_t rs2, uint32_t rs1, int32_t imm);
+uint32_t sh(uint32_t rs2, uint32_t rs1, int32_t imm);
+uint32_t sw(uint32_t rs2, uint32_t rs1, int32_t imm);
+
+// System (used only as a halt marker by our cores).
+uint32_t ecall();
+uint32_t nop();
+
+} // namespace koika::riscv

@@ -1,0 +1,221 @@
+#include "riscv/goldensim.hpp"
+
+#include "base/error.hpp"
+
+namespace koika::riscv {
+
+GoldenSim::GoldenSim(size_t mem_bytes) : mem_(mem_bytes, 0) {}
+
+void
+GoldenSim::load(const Program& program)
+{
+    for (size_t i = 0; i < program.words.size(); ++i)
+        write32(program.base + 4 * (uint32_t)i, program.words[i]);
+    pc_ = program.base;
+}
+
+void
+GoldenSim::set_reg(int i, uint32_t v)
+{
+    if (i != 0)
+        regs_[(size_t)i] = v;
+}
+
+uint8_t
+GoldenSim::read8(uint32_t addr) const
+{
+    if (addr >= mem_.size())
+        fatal("golden sim: load from unmapped address 0x%x", addr);
+    return mem_[addr];
+}
+
+void
+GoldenSim::write8(uint32_t addr, uint8_t value)
+{
+    if (addr >= mem_.size())
+        fatal("golden sim: store to unmapped address 0x%x", addr);
+    mem_[addr] = value;
+}
+
+uint32_t
+GoldenSim::read32(uint32_t addr) const
+{
+    return (uint32_t)read8(addr) | ((uint32_t)read8(addr + 1) << 8) |
+           ((uint32_t)read8(addr + 2) << 16) |
+           ((uint32_t)read8(addr + 3) << 24);
+}
+
+void
+GoldenSim::write32(uint32_t addr, uint32_t value)
+{
+    write8(addr, (uint8_t)value);
+    write8(addr + 1, (uint8_t)(value >> 8));
+    write8(addr + 2, (uint8_t)(value >> 16));
+    write8(addr + 3, (uint8_t)(value >> 24));
+}
+
+bool
+GoldenSim::step()
+{
+    if (halted_)
+        return false;
+    uint32_t inst = read32(pc_);
+    uint32_t opcode = inst & 0x7F;
+    uint32_t rd = (inst >> 7) & 0x1F;
+    uint32_t f3 = (inst >> 12) & 0x7;
+    uint32_t rs1 = (inst >> 15) & 0x1F;
+    uint32_t rs2 = (inst >> 20) & 0x1F;
+    uint32_t f7 = inst >> 25;
+    uint32_t v1 = regs_[rs1], v2 = regs_[rs2];
+    int32_t imm_i = (int32_t)inst >> 20;
+    int32_t imm_s = (int32_t)((inst >> 25) << 5 | ((inst >> 7) & 0x1F));
+    if (inst & 0x80000000)
+        imm_s |= (int32_t)0xFFFFF000;
+    int32_t imm_b = (int32_t)((((inst >> 8) & 0xF) << 1) |
+                              (((inst >> 25) & 0x3F) << 5) |
+                              (((inst >> 7) & 1) << 11) |
+                              (((inst >> 31) & 1) << 12));
+    if (imm_b & 0x1000)
+        imm_b |= (int32_t)0xFFFFE000;
+    int32_t imm_j = (int32_t)((((inst >> 21) & 0x3FF) << 1) |
+                              (((inst >> 20) & 1) << 11) |
+                              (((inst >> 12) & 0xFF) << 12) |
+                              (((inst >> 31) & 1) << 20));
+    if (imm_j & 0x100000)
+        imm_j |= (int32_t)0xFFE00000;
+
+    uint32_t next_pc = pc_ + 4;
+    uint32_t result = 0;
+    bool writes_rd = false;
+
+    switch (opcode) {
+      case 0x33: { // OP
+        writes_rd = true;
+        switch (f3) {
+          case 0: result = f7 == 0x20 ? v1 - v2 : v1 + v2; break;
+          case 1: result = v1 << (v2 & 31); break;
+          case 2: result = (int32_t)v1 < (int32_t)v2; break;
+          case 3: result = v1 < v2; break;
+          case 4: result = v1 ^ v2; break;
+          case 5:
+            result = f7 == 0x20 ? (uint32_t)((int32_t)v1 >> (v2 & 31))
+                                : v1 >> (v2 & 31);
+            break;
+          case 6: result = v1 | v2; break;
+          case 7: result = v1 & v2; break;
+        }
+        break;
+      }
+      case 0x13: { // OP-IMM
+        writes_rd = true;
+        uint32_t sh = rs2;
+        switch (f3) {
+          case 0: result = v1 + (uint32_t)imm_i; break;
+          case 1: result = v1 << sh; break;
+          case 2: result = (int32_t)v1 < imm_i; break;
+          case 3: result = v1 < (uint32_t)imm_i; break;
+          case 4: result = v1 ^ (uint32_t)imm_i; break;
+          case 5:
+            result = (inst >> 30) & 1
+                         ? (uint32_t)((int32_t)v1 >> sh)
+                         : v1 >> sh;
+            break;
+          case 6: result = v1 | (uint32_t)imm_i; break;
+          case 7: result = v1 & (uint32_t)imm_i; break;
+        }
+        break;
+      }
+      case 0x37: // LUI
+        writes_rd = true;
+        result = inst & 0xFFFFF000;
+        break;
+      case 0x17: // AUIPC
+        writes_rd = true;
+        result = pc_ + (inst & 0xFFFFF000);
+        break;
+      case 0x6F: // JAL
+        writes_rd = true;
+        result = pc_ + 4;
+        next_pc = pc_ + (uint32_t)imm_j;
+        break;
+      case 0x67: // JALR
+        writes_rd = true;
+        result = pc_ + 4;
+        next_pc = (v1 + (uint32_t)imm_i) & ~1u;
+        break;
+      case 0x63: { // BRANCH
+        bool taken = false;
+        switch (f3) {
+          case 0: taken = v1 == v2; break;
+          case 1: taken = v1 != v2; break;
+          case 4: taken = (int32_t)v1 < (int32_t)v2; break;
+          case 5: taken = (int32_t)v1 >= (int32_t)v2; break;
+          case 6: taken = v1 < v2; break;
+          case 7: taken = v1 >= v2; break;
+          default: fatal("golden sim: bad branch funct3 %u", f3);
+        }
+        if (taken)
+            next_pc = pc_ + (uint32_t)imm_b;
+        break;
+      }
+      case 0x03: { // LOAD
+        writes_rd = true;
+        uint32_t addr = v1 + (uint32_t)imm_i;
+        switch (f3) {
+          case 0: result = (uint32_t)(int32_t)(int8_t)read8(addr); break;
+          case 1:
+            result = (uint32_t)(int32_t)(int16_t)(
+                read8(addr) | ((uint16_t)read8(addr + 1) << 8));
+            break;
+          case 2: result = read32(addr); break;
+          case 4: result = read8(addr); break;
+          case 5:
+            result = read8(addr) | ((uint32_t)read8(addr + 1) << 8);
+            break;
+          default: fatal("golden sim: bad load funct3 %u", f3);
+        }
+        break;
+      }
+      case 0x23: { // STORE
+        uint32_t addr = v1 + (uint32_t)imm_s;
+        if (addr == kTohostAddr && f3 == 2) {
+            tohost_.push_back(v2);
+            break;
+        }
+        switch (f3) {
+          case 0: write8(addr, (uint8_t)v2); break;
+          case 1:
+            write8(addr, (uint8_t)v2);
+            write8(addr + 1, (uint8_t)(v2 >> 8));
+            break;
+          case 2: write32(addr, v2); break;
+          default: fatal("golden sim: bad store funct3 %u", f3);
+        }
+        break;
+      }
+      case 0x73: // SYSTEM: halt marker
+        halted_ = true;
+        ++retired_;
+        return false;
+      default:
+        fatal("golden sim: unsupported opcode 0x%x at pc 0x%x", opcode,
+              pc_);
+    }
+
+    if (writes_rd && rd != 0)
+        regs_[rd] = result;
+    pc_ = next_pc;
+    ++retired_;
+    return true;
+}
+
+uint64_t
+GoldenSim::run(uint64_t max_steps)
+{
+    uint64_t start = retired_;
+    for (uint64_t i = 0; i < max_steps && step(); ++i) {
+    }
+    return retired_ - start;
+}
+
+} // namespace koika::riscv

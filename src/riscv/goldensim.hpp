@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Golden RV32I instruction-set simulator.
+ *
+ * The functional reference for the pipelined cores in src/designs/rv32:
+ * every Kôika core is validated instruction-for-instruction against this
+ * simulator (final architectural state and tohost output must match).
+ * Implements RV32I minus system instructions; `ecall` halts, and a store
+ * to kTohostAddr appends to the tohost stream (the same conventions the
+ * cores and their memory peripheral use).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/assembler.hpp"
+
+namespace koika::riscv {
+
+class GoldenSim
+{
+  public:
+    static constexpr uint32_t kTohostAddr = 0x40000000;
+
+    explicit GoldenSim(size_t mem_bytes = 1 << 16);
+
+    void load(const Program& program);
+
+    /** Execute one instruction; false once halted. */
+    bool step();
+    /** Run up to max_steps; returns instructions retired. */
+    uint64_t run(uint64_t max_steps);
+
+    bool halted() const { return halted_; }
+    uint32_t pc() const { return pc_; }
+    uint32_t reg(int i) const { return regs_[(size_t)i]; }
+    void set_reg(int i, uint32_t v);
+    uint64_t instructions_retired() const { return retired_; }
+
+    const std::vector<uint32_t>& tohost() const { return tohost_; }
+
+    uint32_t read32(uint32_t addr) const;
+    void write32(uint32_t addr, uint32_t value);
+    const std::vector<uint8_t>& memory() const { return mem_; }
+
+  private:
+    uint8_t read8(uint32_t addr) const;
+    void write8(uint32_t addr, uint8_t value);
+
+    std::vector<uint8_t> mem_;
+    uint32_t regs_[32] = {};
+    uint32_t pc_ = 0;
+    bool halted_ = false;
+    uint64_t retired_ = 0;
+    std::vector<uint32_t> tohost_;
+};
+
+} // namespace koika::riscv

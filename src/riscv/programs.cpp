@@ -1,0 +1,143 @@
+#include "riscv/programs.hpp"
+
+#include <sstream>
+
+namespace koika::riscv {
+
+std::string
+primes_source(uint32_t bound)
+{
+    std::ostringstream os;
+    os << "# Sieve of Eratosthenes: count primes below " << bound << "\n";
+    os << "# a0 = sieve base, a1 = bound, t-regs = scratch\n";
+    os << "        li   a0, 0x1000       # sieve array (byte per n)\n";
+    os << "        li   a1, " << bound << "\n";
+    os << "# clear the sieve\n";
+    os << "        mv   t0, a0\n";
+    os << "        add  t1, a0, a1\n";
+    os << "clear:  sb   zero, 0(t0)\n";
+    os << "        addi t0, t0, 1\n";
+    os << "        blt  t0, t1, clear\n";
+    os << "# main sieve loop: for i in 2..bound\n";
+    os << "        li   t0, 2            # i\n";
+    os << "outer:  bge  t0, a1, done\n";
+    os << "        add  t2, a0, t0\n";
+    os << "        lbu  a2, 0(t2)\n";
+    os << "        bnez a2, next         # composite, skip\n";
+    os << "# mark multiples: j = i + i; while j < bound: sieve[j] = 1\n";
+    os << "        add  a3, t0, t0\n";
+    os << "mark:   bge  a3, a1, next\n";
+    os << "        add  a4, a0, a3\n";
+    os << "        li   a5, 1\n";
+    os << "        sb   a5, 0(a4)\n";
+    os << "        add  a3, a3, t0\n";
+    os << "        j    mark\n";
+    os << "next:   addi t0, t0, 1\n";
+    os << "        j    outer\n";
+    os << "# count zeros in sieve[2..bound)\n";
+    os << "done:   li   t0, 2\n";
+    os << "        li   s0, 0            # count\n";
+    os << "count:  bge  t0, a1, report\n";
+    os << "        add  t2, a0, t0\n";
+    os << "        lbu  a2, 0(t2)\n";
+    os << "        bnez a2, skip\n";
+    os << "        addi s0, s0, 1\n";
+    os << "skip:   addi t0, t0, 1\n";
+    os << "        j    count\n";
+    os << "report: li   t1, 0x40000000   # tohost\n";
+    os << "        sw   s0, 0(t1)\n";
+    os << "        ecall\n";
+    return os.str();
+}
+
+uint32_t
+primes_below(uint32_t bound)
+{
+    if (bound < 3)
+        return 0;
+    std::vector<bool> composite(bound, false);
+    uint32_t count = 0;
+    for (uint32_t i = 2; i < bound; ++i) {
+        if (composite[i])
+            continue;
+        ++count;
+        for (uint32_t j = i + i; j < bound; j += i)
+            composite[j] = true;
+    }
+    return count;
+}
+
+std::string
+nops_source(unsigned n)
+{
+    std::ostringstream os;
+    os << "# " << n << " NOPs (ADDI x0, x0, 0): case study 3 workload\n";
+    for (unsigned i = 0; i < n; ++i)
+        os << "        nop\n";
+    os << "        li   t1, 0x40000000\n";
+    os << "        li   t2, 0xD05E\n";
+    os << "        sw   t2, 0(t1)\n";
+    os << "        ecall\n";
+    return os.str();
+}
+
+std::string
+branchy_source(uint32_t iterations)
+{
+    std::ostringstream os;
+    os << "# Branch-heavy kernel: data-dependent taken/not-taken mix.\n";
+    os << "        li   s0, 0            # checksum\n";
+    os << "        li   t0, 0            # i\n";
+    os << "        li   t1, " << iterations << "\n";
+    os << "loop:   andi t2, t0, 1\n";
+    os << "        beqz t2, even\n";
+    os << "        addi s0, s0, 3\n";
+    os << "        j    join1\n";
+    os << "even:   addi s0, s0, 1\n";
+    os << "join1:  andi t2, t0, 7\n";
+    os << "        bnez t2, common       # taken 7/8 of the time\n";
+    os << "        slli s0, s0, 1\n";
+    os << "        srli s0, s0, 1\n";
+    os << "common: andi t2, t0, 3\n";
+    os << "        addi a3, zero, 2\n";
+    os << "        blt  t2, a3, low\n";
+    os << "        xori s0, s0, 0x55\n";
+    os << "        j    join2\n";
+    os << "low:    xori s0, s0, 0x2A\n";
+    os << "join2:  addi t0, t0, 1\n";
+    os << "        blt  t0, t1, loop\n";
+    os << "        li   t1, 0x40000000\n";
+    os << "        sw   s0, 0(t1)\n";
+    os << "        ecall\n";
+    return os.str();
+}
+
+std::string
+chained_source(uint32_t iterations)
+{
+    std::ostringstream os;
+    os << "# Back-to-back dependent ALU ops (RAW hazards galore).\n";
+    os << "        li   s0, 1\n";
+    os << "        li   t0, 0\n";
+    os << "        li   t1, " << iterations << "\n";
+    os << "loop:   addi s0, s0, 7\n";
+    os << "        xori s0, s0, 0x111\n";
+    os << "        slli s1, s0, 3\n";
+    os << "        add  s0, s0, s1\n";
+    os << "        srli s1, s0, 2\n";
+    os << "        sub  s0, s0, s1\n";
+    os << "        addi t0, t0, 1\n";
+    os << "        blt  t0, t1, loop\n";
+    os << "        li   t1, 0x40000000\n";
+    os << "        sw   s0, 0(t1)\n";
+    os << "        ecall\n";
+    return os.str();
+}
+
+Program
+build_program(const std::string& source)
+{
+    return assemble(source, 0);
+}
+
+} // namespace koika::riscv

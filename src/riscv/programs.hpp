@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Benchmark and case-study programs, written in RV32I assembly.
+ *
+ * - primes: the paper's "simple integer arithmetic benchmark" (§4.1) —
+ *   a sieve of Eratosthenes counting primes below a bound, reporting the
+ *   count through tohost before halting.
+ * - nops: case study 3's workload — N NOPs, used to expose the x0
+ *   scoreboard dependency bug (100 NOPs should take ~100+fill cycles,
+ *   203 with the bug).
+ * - branchy: case study 4's workload — a loop with data-dependent
+ *   branches that a BTB+BHT predictor captures well but "PC+4" does not.
+ * - chained: back-to-back dependent arithmetic, exposing scoreboard
+ *   stalls due to missing bypass paths (discussed in case study 4).
+ */
+#pragma once
+
+#include <string>
+
+#include "riscv/assembler.hpp"
+
+namespace koika::riscv {
+
+/** Sieve of Eratosthenes; writes the prime count to tohost and halts. */
+std::string primes_source(uint32_t bound = 1000);
+
+/** The expected prime count for a bound (for checking results). */
+uint32_t primes_below(uint32_t bound);
+
+/** n NOPs, then writes the marker 0xD05E to tohost and halts. */
+std::string nops_source(unsigned n = 100);
+
+/** Branch-heavy loop; writes a checksum to tohost and halts. */
+std::string branchy_source(uint32_t iterations = 5000);
+
+/** Long chains of dependent ALU ops; writes a result and halts. */
+std::string chained_source(uint32_t iterations = 1000);
+
+/** Assemble one of the above at the standard code base (0x0). */
+Program build_program(const std::string& source);
+
+} // namespace koika::riscv

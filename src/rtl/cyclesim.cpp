@@ -1,0 +1,49 @@
+#include "rtl/cyclesim.hpp"
+
+namespace koika::rtl {
+
+CycleSim::CycleSim(Netlist netlist)
+    : nl_(std::move(netlist)), regs_(nl_.design().initial_state()),
+      vals_(nl_.num_nodes())
+{
+    // Constants never change; load them once.
+    for (size_t i = 0; i < nl_.num_nodes(); ++i)
+        if (nl_.node((int)i).kind == NodeKind::kConst)
+            vals_[i] = nl_.node((int)i).value;
+}
+
+void
+CycleSim::set_reg(int reg, const Bits& value)
+{
+    KOIKA_CHECK(value.width() == regs_[(size_t)reg].width());
+    regs_[(size_t)reg] = value;
+}
+
+void
+CycleSim::cycle()
+{
+    static const Bits kUnit;
+    size_t n = nl_.num_nodes();
+    for (size_t i = 0; i < n; ++i) {
+        const Node& node = nl_.node((int)i);
+        switch (node.kind) {
+          case NodeKind::kConst:
+            break;
+          case NodeKind::kReg:
+            vals_[i] = regs_[(size_t)node.reg];
+            break;
+          default: {
+            const Bits& a = node.a >= 0 ? vals_[(size_t)node.a] : kUnit;
+            const Bits& b = node.b >= 0 ? vals_[(size_t)node.b] : kUnit;
+            const Bits& c = node.c >= 0 ? vals_[(size_t)node.c] : kUnit;
+            vals_[i] = Netlist::eval_node(node, a, b, c);
+            break;
+          }
+        }
+    }
+    for (size_t r = 0; r < regs_.size(); ++r)
+        regs_[r] = vals_[(size_t)nl_.reg_next((int)r)];
+    ++cycles_;
+}
+
+} // namespace koika::rtl

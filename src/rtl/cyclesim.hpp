@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Levelized cycle-based netlist simulation (the Verilator stand-in).
+ *
+ * Exactly Verilator's execution model (§2.3, related work): every
+ * combinational node is evaluated once per cycle in topological order,
+ * then registers latch their next values. No work is ever skipped — the
+ * datapath of every rule is computed every cycle whether or not the rule
+ * fires, which is what makes RTL simulation of rule-based designs slow on
+ * sequential hosts.
+ */
+#pragma once
+
+#include "rtl/netlist.hpp"
+#include "sim/model.hpp"
+
+namespace koika::rtl {
+
+class CycleSim final : public sim::Model
+{
+  public:
+    explicit CycleSim(Netlist netlist);
+
+    void cycle() override;
+    Bits get_reg(int reg) const override { return regs_[(size_t)reg]; }
+    void set_reg(int reg, const Bits& value) override;
+    uint64_t cycles_run() const override { return cycles_; }
+    size_t num_regs() const override { return regs_.size(); }
+
+    const Netlist& netlist() const { return nl_; }
+
+  private:
+    Netlist nl_;
+    std::vector<Bits> regs_;
+    std::vector<Bits> vals_;
+    uint64_t cycles_ = 0;
+};
+
+} // namespace koika::rtl

@@ -1,0 +1,132 @@
+#include "rtl/eventsim.hpp"
+
+namespace koika::rtl {
+
+EventSim::EventSim(Netlist netlist)
+    : nl_(std::move(netlist)), regs_(nl_.design().initial_state()),
+      vals_(nl_.num_nodes()), level_(nl_.num_nodes(), 0),
+      queued_(nl_.num_nodes(), false),
+      reg_nodes_(nl_.design().num_registers())
+{
+    size_t n = nl_.num_nodes();
+    // Levels and fanout counts.
+    std::vector<uint32_t> count(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const Node& node = nl_.node((int)i);
+        uint32_t lvl = 0;
+        for (int opnd : {node.a, node.b, node.c}) {
+            if (opnd >= 0) {
+                ++count[(size_t)opnd];
+                lvl = std::max(lvl, level_[(size_t)opnd] + 1);
+            }
+        }
+        level_[i] = lvl;
+        if (node.kind == NodeKind::kReg)
+            reg_nodes_[(size_t)node.reg].push_back((uint32_t)i);
+        if (node.kind == NodeKind::kConst)
+            vals_[i] = node.value;
+    }
+    fanout_start_.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i)
+        fanout_start_[i + 1] = fanout_start_[i] + count[i];
+    fanout_.resize(fanout_start_[n]);
+    std::vector<uint32_t> fill(fanout_start_.begin(),
+                               fanout_start_.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+        const Node& node = nl_.node((int)i);
+        for (int opnd : {node.a, node.b, node.c})
+            if (opnd >= 0)
+                fanout_[fill[(size_t)opnd]++] = (uint32_t)i;
+    }
+    uint32_t max_level = 0;
+    for (uint32_t l : level_)
+        max_level = std::max(max_level, l);
+    buckets_.resize(max_level + 1);
+}
+
+void
+EventSim::set_reg(int reg, const Bits& value)
+{
+    KOIKA_CHECK(value.width() == regs_[(size_t)reg].width());
+    regs_[(size_t)reg] = value;
+}
+
+void
+EventSim::full_evaluate()
+{
+    static const Bits kUnit;
+    for (size_t i = 0; i < nl_.num_nodes(); ++i) {
+        const Node& node = nl_.node((int)i);
+        if (node.kind == NodeKind::kConst)
+            continue;
+        if (node.kind == NodeKind::kReg) {
+            vals_[i] = regs_[(size_t)node.reg];
+            continue;
+        }
+        const Bits& a = node.a >= 0 ? vals_[(size_t)node.a] : kUnit;
+        const Bits& b = node.b >= 0 ? vals_[(size_t)node.b] : kUnit;
+        const Bits& c = node.c >= 0 ? vals_[(size_t)node.c] : kUnit;
+        vals_[i] = Netlist::eval_node(node, a, b, c);
+        ++events_;
+    }
+}
+
+void
+EventSim::schedule_fanouts(size_t node)
+{
+    for (uint32_t f = fanout_start_[node]; f < fanout_start_[node + 1];
+         ++f) {
+        uint32_t target = fanout_[f];
+        if (!queued_[target]) {
+            queued_[target] = true;
+            buckets_[level_[target]].push_back(target);
+        }
+    }
+}
+
+void
+EventSim::cycle()
+{
+    static const Bits kUnit;
+    if (first_) {
+        full_evaluate();
+        first_ = false;
+    } else {
+        // Seed events: register outputs whose committed value changed.
+        for (size_t r = 0; r < regs_.size(); ++r) {
+            for (uint32_t id : reg_nodes_[r]) {
+                if (vals_[id] != regs_[r]) {
+                    vals_[id] = regs_[r];
+                    ++events_;
+                    schedule_fanouts(id);
+                }
+            }
+        }
+        // Drain the queue level by level.
+        for (auto& bucket : buckets_) {
+            for (size_t idx = 0; idx < bucket.size(); ++idx) {
+                uint32_t id = bucket[idx];
+                queued_[id] = false;
+                const Node& node = nl_.node((int)id);
+                const Bits& a =
+                    node.a >= 0 ? vals_[(size_t)node.a] : kUnit;
+                const Bits& b =
+                    node.b >= 0 ? vals_[(size_t)node.b] : kUnit;
+                const Bits& c =
+                    node.c >= 0 ? vals_[(size_t)node.c] : kUnit;
+                Bits nv = Netlist::eval_node(node, a, b, c);
+                ++events_;
+                if (nv != vals_[id]) {
+                    vals_[id] = std::move(nv);
+                    schedule_fanouts(id);
+                }
+            }
+            bucket.clear();
+        }
+    }
+    for (size_t r = 0; r < regs_.size(); ++r)
+        regs_[r] = vals_[(size_t)nl_.reg_next((int)r)];
+    ++cycles_;
+}
+
+} // namespace koika::rtl

@@ -1,0 +1,247 @@
+#include "rtl/lower.hpp"
+
+namespace koika::rtl {
+
+namespace {
+
+/** Symbolic log entry: node ids for the four flags and two data wires. */
+struct SymEntry
+{
+    int rd0, rd1, wr0, wr1;
+    int data0, data1;
+};
+
+class Lowerer
+{
+  public:
+    explicit Lowerer(const Design& d) : d_(d), nl_(d) {}
+
+    Netlist
+    run()
+    {
+        size_t n = d_.num_registers();
+        q_.resize(n);
+        cycle_.resize(n);
+        for (size_t r = 0; r < n; ++r) {
+            q_[r] = nl_.add_reg((int)r);
+            cycle_[r] = SymEntry{nl_.zero(), nl_.zero(), nl_.zero(),
+                                 nl_.zero(), q_[r], q_[r]};
+        }
+        for (int r : d_.schedule_order())
+            lower_rule(r);
+        for (size_t r = 0; r < n; ++r) {
+            int next = nl_.add_mux(
+                cycle_[r].wr1, cycle_[r].data1,
+                nl_.add_mux(cycle_[r].wr0, cycle_[r].data0, q_[r]));
+            nl_.set_reg_next((int)r, next);
+        }
+        return std::move(nl_);
+    }
+
+  private:
+    void
+    lower_rule(int rule)
+    {
+        size_t n = d_.num_registers();
+        rule_.assign(n, SymEntry{});
+        for (size_t r = 0; r < n; ++r) {
+            // Rule-log data defaults are never observed before a write
+            // (the wr0/wr1 flags gate them); use Q to keep widths right.
+            rule_[r] = SymEntry{nl_.zero(), nl_.zero(), nl_.zero(),
+                                nl_.zero(), q_[r], q_[r]};
+        }
+        fail_ = nl_.zero();
+        frames_.clear();
+        frames_.emplace_back((size_t)d_.rule(rule).nslots, -1);
+        eval(d_.rule(rule).body, nl_.one());
+
+        int will_fire = nl_.b_not(fail_);
+        // Merge the rule log into the cycle log when the rule fires.
+        for (size_t r = 0; r < n; ++r) {
+            SymEntry& cl = cycle_[r];
+            const SymEntry& rl = rule_[r];
+            int m_rd0 = nl_.b_or(cl.rd0, rl.rd0);
+            int m_rd1 = nl_.b_or(cl.rd1, rl.rd1);
+            int m_wr0 = nl_.b_or(cl.wr0, rl.wr0);
+            int m_wr1 = nl_.b_or(cl.wr1, rl.wr1);
+            int m_d0 = nl_.add_mux(rl.wr0, rl.data0, cl.data0);
+            int m_d1 = nl_.add_mux(rl.wr1, rl.data1, cl.data1);
+            cl.rd0 = nl_.add_mux(will_fire, m_rd0, cl.rd0);
+            cl.rd1 = nl_.add_mux(will_fire, m_rd1, cl.rd1);
+            cl.wr0 = nl_.add_mux(will_fire, m_wr0, cl.wr0);
+            cl.wr1 = nl_.add_mux(will_fire, m_wr1, cl.wr1);
+            cl.data0 = nl_.add_mux(will_fire, m_d0, cl.data0);
+            cl.data1 = nl_.add_mux(will_fire, m_d1, cl.data1);
+        }
+    }
+
+    /** Evaluate an action under predicate `pred`; returns a value node. */
+    int
+    eval(const Action* a, int pred)
+    {
+        switch (a->kind) {
+          case ActionKind::kConst:
+            return nl_.add_const(a->value);
+
+          case ActionKind::kVar:
+            return frames_.back()[(size_t)a->slot];
+
+          case ActionKind::kLet: {
+            int v = eval(a->a0, pred);
+            frames_.back()[(size_t)a->slot] = v;
+            return eval(a->a1, pred);
+          }
+
+          case ActionKind::kAssign: {
+            int v = eval(a->a0, pred);
+            int& slot = frames_.back()[(size_t)a->slot];
+            // Predicated execution: the assignment only lands when the
+            // surrounding control flow is live.
+            slot = nl_.add_mux(pred, v, slot);
+            return unit();
+          }
+
+          case ActionKind::kSeq:
+            eval(a->a0, pred);
+            return eval(a->a1, pred);
+
+          case ActionKind::kIf: {
+            int c = eval(a->a0, pred);
+            int then_pred = nl_.b_and(pred, c);
+            int else_pred = nl_.b_and(pred, nl_.b_not(c));
+            int tv = eval(a->a1, then_pred);
+            int ev = eval(a->a2, else_pred);
+            return nl_.add_mux(c, tv, ev);
+          }
+
+          case ActionKind::kRead:
+            return lower_read(a, pred);
+
+          case ActionKind::kWrite: {
+            int v = eval(a->a0, pred);
+            lower_write(a, pred, v);
+            return unit();
+          }
+
+          case ActionKind::kGuard: {
+            int c = eval(a->a0, pred);
+            fail_ = nl_.b_or(fail_, nl_.b_and(pred, nl_.b_not(c)));
+            return unit();
+          }
+
+          case ActionKind::kUnop:
+            return nl_.add_unop(a->op, eval(a->a0, pred), a->imm0,
+                                a->imm1);
+
+          case ActionKind::kBinop: {
+            int x = eval(a->a0, pred);
+            int y = eval(a->a1, pred);
+            return nl_.add_binop(a->op, x, y);
+          }
+
+          case ActionKind::kGetField: {
+            int v = eval(a->a0, pred);
+            const Field& f = a->a0->type->fields[(size_t)a->field_index];
+            return nl_.add_unop(Op::kSlice, v, f.offset, f.type->width);
+          }
+
+          case ActionKind::kSubstField: {
+            int s = eval(a->a0, pred);
+            int v = eval(a->a1, pred);
+            const Field& f = a->a0->type->fields[(size_t)a->field_index];
+            uint32_t sw = a->a0->type->width;
+            uint32_t fw = f.type->width;
+            // Rebuild via concat(high, field, low).
+            int result = v;
+            if (f.offset > 0) {
+                int low = nl_.add_unop(Op::kSlice, s, 0, f.offset);
+                result = nl_.add_binop(Op::kConcat, result, low);
+            }
+            if (f.offset + fw < sw) {
+                int high = nl_.add_unop(Op::kSlice, s, f.offset + fw,
+                                        sw - f.offset - fw);
+                result = nl_.add_binop(Op::kConcat, high, result);
+            }
+            return result;
+          }
+
+          case ActionKind::kCall: {
+            std::vector<int> vals;
+            vals.reserve(a->args.size());
+            for (const Action* arg : a->args)
+                vals.push_back(eval(arg, pred));
+            std::vector<int> frame((size_t)a->fn->nslots, -1);
+            for (size_t i = 0; i < vals.size(); ++i)
+                frame[i] = vals[i];
+            frames_.push_back(std::move(frame));
+            int r = eval(a->fn->body, pred);
+            frames_.pop_back();
+            return r;
+          }
+        }
+        panic("unreachable");
+    }
+
+    int
+    lower_read(const Action* a, int pred)
+    {
+        SymEntry& cl = cycle_[(size_t)a->reg];
+        SymEntry& rl = rule_[(size_t)a->reg];
+        if (a->port == Port::p0) {
+            int conflict = nl_.b_or(cl.wr0, cl.wr1);
+            fail_ = nl_.b_or(fail_, nl_.b_and(pred, conflict));
+            rl.rd0 = nl_.b_or(rl.rd0, pred);
+            return q_[(size_t)a->reg];
+        }
+        fail_ = nl_.b_or(fail_, nl_.b_and(pred, cl.wr1));
+        rl.rd1 = nl_.b_or(rl.rd1, pred);
+        return nl_.add_mux(rl.wr0, rl.data0,
+                           nl_.add_mux(cl.wr0, cl.data0,
+                                       q_[(size_t)a->reg]));
+    }
+
+    void
+    lower_write(const Action* a, int pred, int v)
+    {
+        SymEntry& cl = cycle_[(size_t)a->reg];
+        SymEntry& rl = rule_[(size_t)a->reg];
+        if (a->port == Port::p0) {
+            int conflict = nl_.b_or(
+                nl_.b_or(nl_.b_or(cl.rd1, cl.wr0),
+                         nl_.b_or(cl.wr1, rl.rd1)),
+                nl_.b_or(rl.wr0, rl.wr1));
+            fail_ = nl_.b_or(fail_, nl_.b_and(pred, conflict));
+            rl.data0 = nl_.add_mux(pred, v, rl.data0);
+            rl.wr0 = nl_.b_or(rl.wr0, pred);
+        } else {
+            int conflict = nl_.b_or(cl.wr1, rl.wr1);
+            fail_ = nl_.b_or(fail_, nl_.b_and(pred, conflict));
+            rl.data1 = nl_.add_mux(pred, v, rl.data1);
+            rl.wr1 = nl_.b_or(rl.wr1, pred);
+        }
+    }
+
+    int
+    unit()
+    {
+        return nl_.add_const(Bits());
+    }
+
+    const Design& d_;
+    Netlist nl_;
+    std::vector<int> q_;
+    std::vector<SymEntry> cycle_, rule_;
+    int fail_ = -1;
+    std::vector<std::vector<int>> frames_;
+};
+
+} // namespace
+
+Netlist
+lower(const Design& design)
+{
+    KOIKA_CHECK(design.typechecked);
+    return Lowerer(design).run();
+}
+
+} // namespace koika::rtl

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Kôika -> netlist lowering (the hardware compilation strategy of §2.2).
+ *
+ * Each rule is compiled to a combinational circuit in isolation, with the
+ * log semantics made symbolic: the cycle log's read-write flags and data
+ * become wires threaded from rule to rule, a per-rule fail wire aggregates
+ * every conflict and guard condition, and a will-fire mux decides whether
+ * the rule's effects merge into the cycle log. Register next-values select
+ * wr1-over-wr0-over-hold at the end.
+ *
+ * Because this construction mirrors the reference interpreter operation
+ * by operation, the resulting netlist is cycle-accurate with the
+ * interpreter *by construction* — which is exactly the property the paper
+ * requires between its Verilog and C++ backends.
+ *
+ * Note how every rule's datapath is computed every cycle regardless of
+ * whether it fires: this is what makes RTL-level simulation slow on a
+ * sequential host (§2.3), and it is the baseline Cuttlesim is measured
+ * against.
+ */
+#pragma once
+
+#include "rtl/netlist.hpp"
+
+namespace koika::rtl {
+
+/** Compile a typechecked design to a netlist. */
+Netlist lower(const Design& design);
+
+} // namespace koika::rtl

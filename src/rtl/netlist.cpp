@@ -1,0 +1,233 @@
+#include "rtl/netlist.hpp"
+
+namespace koika::rtl {
+
+Netlist::Netlist(const Design& design) : design_(&design)
+{
+    reg_next_.assign(design.num_registers(), -1);
+    zero_ = push(Node{.kind = NodeKind::kConst, .width = 1,
+                      .value = Bits::of(1, 0)});
+    one_ = push(Node{.kind = NodeKind::kConst, .width = 1,
+                     .value = Bits::of(1, 1)});
+}
+
+int
+Netlist::push(Node n)
+{
+    nodes_.push_back(std::move(n));
+    return (int)nodes_.size() - 1;
+}
+
+const Bits*
+Netlist::const_value(int id) const
+{
+    const Node& n = nodes_[(size_t)id];
+    return n.kind == NodeKind::kConst ? &n.value : nullptr;
+}
+
+int
+Netlist::add_const(Bits v)
+{
+    if (v.width() == 1)
+        return v.is_zero() ? zero_ : one_;
+    uint32_t w = v.width();
+    return push(Node{.kind = NodeKind::kConst, .width = w,
+                     .value = std::move(v)});
+}
+
+int
+Netlist::add_reg(int reg)
+{
+    return push(Node{.kind = NodeKind::kReg,
+                     .width = design_->reg(reg).type->width, .reg = reg});
+}
+
+uint32_t
+Netlist::result_width(Op op, uint32_t wa, uint32_t wb, uint32_t imm0,
+                      uint32_t imm1)
+{
+    switch (op) {
+      case Op::kNot:
+      case Op::kNeg:
+        return wa;
+      case Op::kZExtL:
+      case Op::kSExtL:
+        return imm0;
+      case Op::kSlice:
+        return imm1;
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+        KOIKA_CHECK(wa == wb);
+        return wa;
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLtu:
+      case Op::kLeu:
+      case Op::kGtu:
+      case Op::kGeu:
+      case Op::kLts:
+      case Op::kLes:
+      case Op::kGts:
+      case Op::kGes:
+        return 1;
+      case Op::kLsl:
+      case Op::kLsr:
+      case Op::kAsr:
+        return wa;
+      case Op::kConcat:
+        return wa + wb;
+    }
+    panic("bad op");
+}
+
+Bits
+Netlist::eval_node(const Node& n, const Bits& a, const Bits& b,
+                   const Bits& c)
+{
+    switch (n.kind) {
+      case NodeKind::kConst:
+        return n.value;
+      case NodeKind::kReg:
+        panic("register nodes are resolved by the simulator");
+      case NodeKind::kMux:
+        return a.truthy() ? b : c;
+      case NodeKind::kUnop:
+        switch (n.op) {
+          case Op::kNot: return a.bnot();
+          case Op::kNeg: return a.neg();
+          case Op::kZExtL: return a.zextl(n.imm0);
+          case Op::kSExtL: return a.sextl(n.imm0);
+          case Op::kSlice: return a.slice(n.imm0, n.imm1);
+          default: panic("bad unop");
+        }
+      case NodeKind::kBinop:
+        switch (n.op) {
+          case Op::kAnd: return a.band(b);
+          case Op::kOr: return a.bor(b);
+          case Op::kXor: return a.bxor(b);
+          case Op::kAdd: return a.add(b);
+          case Op::kSub: return a.sub(b);
+          case Op::kMul: return a.mul(b);
+          case Op::kEq: return a.eq(b);
+          case Op::kNe: return a.ne(b);
+          case Op::kLtu: return a.ltu(b);
+          case Op::kLeu: return a.leu(b);
+          case Op::kGtu: return a.gtu(b);
+          case Op::kGeu: return a.geu(b);
+          case Op::kLts: return a.lts(b);
+          case Op::kLes: return a.les(b);
+          case Op::kGts: return a.gts(b);
+          case Op::kGes: return a.ges(b);
+          case Op::kLsl: return a.shl(b);
+          case Op::kLsr: return a.shr(b);
+          case Op::kAsr: return a.asr(b);
+          case Op::kConcat: return a.concat(b);
+          default: panic("bad binop");
+        }
+    }
+    panic("unreachable");
+}
+
+int
+Netlist::add_unop(Op op, int a, uint32_t imm0, uint32_t imm1)
+{
+    const Bits* ca = const_value(a);
+    uint32_t w = result_width(op, nodes_[(size_t)a].width, 0, imm0, imm1);
+    if (ca != nullptr) {
+        Node tmp{.kind = NodeKind::kUnop, .op = op, .width = w,
+                 .imm0 = imm0, .imm1 = imm1};
+        return add_const(eval_node(tmp, *ca, Bits(), Bits()));
+    }
+    // !!x -> x
+    if (op == Op::kNot && nodes_[(size_t)a].kind == NodeKind::kUnop &&
+        nodes_[(size_t)a].op == Op::kNot)
+        return nodes_[(size_t)a].a;
+    // Width-preserving zext is a no-op.
+    if ((op == Op::kZExtL || op == Op::kSExtL) &&
+        imm0 == nodes_[(size_t)a].width)
+        return a;
+    // Full-width slice is a no-op.
+    if (op == Op::kSlice && imm0 == 0 && imm1 == nodes_[(size_t)a].width)
+        return a;
+    return push(Node{.kind = NodeKind::kUnop, .op = op, .width = w,
+                     .imm0 = imm0, .imm1 = imm1, .a = a});
+}
+
+int
+Netlist::add_binop(Op op, int a, int b)
+{
+    const Node& na = nodes_[(size_t)a];
+    const Node& nb = nodes_[(size_t)b];
+    const Bits* ca = const_value(a);
+    const Bits* cb = const_value(b);
+    uint32_t w = result_width(op, na.width, nb.width, 0, 0);
+    if (ca != nullptr && cb != nullptr) {
+        Node tmp{.kind = NodeKind::kBinop, .op = op, .width = w};
+        return add_const(eval_node(tmp, *ca, *cb, Bits()));
+    }
+    // Identities (x & 0, x & ~0, x | 0, x | ~0, x ^ 0, x +- 0) keep the
+    // scheduler logic compact.
+    if (op == Op::kAnd) {
+        if (ca != nullptr && ca->is_zero())
+            return add_const(Bits::zeroes(w));
+        if (cb != nullptr && cb->is_zero())
+            return add_const(Bits::zeroes(w));
+        if (ca != nullptr && *ca == Bits::ones(w))
+            return b;
+        if (cb != nullptr && *cb == Bits::ones(w))
+            return a;
+    }
+    if (op == Op::kOr) {
+        if (ca != nullptr && ca->is_zero())
+            return b;
+        if (cb != nullptr && cb->is_zero())
+            return a;
+        if (ca != nullptr && *ca == Bits::ones(w))
+            return a;
+        if (cb != nullptr && *cb == Bits::ones(w))
+            return b;
+    }
+    if (op == Op::kXor) {
+        if (ca != nullptr && ca->is_zero())
+            return b;
+        if (cb != nullptr && cb->is_zero())
+            return a;
+    }
+    if ((op == Op::kAdd || op == Op::kSub) && cb != nullptr &&
+        cb->is_zero())
+        return a;
+    return push(Node{.kind = NodeKind::kBinop, .op = op, .width = w,
+                     .a = a, .b = b});
+}
+
+int
+Netlist::add_mux(int cond, int t, int e)
+{
+    const Bits* cc = const_value(cond);
+    if (cc != nullptr)
+        return cc->is_zero() ? e : t;
+    if (t == e)
+        return t;
+    KOIKA_CHECK(nodes_[(size_t)cond].width == 1);
+    KOIKA_CHECK(nodes_[(size_t)t].width == nodes_[(size_t)e].width);
+    // mux(c, 1, 0) -> c ; mux(c, 0, 1) -> !c (1-bit only).
+    if (nodes_[(size_t)t].width == 1) {
+        const Bits* ct = const_value(t);
+        const Bits* ce = const_value(e);
+        if (ct != nullptr && ce != nullptr) {
+            if (!ct->is_zero() && ce->is_zero())
+                return cond;
+            if (ct->is_zero() && !ce->is_zero())
+                return b_not(cond);
+        }
+    }
+    return push(Node{.kind = NodeKind::kMux,
+                     .width = nodes_[(size_t)t].width, .a = cond, .b = t,
+                     .c = e});
+}
+
+} // namespace koika::rtl

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Netlist representation for the RTL pipeline.
+ *
+ * The RTL lowering (src/rtl/lower.*) compiles a Kôika design into this
+ * word-level netlist: a DAG of combinational nodes plus one next-value
+ * node per register. This is the same compilation strategy the Kôika
+ * hardware compiler uses (paper §2.2): every rule's circuit exists and is
+ * evaluated every cycle, and scheduler logic decides which results commit.
+ *
+ * Nodes are created in topological order (operands always precede users),
+ * which both simulators (cyclesim, eventsim) and the Verilog emitter rely
+ * on. The builder performs light peephole folding (constants, identities,
+ * trivial muxes) mirroring the local simplifications of Kôika's verified
+ * circuit compiler; the heavier §4.1-Q2 "Bluespec-grade" optimizations
+ * live in src/rtl/optimize.*.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "koika/design.hpp"
+
+namespace koika::rtl {
+
+enum class NodeKind : uint8_t {
+    kConst, ///< Literal.
+    kReg,   ///< Register output (Q pin).
+    kUnop,  ///< Pure unary operator (koika::Op).
+    kBinop, ///< Pure binary operator (koika::Op).
+    kMux,   ///< 1-bit select: mux(c, t, e).
+};
+
+struct Node
+{
+    NodeKind kind = NodeKind::kConst;
+    Op op = Op::kNot;
+    uint32_t width = 0;
+    /** Slice offset / extension width. */
+    uint32_t imm0 = 0;
+    /** Slice width. */
+    uint32_t imm1 = 0;
+    /** Operand node ids (a = cond for kMux). */
+    int a = -1, b = -1, c = -1;
+    /** kConst payload. */
+    Bits value;
+    /** kReg register index. */
+    int reg = -1;
+};
+
+class Netlist
+{
+  public:
+    explicit Netlist(const Design& design);
+
+    const Design& design() const { return *design_; }
+
+    // -- Node construction (with light folding) ---------------------------
+    int add_const(Bits v);
+    int add_reg(int reg);
+    int add_unop(Op op, int a, uint32_t imm0 = 0, uint32_t imm1 = 0);
+    int add_binop(Op op, int a, int b);
+    int add_mux(int cond, int t, int e);
+
+    // Convenience 1-bit logic.
+    int b_and(int a, int b) { return add_binop(Op::kAnd, a, b); }
+    int b_or(int a, int b) { return add_binop(Op::kOr, a, b); }
+    int b_not(int a) { return add_unop(Op::kNot, a); }
+    int one() { return one_; }
+    int zero() { return zero_; }
+
+    /** Is the node a constant, and if so what value? */
+    const Bits* const_value(int id) const;
+
+    void set_reg_next(int reg, int node) { reg_next_[(size_t)reg] = node; }
+    int reg_next(int reg) const { return reg_next_[(size_t)reg]; }
+
+    size_t num_nodes() const { return nodes_.size(); }
+    const Node& node(int id) const { return nodes_[(size_t)id]; }
+    const std::vector<Node>& nodes() const { return nodes_; }
+
+    /** Result width of each op, given operand widths (checked). */
+    static uint32_t result_width(Op op, uint32_t wa, uint32_t wb,
+                                 uint32_t imm0, uint32_t imm1);
+
+    /** Evaluate one node given resolved operand values (shared by both
+     *  simulators and the optimizer's constant folder). */
+    static Bits eval_node(const Node& n, const Bits& a, const Bits& b,
+                          const Bits& c);
+
+  private:
+    int push(Node n);
+
+    const Design* design_;
+    std::vector<Node> nodes_;
+    std::vector<int> reg_next_;
+    int zero_ = -1, one_ = -1;
+};
+
+} // namespace koika::rtl

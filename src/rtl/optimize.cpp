@@ -1,0 +1,147 @@
+#include "rtl/optimize.hpp"
+
+#include <unordered_map>
+
+namespace koika::rtl {
+
+namespace {
+
+/** Structural key for CSE. */
+struct NodeKey
+{
+    uint8_t kind;
+    uint8_t op;
+    uint32_t imm0, imm1;
+    int a, b, c;
+    int reg;
+    size_t value_hash;
+
+    bool
+    operator==(const NodeKey& o) const
+    {
+        return kind == o.kind && op == o.op && imm0 == o.imm0 &&
+               imm1 == o.imm1 && a == o.a && b == o.b && c == o.c &&
+               reg == o.reg && value_hash == o.value_hash;
+    }
+};
+
+struct NodeKeyHash
+{
+    size_t
+    operator()(const NodeKey& k) const
+    {
+        size_t h = 1469598103934665603ull;
+        auto mix = [&h](size_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        mix(k.kind);
+        mix(k.op);
+        mix(k.imm0);
+        mix(((size_t)(uint32_t)k.a << 32) | (uint32_t)k.b);
+        mix((size_t)(uint32_t)k.c);
+        mix((size_t)(uint32_t)k.reg);
+        mix(k.imm1);
+        mix(k.value_hash);
+        return h;
+    }
+};
+
+Netlist
+optimize_once(const Netlist& input)
+{
+    const Design& d = input.design();
+    size_t n = input.num_nodes();
+
+    // Pass 1: mark nodes reachable from register next-values (DCE).
+    std::vector<bool> live(n, false);
+    std::vector<int> stack;
+    for (size_t r = 0; r < d.num_registers(); ++r)
+        stack.push_back(input.reg_next((int)r));
+    while (!stack.empty()) {
+        int id = stack.back();
+        stack.pop_back();
+        if (id < 0 || live[(size_t)id])
+            continue;
+        live[(size_t)id] = true;
+        const Node& node = input.node(id);
+        for (int opnd : {node.a, node.b, node.c})
+            if (opnd >= 0)
+                stack.push_back(opnd);
+    }
+
+    // Pass 2: rebuild live nodes in order through the folding builder,
+    // de-duplicating structurally identical nodes.
+    Netlist out(d);
+    std::vector<int> remap(n, -1);
+    std::unordered_map<NodeKey, int, NodeKeyHash> cse;
+    std::vector<int> reg_node(d.num_registers(), -1);
+
+    auto emit = [&](size_t i) -> int {
+        const Node& node = input.node((int)i);
+        int a = node.a >= 0 ? remap[(size_t)node.a] : -1;
+        int b = node.b >= 0 ? remap[(size_t)node.b] : -1;
+        int c = node.c >= 0 ? remap[(size_t)node.c] : -1;
+        switch (node.kind) {
+          case NodeKind::kConst:
+            return out.add_const(node.value);
+          case NodeKind::kReg:
+            if (reg_node[(size_t)node.reg] < 0)
+                reg_node[(size_t)node.reg] = out.add_reg(node.reg);
+            return reg_node[(size_t)node.reg];
+          case NodeKind::kUnop:
+            return out.add_unop(node.op, a, node.imm0, node.imm1);
+          case NodeKind::kBinop:
+            return out.add_binop(node.op, a, b);
+          case NodeKind::kMux:
+            return out.add_mux(a, b, c);
+        }
+        panic("unreachable");
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        if (!live[i])
+            continue;
+        const Node& node = input.node((int)i);
+        NodeKey key{(uint8_t)node.kind,
+                    (uint8_t)node.op,
+                    node.imm0,
+                    node.imm1,
+                    node.a >= 0 ? remap[(size_t)node.a] : -1,
+                    node.b >= 0 ? remap[(size_t)node.b] : -1,
+                    node.c >= 0 ? remap[(size_t)node.c] : -1,
+                    node.reg,
+                    node.kind == NodeKind::kConst ? node.value.hash() : 0};
+        auto it = cse.find(key);
+        if (it != cse.end()) {
+            remap[i] = it->second;
+            continue;
+        }
+        int id = emit(i);
+        cse.emplace(key, id);
+        remap[i] = id;
+    }
+
+    for (size_t r = 0; r < d.num_registers(); ++r)
+        out.set_reg_next((int)r, remap[(size_t)input.reg_next((int)r)]);
+    return out;
+}
+
+} // namespace
+
+Netlist
+optimize(const Netlist& input)
+{
+    // Folding exposes new opportunities (constants feed muxes feed
+    // identities); iterate to a fixpoint, bounded for safety.
+    Netlist out = optimize_once(input);
+    for (int round = 0; round < 4; ++round) {
+        size_t before = out.num_nodes();
+        out = optimize_once(out);
+        if (out.num_nodes() >= before)
+            break;
+    }
+    return out;
+}
+
+} // namespace koika::rtl

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Netlist optimizer — the "better circuit compiler" baseline of Fig. 2.
+ *
+ * The paper's Q2 asks whether Cuttlesim's advantage is just an artifact
+ * of Kôika generating naive circuits, and answers it by comparing against
+ * Verilog produced by the commercial Bluespec compiler (which simulates
+ * roughly 2x faster under Verilator). This pass plays that role: global
+ * structural CSE, constant propagation, algebraic simplification, and
+ * dead-node elimination typically shrink the lowered netlist
+ * substantially — but cannot remove the fundamental all-rules-every-cycle
+ * work, which is the paper's point.
+ */
+#pragma once
+
+#include "rtl/netlist.hpp"
+
+namespace koika::rtl {
+
+/** Return an optimized copy of the netlist (semantics-preserving). */
+Netlist optimize(const Netlist& input);
+
+} // namespace koika::rtl

@@ -1,0 +1,179 @@
+#include "rtl/verilog.hpp"
+
+#include <sstream>
+
+namespace koika::rtl {
+
+namespace {
+
+std::string
+sanitize(const std::string& name)
+{
+    std::string out;
+    for (char c : name)
+        out += (std::isalnum((unsigned char)c) || c == '_') ? c : '_';
+    return out;
+}
+
+std::string
+literal(const Bits& v)
+{
+    std::ostringstream os;
+    os << v.width() << "'h";
+    bool started = false;
+    for (int i = (int)Bits::kMaxWords - 1; i >= 0; --i) {
+        uint64_t w = v.word((uint32_t)i);
+        if (!started) {
+            if (w == 0 && i != 0)
+                continue;
+            os << std::hex << w;
+            started = true;
+        } else {
+            char buf[17];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          (unsigned long long)w);
+            os << buf;
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+emit_verilog(const Netlist& nl, const std::string& module_name)
+{
+    const Design& d = nl.design();
+    std::ostringstream os;
+    os << "// Generated from Koika design '" << d.name() << "'\n";
+    os << "module " << sanitize(module_name) << "(input wire CLK);\n";
+
+    // Registers.
+    for (size_t r = 0; r < d.num_registers(); ++r) {
+        const RegInfo& reg = d.reg((int)r);
+        os << "  reg ";
+        if (reg.type->width > 1)
+            os << "[" << reg.type->width - 1 << ":0] ";
+        os << sanitize(reg.name) << " = " << literal(reg.init) << ";\n";
+    }
+
+    auto wire = [](int id) { return "w" + std::to_string(id); };
+
+    // Combinational nodes.
+    for (size_t i = 0; i < nl.num_nodes(); ++i) {
+        const Node& n = nl.node((int)i);
+        if (n.width == 0)
+            continue; // unit wires have no Verilog representation
+        os << "  wire ";
+        if (n.width > 1)
+            os << "[" << n.width - 1 << ":0] ";
+        os << wire((int)i) << " = ";
+        switch (n.kind) {
+          case NodeKind::kConst:
+            os << literal(n.value);
+            break;
+          case NodeKind::kReg:
+            os << sanitize(d.reg(n.reg).name);
+            break;
+          case NodeKind::kMux:
+            os << wire(n.a) << " ? " << wire(n.b) << " : " << wire(n.c);
+            break;
+          case NodeKind::kUnop:
+            switch (n.op) {
+              case Op::kNot:
+                os << "~" << wire(n.a);
+                break;
+              case Op::kNeg:
+                os << "-" << wire(n.a);
+                break;
+              case Op::kZExtL:
+                os << "{{" << (n.imm0 - nl.node(n.a).width) << "{1'b0}}, "
+                   << wire(n.a) << "}";
+                break;
+              case Op::kSExtL:
+                os << "{{" << (n.imm0 - nl.node(n.a).width) << "{"
+                   << wire(n.a) << "[" << nl.node(n.a).width - 1
+                   << "]}}, " << wire(n.a) << "}";
+                break;
+              case Op::kSlice:
+                os << wire(n.a) << "[" << n.imm0 << " +: " << n.imm1
+                   << "]";
+                break;
+              default:
+                panic("bad unop");
+            }
+            break;
+          case NodeKind::kBinop: {
+            const char* infix = nullptr;
+            bool is_signed = false;
+            switch (n.op) {
+              case Op::kAnd: infix = "&"; break;
+              case Op::kOr: infix = "|"; break;
+              case Op::kXor: infix = "^"; break;
+              case Op::kAdd: infix = "+"; break;
+              case Op::kSub: infix = "-"; break;
+              case Op::kMul: infix = "*"; break;
+              case Op::kEq: infix = "=="; break;
+              case Op::kNe: infix = "!="; break;
+              case Op::kLtu: infix = "<"; break;
+              case Op::kLeu: infix = "<="; break;
+              case Op::kGtu: infix = ">"; break;
+              case Op::kGeu: infix = ">="; break;
+              case Op::kLts: infix = "<"; is_signed = true; break;
+              case Op::kLes: infix = "<="; is_signed = true; break;
+              case Op::kGts: infix = ">"; is_signed = true; break;
+              case Op::kGes: infix = ">="; is_signed = true; break;
+              case Op::kLsl: infix = "<<"; break;
+              case Op::kLsr: infix = ">>"; break;
+              case Op::kAsr: break;
+              case Op::kConcat: break;
+              default: panic("bad binop");
+            }
+            if (n.op == Op::kConcat) {
+                os << "{" << wire(n.a) << ", " << wire(n.b) << "}";
+            } else if (n.op == Op::kAsr) {
+                os << "$signed(" << wire(n.a) << ") >>> " << wire(n.b);
+            } else if (is_signed) {
+                os << "$signed(" << wire(n.a) << ") " << infix
+                   << " $signed(" << wire(n.b) << ")";
+            } else {
+                os << wire(n.a) << " " << infix << " " << wire(n.b);
+            }
+            break;
+          }
+        }
+        os << ";\n";
+    }
+
+    os << "  always @(posedge CLK) begin\n";
+    for (size_t r = 0; r < d.num_registers(); ++r) {
+        int next = nl.reg_next((int)r);
+        if (d.reg((int)r).type->width == 0)
+            continue;
+        os << "    " << sanitize(d.reg((int)r).name) << " <= "
+           << "w" << next << ";\n";
+    }
+    os << "  end\n";
+    os << "endmodule\n";
+    return os.str();
+}
+
+size_t
+verilog_sloc(const Netlist& nl)
+{
+    std::string text = emit_verilog(nl, nl.design().name());
+    size_t lines = 0;
+    bool nonblank = false;
+    for (char c : text) {
+        if (c == '\n') {
+            if (nonblank)
+                ++lines;
+            nonblank = false;
+        } else if (c != ' ') {
+            nonblank = true;
+        }
+    }
+    return lines;
+}
+
+} // namespace koika::rtl

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Verilog emitter: the synthesis half of the decoupled pipeline.
+ *
+ * The paper's central thesis is that simulation and synthesis should use
+ * completely separate backends (§1). This emitter demonstrates the
+ * synthesis side: it prints a lowered netlist as a small, structural
+ * subset of Verilog-2001 (Kôika deliberately targets a minimal Verilog
+ * subset for soundness, §4.1-Q2). It is used for inspection, Table 1's
+ * Verilog SLOC column, and golden tests — not re-imported.
+ */
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace koika::rtl {
+
+/** Render the netlist as a single structural Verilog module. */
+std::string emit_verilog(const Netlist& netlist,
+                         const std::string& module_name);
+
+/** Number of non-blank lines in the emitted Verilog (Table 1 column). */
+size_t verilog_sloc(const Netlist& netlist);
+
+} // namespace koika::rtl

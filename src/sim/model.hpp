@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The common cycle-accurate model interface.
+ *
+ * Every execution engine in the repository — the reference interpreter
+ * wrapper, the six Cuttlesim optimization tiers, generated C++ models,
+ * and both RTL simulators — implements Model. Cycle-accuracy (paper §1)
+ * is defined over this interface: two engines agree iff get_reg returns
+ * the same value for every register after every cycle.
+ *
+ * Peripherals (src/harness/peripheral.hpp) interact with a design purely
+ * through committed state between cycles, which keeps external I/O
+ * identical across engines.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bits.hpp"
+
+namespace koika::sim {
+
+class Model
+{
+  public:
+    virtual ~Model() = default;
+
+    /** Advance the design by one cycle. */
+    virtual void cycle() = 0;
+
+    /** Committed value of register `reg` (valid between cycles). */
+    virtual Bits get_reg(int reg) const = 0;
+
+    /** Poke a register between cycles (peripherals, test setup). */
+    virtual void set_reg(int reg, const Bits& value) = 0;
+
+    virtual uint64_t cycles_run() const = 0;
+
+    /** Number of registers (matches the source design's order). */
+    virtual size_t num_regs() const = 0;
+
+    /** Snapshot of all committed registers. */
+    std::vector<Bits>
+    snapshot() const
+    {
+        std::vector<Bits> out;
+        out.reserve(num_regs());
+        for (size_t i = 0; i < num_regs(); ++i)
+            out.push_back(get_reg((int)i));
+        return out;
+    }
+};
+
+} // namespace koika::sim

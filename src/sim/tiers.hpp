@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The Cuttlesim optimization tiers (paper §3.2-3.3).
+ *
+ * Each tier is a complete simulation engine for a Kôika design. The tiers
+ * form the refinement sequence the paper describes, so benchmarking them
+ * against each other reproduces the per-optimization ablation:
+ *
+ *   T0 naive           - beginning-of-cycle state + rule log + cycle log,
+ *                        read-write sets interleaved with data (§3.1).
+ *   T1 split sets      - read-write bitsets stored apart from data, so
+ *                        resets are bulk zeroing.
+ *   T2 accumulate      - accumulated rule log (L ++ l): single-log write
+ *                        checks, commits become plain copies.
+ *   T3 reset-on-fail   - no reset on rule entry; failures restore the
+ *                        accumulated log from the cycle log.
+ *   T4 merged data     - one data field per register and no separate
+ *                        beginning-of-cycle state (mid-cycle snapshots
+ *                        fall out for free).
+ *   T5 static analysis - minimized read-write sets, no tracking for safe
+ *                        registers, footprint-restricted commit/rollback,
+ *                        rollback-free early failures.
+ *
+ * All tiers share one expression evaluator; only the transaction policy
+ * differs, which is exactly the paper's framing.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "koika/design.hpp"
+#include "sim/model.hpp"
+
+namespace koika::sim {
+
+enum class Tier : int {
+    kT0Naive = 0,
+    kT1SplitSets = 1,
+    kT2Accumulate = 2,
+    kT3ResetOnFail = 3,
+    kT4MergedData = 4,
+    kT5StaticAnalysis = 5,
+};
+
+constexpr int kNumTiers = 6;
+
+const char* tier_name(Tier tier);
+
+/** Extended interface offered by tier engines (rule-level control). */
+class TierModel : public Model
+{
+  public:
+    /** Which rules committed during the most recent cycle. */
+    virtual const std::vector<bool>& fired() const = 0;
+
+    /**
+     * Run one cycle with an explicit rule order (case study 2). Tiers
+     * T0-T4 are schedule-independent and support any order; T5 is
+     * specialized to the design's schedule and rejects custom orders.
+     */
+    virtual void cycle_with_order(const std::vector<int>& order) = 0;
+
+    /**
+     * Per-rule commit counters (Gcov-style architecture statistics,
+     * case study 4): [r] = number of cycles rule r committed.
+     */
+    virtual const std::vector<uint64_t>& rule_commit_counts() const = 0;
+    /** Per-rule abort counters. */
+    virtual const std::vector<uint64_t>& rule_abort_counts() const = 0;
+
+    // -- Mid-cycle stepping (§3.2: merged data "even allows mid-cycle
+    // snapshots"; case study 1 stops halfway through a cycle to print
+    // the intermediate state produced by the rules run so far).
+    /** Open a cycle for manual rule-by-rule stepping. */
+    virtual void begin_step_cycle() = 0;
+    /** Run one rule inside the open cycle; true iff it committed. */
+    virtual bool step_rule(int rule) = 0;
+    /** Close the manually stepped cycle. */
+    virtual void end_step_cycle() = 0;
+    /**
+     * Register value as committed *so far* within the open cycle (the
+     * mid-cycle snapshot).
+     */
+    virtual Bits get_mid_reg(int reg) const = 0;
+};
+
+/**
+ * Build a tier engine for a typechecked design. T5 runs the static
+ * analysis internally.
+ */
+std::unique_ptr<TierModel> make_engine(const Design& design, Tier tier);
+
+} // namespace koika::sim

@@ -1,0 +1,312 @@
+// Static-analysis tests (§3.3): register classification, safe-register
+// detection, footprints, may-fail flags, early-guard (clean-fail) points,
+// and detection of the Goldbergian anti-pattern.
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+using namespace koika;
+using namespace koika::analysis;
+
+namespace {
+
+struct Fixture
+{
+    Design d{"t"};
+    Builder b{d};
+
+    DesignAnalysis
+    run()
+    {
+        typecheck(d);
+        return analyze(d);
+    }
+};
+
+} // namespace
+
+TEST(Analysis, TriLattice)
+{
+    EXPECT_EQ(tri_join(Tri::kNo, Tri::kNo), Tri::kNo);
+    EXPECT_EQ(tri_join(Tri::kYes, Tri::kYes), Tri::kYes);
+    EXPECT_EQ(tri_join(Tri::kNo, Tri::kYes), Tri::kMaybe);
+    EXPECT_EQ(tri_join(Tri::kMaybe, Tri::kYes), Tri::kMaybe);
+    EXPECT_EQ(tri_after(Tri::kNo, Tri::kYes), Tri::kYes);
+    EXPECT_EQ(tri_after(Tri::kMaybe, Tri::kNo), Tri::kMaybe);
+}
+
+TEST(Analysis, PlainRegisterClassification)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("inc", f.b.write0(x, f.b.add(f.b.read0(x), f.b.k(8, 1))));
+    f.d.schedule("inc");
+    auto a = f.run();
+    EXPECT_EQ(a.reg_class[(size_t)x], RegClass::kPlain);
+}
+
+TEST(Analysis, WireClassification)
+{
+    // w is written at port 0 by a producer and read at port 1 by a
+    // consumer scheduled after it: a wire.
+    Fixture f;
+    int w = f.b.reg("w", 8, 0);
+    int out = f.b.reg("out", 8, 0);
+    f.d.add_rule("produce", f.b.write0(w, f.b.k(8, 7)));
+    f.d.add_rule("consume", f.b.write0(out, f.b.read1(w)));
+    f.d.schedule("produce");
+    f.d.schedule("consume");
+    auto a = f.run();
+    EXPECT_EQ(a.reg_class[(size_t)w], RegClass::kWire);
+    EXPECT_EQ(a.reg_class[(size_t)out], RegClass::kPlain);
+}
+
+TEST(Analysis, EhrClassification)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("r", f.b.seq({f.b.write0(x, f.b.k(8, 1)),
+                               f.b.write1(x, f.b.read1(x))}));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_EQ(a.reg_class[(size_t)x], RegClass::kEhr);
+}
+
+TEST(Analysis, UnusedRegister)
+{
+    Fixture f;
+    int dead = f.b.reg("dead", 8, 0);
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("inc", f.b.write0(x, f.b.add(f.b.read0(x), f.b.k(8, 1))));
+    f.d.schedule("inc");
+    auto a = f.run();
+    EXPECT_EQ(a.reg_class[(size_t)dead], RegClass::kUnused);
+}
+
+TEST(Analysis, SafeWhenOrderedCorrectly)
+{
+    // Producer wr0 before consumer rd1: neither op can fail.
+    Fixture f;
+    int w = f.b.reg("w", 8, 0);
+    int out = f.b.reg("out", 8, 0);
+    f.d.add_rule("produce", f.b.write0(w, f.b.k(8, 7)));
+    f.d.add_rule("consume", f.b.write0(out, f.b.read1(w)));
+    f.d.schedule("produce");
+    f.d.schedule("consume");
+    auto a = f.run();
+    EXPECT_TRUE(a.reg_safe[(size_t)w]);
+    EXPECT_TRUE(a.reg_safe[(size_t)out]);
+    EXPECT_EQ(a.num_safe_registers(), 2u);
+}
+
+TEST(Analysis, UnsafeWhenWireOrderReversed)
+{
+    // Consumer rd1 scheduled before producer wr0: the wr0 may fail.
+    Fixture f;
+    int w = f.b.reg("w", 8, 0);
+    int out = f.b.reg("out", 8, 0);
+    f.d.add_rule("consume", f.b.write0(out, f.b.read1(w)));
+    f.d.add_rule("produce", f.b.write0(w, f.b.k(8, 7)));
+    f.d.schedule("consume");
+    f.d.schedule("produce");
+    auto a = f.run();
+    EXPECT_FALSE(a.reg_safe[(size_t)w]);
+    EXPECT_TRUE(a.rules[1].reg_may_fail[(size_t)w]);
+    EXPECT_TRUE(a.rules[1].may_fail);
+}
+
+TEST(Analysis, TwoWr0sInDifferentRulesUnsafe)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("w1", f.b.write0(x, f.b.k(8, 1)));
+    f.d.add_rule("w2", f.b.write0(x, f.b.k(8, 2)));
+    f.d.schedule("w1");
+    f.d.schedule("w2");
+    auto a = f.run();
+    EXPECT_FALSE(a.reg_safe[(size_t)x]);
+    // The first write cannot fail; the second may.
+    EXPECT_FALSE(a.rules[0].may_fail);
+    EXPECT_TRUE(a.rules[1].may_fail);
+}
+
+TEST(Analysis, GuardMakesRuleMayFail)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("r", f.b.seq({f.b.guard(f.b.eq(f.b.read0(x), f.b.k(8, 0))),
+                               f.b.write0(x, f.b.k(8, 1))}));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_TRUE(a.rules[0].may_fail);
+    // But x itself is conflict-free.
+    EXPECT_TRUE(a.reg_safe[(size_t)x]);
+}
+
+TEST(Analysis, ConstantTrueGuardCannotFail)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("r", f.b.seq({f.b.guard(f.b.k(1, 1)),
+                               f.b.write0(x, f.b.k(8, 1))}));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_FALSE(a.rules[0].may_fail);
+}
+
+TEST(Analysis, EarlyGuardIsCleanLaterGuardIsNot)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    Action* g1 = f.b.guard(f.b.eq(f.b.read0(x), f.b.k(8, 0)));
+    Action* w = f.b.write0(y, f.b.k(8, 1));
+    Action* g2 = f.b.guard(f.b.eq(f.b.read0(x), f.b.k(8, 0)));
+    int g1_id = g1->id, g2_id = g2->id;
+    f.d.add_rule("r", f.b.seq({g1, w, g2}));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_TRUE(a.ops[(size_t)g1_id].clean_at_fail);
+    EXPECT_FALSE(a.ops[(size_t)g2_id].clean_at_fail);
+}
+
+TEST(Analysis, FootprintsListWritesAndTrackedReads)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    int z = f.b.reg("z", 8, 0);
+    f.d.add_rule("w", f.b.write0(x, f.b.k(8, 1)));
+    f.d.add_rule("r", f.b.write0(y, f.b.read1(x)));
+    f.d.schedule("w");
+    f.d.schedule("r");
+    (void)z;
+    auto a = f.run();
+    EXPECT_EQ(a.rules[0].footprint_writes, (std::vector<int>{x}));
+    EXPECT_EQ(a.rules[0].footprint_tracked, (std::vector<int>{x}));
+    EXPECT_EQ(a.rules[1].footprint_writes, (std::vector<int>{y}));
+    // r reads x at port 1 and writes y.
+    EXPECT_EQ(a.rules[1].footprint_tracked, (std::vector<int>{x, y}));
+}
+
+TEST(Analysis, ConditionalWriteIsMaybe)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int c = f.b.reg("c", 1, 0);
+    f.d.add_rule("r", f.b.when(f.b.read0(c), f.b.write0(x, f.b.k(8, 1))));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_EQ(a.rules[0].log[(size_t)x].wr0, Tri::kMaybe);
+    EXPECT_EQ(a.rules[0].log[(size_t)c].rd0, Tri::kYes);
+    // Still part of the write footprint.
+    EXPECT_EQ(a.rules[0].footprint_writes, (std::vector<int>{x}));
+}
+
+TEST(Analysis, ConstantConditionBranchPruned)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("r", f.b.if_(f.b.k(1, 0), f.b.write0(x, f.b.k(8, 1)),
+                              f.b.write0(y, f.b.k(8, 1))));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_EQ(a.rules[0].log[(size_t)x].wr0, Tri::kNo);
+    EXPECT_EQ(a.rules[0].log[(size_t)y].wr0, Tri::kYes);
+}
+
+TEST(Analysis, BothBranchesWriteJoinsToMaybe)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int c = f.b.reg("c", 1, 0);
+    // Both branches write x, so overall the write happens iff the rule
+    // runs; our join is conservative and reports Maybe.
+    f.d.add_rule("r", f.b.if_(f.b.read0(c), f.b.write0(x, f.b.k(8, 1)),
+                              f.b.write0(x, f.b.k(8, 2))));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_TRUE(tri_possible(a.rules[0].log[(size_t)x].wr0));
+}
+
+TEST(Analysis, GoldbergianPatternDetected)
+{
+    Fixture f;
+    int r = f.b.reg("r", 8, 0);
+    int out = f.b.reg("out", 8, 0);
+    f.d.add_rule("rl", f.b.seq({f.b.write1(r, f.b.k(8, 2)),
+                                f.b.write0(out, f.b.read1(r))}));
+    f.d.schedule("rl");
+    auto a = f.run();
+    EXPECT_TRUE(a.goldbergian);
+}
+
+TEST(Analysis, NormalDesignNotGoldbergian)
+{
+    Fixture f;
+    int r = f.b.reg("r", 8, 0);
+    f.d.add_rule("rl", f.b.seq({f.b.write0(r, f.b.read1(r)),
+                                f.b.write1(r, f.b.k(8, 2))}));
+    f.d.schedule("rl");
+    auto a = f.run();
+    EXPECT_FALSE(a.goldbergian);
+}
+
+TEST(Analysis, Rd0AfterEarlierWriteMayFail)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("w", f.b.write0(x, f.b.k(8, 1)));
+    Action* rd = f.b.read0(x);
+    int rd_id = rd->id;
+    f.d.add_rule("r", f.b.write0(y, rd));
+    f.d.schedule("w");
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_TRUE(a.ops[(size_t)rd_id].may_fail);
+    EXPECT_FALSE(a.reg_safe[(size_t)x]);
+}
+
+TEST(Analysis, CycleLogCombinesRules)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("a", f.b.write0(x, f.b.k(8, 1)));
+    f.d.add_rule("b", f.b.write1(y, f.b.k(8, 1)));
+    f.d.schedule("a");
+    f.d.schedule("b");
+    auto a = f.run();
+    // Rule "a" cannot fail, so its write is a definite Yes in the cycle
+    // log; same for rule "b".
+    EXPECT_EQ(a.cycle_log[(size_t)x].wr0, Tri::kYes);
+    EXPECT_EQ(a.cycle_log[(size_t)y].wr1, Tri::kYes);
+}
+
+TEST(Analysis, MayFailingRuleContributesMaybe)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int c = f.b.reg("c", 1, 0);
+    f.d.add_rule("r", f.b.seq({f.b.guard(f.b.read0(c)),
+                               f.b.write0(x, f.b.k(8, 1))}));
+    f.d.schedule("r");
+    auto a = f.run();
+    EXPECT_EQ(a.cycle_log[(size_t)x].wr0, Tri::kMaybe);
+}
+
+TEST(Analysis, UnscheduledRuleGetsSummary)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("ghost", f.b.write0(x, f.b.k(8, 1)));
+    auto a = f.run();
+    EXPECT_EQ(a.rules[0].footprint_writes, (std::vector<int>{x}));
+    // Unscheduled rules do not affect classification.
+    EXPECT_EQ(a.reg_class[(size_t)x], RegClass::kUnused);
+}

@@ -1,0 +1,269 @@
+// Unit and property tests for the Bits bit-vector kernel.
+//
+// Narrow values (width <= 64) are checked against plain uint64_t
+// arithmetic; wide values are checked through algebraic identities and
+// through splitting into word-sized chunks.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/bits.hpp"
+
+using koika::Bits;
+
+namespace {
+
+uint64_t
+mask(uint32_t w)
+{
+    return w >= 64 ? ~uint64_t{0} : (uint64_t{1} << w) - 1;
+}
+
+} // namespace
+
+TEST(Bits, ZeroesOnesBasics)
+{
+    Bits z = Bits::zeroes(17);
+    EXPECT_EQ(z.width(), 17u);
+    EXPECT_TRUE(z.is_zero());
+    Bits o = Bits::ones(17);
+    EXPECT_EQ(o.to_u64(), mask(17));
+    EXPECT_FALSE(o.is_zero());
+}
+
+TEST(Bits, OfTruncatesToWidth)
+{
+    EXPECT_EQ(Bits::of(4, 0xff).to_u64(), 0xfu);
+    EXPECT_EQ(Bits::of(1, 2).to_u64(), 0u);
+    EXPECT_EQ(Bits::of(64, ~uint64_t{0}).to_u64(), ~uint64_t{0});
+}
+
+TEST(Bits, UnitValue)
+{
+    Bits u;
+    EXPECT_EQ(u.width(), 0u);
+    EXPECT_TRUE(u.is_zero());
+    EXPECT_EQ(u, Bits::zeroes(0));
+}
+
+TEST(Bits, OfStringMsbFirst)
+{
+    Bits b = Bits::of_string("1010");
+    EXPECT_EQ(b.width(), 4u);
+    EXPECT_EQ(b.to_u64(), 0b1010u);
+    EXPECT_TRUE(b.bit(1));
+    EXPECT_FALSE(b.bit(0));
+}
+
+TEST(Bits, BitAccess)
+{
+    Bits b = Bits::of(8, 0b10010110);
+    EXPECT_FALSE(b.bit(0));
+    EXPECT_TRUE(b.bit(1));
+    EXPECT_TRUE(b.bit(7));
+    Bits c = b.with_bit(0, true).with_bit(7, false);
+    EXPECT_EQ(c.to_u64(), 0b00010111u);
+}
+
+TEST(Bits, EqualityRequiresSameWidth)
+{
+    EXPECT_NE(Bits::of(8, 5), Bits::of(9, 5));
+    EXPECT_EQ(Bits::of(8, 5), Bits::of(8, 5));
+}
+
+TEST(Bits, ConcatOrdering)
+{
+    // concat(hi, lo): hi becomes the most significant part.
+    Bits hi = Bits::of(4, 0xA);
+    Bits lo = Bits::of(8, 0xBC);
+    Bits c = hi.concat(lo);
+    EXPECT_EQ(c.width(), 12u);
+    EXPECT_EQ(c.to_u64(), 0xABCu);
+}
+
+TEST(Bits, SliceFromLsb)
+{
+    Bits v = Bits::of(16, 0xABCD);
+    EXPECT_EQ(v.slice(0, 4).to_u64(), 0xDu);
+    EXPECT_EQ(v.slice(4, 8).to_u64(), 0xBCu);
+    EXPECT_EQ(v.slice(12, 4).to_u64(), 0xAu);
+    EXPECT_EQ(v.slice(0, 16), v);
+}
+
+TEST(Bits, ZextSextTruncate)
+{
+    Bits v = Bits::of(8, 0x80);
+    EXPECT_EQ(v.zextl(16).to_u64(), 0x0080u);
+    EXPECT_EQ(v.sextl(16).to_u64(), 0xFF80u);
+    EXPECT_EQ(v.sextl(4).to_u64(), 0x0u);
+    Bits pos = Bits::of(8, 0x7f);
+    EXPECT_EQ(pos.sextl(16).to_u64(), 0x007fu);
+}
+
+TEST(Bits, ShiftEdgeCases)
+{
+    Bits v = Bits::of(8, 0x81);
+    EXPECT_EQ(v.shl_by(0), v);
+    EXPECT_EQ(v.shl_by(8).to_u64(), 0u);
+    EXPECT_EQ(v.shr_by(8).to_u64(), 0u);
+    EXPECT_EQ(v.asr_by(8).to_u64(), 0xffu);
+    EXPECT_EQ(v.asr_by(1).to_u64(), 0xc0u);
+    EXPECT_EQ(Bits::of(8, 0x41).asr_by(1).to_u64(), 0x20u);
+}
+
+TEST(Bits, SignedCompare)
+{
+    Bits minus_one = Bits::of(8, 0xff);
+    Bits one = Bits::of(8, 1);
+    EXPECT_TRUE(minus_one.lts(one).truthy());
+    EXPECT_FALSE(one.lts(minus_one).truthy());
+    EXPECT_TRUE(minus_one.ltu(one).is_zero());
+    EXPECT_TRUE(minus_one.les(minus_one).truthy());
+}
+
+TEST(Bits, NegAndSub)
+{
+    Bits v = Bits::of(8, 1);
+    EXPECT_EQ(v.neg().to_u64(), 0xffu);
+    EXPECT_EQ(Bits::of(8, 5).sub(Bits::of(8, 7)).to_u64(), 0xfeu);
+    EXPECT_EQ(Bits::zeroes(8).neg().to_u64(), 0u);
+}
+
+TEST(Bits, StrRendering)
+{
+    EXPECT_EQ(Bits::of(4, 0b1010).str(), "4'b1010");
+    EXPECT_EQ(Bits::of(32, 0xDEADBEEF).str(), "32'xdeadbeef");
+}
+
+TEST(Bits, HashDiffersByWidthAndValue)
+{
+    EXPECT_NE(Bits::of(8, 1).hash(), Bits::of(8, 2).hash());
+    EXPECT_NE(Bits::of(8, 1).hash(), Bits::of(9, 1).hash());
+    EXPECT_EQ(Bits::of(8, 1).hash(), Bits::of(8, 1).hash());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps against uint64_t reference semantics.
+// ---------------------------------------------------------------------------
+
+class BitsWidthProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(BitsWidthProperty, MatchesU64Reference)
+{
+    uint32_t w = GetParam();
+    std::mt19937_64 rng(w * 1234567u + 1);
+    uint64_t m = mask(w);
+    for (int iter = 0; iter < 200; ++iter) {
+        uint64_t x = rng() & m, y = rng() & m;
+        Bits bx = Bits::of(w, x), by = Bits::of(w, y);
+        EXPECT_EQ(bx.band(by).to_u64(), x & y);
+        EXPECT_EQ(bx.bor(by).to_u64(), x | y);
+        EXPECT_EQ(bx.bxor(by).to_u64(), x ^ y);
+        EXPECT_EQ(bx.bnot().to_u64(), ~x & m);
+        EXPECT_EQ(bx.add(by).to_u64(), (x + y) & m);
+        EXPECT_EQ(bx.sub(by).to_u64(), (x - y) & m);
+        EXPECT_EQ(bx.mul(by).to_u64(), (x * y) & m);
+        EXPECT_EQ(bx.eq(by).truthy(), x == y);
+        EXPECT_EQ(bx.ltu(by).truthy(), x < y);
+        EXPECT_EQ(bx.leu(by).truthy(), x <= y);
+        EXPECT_EQ(bx.gtu(by).truthy(), x > y);
+        EXPECT_EQ(bx.geu(by).truthy(), x >= y);
+        uint64_t sh = y % (w + 2);
+        EXPECT_EQ(bx.shl_by(sh).to_u64(), sh >= w ? 0 : (x << sh) & m);
+        EXPECT_EQ(bx.shr_by(sh).to_u64(), sh >= w ? 0 : x >> sh);
+        if (w > 0 && w < 64) {
+            int64_t sx = (int64_t)(x << (64 - w)) >> (64 - w);
+            int64_t sy = (int64_t)(y << (64 - w)) >> (64 - w);
+            EXPECT_EQ(bx.lts(by).truthy(), sx < sy);
+            EXPECT_EQ(bx.les(by).truthy(), sx <= sy);
+            EXPECT_EQ(bx.asr_by(sh).to_u64(),
+                      (uint64_t)(sx >> std::min<uint64_t>(sh, 63)) & m);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitsWidthProperty,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 12, 16, 17, 31,
+                                           32, 33, 48, 63, 64));
+
+class BitsWideProperty : public ::testing::TestWithParam<uint32_t>
+{
+  protected:
+    Bits
+    random_bits(std::mt19937_64& rng, uint32_t w)
+    {
+        uint64_t words[Bits::kMaxWords];
+        for (auto& word : words)
+            word = rng();
+        return Bits::of_words(w, words, Bits::kMaxWords);
+    }
+};
+
+TEST_P(BitsWideProperty, AlgebraicIdentities)
+{
+    uint32_t w = GetParam();
+    std::mt19937_64 rng(w * 77777u + 3);
+    for (int iter = 0; iter < 100; ++iter) {
+        Bits x = random_bits(rng, w), y = random_bits(rng, w);
+        // x + y - y == x
+        EXPECT_EQ(x.add(y).sub(y), x);
+        // -(-x) == x
+        EXPECT_EQ(x.neg().neg(), x);
+        // x ^ y ^ y == x
+        EXPECT_EQ(x.bxor(y).bxor(y), x);
+        // ~~x == x
+        EXPECT_EQ(x.bnot().bnot(), x);
+        // De Morgan.
+        EXPECT_EQ(x.band(y).bnot(), x.bnot().bor(y.bnot()));
+        // Exactly one of <, ==, > holds.
+        int cnt = x.ltu(y).truthy() + (x == y) + x.gtu(y).truthy();
+        EXPECT_EQ(cnt, 1);
+        // Shifts compose.
+        EXPECT_EQ(x.shl_by(7).shl_by(11), x.shl_by(18));
+        EXPECT_EQ(x.shr_by(7).shr_by(11), x.shr_by(18));
+        // Concat/slice round-trip (when the result still fits).
+        if (2 * w <= Bits::kMaxWidth) {
+            Bits c = x.concat(y);
+            EXPECT_EQ(c.slice(0, w), y);
+            EXPECT_EQ(c.slice(w, w), x);
+        }
+        // Word-chunk decomposition of add: low half matches u64 math
+        // when no carry crosses word 0.
+        EXPECT_EQ(x.add(Bits::zeroes(w)), x);
+    }
+}
+
+TEST_P(BitsWideProperty, MulMatchesShiftAddDecomposition)
+{
+    uint32_t w = GetParam();
+    std::mt19937_64 rng(w * 999u + 7);
+    for (int iter = 0; iter < 40; ++iter) {
+        Bits x = random_bits(rng, w);
+        uint64_t small = rng() & 0xff;
+        Bits y = Bits::of(w, small);
+        Bits expect = Bits::zeroes(w);
+        for (uint32_t b = 0; b < 8; ++b)
+            if ((small >> b) & 1)
+                expect = expect.add(x.shl_by(b));
+        EXPECT_EQ(x.mul(y), expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WideWidths, BitsWideProperty,
+                         ::testing::Values(65, 100, 127, 128, 129, 200, 255,
+                                           256, 300, 511, 512));
+
+TEST(Bits, MaxWidthRoundTrip)
+{
+    std::mt19937_64 rng(42);
+    uint64_t words[Bits::kMaxWords];
+    for (auto& word : words)
+        word = rng();
+    Bits x = Bits::of_words(Bits::kMaxWidth, words, Bits::kMaxWords);
+    for (uint32_t i = 0; i < Bits::kMaxWords; ++i)
+        EXPECT_EQ(x.word(i), words[i]);
+    EXPECT_EQ(x.slice(64, 64).to_u64(), words[1]);
+}

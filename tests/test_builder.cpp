@@ -1,0 +1,139 @@
+// Tests for the design builder: node construction, register declaration,
+// helpers (seq folding, struct_init, mux_read/mux_write, clone).
+
+#include <gtest/gtest.h>
+
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+using namespace koika;
+
+TEST(Builder, RegisterDeclaration)
+{
+    Design d("t");
+    Builder b(d);
+    int r = b.reg("pc", 32, 0x80000000u);
+    EXPECT_EQ(r, 0);
+    EXPECT_EQ(d.reg(r).name, "pc");
+    EXPECT_EQ(d.reg(r).init.to_u64(), 0x80000000u);
+    EXPECT_EQ(d.reg_index("pc"), 0);
+    EXPECT_EQ(d.reg_index("nope"), -1);
+}
+
+TEST(Builder, DuplicateRegisterRejected)
+{
+    Design d("t");
+    Builder b(d);
+    b.reg("x", 8);
+    EXPECT_THROW(b.reg("x", 8), FatalError);
+}
+
+TEST(Builder, RegArrayNames)
+{
+    Design d("t");
+    Builder b(d);
+    auto regs = b.reg_array("rf", 4, bits_type(32), Bits::zeroes(32));
+    EXPECT_EQ(regs.size(), 4u);
+    EXPECT_EQ(d.reg(regs[3]).name, "rf3");
+}
+
+TEST(Builder, InitWidthMismatchRejected)
+{
+    Design d("t");
+    Builder b(d);
+    EXPECT_THROW(d.add_register("x", bits_type(8), Bits::of(9, 0)),
+                 FatalError);
+}
+
+TEST(Builder, SeqFoldsRightAssociative)
+{
+    Design d("t");
+    Builder b(d);
+    int r = b.reg("x", 8);
+    Action* s = b.seq({b.write0(r, b.k(8, 1)), b.write1(r, b.k(8, 2)),
+                       b.read1(r)});
+    EXPECT_EQ(s->kind, ActionKind::kSeq);
+    EXPECT_EQ(s->a1->kind, ActionKind::kSeq);
+    EXPECT_EQ(s->a1->a1->kind, ActionKind::kRead);
+}
+
+TEST(Builder, EnumConstant)
+{
+    Design d("t");
+    Builder b(d);
+    auto st = make_enum("state", {"A", "B"});
+    Action* a = b.enum_k(st, "B");
+    EXPECT_EQ(a->value, Bits::of(1, 1));
+    EXPECT_TRUE(a->const_type->is_enum());
+    EXPECT_THROW(b.enum_k(st, "C"), FatalError);
+}
+
+TEST(Builder, StructInitSetsNamedFields)
+{
+    Design d("t");
+    Builder b(d);
+    auto t = make_struct("s", {{"hi", bits_type(8), 0},
+                               {"lo", bits_type(8), 0}});
+    int r = d.add_register("sr", t, Bits::zeroes(16));
+    Action* v = b.struct_init(t, {{"hi", b.k(8, 0xAB)},
+                                  {"lo", b.k(8, 0xCD)}});
+    int rl = d.add_rule("init", b.write0(r, v));
+    d.schedule(rl);
+    typecheck(d);
+    EXPECT_TRUE(d.typechecked);
+}
+
+TEST(Builder, CloneProducesDisjointTree)
+{
+    Design d("t");
+    Builder b(d);
+    int r = b.reg("x", 8);
+    Action* e = b.add(b.read0(r), b.k(8, 1));
+    Action* c = b.clone(e);
+    EXPECT_NE(c, e);
+    EXPECT_NE(c->a0, e->a0);
+    EXPECT_EQ(c->kind, e->kind);
+    EXPECT_EQ(c->a0->reg, e->a0->reg);
+    // Distinct node ids so analyses can tell them apart.
+    EXPECT_NE(c->id, e->id);
+}
+
+TEST(Builder, MuxReadTypechecks)
+{
+    Design d("t");
+    Builder b(d);
+    auto rf = b.reg_array("rf", 4, bits_type(32), Bits::zeroes(32));
+    int out = b.reg("out", 32);
+    Action* body =
+        b.let("i", b.k(2, 3),
+              b.write0(out, b.mux_read(rf, b.var("i"), Port::p0)));
+    d.add_rule("rd", body);
+    d.schedule("rd");
+    typecheck(d);
+    EXPECT_TRUE(d.typechecked);
+}
+
+TEST(Builder, MuxWriteTypechecks)
+{
+    Design d("t");
+    Builder b(d);
+    auto rf = b.reg_array("rf", 5, bits_type(32), Bits::zeroes(32));
+    Action* body =
+        b.let("i", b.k(3, 4),
+              b.mux_write(rf, b.var("i"), b.k(32, 99), Port::p0));
+    d.add_rule("wr", body);
+    d.schedule("wr");
+    typecheck(d);
+    EXPECT_TRUE(d.typechecked);
+}
+
+TEST(Builder, ScheduleByName)
+{
+    Design d("t");
+    Builder b(d);
+    int r = b.reg("x", 1);
+    d.add_rule("flip", b.write0(r, b.not_(b.read0(r))));
+    d.schedule("flip");
+    EXPECT_EQ(d.schedule_order().size(), 1u);
+    EXPECT_THROW(d.schedule("missing"), FatalError);
+}

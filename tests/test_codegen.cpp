@@ -1,0 +1,239 @@
+// Code-generator tests: textual properties of emitted models (the
+// readability and minimized-tracking claims of §3/§4.2) and full-pipeline
+// differential tests that emit, compile with the system C++ compiler, run
+// the binary, and compare every cycle's committed state against the
+// reference interpreter.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "codegen/compile.hpp"
+#include "codegen/cpp_emit.hpp"
+#include "harness/random_design.hpp"
+#include "interp/reference.hpp"
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+using namespace koika;
+using namespace koika::codegen;
+using koika::harness::random_design;
+using koika::harness::RandomDesignConfig;
+
+namespace {
+
+std::string
+workdir()
+{
+    static int counter = 0;
+    return "/tmp/cuttlesim_codegen_test_" + std::to_string(counter++) +
+           ".tmp";
+}
+
+/** The paper's two-state machine with an MSHR-style struct register. */
+std::unique_ptr<Design>
+showcase_design()
+{
+    auto d = std::make_unique<Design>("showcase");
+    Builder b(*d);
+    auto st_t = make_enum("state", {"A", "B"});
+    auto mshr_t = make_struct("mshr", {{"tag", st_t, 0},
+                                       {"addr", bits_type(16), 0}});
+    int st = d->add_register("st", st_t, Bits::of(1, 0));
+    int x = b.reg("x", 32, 1);
+    int m = d->add_register("m", mshr_t, Bits::zeroes(17));
+    FunctionDef* fA =
+        b.fn("fA", {{"v", bits_type(32)}}, bits_type(32),
+             b.add(b.var("v"), b.k(32, 3)));
+    d->add_rule(
+        "rlA",
+        b.seq({b.guard(b.eq(b.read0(st), b.enum_k(st_t, "A"))),
+               b.write0(st, b.enum_k(st_t, "B")),
+               b.let("new_x", b.call(fA, {b.read0(x)}),
+                     b.write0(x, b.var("new_x")))}));
+    d->add_rule(
+        "rlB",
+        b.seq({b.guard(b.eq(b.read0(st), b.enum_k(st_t, "B"))),
+               b.write0(st, b.enum_k(st_t, "A")),
+               b.write0(m, b.struct_init(mshr_t,
+                                         {{"tag", b.enum_k(st_t, "B")},
+                                          {"addr", b.k(16, 0xBEEF)}}))}));
+    d->schedule("rlA");
+    d->schedule("rlB");
+    typecheck(*d);
+    return d;
+}
+
+/** Emit+compile+run `cycles` cycles and diff against the reference. */
+void
+expect_compiled_model_matches(const Design& d, unsigned cycles)
+{
+    CompileResult cr = compile_model_driver(d, workdir(),
+                                            reg_dump_driver(d), "-O1");
+    std::string out =
+        run_binary(cr.binary, std::to_string(cycles));
+    auto dump = parse_reg_dump(d, out);
+    ASSERT_EQ(dump.size(), (size_t)cycles);
+    ReferenceSim ref(d);
+    for (unsigned c = 0; c < cycles; ++c) {
+        ref.cycle();
+        for (size_t r = 0; r < d.num_registers(); ++r)
+            ASSERT_EQ(dump[c][r], ref.reg((int)r))
+                << d.name() << " cycle " << c << " register "
+                << d.reg((int)r).name;
+    }
+}
+
+} // namespace
+
+TEST(CodegenText, ModelIsReadable)
+{
+    auto d = showcase_design();
+    std::string text = emit_model(*d);
+    // Enums map to C++ enum classes with symbolic members (§4.2 CS1).
+    EXPECT_NE(text.find("enum class state_t"), std::string::npos);
+    EXPECT_NE(text.find("state_t::A"), std::string::npos);
+    // Structs map to C++ structs with named fields.
+    EXPECT_NE(text.find("struct mshr_t"), std::string::npos);
+    EXPECT_NE(text.find("bits<16> addr{};"), std::string::npos);
+    // One function per rule, early-exit style.
+    EXPECT_NE(text.find("bool rule_rlA()"), std::string::npos);
+    EXPECT_NE(text.find("return false;"), std::string::npos);
+    // Combinational functions survive as named C++ functions.
+    EXPECT_NE(text.find("static bits<32> fA("), std::string::npos);
+    // Let-bound names survive.
+    EXPECT_NE(text.find("new_x"), std::string::npos);
+}
+
+TEST(CodegenText, SafeRegistersHaveNoRwset)
+{
+    // A design whose registers are all provably safe generates no
+    // read-write-set members at all (§3.3).
+    Design d("safe");
+    Builder b(d);
+    int x = b.reg("x", 8, 0);
+    d.add_rule("inc", b.write0(x, b.add(b.read0(x), b.k(8, 1))));
+    d.schedule("inc");
+    typecheck(d);
+    std::string text = emit_model(d);
+    EXPECT_NE(text.find("// all registers are safe"), std::string::npos);
+    EXPECT_EQ(text.find("rwset_t x"), std::string::npos);
+    // No conflict checks anywhere in the rule.
+    EXPECT_EQ(text.find("fail_inc"), std::string::npos);
+}
+
+TEST(CodegenText, UnsafeRegistersKeepChecks)
+{
+    Design d("unsafe");
+    Builder b(d);
+    int x = b.reg("x", 8, 0);
+    d.add_rule("w1", b.write0(x, b.k(8, 1)));
+    d.add_rule("w2", b.write0(x, b.k(8, 2)));
+    d.schedule("w1");
+    d.schedule("w2");
+    typecheck(d);
+    std::string text = emit_model(d);
+    EXPECT_NE(text.find("rwset_t x"), std::string::npos);
+    // w2's write must check; its failure needs no rollback (clean).
+    EXPECT_NE(text.find("if (log.rwset.x.rd1 | log.rwset.x.wr0 | "
+                        "log.rwset.x.wr1) return false;"),
+              std::string::npos);
+}
+
+TEST(CodegenText, EarlyGuardFailsWithoutRollback)
+{
+    Design d("early");
+    Builder b(d);
+    int x = b.reg("x", 8, 0);
+    int y = b.reg("y", 8, 0);
+    d.add_rule("r", b.seq({b.guard(b.eq(b.read0(x), b.k(8, 0))),
+                           b.write0(y, b.k(8, 1)),
+                           b.guard(b.eq(b.read0(x), b.k(8, 0)))}));
+    // Make y unsafe so the rule has a real footprint to roll back.
+    d.add_rule("r2", b.write0(y, b.k(8, 2)));
+    d.schedule("r");
+    d.schedule("r2");
+    typecheck(d);
+    std::string text = emit_model(d);
+    // First guard: pristine log, plain return.
+    EXPECT_NE(text.find("return false;"), std::string::npos);
+    // Second guard (after the write): must roll back via fail_r().
+    EXPECT_NE(text.find("return fail_r();"), std::string::npos);
+}
+
+TEST(CodegenText, CountersEmittedByDefault)
+{
+    auto d = showcase_design();
+    std::string text = emit_model(*d);
+    EXPECT_NE(text.find("commit_count"), std::string::npos);
+    EmitOptions opts;
+    opts.counters = false;
+    EXPECT_EQ(emit_model(*d, opts).find("commit_count"),
+              std::string::npos);
+}
+
+TEST(CodegenText, ModelSlocIsReasonable)
+{
+    auto d = showcase_design();
+    size_t sloc = model_sloc(*d);
+    EXPECT_GT(sloc, 50u);
+    EXPECT_LT(sloc, 400u);
+}
+
+TEST(CodegenCompile, ShowcaseMatchesReference)
+{
+    auto d = showcase_design();
+    expect_compiled_model_matches(*d, 20);
+}
+
+TEST(CodegenCompile, ConflictingRulesMatchReference)
+{
+    Design d("conflicts");
+    Builder b(d);
+    int x = b.reg("x", 8, 0);
+    int c = b.reg("c", 1, 0);
+    d.add_rule("flip", b.write0(c, b.not_(b.read0(c))));
+    d.add_rule("w1", b.seq({b.guard(b.read1(c)),
+                            b.write0(x, b.add(b.read0(x), b.k(8, 1)))}));
+    d.add_rule("w2", b.write0(x, b.add(b.read0(x), b.k(8, 16))));
+    d.schedule("flip");
+    d.schedule("w1");
+    d.schedule("w2");
+    typecheck(d);
+    expect_compiled_model_matches(d, 16);
+}
+
+TEST(CodegenCompile, GoldbergFriendlyPortsMatchReference)
+{
+    Design d("ports");
+    Builder b(d);
+    int r = b.reg("r", 8, 0);
+    int saw0 = b.reg("saw0", 8, 0xFF);
+    d.add_rule("rl", b.seq({b.write0(r, b.k(8, 1)),
+                            b.write1(r, b.k(8, 2)),
+                            b.write1(saw0, b.read0(r))}));
+    d.schedule("rl");
+    typecheck(d);
+    expect_compiled_model_matches(d, 4);
+}
+
+class CodegenRandomSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CodegenRandomSweep, CompiledRandomDesignMatchesReference)
+{
+    auto d = random_design(GetParam() * 7919 + 13);
+    expect_compiled_model_matches(*d, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodegenRandomSweep,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(CodegenCompile, WideRegistersMatchReference)
+{
+    RandomDesignConfig cfg;
+    cfg.wide_registers = true;
+    auto d = random_design(424243, cfg);
+    expect_compiled_model_matches(*d, 20);
+}

@@ -1,0 +1,175 @@
+// Differential tests for the build-time generated models: the Cuttlesim
+// C++ models and the compiled-netlist RTL models of every benchmark
+// design must track the in-process T5 engine cycle by cycle, and the
+// RISC-V generated models must run real programs to the same result as
+// the golden ISA simulator.
+
+#include <gtest/gtest.h>
+
+#include "codegen/generated_model.hpp"
+#include "designs/designs.hpp"
+#include "designs/rv32.hpp"
+#include "riscv/goldensim.hpp"
+#include "riscv/programs.hpp"
+#include "sim/tiers.hpp"
+
+#include "collatz.model.hpp"
+#include "collatz_rtl.hpp"
+#include "collatz_rtlopt.hpp"
+#include "fft.model.hpp"
+#include "fft_rtl.hpp"
+#include "fir.model.hpp"
+#include "fir_rtl.hpp"
+#include "rv32i.model.hpp"
+#include "rv32i_bp.model.hpp"
+#include "rv32i_rtl.hpp"
+#include "rv32i_rtlopt.hpp"
+
+using namespace koika;
+using namespace koika::codegen;
+using namespace koika::designs;
+using namespace koika::riscv;
+using koika::sim::make_engine;
+using koika::sim::Tier;
+
+namespace {
+
+template <typename M>
+void
+expect_tracks_engine(const std::string& design_name, int cycles)
+{
+    auto d = build_design(design_name);
+    auto engine = make_engine(*d, Tier::kT5StaticAnalysis);
+    GeneratedModel<M> generated;
+    ASSERT_EQ(generated.num_regs(), d->num_registers());
+    for (int c = 0; c < cycles; ++c) {
+        engine->cycle();
+        generated.cycle();
+        for (size_t r = 0; r < d->num_registers(); ++r)
+            ASSERT_EQ(generated.get_reg((int)r), engine->get_reg((int)r))
+                << design_name << " cycle " << c << " register "
+                << d->reg((int)r).name;
+    }
+}
+
+} // namespace
+
+TEST(Generated, CollatzTracksEngine)
+{
+    expect_tracks_engine<cuttlesim::models::collatz>("collatz", 500);
+}
+
+TEST(Generated, CollatzRtlTracksEngine)
+{
+    expect_tracks_engine<cuttlesim::models::collatz_rtl>("collatz", 500);
+}
+
+TEST(Generated, CollatzRtlOptTracksEngine)
+{
+    expect_tracks_engine<cuttlesim::models::collatz_rtlopt>("collatz",
+                                                            500);
+}
+
+TEST(Generated, FirTracksEngine)
+{
+    expect_tracks_engine<cuttlesim::models::fir>("fir", 300);
+}
+
+TEST(Generated, FirRtlTracksEngine)
+{
+    expect_tracks_engine<cuttlesim::models::fir_rtl>("fir", 300);
+}
+
+TEST(Generated, FftTracksEngine)
+{
+    expect_tracks_engine<cuttlesim::models::fft>("fft", 300);
+}
+
+TEST(Generated, FftRtlTracksEngine)
+{
+    expect_tracks_engine<cuttlesim::models::fft_rtl>("fft", 300);
+}
+
+TEST(Generated, Rv32iRunsPrimesToGoldenResult)
+{
+    Program prog = build_program(primes_source(200));
+    GoldenSim golden;
+    golden.load(prog);
+    golden.run(10'000'000);
+    ASSERT_TRUE(golden.halted());
+
+    auto d = build_design("rv32i");
+    GeneratedModel<cuttlesim::models::rv32i> m;
+    Rv32System sys(*d, m, prog, 1);
+    sys.run(2'000'000);
+    ASSERT_TRUE(sys.halted());
+    EXPECT_EQ(sys.tohost(0), golden.tohost());
+    EXPECT_EQ(sys.instret(0), golden.instructions_retired());
+}
+
+TEST(Generated, Rv32iRtlRunsPrimesToGoldenResult)
+{
+    Program prog = build_program(primes_source(50));
+    GoldenSim golden;
+    golden.load(prog);
+    golden.run(10'000'000);
+
+    auto d = build_design("rv32i");
+    GeneratedModel<cuttlesim::models::rv32i_rtl> m;
+    Rv32System sys(*d, m, prog, 1);
+    sys.run(2'000'000);
+    ASSERT_TRUE(sys.halted());
+    EXPECT_EQ(sys.tohost(0), golden.tohost());
+}
+
+TEST(Generated, Rv32iRtlOptMatchesRtlLockstep)
+{
+    Program prog = build_program(primes_source(30));
+    auto d = build_design("rv32i");
+    GeneratedModel<cuttlesim::models::rv32i_rtl> a;
+    GeneratedModel<cuttlesim::models::rv32i_rtlopt> b;
+    Rv32System sys_a(*d, a, prog, 1);
+    Rv32System sys_b(*d, b, prog, 1);
+    for (int c = 0; c < 3000 && !sys_a.halted(); ++c) {
+        sys_a.run(1);
+        sys_b.run(1);
+        for (size_t r = 0; r < d->num_registers(); ++r)
+            ASSERT_EQ(a.get_reg((int)r), b.get_reg((int)r))
+                << "cycle " << c << " reg " << d->reg((int)r).name;
+    }
+    EXPECT_TRUE(sys_a.halted());
+}
+
+TEST(Generated, Rv32iBpRunsBranchyFasterThanBaseline)
+{
+    Program prog = build_program(branchy_source(300));
+    auto base_d = build_design("rv32i");
+    auto bp_d = build_design("rv32i-bp");
+    GeneratedModel<cuttlesim::models::rv32i> base;
+    GeneratedModel<cuttlesim::models::rv32i_bp> bp;
+    Rv32System sys_base(*base_d, base, prog, 1);
+    Rv32System sys_bp(*bp_d, bp, prog, 1);
+    uint64_t cycles_base = sys_base.run(2'000'000);
+    uint64_t cycles_bp = sys_bp.run(2'000'000);
+    ASSERT_TRUE(sys_base.halted());
+    ASSERT_TRUE(sys_bp.halted());
+    EXPECT_EQ(sys_base.tohost(0), sys_bp.tohost(0));
+    EXPECT_LT(cycles_bp, cycles_base);
+}
+
+TEST(Generated, CommitCountersCountRuleActivity)
+{
+    // Gcov-style statistics come for free (case study 4).
+    GeneratedModel<cuttlesim::models::collatz> m;
+    for (int i = 0; i < 111; ++i)
+        m.cycle();
+    auto& impl = m.impl();
+    uint64_t commits = 0;
+    for (size_t r = 0; r < impl.kNumRules; ++r)
+        commits += impl.commit_count[r];
+    EXPECT_EQ(commits, 111u); // exactly one rule commits per cycle
+    uint64_t aborts = 0;
+    for (size_t r = 0; r < impl.kNumRules; ++r)
+        aborts += impl.abort_count[r];
+    EXPECT_EQ(aborts, 2u * 111u); // the two non-matching rules abort
+}

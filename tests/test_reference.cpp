@@ -1,0 +1,427 @@
+// Reference-interpreter tests: the specification semantics of §3.1.
+//
+// These pin down the port conflict matrix, intra-rule visibility, rule
+// abortion and commit behaviour, and end-of-cycle register updates. Every
+// other engine is later differential-tested against this interpreter, so
+// these tests are the semantic anchor of the whole repository.
+
+#include <gtest/gtest.h>
+
+#include "interp/reference.hpp"
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+using namespace koika;
+
+namespace {
+
+struct Fixture
+{
+    Design d{"t"};
+    Builder b{d};
+
+    void
+    finish()
+    {
+        typecheck(d);
+    }
+};
+
+} // namespace
+
+TEST(Reference, CounterIncrements)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("inc", f.b.write0(x, f.b.add(f.b.read0(x), f.b.k(8, 1))));
+    f.d.schedule("inc");
+    f.finish();
+    ReferenceSim sim(f.d);
+    for (int i = 1; i <= 5; ++i) {
+        sim.cycle();
+        EXPECT_EQ(sim.reg(x).to_u64(), (uint64_t)i);
+    }
+    EXPECT_EQ(sim.cycles_run(), 5u);
+}
+
+TEST(Reference, Wr1BeatsWr0AtCommit)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("r", f.b.seq({f.b.write0(x, f.b.k(8, 1)),
+                               f.b.write1(x, f.b.k(8, 2))}));
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(x).to_u64(), 2u);
+}
+
+TEST(Reference, GoldbergianContraption)
+{
+    // Paper §3.2: rule rl = r.wr0(1); r.wr1(2); r.rd0(); r.rd1()
+    // succeeds, rd0 reads 0 and rd1 reads 1.
+    Fixture f;
+    int r = f.b.reg("r", 8, 0);
+    int saw0 = f.b.reg("saw0", 8, 0xFF);
+    int saw1 = f.b.reg("saw1", 8, 0xFF);
+    f.d.add_rule(
+        "rl", f.b.seq({f.b.write0(r, f.b.k(8, 1)),
+                       f.b.write1(r, f.b.k(8, 2)),
+                       f.b.write1(saw0, f.b.read0(r)),
+                       f.b.write1(saw1, f.b.read1(r))}));
+    f.d.schedule("rl");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_EQ(sim.reg(saw0).to_u64(), 0u);
+    EXPECT_EQ(sim.reg(saw1).to_u64(), 1u);
+    EXPECT_EQ(sim.reg(r).to_u64(), 2u);
+}
+
+TEST(Reference, Rd0AfterEarlierRuleWriteAborts)
+{
+    // Rule w writes x at port 0; rule r then reads x at port 0 -> r must
+    // abort (a rd0 cannot observe an earlier write in the same cycle).
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("w", f.b.write0(x, f.b.k(8, 1)));
+    f.d.add_rule("r", f.b.write0(y, f.b.read0(x)));
+    f.d.schedule("w");
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_FALSE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(y).to_u64(), 0u);
+}
+
+TEST(Reference, Rd1SeesEarlierRuleWr0)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("w", f.b.write0(x, f.b.k(8, 42)));
+    f.d.add_rule("r", f.b.write0(y, f.b.read1(x)));
+    f.d.schedule("w");
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(y).to_u64(), 42u);
+}
+
+TEST(Reference, Rd1AfterEarlierRuleWr1Aborts)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("w", f.b.write1(x, f.b.k(8, 1)));
+    f.d.add_rule("r", f.b.write0(y, f.b.read1(x)));
+    f.d.schedule("w");
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_FALSE(sim.fired()[1]);
+}
+
+TEST(Reference, Wr0AfterEarlierRuleRd1Aborts)
+{
+    // The accidental-conflict scenario of case study 1: a rd1 followed by
+    // a later rule's wr0 is a linearity violation.
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("r", f.b.write0(y, f.b.read1(x)));
+    f.d.add_rule("w", f.b.write0(x, f.b.k(8, 1)));
+    f.d.schedule("r");
+    f.d.schedule("w");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_FALSE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 0u);
+}
+
+TEST(Reference, Wr0AfterEarlierRuleWr0Aborts)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("w1", f.b.write0(x, f.b.k(8, 1)));
+    f.d.add_rule("w2", f.b.write0(x, f.b.k(8, 2)));
+    f.d.schedule("w1");
+    f.d.schedule("w2");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_FALSE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 1u);
+}
+
+TEST(Reference, TwoWr1sConflict)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("w1", f.b.write1(x, f.b.k(8, 1)));
+    f.d.add_rule("w2", f.b.write1(x, f.b.k(8, 2)));
+    f.d.schedule("w1");
+    f.d.schedule("w2");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_FALSE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 1u);
+}
+
+TEST(Reference, Wr0ThenLaterRuleWr1Allowed)
+{
+    // wr0 then a *later rule's* wr1 is the classic forwarding pattern.
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("w0", f.b.write0(x, f.b.k(8, 1)));
+    f.d.add_rule("w1", f.b.write1(x, f.b.k(8, 2)));
+    f.d.schedule("w0");
+    f.d.schedule("w1");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_TRUE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 2u);
+}
+
+TEST(Reference, Wr1ThenLaterRuleWr0Conflicts)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("w1", f.b.write1(x, f.b.k(8, 2)));
+    f.d.add_rule("w0", f.b.write0(x, f.b.k(8, 1)));
+    f.d.schedule("w1");
+    f.d.schedule("w0");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_FALSE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 2u);
+}
+
+TEST(Reference, AbortedRuleLeavesNoTrace)
+{
+    // A rule that writes, then aborts: its writes must be discarded and a
+    // later rule must still be able to write.
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("doomed", f.b.seq({f.b.write0(x, f.b.k(8, 7)),
+                                    f.b.abort()}));
+    f.d.add_rule("after", f.b.write0(x, f.b.k(8, 9)));
+    f.d.schedule("doomed");
+    f.d.schedule("after");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_FALSE(sim.fired()[0]);
+    EXPECT_TRUE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 9u);
+}
+
+TEST(Reference, GuardFalseAborts)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("r", f.b.seq({f.b.guard(f.b.eq(f.b.read0(x), f.b.k(8, 1))),
+                               f.b.write0(x, f.b.k(8, 5))}));
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_FALSE(sim.fired()[0]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 0u);
+    sim.set_reg(x, Bits::of(8, 1));
+    sim.cycle();
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 5u);
+}
+
+TEST(Reference, IntraRuleWr0ThenRd1SeesValue)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    int y = f.b.reg("y", 8, 0);
+    f.d.add_rule("r", f.b.seq({f.b.write0(x, f.b.k(8, 3)),
+                               f.b.write1(y, f.b.read1(x))}));
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(y).to_u64(), 3u);
+}
+
+TEST(Reference, IntraRuleWr0ThenWr0Conflicts)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("r", f.b.seq({f.b.write0(x, f.b.k(8, 1)),
+                               f.b.write0(x, f.b.k(8, 2))}));
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_FALSE(sim.fired()[0]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 0u);
+}
+
+TEST(Reference, TwoStateMachine)
+{
+    // The paper's §2.1 example: alternate rlA / rlB by state.
+    Fixture f;
+    auto st_t = make_enum("state", {"A", "B"});
+    int st = f.d.add_register("st", st_t, Bits::of(1, 0));
+    int x = f.b.reg("x", 32, 1);
+    Action* rlA =
+        f.b.seq({f.b.guard(f.b.eq(f.b.read0(st), f.b.enum_k(st_t, "A"))),
+                 f.b.write0(st, f.b.enum_k(st_t, "B")),
+                 f.b.write0(x, f.b.add(f.b.read0(x), f.b.k(32, 1)))});
+    Action* rlB =
+        f.b.seq({f.b.guard(f.b.eq(f.b.read0(st), f.b.enum_k(st_t, "B"))),
+                 f.b.write0(st, f.b.enum_k(st_t, "A")),
+                 f.b.write0(x, f.b.mul(f.b.read0(x), f.b.k(32, 2)))});
+    f.d.add_rule("rlA", rlA);
+    f.d.add_rule("rlB", rlB);
+    f.d.schedule("rlA");
+    f.d.schedule("rlB");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle(); // A: x = 2
+    EXPECT_TRUE(sim.fired()[0]);
+    EXPECT_FALSE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 2u);
+    sim.cycle(); // B: x = 4
+    EXPECT_FALSE(sim.fired()[0]);
+    EXPECT_TRUE(sim.fired()[1]);
+    EXPECT_EQ(sim.reg(x).to_u64(), 4u);
+    sim.cycle(); // A: x = 5
+    EXPECT_EQ(sim.reg(x).to_u64(), 5u);
+}
+
+TEST(Reference, MutuallyExclusiveRulesOrderIrrelevant)
+{
+    // Case study 2's property on a small scale: for mutually exclusive
+    // rules, any scheduler order produces the same behaviour.
+    Fixture f;
+    auto st_t = make_enum("state", {"A", "B"});
+    int st = f.d.add_register("st", st_t, Bits::of(1, 0));
+    int x = f.b.reg("x", 8, 0);
+    Action* rlA =
+        f.b.seq({f.b.guard(f.b.eq(f.b.read0(st), f.b.enum_k(st_t, "A"))),
+                 f.b.write0(st, f.b.enum_k(st_t, "B")),
+                 f.b.write0(x, f.b.add(f.b.read0(x), f.b.k(8, 1)))});
+    Action* rlB =
+        f.b.seq({f.b.guard(f.b.eq(f.b.read0(st), f.b.enum_k(st_t, "B"))),
+                 f.b.write0(st, f.b.enum_k(st_t, "A")),
+                 f.b.write0(x, f.b.add(f.b.read0(x), f.b.k(8, 10)))});
+    f.d.add_rule("rlA", rlA);
+    f.d.add_rule("rlB", rlB);
+    f.d.schedule("rlA");
+    f.d.schedule("rlB");
+    f.finish();
+
+    ReferenceSim fwd(f.d), rev(f.d);
+    std::vector<int> reversed = {1, 0};
+    for (int i = 0; i < 10; ++i) {
+        fwd.cycle();
+        rev.cycle_with_order(reversed);
+        EXPECT_EQ(fwd.reg(x), rev.reg(x)) << "cycle " << i;
+        EXPECT_EQ(fwd.reg(st), rev.reg(st)) << "cycle " << i;
+    }
+}
+
+TEST(Reference, UnscheduledRuleNeverRuns)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    f.d.add_rule("never", f.b.write0(x, f.b.k(8, 99)));
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(x).to_u64(), 0u);
+}
+
+TEST(Reference, AssignMutatesLocal)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 0);
+    // let v := 1 in (if x == 0 then set v := 5); x.wr0(v)
+    Action* body = f.b.let(
+        "v", f.b.k(8, 1),
+        f.b.seq({f.b.when(f.b.eq(f.b.read0(x), f.b.k(8, 0)),
+                          f.b.assign("v", f.b.k(8, 5))),
+                 f.b.write0(x, f.b.var("v"))}));
+    f.d.add_rule("r", body);
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(x).to_u64(), 5u);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(x).to_u64(), 1u);
+}
+
+TEST(Reference, FunctionCallEvaluates)
+{
+    Fixture f;
+    int x = f.b.reg("x", 8, 3);
+    FunctionDef* sq = f.b.fn("sq", {{"a", bits_type(8)}}, bits_type(8),
+                             f.b.mul(f.b.var("a"), f.b.var("a")));
+    f.d.add_rule("r", f.b.write0(x, f.b.call(sq, {f.b.read0(x)})));
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(x).to_u64(), 9u);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(x).to_u64(), 81u);
+}
+
+TEST(Reference, StructFieldRoundTrip)
+{
+    Fixture f;
+    auto t = make_struct("pkt", {{"hi", bits_type(8), 0},
+                                 {"lo", bits_type(8), 0}});
+    int p = f.d.add_register("p", t, Bits::zeroes(16));
+    int out = f.b.reg("out", 8, 0);
+    f.d.add_rule(
+        "wr", f.b.write0(p, f.b.struct_init(t, {{"hi", f.b.k(8, 0xAB)},
+                                                {"lo", f.b.k(8, 0xCD)}})));
+    f.d.add_rule("rd", f.b.write0(out, f.b.get(f.b.read1(p), "hi")));
+    f.d.schedule("wr");
+    f.d.schedule("rd");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(p).to_u64(), 0xABCDu);
+    EXPECT_EQ(sim.reg(out).to_u64(), 0xABu);
+}
+
+TEST(Reference, SubstFieldUpdatesOnlyThatField)
+{
+    Fixture f;
+    auto t = make_struct("pkt", {{"hi", bits_type(8), 0},
+                                 {"lo", bits_type(8), 0}});
+    int p = f.d.add_register("p", t, Bits::of(16, 0x1234));
+    f.d.add_rule("r",
+                 f.b.write0(p, f.b.subst(f.b.read0(p), "hi", f.b.k(8, 0xFF))));
+    f.d.schedule("r");
+    f.finish();
+    ReferenceSim sim(f.d);
+    sim.cycle();
+    EXPECT_EQ(sim.reg(p).to_u64(), 0xFF34u);
+}

@@ -1,0 +1,323 @@
+// RISC-V substrate tests: instruction encodings, the assembler (labels,
+// pseudo-instructions, addressing forms), the golden ISA simulator
+// (per-instruction semantics), and the benchmark programs end to end.
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "riscv/encoding.hpp"
+#include "riscv/goldensim.hpp"
+#include "riscv/programs.hpp"
+
+using namespace koika::riscv;
+
+// Spot-check encodings against known-good words (cross-checked with the
+// RISC-V spec examples).
+TEST(Encoding, KnownWords)
+{
+    EXPECT_EQ(nop(), 0x00000013u);
+    EXPECT_EQ(addi(1, 0, 5), 0x00500093u);
+    EXPECT_EQ(add(3, 1, 2), 0x002081B3u);
+    EXPECT_EQ(sub(3, 1, 2), 0x402081B3u);
+    EXPECT_EQ(lui(5, 0x12345), 0x123452B7u);
+    EXPECT_EQ(lw(6, 2, 8), 0x00812303u);
+    EXPECT_EQ(sw(7, 2, 12), 0x00712623u);
+    EXPECT_EQ(ecall(), 0x00000073u);
+    EXPECT_EQ(jal(0, 8), 0x0080006Fu);
+    EXPECT_EQ(beq(1, 2, -4), 0xFE208EE3u);
+    EXPECT_EQ(srai(4, 4, 3), 0x40325213u);
+}
+
+TEST(Encoding, BranchImmediateRoundTrip)
+{
+    // Decode what we encode for a range of offsets.
+    for (int32_t off : {-4096, -2048, -4, 4, 16, 2046, 4094}) {
+        uint32_t inst = beq(3, 4, off);
+        int32_t imm = (int32_t)((((inst >> 8) & 0xF) << 1) |
+                                (((inst >> 25) & 0x3F) << 5) |
+                                (((inst >> 7) & 1) << 11) |
+                                (((inst >> 31) & 1) << 12));
+        if (imm & 0x1000)
+            imm |= (int32_t)0xFFFFE000;
+        EXPECT_EQ(imm, off) << "offset " << off;
+    }
+}
+
+TEST(Assembler, RegisterNames)
+{
+    EXPECT_EQ(parse_register("x0"), 0);
+    EXPECT_EQ(parse_register("x31"), 31);
+    EXPECT_EQ(parse_register("zero"), 0);
+    EXPECT_EQ(parse_register("ra"), 1);
+    EXPECT_EQ(parse_register("sp"), 2);
+    EXPECT_EQ(parse_register("a0"), 10);
+    EXPECT_EQ(parse_register("t6"), 31);
+    EXPECT_EQ(parse_register("fp"), 8);
+    EXPECT_EQ(parse_register("x32"), -1);
+    EXPECT_EQ(parse_register("q1"), -1);
+}
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble("addi x1, x0, 5\nadd x2, x1, x1\n");
+    ASSERT_EQ(p.words.size(), 2u);
+    EXPECT_EQ(p.words[0], addi(1, 0, 5));
+    EXPECT_EQ(p.words[1], add(2, 1, 1));
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble("start: addi x1, x1, 1\n"
+                         "beq x1, x2, start\n"
+                         "j start\n");
+    ASSERT_EQ(p.words.size(), 3u);
+    EXPECT_EQ(p.labels.at("start"), 0u);
+    EXPECT_EQ(p.words[1], beq(1, 2, -4));
+    EXPECT_EQ(p.words[2], jal(0, -8));
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = assemble("j end\nnop\nend: ecall\n");
+    EXPECT_EQ(p.labels.at("end"), 8u);
+    EXPECT_EQ(p.words[0], jal(0, 8));
+}
+
+TEST(Assembler, LoadStoreSyntax)
+{
+    Program p = assemble("lw a0, 8(sp)\nsw a1, -4(s0)\nlbu t0, 0(a0)\n");
+    EXPECT_EQ(p.words[0], lw(10, 2, 8));
+    EXPECT_EQ(p.words[1], sw(11, 8, -4));
+    EXPECT_EQ(p.words[2], lbu(5, 10, 0));
+}
+
+TEST(Assembler, LiExpansion)
+{
+    Program small = assemble("li a0, 100\n");
+    ASSERT_EQ(small.words.size(), 1u);
+    EXPECT_EQ(small.words[0], addi(10, 0, 100));
+
+    Program big = assemble("li a0, 0x40000000\n");
+    ASSERT_EQ(big.words.size(), 2u);
+
+    // Label addresses account for multi-word expansions.
+    Program mixed = assemble("li a0, 0x12345678\nend: nop\n");
+    EXPECT_EQ(mixed.labels.at("end"), 8u);
+}
+
+TEST(Assembler, LiValuesCorrectViaGoldenSim)
+{
+    for (int64_t v : {0L, 5L, -5L, 2047L, -2048L, 2048L, 0x12345678L,
+                      -0x12345678L, 0x7FFFFFFFL, (int64_t)0xFFFFFFFF}) {
+        GoldenSim sim;
+        std::string src =
+            "li a0, " + std::to_string(v) + "\necall\n";
+        sim.load(assemble(src));
+        sim.run(10);
+        EXPECT_EQ(sim.reg(10), (uint32_t)v) << "li " << v;
+    }
+}
+
+TEST(Assembler, Pseudos)
+{
+    Program p = assemble("nop\nmv a0, a1\nnot a2, a3\nneg a4, a5\n"
+                         "ret\nbeqz a0, 0\nbnez a1, 0\n");
+    EXPECT_EQ(p.words[0], nop());
+    EXPECT_EQ(p.words[1], addi(10, 11, 0));
+    EXPECT_EQ(p.words[2], xori(12, 13, -1));
+    EXPECT_EQ(p.words[3], sub(14, 0, 15));
+    EXPECT_EQ(p.words[4], jalr(0, 1, 0));
+}
+
+TEST(Assembler, WordDirectiveAndComments)
+{
+    Program p = assemble("# leading comment\n"
+                         ".word 0xDEADBEEF  # trailing comment\n");
+    ASSERT_EQ(p.words.size(), 1u);
+    EXPECT_EQ(p.words[0], 0xDEADBEEFu);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("frobnicate x1, x2\n"), koika::FatalError);
+    EXPECT_THROW(assemble("addi x1, x2, 5000\n"), koika::FatalError);
+    EXPECT_THROW(assemble("beq x1, x2, nowhere\n"), koika::FatalError);
+    EXPECT_THROW(assemble("add x1, q2, x3\n"), koika::FatalError);
+}
+
+// ---------------------------------------------------------------------------
+// Golden simulator semantics.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+GoldenSim
+run_asm(const std::string& src, uint64_t max_steps = 100000)
+{
+    GoldenSim sim;
+    sim.load(assemble(src));
+    sim.run(max_steps);
+    return sim;
+}
+
+} // namespace
+
+TEST(GoldenSim, ArithmeticAndLogic)
+{
+    GoldenSim s = run_asm("li a0, 7\nli a1, -3\n"
+                          "add a2, a0, a1\n"  // 4
+                          "sub a3, a0, a1\n"  // 10
+                          "and a4, a0, a1\n"
+                          "or a5, a0, a1\n"
+                          "xor a6, a0, a1\n"
+                          "ecall\n");
+    EXPECT_EQ(s.reg(12), 4u);
+    EXPECT_EQ(s.reg(13), 10u);
+    EXPECT_EQ(s.reg(14), 7u & (uint32_t)-3);
+    EXPECT_EQ(s.reg(15), 7u | (uint32_t)-3);
+    EXPECT_EQ(s.reg(16), 7u ^ (uint32_t)-3);
+    EXPECT_TRUE(s.halted());
+}
+
+TEST(GoldenSim, ShiftsAndCompares)
+{
+    GoldenSim s = run_asm("li a0, -8\n"
+                          "srai a1, a0, 1\n"   // -4
+                          "srli a2, a0, 1\n"   // 0x7FFFFFFC
+                          "slli a3, a0, 2\n"   // -32
+                          "slt a4, a0, zero\n" // 1 (signed)
+                          "sltu a5, a0, zero\n" // 0
+                          "slti a6, a0, -7\n"  // 1
+                          "sltiu a7, zero, 1\n" // 1
+                          "ecall\n");
+    EXPECT_EQ(s.reg(11), (uint32_t)-4);
+    EXPECT_EQ(s.reg(12), 0x7FFFFFFCu);
+    EXPECT_EQ(s.reg(13), (uint32_t)-32);
+    EXPECT_EQ(s.reg(14), 1u);
+    EXPECT_EQ(s.reg(15), 0u);
+    EXPECT_EQ(s.reg(16), 1u);
+    EXPECT_EQ(s.reg(17), 1u);
+}
+
+TEST(GoldenSim, X0IsHardwiredZero)
+{
+    GoldenSim s = run_asm("addi x0, x0, 5\nadd a0, x0, x0\necall\n");
+    EXPECT_EQ(s.reg(0), 0u);
+    EXPECT_EQ(s.reg(10), 0u);
+}
+
+TEST(GoldenSim, LoadsStoresAllWidths)
+{
+    GoldenSim s = run_asm("li a0, 0x2000\n"
+                          "li a1, 0x80FFEE11\n"
+                          "sw a1, 0(a0)\n"
+                          "lw a2, 0(a0)\n"
+                          "lb a3, 3(a0)\n"   // 0x80 -> sign-extended
+                          "lbu a4, 3(a0)\n"  // 0x80
+                          "lh a5, 2(a0)\n"   // 0x80FF -> sign-extended
+                          "lhu a6, 2(a0)\n"
+                          "sb a1, 4(a0)\n"
+                          "lbu a7, 4(a0)\n"  // 0x11
+                          "sh a1, 8(a0)\n"
+                          "lhu s0, 8(a0)\n"  // 0xEE11
+                          "ecall\n");
+    EXPECT_EQ(s.reg(12), 0x80FFEE11u);
+    EXPECT_EQ(s.reg(13), 0xFFFFFF80u);
+    EXPECT_EQ(s.reg(14), 0x80u);
+    EXPECT_EQ(s.reg(15), 0xFFFF80FFu);
+    EXPECT_EQ(s.reg(16), 0x80FFu);
+    EXPECT_EQ(s.reg(17), 0x11u);
+    EXPECT_EQ(s.reg(8), 0xEE11u);
+}
+
+TEST(GoldenSim, JumpsAndLinks)
+{
+    GoldenSim s = run_asm("call func\n"
+                          "j end\n"
+                          "func: li a0, 42\n"
+                          "ret\n"
+                          "end: ecall\n");
+    EXPECT_EQ(s.reg(10), 42u);
+    EXPECT_EQ(s.reg(1), 4u); // ra = return address after call
+}
+
+TEST(GoldenSim, AuipcComputesPcRelative)
+{
+    GoldenSim s = run_asm("nop\nauipc a0, 1\necall\n");
+    EXPECT_EQ(s.reg(10), 4u + 0x1000u);
+}
+
+TEST(GoldenSim, BranchLoopSumsCorrectly)
+{
+    // sum 1..10 = 55
+    GoldenSim s = run_asm("li a0, 0\nli t0, 1\nli t1, 11\n"
+                          "loop: add a0, a0, t0\n"
+                          "addi t0, t0, 1\n"
+                          "blt t0, t1, loop\n"
+                          "ecall\n");
+    EXPECT_EQ(s.reg(10), 55u);
+}
+
+TEST(GoldenSim, TohostStream)
+{
+    GoldenSim s = run_asm("li t0, 0x40000000\n"
+                          "li a0, 1\nsw a0, 0(t0)\n"
+                          "li a0, 2\nsw a0, 0(t0)\n"
+                          "ecall\n");
+    ASSERT_EQ(s.tohost().size(), 2u);
+    EXPECT_EQ(s.tohost()[0], 1u);
+    EXPECT_EQ(s.tohost()[1], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark programs on the golden simulator.
+// ---------------------------------------------------------------------------
+
+TEST(Programs, PrimesReportsCorrectCount)
+{
+    GoldenSim s;
+    s.load(build_program(primes_source(1000)));
+    s.run(10'000'000);
+    ASSERT_TRUE(s.halted());
+    ASSERT_EQ(s.tohost().size(), 1u);
+    EXPECT_EQ(s.tohost()[0], 168u); // pi(1000) = 168
+    EXPECT_EQ(s.tohost()[0], primes_below(1000));
+}
+
+TEST(Programs, PrimesSmallBounds)
+{
+    for (uint32_t bound : {10u, 50u, 200u}) {
+        GoldenSim s;
+        s.load(build_program(primes_source(bound)));
+        s.run(10'000'000);
+        ASSERT_TRUE(s.halted()) << bound;
+        EXPECT_EQ(s.tohost()[0], primes_below(bound)) << bound;
+    }
+}
+
+TEST(Programs, NopsRetireAndReport)
+{
+    GoldenSim s;
+    s.load(build_program(nops_source(100)));
+    s.run(10000);
+    ASSERT_TRUE(s.halted());
+    ASSERT_EQ(s.tohost().size(), 1u);
+    EXPECT_EQ(s.tohost()[0], 0xD05Eu);
+    // 100 nops + li(2) + li(1) + sw + ecall.
+    EXPECT_GE(s.instructions_retired(), 104u);
+}
+
+TEST(Programs, BranchyAndChainedHalt)
+{
+    GoldenSim b;
+    b.load(build_program(branchy_source(500)));
+    b.run(1'000'000);
+    ASSERT_TRUE(b.halted());
+    EXPECT_EQ(b.tohost().size(), 1u);
+
+    GoldenSim c;
+    c.load(build_program(chained_source(100)));
+    c.run(1'000'000);
+    ASSERT_TRUE(c.halted());
+    EXPECT_EQ(c.tohost().size(), 1u);
+}

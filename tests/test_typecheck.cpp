@@ -1,0 +1,266 @@
+// Typechecker tests: acceptance of well-typed designs, rejection of
+// ill-typed ones, slot assignment, function purity, tree-shape checks.
+
+#include <gtest/gtest.h>
+
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+
+using namespace koika;
+
+namespace {
+
+/** Build a one-rule design around `body` and typecheck it. */
+void
+check_rule(Design& d, Action* body)
+{
+    d.add_rule("r", body);
+    d.schedule("r");
+    typecheck(d);
+}
+
+} // namespace
+
+TEST(Typecheck, SimpleRuleTypes)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8, 3);
+    Action* body = b.write0(x, b.add(b.read0(x), b.k(8, 1)));
+    check_rule(d, body);
+    EXPECT_TRUE(d.typechecked);
+    EXPECT_EQ(body->type->width, 0u);
+    EXPECT_EQ(body->a0->type->width, 8u);
+}
+
+TEST(Typecheck, WidthMismatchRejected)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    EXPECT_THROW(check_rule(d, b.write0(x, b.k(9, 0))), FatalError);
+}
+
+TEST(Typecheck, BinopWidthMismatchRejected)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    EXPECT_THROW(check_rule(d, b.write0(x, b.add(b.read0(x), b.k(4, 1)))),
+                 FatalError);
+}
+
+TEST(Typecheck, IfConditionMustBeOneBit)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    EXPECT_THROW(
+        check_rule(d, b.if_(b.k(2, 1), b.write0(x, b.k(8, 0)), b.unit())),
+        FatalError);
+}
+
+TEST(Typecheck, IfBranchesMustAgree)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    Action* body = b.write0(x, b.if_(b.k(1, 1), b.k(8, 1), b.k(7, 1)));
+    EXPECT_THROW(check_rule(d, body), FatalError);
+}
+
+TEST(Typecheck, UnboundVariableRejected)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    EXPECT_THROW(check_rule(d, b.write0(x, b.var("ghost"))), FatalError);
+}
+
+TEST(Typecheck, LetScopingAndShadowing)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    // let v := 1 in (let v := v + 1 in x.wr0(v))
+    Action* body =
+        b.let("v", b.k(8, 1),
+              b.let("v", b.add(b.var("v"), b.k(8, 1)),
+                    b.write0(x, b.var("v"))));
+    check_rule(d, body);
+    EXPECT_EQ(d.rule(0).nslots, 2);
+}
+
+TEST(Typecheck, VariableOutOfScopeAfterLet)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    // (let v := 1 in v); x.wr0(v)  -- second v is out of scope.
+    Action* body = b.seq({b.let("v", b.k(8, 1), b.var("v")),
+                          b.write0(x, b.var("v"))});
+    EXPECT_THROW(check_rule(d, body), FatalError);
+}
+
+TEST(Typecheck, AssignTypeMustMatch)
+{
+    Design d("t");
+    Builder b(d);
+    b.reg("x", 8);
+    Action* body = b.let("v", b.k(8, 1), b.assign("v", b.k(9, 1)));
+    EXPECT_THROW(check_rule(d, body), FatalError);
+}
+
+TEST(Typecheck, GuardMustBeOneBit)
+{
+    Design d("t");
+    Builder b(d);
+    b.reg("x", 8);
+    EXPECT_THROW(check_rule(d, b.guard(b.k(8, 1))), FatalError);
+}
+
+TEST(Typecheck, EnumEqualityOkBitsEnumEqualityRejected)
+{
+    Design d("t");
+    Builder b(d);
+    auto st = make_enum("state", {"A", "B"});
+    int s = d.add_register("s", st, Bits::of(1, 0));
+    Action* ok = b.guard(b.eq(b.read0(s), b.enum_k(st, "A")));
+    d.add_rule("ok", ok);
+    d.schedule("ok");
+    typecheck(d);
+
+    Design d2("t2");
+    Builder b2(d2);
+    int s2 = d2.add_register("s", st, Bits::of(1, 0));
+    Action* bad = b2.guard(b2.eq(b2.read0(s2), b2.k(1, 0)));
+    d2.add_rule("bad", bad);
+    d2.schedule("bad");
+    EXPECT_THROW(typecheck(d2), FatalError);
+}
+
+TEST(Typecheck, StructFieldAccess)
+{
+    Design d("t");
+    Builder b(d);
+    auto t = make_struct("s", {{"hi", bits_type(8), 0},
+                               {"lo", bits_type(4), 0}});
+    int r = d.add_register("sr", t, Bits::zeroes(12));
+    int out = b.reg("out", 8);
+    check_rule(d, b.write0(out, b.get(b.read0(r), "hi")));
+    EXPECT_TRUE(d.typechecked);
+}
+
+TEST(Typecheck, UnknownFieldRejected)
+{
+    Design d("t");
+    Builder b(d);
+    auto t = make_struct("s", {{"hi", bits_type(8), 0}});
+    int r = d.add_register("sr", t, Bits::zeroes(8));
+    int out = b.reg("out", 8);
+    EXPECT_THROW(check_rule(d, b.write0(out, b.get(b.read0(r), "xx"))),
+                 FatalError);
+}
+
+TEST(Typecheck, SubstFieldTypeChecked)
+{
+    Design d("t");
+    Builder b(d);
+    auto t = make_struct("s", {{"hi", bits_type(8), 0}});
+    int r = d.add_register("sr", t, Bits::zeroes(8));
+    EXPECT_THROW(
+        check_rule(d, b.write0(r, b.subst(b.read0(r), "hi", b.k(9, 0)))),
+        FatalError);
+}
+
+TEST(Typecheck, SliceOutOfRangeRejected)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    int out = b.reg("out", 4);
+    EXPECT_THROW(check_rule(d, b.write0(out, b.slice(b.read0(x), 6, 4))),
+                 FatalError);
+}
+
+TEST(Typecheck, FunctionsMustBePure)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    FunctionDef* f =
+        b.fn("bad", {{"a", bits_type(8)}}, bits_type(8), b.read0(x));
+    (void)f;
+    d.add_rule("r", b.write0(x, b.call(f, {b.k(8, 0)})));
+    d.schedule("r");
+    EXPECT_THROW(typecheck(d), FatalError);
+}
+
+TEST(Typecheck, FunctionCallArityAndTypes)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    FunctionDef* f = b.fn("inc", {{"a", bits_type(8)}}, bits_type(8),
+                          b.add(b.var("a"), b.k(8, 1)));
+    d.add_rule("r", b.write0(x, b.call(f, {b.read0(x)})));
+    d.schedule("r");
+    typecheck(d);
+    EXPECT_EQ(f->nslots, 1);
+
+    Design d2("t2");
+    Builder b2(d2);
+    int x2 = b2.reg("x", 8);
+    FunctionDef* f2 = b2.fn("inc", {{"a", bits_type(8)}}, bits_type(8),
+                            b2.add(b2.var("a"), b2.k(8, 1)));
+    d2.add_rule("r", b2.write0(x2, b2.call(f2, {b2.k(4, 0)})));
+    d2.schedule("r");
+    EXPECT_THROW(typecheck(d2), FatalError);
+}
+
+TEST(Typecheck, FunctionReturnTypeChecked)
+{
+    Design d("t");
+    Builder b(d);
+    b.reg("x", 8);
+    b.fn("bad", {}, bits_type(8), b.k(4, 0));
+    d.add_rule("r", b.k(0, 0));
+    d.schedule("r");
+    EXPECT_THROW(typecheck(d), FatalError);
+}
+
+TEST(Typecheck, SharedSubtreeRejected)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    Action* e = b.read0(x);
+    // The same node used twice: must be rejected.
+    EXPECT_THROW(check_rule(d, b.write0(x, b.add(e, e))), FatalError);
+}
+
+TEST(Typecheck, RuleScheduledTwiceRejected)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 1);
+    int r = d.add_rule("flip", b.write0(x, b.not_(b.read0(x))));
+    d.schedule(r);
+    d.schedule(r);
+    EXPECT_THROW(typecheck(d), FatalError);
+}
+
+TEST(Typecheck, NestedCallFramesSized)
+{
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    FunctionDef* inc = b.fn("inc", {{"a", bits_type(8)}}, bits_type(8),
+                            b.add(b.var("a"), b.k(8, 1)));
+    FunctionDef* inc2 = b.fn("inc2", {{"a", bits_type(8)}}, bits_type(8),
+                             b.call(inc, {b.call(inc, {b.var("a")})}));
+    d.add_rule("r", b.write0(x, b.call(inc2, {b.read0(x)})));
+    d.schedule("r");
+    typecheck(d);
+    EXPECT_GE(inc2->nslots, 1);
+}

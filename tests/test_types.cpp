@@ -1,0 +1,85 @@
+// Tests for the Kôika type system: bits, enums, structs, packing layout.
+
+#include <gtest/gtest.h>
+
+#include "koika/types.hpp"
+
+using namespace koika;
+
+TEST(Types, BitsTypeInterned)
+{
+    EXPECT_EQ(bits_type(32).get(), bits_type(32).get());
+    EXPECT_EQ(bits_type(32)->width, 32u);
+    EXPECT_TRUE(bits_type(7)->is_bits());
+    EXPECT_EQ(bits_type(7)->str(), "bits<7>");
+}
+
+TEST(Types, UnitIsZeroWidthBits)
+{
+    EXPECT_EQ(unit_type()->width, 0u);
+    EXPECT_TRUE(unit_type()->is_bits());
+}
+
+TEST(Types, EnumAutoWidth)
+{
+    auto t = make_enum("state", {"A", "B", "C"});
+    EXPECT_TRUE(t->is_enum());
+    EXPECT_EQ(t->width, 2u);
+    EXPECT_EQ(t->members.size(), 3u);
+    EXPECT_EQ(t->member_index("B"), 1);
+    EXPECT_EQ(t->members[1].value, Bits::of(2, 1));
+    EXPECT_EQ(t->member_index("missing"), -1);
+    EXPECT_EQ(t->str(), "enum state");
+}
+
+TEST(Types, EnumTwoMembersWidthOne)
+{
+    auto t = make_enum("flag", {"lo", "hi"});
+    EXPECT_EQ(t->width, 1u);
+}
+
+TEST(Types, EnumExplicitEncodings)
+{
+    auto t = make_enum_explicit(
+        "opcode", {{"load", Bits::of(7, 0x03)}, {"store", Bits::of(7, 0x23)}});
+    EXPECT_EQ(t->width, 7u);
+    EXPECT_EQ(t->members[1].value.to_u64(), 0x23u);
+}
+
+TEST(Types, StructLayoutFirstFieldMostSignificant)
+{
+    auto t = make_struct("mshr", {{"tag", bits_type(2), 0},
+                                  {"addr", bits_type(32), 0},
+                                  {"valid", bits_type(1), 0}});
+    EXPECT_TRUE(t->is_struct());
+    EXPECT_EQ(t->width, 35u);
+    // valid is the last field -> LSBs.
+    EXPECT_EQ(t->fields[2].offset, 0u);
+    EXPECT_EQ(t->fields[1].offset, 1u);
+    EXPECT_EQ(t->fields[0].offset, 33u);
+    EXPECT_EQ(t->field_index("addr"), 1);
+    EXPECT_EQ(t->field_index("nope"), -1);
+}
+
+TEST(Types, NestedStructWidths)
+{
+    auto inner = make_struct("pair", {{"x", bits_type(8), 0},
+                                      {"y", bits_type(8), 0}});
+    auto outer = make_struct("wrap", {{"p", inner, 0},
+                                      {"flag", bits_type(1), 0}});
+    EXPECT_EQ(outer->width, 17u);
+    EXPECT_EQ(outer->fields[0].offset, 1u);
+}
+
+TEST(Types, SameTypeStructuralForBitsNominalForNamed)
+{
+    EXPECT_TRUE(same_type(bits_type(8), bits_type(8)));
+    EXPECT_FALSE(same_type(bits_type(8), bits_type(9)));
+    auto e1 = make_enum("e", {"a", "b"});
+    auto e2 = make_enum("e", {"a", "b"});
+    auto e3 = make_enum("f", {"a", "b"});
+    EXPECT_TRUE(same_type(e1, e2));
+    EXPECT_FALSE(same_type(e1, e3));
+    // An enum is never the same as bits of equal width.
+    EXPECT_FALSE(same_type(e1, bits_type(1)));
+}
