@@ -7,6 +7,10 @@
 // log layout, accumulated logs, reset-on-failure, merged data, and the
 // analysis-driven specializations. The generated C++ model ("codegen")
 // is included as the endpoint the paper ships.
+//
+// Also writes BENCH_ablation.json with per-rule commit/abort counts and
+// abort-reason attribution for every tier row (the interpreters track
+// reasons unconditionally).
 
 #include <benchmark/benchmark.h>
 
@@ -27,37 +31,48 @@ constexpr int kBatch = 5'000;
 constexpr uint32_t kSmallPrimes = 100;
 
 void
-bm_tier_free(benchmark::State& state, const char* design_name, Tier tier)
+bm_tier_free(benchmark::State& state, const char* label,
+             const char* design_name, Tier tier)
 {
     const koika::Design& d = bench::design(design_name);
     auto engine = make_engine(d, tier);
+    bench::Timer timer;
     for (auto _ : state)
         for (int i = 0; i < kBatch; ++i)
             engine->cycle();
     state.SetItemsProcessed(state.iterations() * kBatch);
+    bench::report().record(label, koika::sim::tier_name(tier), *engine,
+                           timer.seconds());
 }
 
 void
-bm_tier_cpu(benchmark::State& state, const char* design_name, Tier tier)
+bm_tier_cpu(benchmark::State& state, const char* label,
+            const char* design_name, Tier tier)
 {
     const koika::Design& d = bench::design(design_name);
     uint64_t cycles = 0;
     for (auto _ : state) {
         auto engine = make_engine(d, tier);
+        bench::Timer timer;
         cycles += bench::run_primes(d, *engine, 1, kSmallPrimes);
+        bench::report().record(label, koika::sim::tier_name(tier),
+                               *engine, timer.seconds());
     }
     state.SetItemsProcessed((int64_t)cycles);
 }
 
 template <typename M>
 void
-bm_codegen_free(benchmark::State& state)
+bm_codegen_free(benchmark::State& state, const char* label)
 {
-    M m;
+    koika::codegen::GeneratedModel<M> gm;
+    M& m = gm.impl();
+    bench::Timer timer;
     for (auto _ : state)
         for (int i = 0; i < kBatch; ++i)
             m.cycle();
     state.SetItemsProcessed(state.iterations() * kBatch);
+    bench::report().record(label, "codegen", gm, timer.seconds());
 }
 
 void
@@ -73,28 +88,37 @@ register_design(const char* name)
                             koika::sim::tier_name(t);
         if (cpu)
             benchmark::RegisterBenchmark(
-                bname.c_str(),
-                [name, t](benchmark::State& s) { bm_tier_cpu(s, name, t); });
+                bname.c_str(), [bname, name, t](benchmark::State& s) {
+                    bm_tier_cpu(s, bname.c_str(), name, t);
+                });
         else
             benchmark::RegisterBenchmark(
-                bname.c_str(), [name, t](benchmark::State& s) {
-                    bm_tier_free(s, name, t);
+                bname.c_str(), [bname, name, t](benchmark::State& s) {
+                    bm_tier_free(s, bname.c_str(), name, t);
                 });
     }
 }
 
-} // namespace
+template <typename M>
+void
+register_codegen(const char* bench_name)
+{
+    benchmark::RegisterBenchmark(bench_name,
+                                 [bench_name](benchmark::State& s) {
+                                     bm_codegen_free<M>(s, bench_name);
+                                 });
+}
 
-BENCHMARK_TEMPLATE(bm_codegen_free, cuttlesim::models::collatz)
-    ->Name("ablation/collatz/codegen");
-BENCHMARK_TEMPLATE(bm_codegen_free, cuttlesim::models::fir)
-    ->Name("ablation/fir/codegen");
-BENCHMARK_TEMPLATE(bm_codegen_free, cuttlesim::models::fft)
-    ->Name("ablation/fft/codegen");
+} // namespace
 
 int
 main(int argc, char** argv)
 {
+    using namespace cuttlesim::models;
+    bench::report_init("ablation");
+    register_codegen<collatz>("ablation/collatz/codegen");
+    register_codegen<fir>("ablation/fir/codegen");
+    register_codegen<fft>("ablation/fft/codegen");
     register_design("collatz");
     register_design("fir");
     register_design("fft");
@@ -102,5 +126,6 @@ main(int argc, char** argv)
     register_design("msi");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    bench::report().write();
     return 0;
 }

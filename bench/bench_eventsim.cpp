@@ -6,6 +6,10 @@
 // (Verilator's execution model), the interpreted cycle-based simulator,
 // and the event-driven (activity-based) simulator that plays the Icarus
 // role. The event simulator also reports its activity factor.
+//
+// Also writes BENCH_eventsim.json; the RTL engines expose no rule
+// structure, so their entries carry cycles/sec (and events_per_cycle for
+// the event-driven rows) without per-rule breakdowns.
 
 #include <benchmark/benchmark.h>
 
@@ -22,94 +26,142 @@ namespace {
 
 constexpr int kBatch = 20'000;
 
+void
+record_events(const char* label, const char* engine,
+              const koika::rtl::EventSim& sim, double wall)
+{
+    koika::obs::SimStats s = koika::obs::collect_stats(sim);
+    s.label = label;
+    s.engine = engine;
+    s.wall_seconds = wall;
+    s.extra["events_per_cycle"] =
+        (double)sim.events_processed() / (double)sim.cycles_run();
+    bench::report().add(std::move(s));
+}
+
 template <typename M>
 void
-bm_compiled(benchmark::State& state)
+bm_compiled(benchmark::State& state, const char* label)
 {
-    M m;
+    koika::codegen::GeneratedModel<M> gm;
+    M& m = gm.impl();
+    bench::Timer timer;
     for (auto _ : state)
         for (int i = 0; i < kBatch; ++i)
             m.cycle();
     state.SetItemsProcessed(state.iterations() * kBatch);
+    bench::report().record(label, "compiled-cycle", gm, timer.seconds());
 }
 
 void
-bm_interpreted_cycle(benchmark::State& state, const char* name)
+bm_interpreted_cycle(benchmark::State& state, const char* label,
+                     const char* name)
 {
     koika::rtl::CycleSim sim(koika::rtl::lower(bench::design(name)));
+    bench::Timer timer;
     for (auto _ : state)
         for (int i = 0; i < kBatch; ++i)
             sim.cycle();
     state.SetItemsProcessed(state.iterations() * kBatch);
+    bench::report().record(label, "interpreted-cycle", sim,
+                           timer.seconds());
 }
 
 void
-bm_eventsim(benchmark::State& state, const char* name)
+bm_eventsim(benchmark::State& state, const char* label, const char* name)
 {
     koika::rtl::EventSim sim(koika::rtl::lower(bench::design(name)));
+    bench::Timer timer;
     for (auto _ : state)
         for (int i = 0; i < kBatch; ++i)
             sim.cycle();
     state.SetItemsProcessed(state.iterations() * kBatch);
     state.counters["events_per_cycle"] =
         (double)sim.events_processed() / (double)sim.cycles_run();
+    record_events(label, "event-driven", sim, timer.seconds());
 }
 
 void
-bm_eventsim_cpu(benchmark::State& state)
+bm_eventsim_cpu(benchmark::State& state, const char* label)
 {
     const koika::Design& d = bench::design("rv32i");
     uint64_t cycles = 0;
     for (auto _ : state) {
         koika::rtl::EventSim sim(koika::rtl::lower(d));
+        bench::Timer timer;
         cycles += bench::run_primes(d, sim, 1, 50);
+        record_events(label, "event-driven", sim, timer.seconds());
     }
     state.SetItemsProcessed((int64_t)cycles);
 }
 
 void
-bm_cyclesim_cpu(benchmark::State& state)
+bm_cyclesim_cpu(benchmark::State& state, const char* label)
 {
     const koika::Design& d = bench::design("rv32i");
     uint64_t cycles = 0;
     for (auto _ : state) {
         koika::rtl::CycleSim sim(koika::rtl::lower(d));
+        bench::Timer timer;
         cycles += bench::run_primes(d, sim, 1, 50);
+        bench::report().record(label, "interpreted-cycle", sim,
+                               timer.seconds());
     }
     state.SetItemsProcessed((int64_t)cycles);
 }
 
 void
-bm_compiled_cpu(benchmark::State& state)
+bm_compiled_cpu(benchmark::State& state, const char* label)
 {
     const koika::Design& d = bench::design("rv32i");
     uint64_t cycles = 0;
     for (auto _ : state) {
         koika::codegen::GeneratedModel<cuttlesim::models::rv32i_rtl> m;
+        bench::Timer timer;
         cycles += bench::run_primes(d, m, 1, 50);
+        bench::report().record(label, "compiled-cycle", m,
+                               timer.seconds());
     }
     state.SetItemsProcessed((int64_t)cycles);
 }
 
+void
+reg(const char* name, void (*fn)(benchmark::State&, const char*))
+{
+    benchmark::RegisterBenchmark(
+        name, [name, fn](benchmark::State& s) { fn(s, name); });
+}
+
+void
+reg2(const char* name,
+     void (*fn)(benchmark::State&, const char*, const char*),
+     const char* design)
+{
+    benchmark::RegisterBenchmark(name,
+                                 [name, fn, design](benchmark::State& s) {
+                                     fn(s, name, design);
+                                 });
+}
+
 } // namespace
 
-BENCHMARK_TEMPLATE(bm_compiled, cuttlesim::models::collatz_rtl)
-    ->Name("eventsim/collatz/compiled-cycle");
-BENCHMARK_CAPTURE(bm_interpreted_cycle, collatz, "collatz")
-    ->Name("eventsim/collatz/interpreted-cycle");
-BENCHMARK_CAPTURE(bm_eventsim, collatz, "collatz")
-    ->Name("eventsim/collatz/event-driven");
-
-BENCHMARK_TEMPLATE(bm_compiled, cuttlesim::models::fir_rtl)
-    ->Name("eventsim/fir/compiled-cycle");
-BENCHMARK_CAPTURE(bm_interpreted_cycle, fir, "fir")
-    ->Name("eventsim/fir/interpreted-cycle");
-BENCHMARK_CAPTURE(bm_eventsim, fir, "fir")
-    ->Name("eventsim/fir/event-driven");
-
-BENCHMARK(bm_compiled_cpu)->Name("eventsim/rv32i-primes/compiled-cycle");
-BENCHMARK(bm_cyclesim_cpu)
-    ->Name("eventsim/rv32i-primes/interpreted-cycle");
-BENCHMARK(bm_eventsim_cpu)->Name("eventsim/rv32i-primes/event-driven");
-
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    using namespace cuttlesim::models;
+    bench::report_init("eventsim");
+    reg("eventsim/collatz/compiled-cycle", bm_compiled<collatz_rtl>);
+    reg2("eventsim/collatz/interpreted-cycle", bm_interpreted_cycle,
+         "collatz");
+    reg2("eventsim/collatz/event-driven", bm_eventsim, "collatz");
+    reg("eventsim/fir/compiled-cycle", bm_compiled<fir_rtl>);
+    reg2("eventsim/fir/interpreted-cycle", bm_interpreted_cycle, "fir");
+    reg2("eventsim/fir/event-driven", bm_eventsim, "fir");
+    reg("eventsim/rv32i-primes/compiled-cycle", bm_compiled_cpu);
+    reg("eventsim/rv32i-primes/interpreted-cycle", bm_cyclesim_cpu);
+    reg("eventsim/rv32i-primes/event-driven", bm_eventsim_cpu);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    bench::report().write();
+    return 0;
+}

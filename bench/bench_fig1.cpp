@@ -7,6 +7,10 @@
 // CPU designs run the primes benchmark to completion. items_per_second
 // is simulated cycles per second (the paper's left panel); per-iteration
 // time on the CPU rows is the program runtime (the right panel).
+//
+// Besides the google-benchmark console output, each run writes
+// BENCH_fig1.json: per-engine cycles/sec plus per-rule commit/abort
+// counters collected through the observability layer.
 
 #include <benchmark/benchmark.h>
 
@@ -31,11 +35,23 @@ namespace {
 
 constexpr int kCombBatch = 200'000;
 
+/** cuttlesim vs verilator-koika from a "fig1/<design>/<engine>" label. */
+std::string
+engine_of(const std::string& label)
+{
+    size_t slash = label.rfind('/');
+    return slash == std::string::npos ? label : label.substr(slash + 1);
+}
+
 template <typename M>
 void
-bm_comb(benchmark::State& state)
+bm_comb(benchmark::State& state, const char* label)
 {
-    M m;
+    // The hot loop runs on the raw model (no virtual dispatch); the
+    // adapter is only used afterwards to read the rule counters out.
+    koika::codegen::GeneratedModel<M> gm;
+    M& m = gm.impl();
+    bench::Timer timer;
     for (auto _ : state) {
         for (int i = 0; i < kCombBatch; ++i)
             m.cycle();
@@ -43,48 +59,51 @@ bm_comb(benchmark::State& state)
         m.get_reg_words(0, sink);
         benchmark::DoNotOptimize(sink[0]);
     }
+    double wall = timer.seconds();
     state.SetItemsProcessed(state.iterations() * kCombBatch);
+    bench::report().record(label, engine_of(label), gm, wall);
 }
 
 template <typename M>
 void
-bm_cpu(benchmark::State& state, const char* design_name, int cores)
+bm_cpu(benchmark::State& state, const char* label,
+       const char* design_name, int cores)
 {
     const koika::Design& d = bench::design(design_name);
     uint64_t cycles = 0;
+    double last_wall = 0;
     for (auto _ : state) {
         koika::codegen::GeneratedModel<M> m;
-        cycles += bench::run_primes(d, m, cores);
+        bench::Timer timer;
+        uint64_t run_cycles = bench::run_primes(d, m, cores);
+        last_wall = timer.seconds();
+        cycles += run_cycles;
+        // Record the final iteration: one full program execution.
+        bench::report().record(label, engine_of(label), m, last_wall);
     }
     state.SetItemsProcessed((int64_t)cycles);
     state.counters["cycles_per_run"] =
         (double)cycles / (double)state.iterations();
 }
 
-} // namespace
-
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz)
-    ->Name("fig1/collatz/cuttlesim");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz_rtl)
-    ->Name("fig1/collatz/verilator-koika");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir)
-    ->Name("fig1/fir/cuttlesim");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir_rtl)
-    ->Name("fig1/fir/verilator-koika");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft)
-    ->Name("fig1/fft/cuttlesim");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft_rtl)
-    ->Name("fig1/fft/verilator-koika");
-
-namespace {
+template <typename M>
+void
+register_comb(const char* bench_name)
+{
+    benchmark::RegisterBenchmark(bench_name,
+                                 [bench_name](benchmark::State& s) {
+                                     bm_comb<M>(s, bench_name);
+                                 });
+}
 
 template <typename M>
 void
 register_cpu(const char* bench_name, const char* design_name, int cores)
 {
     benchmark::RegisterBenchmark(
-        bench_name, [design_name, cores](benchmark::State& s) {
-            bm_cpu<M>(s, design_name, cores);
+        bench_name,
+        [bench_name, design_name, cores](benchmark::State& s) {
+            bm_cpu<M>(s, bench_name, design_name, cores);
         });
 }
 
@@ -94,6 +113,13 @@ int
 main(int argc, char** argv)
 {
     using namespace cuttlesim::models;
+    bench::report_init("fig1");
+    register_comb<collatz>("fig1/collatz/cuttlesim");
+    register_comb<collatz_rtl>("fig1/collatz/verilator-koika");
+    register_comb<fir>("fig1/fir/cuttlesim");
+    register_comb<fir_rtl>("fig1/fir/verilator-koika");
+    register_comb<fft>("fig1/fft/cuttlesim");
+    register_comb<fft_rtl>("fig1/fft/verilator-koika");
     register_cpu<rv32e>("fig1/rv32e-primes/cuttlesim", "rv32e", 1);
     register_cpu<rv32e_rtl>("fig1/rv32e-primes/verilator-koika", "rv32e",
                             1);
@@ -110,5 +136,6 @@ main(int argc, char** argv)
                                "rv32i-mc", 2);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    bench::report().write();
     return 0;
 }

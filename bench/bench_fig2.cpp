@@ -8,6 +8,8 @@
 // + simplification; DESIGN.md substitutions): "verilator-bluespec" rows
 // run the optimized netlist, "verilator-koika" the plain lowering, and
 // "cuttlesim" the Cuttlesim model.
+//
+// Also writes BENCH_fig2.json (see EXPERIMENTS.md "Observability").
 
 #include <benchmark/benchmark.h>
 
@@ -30,11 +32,20 @@ namespace {
 
 constexpr int kCombBatch = 200'000;
 
+std::string
+engine_of(const std::string& label)
+{
+    size_t slash = label.rfind('/');
+    return slash == std::string::npos ? label : label.substr(slash + 1);
+}
+
 template <typename M>
 void
-bm_comb(benchmark::State& state)
+bm_comb(benchmark::State& state, const char* label)
 {
-    M m;
+    koika::codegen::GeneratedModel<M> gm;
+    M& m = gm.impl();
+    bench::Timer timer;
     for (auto _ : state) {
         for (int i = 0; i < kCombBatch; ++i)
             m.cycle();
@@ -42,48 +53,68 @@ bm_comb(benchmark::State& state)
         m.get_reg_words(0, sink);
         benchmark::DoNotOptimize(sink[0]);
     }
+    double wall = timer.seconds();
     state.SetItemsProcessed(state.iterations() * kCombBatch);
+    bench::report().record(label, engine_of(label), gm, wall);
 }
 
 template <typename M>
 void
-bm_cpu(benchmark::State& state)
+bm_cpu(benchmark::State& state, const char* label)
 {
     const koika::Design& d = bench::design("rv32i");
     uint64_t cycles = 0;
     for (auto _ : state) {
         koika::codegen::GeneratedModel<M> m;
+        bench::Timer timer;
         cycles += bench::run_primes(d, m, 1);
+        bench::report().record(label, engine_of(label), m,
+                               timer.seconds());
     }
     state.SetItemsProcessed((int64_t)cycles);
 }
 
+template <typename M>
+void
+register_comb(const char* bench_name)
+{
+    benchmark::RegisterBenchmark(bench_name,
+                                 [bench_name](benchmark::State& s) {
+                                     bm_comb<M>(s, bench_name);
+                                 });
+}
+
+template <typename M>
+void
+register_cpu(const char* bench_name)
+{
+    benchmark::RegisterBenchmark(bench_name,
+                                 [bench_name](benchmark::State& s) {
+                                     bm_cpu<M>(s, bench_name);
+                                 });
+}
+
 } // namespace
 
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz)
-    ->Name("fig2/collatz/cuttlesim");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz_rtl)
-    ->Name("fig2/collatz/verilator-koika");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::collatz_rtlopt)
-    ->Name("fig2/collatz/verilator-bluespec");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir)
-    ->Name("fig2/fir/cuttlesim");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir_rtl)
-    ->Name("fig2/fir/verilator-koika");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fir_rtlopt)
-    ->Name("fig2/fir/verilator-bluespec");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft)
-    ->Name("fig2/fft/cuttlesim");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft_rtl)
-    ->Name("fig2/fft/verilator-koika");
-BENCHMARK_TEMPLATE(bm_comb, cuttlesim::models::fft_rtlopt)
-    ->Name("fig2/fft/verilator-bluespec");
-
-BENCHMARK_TEMPLATE(bm_cpu, cuttlesim::models::rv32i)
-    ->Name("fig2/rv32i-primes/cuttlesim");
-BENCHMARK_TEMPLATE(bm_cpu, cuttlesim::models::rv32i_rtl)
-    ->Name("fig2/rv32i-primes/verilator-koika");
-BENCHMARK_TEMPLATE(bm_cpu, cuttlesim::models::rv32i_rtlopt)
-    ->Name("fig2/rv32i-primes/verilator-bluespec");
-
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    using namespace cuttlesim::models;
+    bench::report_init("fig2");
+    register_comb<collatz>("fig2/collatz/cuttlesim");
+    register_comb<collatz_rtl>("fig2/collatz/verilator-koika");
+    register_comb<collatz_rtlopt>("fig2/collatz/verilator-bluespec");
+    register_comb<fir>("fig2/fir/cuttlesim");
+    register_comb<fir_rtl>("fig2/fir/verilator-koika");
+    register_comb<fir_rtlopt>("fig2/fir/verilator-bluespec");
+    register_comb<fft>("fig2/fft/cuttlesim");
+    register_comb<fft_rtl>("fig2/fft/verilator-koika");
+    register_comb<fft_rtlopt>("fig2/fft/verilator-bluespec");
+    register_cpu<rv32i>("fig2/rv32i-primes/cuttlesim");
+    register_cpu<rv32i_rtl>("fig2/rv32i-primes/verilator-koika");
+    register_cpu<rv32i_rtlopt>("fig2/rv32i-primes/verilator-bluespec");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    bench::report().write();
+    return 0;
+}

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.hpp"
 #include "codegen/compile.hpp"
 #include "codegen/cpp_emit.hpp"
 #include "designs/designs.hpp"
@@ -33,6 +34,21 @@ best_time(const std::string& binary, uint64_t cycles)
         best = std::min(best, koika::codegen::time_binary(
                                   binary, std::to_string(cycles)));
     return best;
+}
+
+/** One BENCH_fig3.json entry: out-of-process runs have no rule
+ *  counters, so entries carry cycles + wall time (cycles/sec). */
+void
+record(const std::string& design, const char* level, const char* engine,
+       uint64_t cycles, double wall)
+{
+    koika::obs::SimStats s;
+    s.label = "fig3/" + design + "/" + (level + 1) + "/" + engine;
+    s.design = design;
+    s.engine = engine;
+    s.cycles = cycles;
+    s.wall_seconds = wall;
+    bench::report().add(std::move(s));
 }
 
 std::string
@@ -137,6 +153,7 @@ int
 main()
 {
     using namespace koika;
+    bench::report_init("fig3");
     const char* kDesigns[] = {"collatz", "fir", "fft"};
     const char* kLevels[] = {"-O0", "-O1", "-O2", "-O3"};
 
@@ -171,6 +188,8 @@ main()
                 "main_rtl.cpp", level);
             double tm = best_time(cm.binary, cycles);
             double tr = best_time(cr.binary, cycles);
+            record(name, level, "cuttlesim", cycles, tm);
+            record(name, level, "verilator-koika", cycles, tr);
             std::printf("%-8s %-5s %16.1f %16.1f %8.2fx\n", name, level,
                         (double)cycles / tm / 1e6,
                         (double)cycles / tr / 1e6, tr / tm);
@@ -208,6 +227,10 @@ main()
             double tm =
                 best_time(cm.binary, reps_model) / (double)cyc_m;
             double tr = best_time(cr.binary, reps_rtl) / (double)cyc_r;
+            record("rv32i-primes", level, "cuttlesim", cyc_m,
+                   tm * (double)cyc_m);
+            record("rv32i-primes", level, "verilator-koika", cyc_r,
+                   tr * (double)cyc_r);
             std::printf("%-8s %-5s %16.1f %16.1f %8.2fx\n",
                         "rv32i", level, 1.0 / tm / 1e6, 1.0 / tr / 1e6,
                         tr / tm);
@@ -216,5 +239,6 @@ main()
 
     std::printf("\n('speedup' = cuttlesim throughput / rtl "
                 "throughput.)\n");
+    bench::report().write();
     return 0;
 }

@@ -8,6 +8,10 @@
 // for the cores). Paper values are reproduced in EXPERIMENTS.md; line
 // counts differ in absolute terms (different frontend and pretty-printer)
 // but the ordering and ratios are the comparison that matters.
+//
+// Each run also writes BENCH_table1.json: a timed T5-interpreter entry
+// per design with cycles/sec and per-rule commit/abort/abort-reason
+// counts (free-running designs use a fixed budget).
 
 #include <cstdio>
 
@@ -42,11 +46,16 @@ constexpr Row kRows[] = {
 
 constexpr uint64_t kFreeRunningBudget = 100'000'000;
 
+/** T5 cycle budget for the free-running stats entries (the interpreter
+ *  is ~3 orders slower than the compiled model; keep the row cheap). */
+constexpr uint64_t kStatsBudget = 50'000;
+
 } // namespace
 
 int
 main()
 {
+    bench::report_init("table1");
     std::printf("Table 1: benchmark inventory (paper Table 1)\n");
     std::printf("%-10s %2s %2s %8s %10s %9s %12s  %s\n", "design", "M",
                 "C", "Koika", "Cuttlesim", "Verilog", "Cycles",
@@ -60,12 +69,23 @@ main()
         size_t verilog_sloc =
             koika::rtl::verilog_sloc(koika::rtl::lower(d));
         uint64_t cycles;
+        std::string label = std::string("table1/") + row.name;
         if (row.cores == 0) {
             cycles = kFreeRunningBudget;
+            auto engine = koika::sim::make_engine(
+                d, koika::sim::Tier::kT5StaticAnalysis);
+            bench::Timer timer;
+            for (uint64_t c = 0; c < kStatsBudget; ++c)
+                engine->cycle();
+            bench::report().record(label, "T5", *engine,
+                                   timer.seconds());
         } else {
             auto engine = koika::sim::make_engine(
                 d, koika::sim::Tier::kT5StaticAnalysis);
+            bench::Timer timer;
             cycles = bench::run_primes(d, *engine, row.cores);
+            bench::report().record(label, "T5", *engine,
+                                   timer.seconds());
         }
         std::printf("%-10s %2s %2s %8zu %10zu %9zu %12llu  %s\n",
                     row.name, row.metaprog ? "Y" : "-",
@@ -77,5 +97,6 @@ main()
                 "DSP blocks use a fixed free-running budget (the paper "
                 "ran 1G/30M/25.1M).\n",
                 bench::kPrimesBound);
+    bench::report().write();
     return 0;
 }

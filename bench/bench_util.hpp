@@ -5,12 +5,16 @@
  */
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <memory>
 
 #include "codegen/generated_model.hpp"
 #include "designs/designs.hpp"
 #include "designs/rv32.hpp"
+#include "obs/stats.hpp"
 #include "riscv/programs.hpp"
 
 namespace bench {
@@ -52,6 +56,118 @@ run_primes(const koika::Design& d, koika::sim::Model& m, int cores,
     if (!sys.halted())
         koika::panic("benchmark program did not halt");
     return cycles;
+}
+
+/** Wall-clock stopwatch for hand-timed bench sections. */
+class Timer
+{
+  public:
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0_ =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * Machine-readable results sink: every bench binary funnels its
+ * per-engine SimStats here and writes BENCH_<name>.json next to the
+ * text output (the observability layer's bench schema; see
+ * EXPERIMENTS.md "Observability"). Entries are keyed by label —
+ * re-recording a label (google-benchmark re-runs a function while
+ * estimating iteration counts) replaces the earlier entry.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    ~BenchReport()
+    {
+        if (!written_)
+            write();
+    }
+
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    void
+    add(koika::obs::SimStats stats)
+    {
+        for (auto& e : entries_) {
+            if (e.label == stats.label) {
+                e = std::move(stats);
+                return;
+            }
+        }
+        entries_.push_back(std::move(stats));
+    }
+
+    /**
+     * Record a model's activity under `label` (e.g.
+     * "fig1/fir/cuttlesim"): per-rule counters via obs::collect_stats
+     * plus the timing the caller measured. `cycles` overrides the
+     * model's own count when >0 (fresh-model-per-iteration benches
+     * time several runs).
+     */
+    void
+    record(const std::string& label, const std::string& engine,
+           const koika::sim::Model& model, double wall_seconds,
+           uint64_t cycles = 0)
+    {
+        koika::obs::SimStats s = koika::obs::collect_stats(model);
+        s.label = label;
+        s.engine = engine;
+        s.wall_seconds = wall_seconds;
+        if (cycles > 0)
+            s.cycles = cycles;
+        add(std::move(s));
+    }
+
+    void
+    write()
+    {
+        written_ = true;
+        koika::obs::Json root = koika::obs::Json::object();
+        root["bench"] = name_;
+        koika::obs::Json arr = koika::obs::Json::array();
+        koika::obs::MetricsRegistry metrics;
+        for (const koika::obs::SimStats& s : entries_) {
+            arr.push_back(s.to_json());
+            s.export_to(metrics, s.label);
+        }
+        root["entries"] = std::move(arr);
+        root["metrics"] = metrics.to_json();
+        std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        out << root.dump(2) << "\n";
+        std::cerr << "wrote " << path << " (" << entries_.size()
+                  << " entries)\n";
+    }
+
+  private:
+    std::string name_;
+    std::vector<koika::obs::SimStats> entries_;
+    bool written_ = false;
+};
+
+/** The binary's report; set up by each bench main via report_init(). */
+inline BenchReport&
+report()
+{
+    static BenchReport r("bench");
+    return r;
+}
+
+inline void
+report_init(const std::string& name)
+{
+    report().set_name(name);
 }
 
 } // namespace bench

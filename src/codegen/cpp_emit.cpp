@@ -72,6 +72,9 @@ class Emitter
     std::string
     run()
     {
+        size_t pos = 0;
+        for (int r : d_.schedule_order())
+            sched_pos_.emplace(r, pos++);
         collect_types();
         name_registers();
         header();
@@ -107,6 +110,25 @@ class Emitter
     };
 
     // -- Naming ---------------------------------------------------------------
+    std::string
+    class_name() const
+    {
+        return opts_.class_name.empty() ? model_class_name(d_)
+                                        : opts_.class_name;
+    }
+
+    static std::string
+    string_literal(const std::string& s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out + "\"";
+    }
+
     std::string
     reg_name(int r) const
     {
@@ -238,7 +260,7 @@ class Emitter
         line();
         line("namespace cuttlesim::models {");
         line();
-        line("class " + model_class_name(d_) + " {");
+        line("class " + class_name() + " {");
         line("  public:");
         ++indent_;
     }
@@ -372,11 +394,30 @@ class Emitter
         }
         line("static constexpr uint32_t kRegWidths[kNumRegs] = {" +
              widths + "};");
+        if (nsched > 0) {
+            std::string names;
+            for (int r : d_.schedule_order()) {
+                if (!names.empty())
+                    names += ", ";
+                names += string_literal(d_.rule(r).name);
+            }
+            line("static constexpr const char* kRuleNames[kNumRules] = {" +
+                 names + "};");
+        }
         if (opts_.counters && nsched > 0) {
             line("// Per-rule commit/abort counters: free architectural");
             line("// statistics (case study 4).");
             line("uint64_t commit_count[kNumRules] = {};");
             line("uint64_t abort_count[kNumRules] = {};");
+            line("// Rules that committed during the most recent cycle.");
+            line("bool last_fired[kNumRules] = {};");
+        }
+        if (opts_.counters && opts_.abort_reasons && nsched > 0) {
+            line("// Why each abort happened (--instrument):");
+            line("// [rule * num_abort_reasons + reason], reasons as in");
+            line("// cuttlesim.hpp (guard, read conflict, write conflict).");
+            line("uint64_t abort_reason_count[kNumRules * "
+                 "num_abort_reasons] = {};");
         }
         line();
     }
@@ -555,10 +596,21 @@ class Emitter
     fail_expr(const Action* fail_node)
     {
         KOIKA_CHECK(rule_ctx_ >= 0);
-        if (an_.ops[(size_t)fail_node->id].clean_at_fail)
-            return "return false;"; // nothing to roll back
-        return "return fail_" +
-               sanitize(d_.rule(rule_ctx_).name) + "();";
+        std::string ret =
+            an_.ops[(size_t)fail_node->id].clean_at_fail
+                ? "return false;" // nothing to roll back
+                : "return fail_" + sanitize(d_.rule(rule_ctx_).name) +
+                      "();";
+        if (!(opts_.counters && opts_.abort_reasons))
+            return ret;
+        const char* reason = "abort_guard";
+        if (fail_node->kind == ActionKind::kRead)
+            reason = "abort_read_conflict";
+        else if (fail_node->kind == ActionKind::kWrite)
+            reason = "abort_write_conflict";
+        size_t pos = sched_pos_.at(rule_ctx_);
+        return "{ ++abort_reason_count[" + std::to_string(pos) +
+               " * num_abort_reasons + " + reason + "]; " + ret + " }";
     }
 
     void
@@ -813,9 +865,10 @@ class Emitter
                 std::string call =
                     "rule_" + sanitize(d_.rule(r).name) + "()";
                 if (opts_.counters) {
-                    line("if (" + call + ") ++commit_count[" +
-                         std::to_string(pos) + "]; else ++abort_count[" +
-                         std::to_string(pos) + "];");
+                    std::string p = std::to_string(pos);
+                    line("last_fired[" + p + "] = " + call + ";");
+                    line("if (last_fired[" + p + "]) ++commit_count[" + p +
+                         "]; else ++abort_count[" + p + "];");
                 } else {
                     line(call + ";");
                 }
@@ -916,6 +969,7 @@ class Emitter
     int indent_ = 0;
     int temp_counter_ = 0;
     int rule_ctx_ = -1;
+    std::map<int, size_t> sched_pos_;
     std::vector<std::string> reg_names_;
     std::vector<std::string> scope_;
     std::map<std::string, std::string> type_names_;

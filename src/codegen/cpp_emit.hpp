@@ -37,6 +37,19 @@ struct EmitOptions
 {
     /** Emit per-rule commit/abort counters (Gcov-style statistics). */
     bool counters = true;
+
+    /**
+     * Instrument every early-exit branch with an abort-reason counter
+     * (guard vs. read-port conflict vs. write-port conflict), indexed
+     * like koika::sim::AbortReason. Off by default: the extra increment
+     * on the failure path perturbs the inlining story (§3), so the
+     * observability layer asks for it explicitly (`cuttlec
+     * --instrument`). Implies nothing when `counters` is off.
+     */
+    bool abort_reasons = false;
+
+    /** Override the emitted class name (empty = model_class_name()). */
+    std::string class_name;
 };
 
 /** C++ class name for a design ("rv32i-bp" -> "rv32i_bp"). */

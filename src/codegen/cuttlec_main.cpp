@@ -13,10 +13,21 @@
  *              rv32i_rtl.hpp        (compiled netlist simulation)
  *              rv32i_rtlopt.hpp     (same, after netlist optimization)
  *              rv32i.v              (structural Verilog)
+ *   cuttlec --design rv32i --instrument --out build/generated
+ *       writes rv32i_instr.model.hpp only (class rv32i_instr, counters
+ *       plus abort-reason attribution for the observability layer)
  *   cuttlec --list
  *   cuttlec --design fir --stats    (sizes only, no files)
  *   cuttlec --design fir --print-koika
+ *
+ * Observability (see README "Observability"): the driver can also run
+ * the design on the T5 interpreter and report what happened:
+ *   cuttlec --design fir --cycles 5000 --stats=fir-stats.json
+ *       per-rule commit/abort/abort-reason statistics as JSON
+ *   cuttlec --design fir --cycles 200 --trace=fir.json
+ *       Chrome trace-event rule activity, viewable in ui.perfetto.dev
  */
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,10 +35,13 @@
 #include "codegen/cpp_emit.hpp"
 #include "designs/designs.hpp"
 #include "koika/print.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "rtl/lower.hpp"
 #include "rtl/optimize.hpp"
 #include "rtl/rtl_emit.hpp"
 #include "rtl/verilog.hpp"
+#include "sim/tiers.hpp"
 
 namespace {
 
@@ -45,9 +59,81 @@ usage()
 {
     std::cerr
         << "usage: cuttlec --design NAME [--out DIR] [--stats]\n"
-           "               [--print-koika] [--no-counters]\n"
-           "       cuttlec --list\n";
+           "               [--print-koika] [--no-counters] [--instrument]\n"
+           "               [--cycles N] [--stats=FILE] [--trace=FILE]\n"
+           "       cuttlec --list\n"
+           "\n"
+           "  --stats=FILE  simulate (T5 interpreter) and write per-rule\n"
+           "                commit/abort/abort-reason stats as JSON\n"
+           "  --trace=FILE  simulate and write a Chrome trace-event JSON\n"
+           "                (open in ui.perfetto.dev)\n"
+           "  --cycles N    simulation length for --stats=/--trace=\n"
+           "                (default 1000)\n"
+           "  --instrument  emit only NAME_instr.model.hpp: a model with\n"
+           "                counters plus abort-reason instrumentation\n";
     return 2;
+}
+
+/** Run `design` on the T5 interpreter, writing stats/trace as asked. */
+int
+simulate(const koika::Design& design, uint64_t cycles,
+         const std::string& stats_file, const std::string& trace_file)
+{
+    auto engine = koika::sim::make_engine(
+        design, koika::sim::Tier::kT5StaticAnalysis);
+
+    std::ofstream trace_out;
+    std::unique_ptr<koika::obs::TraceWriter> trace;
+    if (!trace_file.empty()) {
+        trace_out.open(trace_file);
+        if (!trace_out)
+            koika::fatal("cannot write %s", trace_file.c_str());
+        std::vector<std::string> rule_names;
+        for (size_t r = 0; r < engine->num_rules(); ++r)
+            rule_names.push_back(engine->rule_name((int)r));
+        trace = std::make_unique<koika::obs::TraceWriter>(
+            trace_out, std::move(rule_names), design.name());
+    }
+
+    koika::obs::MetricsRegistry metrics;
+    metrics.define_histogram("rules_fired_per_cycle", [&] {
+        std::vector<double> bounds;
+        for (size_t r = 0; r <= engine->num_rules(); ++r)
+            bounds.push_back((double)r);
+        return bounds;
+    }());
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t c = 0; c < cycles; ++c) {
+        engine->cycle();
+        if (trace != nullptr)
+            trace->sample(*engine);
+        if (!stats_file.empty()) {
+            size_t fired = 0;
+            for (bool f : engine->fired())
+                fired += f;
+            metrics.observe("rules_fired_per_cycle", (double)fired);
+        }
+    }
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    if (trace != nullptr)
+        trace->finish();
+
+    koika::obs::SimStats stats = koika::obs::collect_stats(*engine);
+    stats.design = design.name();
+    stats.engine = "T5";
+    stats.wall_seconds = wall;
+
+    if (!stats_file.empty()) {
+        koika::obs::Json j = stats.to_json();
+        j["metrics"] = metrics.to_json();
+        write_file(stats_file, j.dump(2) + "\n");
+    }
+    std::cout << stats.to_text();
+    return 0;
 }
 
 } // namespace
@@ -55,8 +141,10 @@ usage()
 int
 main(int argc, char** argv)
 {
-    std::string design_name, out_dir;
+    std::string design_name, out_dir, stats_file, trace_file;
     bool stats = false, print_koika = false, counters = true;
+    bool instrument = false;
+    uint64_t cycles = 1000;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
@@ -70,10 +158,18 @@ main(int argc, char** argv)
             out_dir = argv[++i];
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            stats_file = arg.substr(std::strlen("--stats="));
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_file = arg.substr(std::strlen("--trace="));
+        } else if (arg == "--cycles" && i + 1 < argc) {
+            cycles = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--print-koika") {
             print_koika = true;
         } else if (arg == "--no-counters") {
             counters = false;
+        } else if (arg == "--instrument") {
+            instrument = true;
         } else {
             return usage();
         }
@@ -87,6 +183,21 @@ main(int argc, char** argv)
 
         if (print_koika) {
             std::cout << koika::print_design(*design);
+            return 0;
+        }
+
+        if (!stats_file.empty() || !trace_file.empty())
+            return simulate(*design, cycles, stats_file, trace_file);
+
+        if (instrument) {
+            if (out_dir.empty())
+                return usage();
+            koika::codegen::EmitOptions opts;
+            opts.counters = true;
+            opts.abort_reasons = true;
+            opts.class_name = cls + "_instr";
+            write_file(out_dir + "/" + cls + "_instr.model.hpp",
+                       koika::codegen::emit_model(*design, opts));
             return 0;
         }
 

@@ -6,16 +6,49 @@
  * compiler must be free to inline across rules, §3). This template wraps
  * one in the harness-facing sim::Model interface, translating between the
  * model's flat word representation and koika::Bits.
+ *
+ * The adapter implements sim::RuleStatsModel, so harness and
+ * observability tooling (src/obs/) works identically on compiled and
+ * interpreted engines. Which counters are available depends on how the
+ * model was emitted, detected at compile time from the class shape:
+ * commit/abort counts and the fired set need `counters` (the default),
+ * abort-reason attribution needs `cuttlec --instrument`. Absent counters
+ * surface as empty vectors, matching the RuleStatsModel contract.
  */
 #pragma once
+
+#include <string>
+#include <vector>
 
 #include "sim/model.hpp"
 
 namespace koika::codegen {
 
 template <typename M>
-class GeneratedModel final : public sim::Model
+class GeneratedModel final : public sim::RuleStatsModel
 {
+    // RTL netlist models expose no rule structure at all; Cuttlesim
+    // models always have kNumRules/kRuleNames, counters unless emitted
+    // with --no-counters, and abort reasons only with --instrument.
+    static constexpr bool kHasRules = requires { M::kNumRules; };
+    static constexpr bool kHasCounters = requires(const M& m) {
+        m.commit_count[0];
+        m.abort_count[0];
+        m.last_fired[0];
+    };
+    static constexpr bool kHasAbortReasons = requires(const M& m) {
+        m.abort_reason_count[0];
+    };
+
+    static constexpr size_t
+    static_num_rules()
+    {
+        if constexpr (kHasRules)
+            return M::kNumRules;
+        else
+            return 0;
+    }
+
   public:
     M& impl() { return impl_; }
     const M& impl() const { return impl_; }
@@ -43,8 +76,69 @@ class GeneratedModel final : public sim::Model
     uint64_t cycles_run() const override { return impl_.cycles; }
     size_t num_regs() const override { return M::kNumRegs; }
 
+    // -- RuleStatsModel -----------------------------------------------------
+    // Rules are indexed by schedule position (the generated counters'
+    // native order); compare against interpreter counters via
+    // rule_name(), not raw indices.
+    size_t num_rules() const override { return static_num_rules(); }
+
+    std::string
+    rule_name(int rule) const override
+    {
+        if constexpr (static_num_rules() > 0)
+            return M::kRuleNames[(size_t)rule];
+        (void)rule;
+        return {};
+    }
+
+    const std::vector<bool>&
+    fired() const override
+    {
+        fired_.clear();
+        if constexpr (kHasCounters)
+            fired_.assign(impl_.last_fired,
+                          impl_.last_fired + static_num_rules());
+        return fired_;
+    }
+
+    const std::vector<uint64_t>&
+    rule_commit_counts() const override
+    {
+        commits_.clear();
+        if constexpr (kHasCounters)
+            commits_.assign(impl_.commit_count,
+                            impl_.commit_count + static_num_rules());
+        return commits_;
+    }
+
+    const std::vector<uint64_t>&
+    rule_abort_counts() const override
+    {
+        aborts_.clear();
+        if constexpr (kHasCounters)
+            aborts_.assign(impl_.abort_count,
+                           impl_.abort_count + static_num_rules());
+        return aborts_;
+    }
+
+    const std::vector<uint64_t>&
+    rule_abort_reason_counts() const override
+    {
+        reasons_.clear();
+        if constexpr (kHasAbortReasons)
+            reasons_.assign(impl_.abort_reason_count,
+                            impl_.abort_reason_count +
+                                static_num_rules() *
+                                    (size_t)sim::kNumAbortReasons);
+        return reasons_;
+    }
+
   private:
     M impl_;
+    // Scratch vectors bridging the model's C arrays to the interface's
+    // vector returns; refreshed on every accessor call.
+    mutable std::vector<bool> fired_;
+    mutable std::vector<uint64_t> commits_, aborts_, reasons_;
 };
 
 } // namespace koika::codegen

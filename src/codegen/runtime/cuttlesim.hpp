@@ -27,6 +27,19 @@
 
 namespace cuttlesim {
 
+/**
+ * Abort-reason indices used by instrumented models (`cuttlec
+ * --instrument`): `abort_reason_count[rule * num_abort_reasons + r]`.
+ * Values mirror koika::sim::AbortReason so interpreted and compiled
+ * engines compare entry by entry.
+ */
+enum abort_reason : uint32_t {
+    abort_guard = 0,
+    abort_read_conflict = 1,
+    abort_write_conflict = 2,
+};
+constexpr uint32_t num_abort_reasons = 3;
+
 namespace detail {
 
 template <uint32_t N>

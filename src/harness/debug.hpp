@@ -102,9 +102,11 @@ class Debugger
 
     /**
      * Reverse watchpoint: how many recorded cycles ago did this
-     * register last change? Returns -1 if it never changed within the
-     * recorded window. `ago` counts back from the current cycle; the
-     * returned index is where the NEW value first appeared.
+     * register last change? 0 means the new value first appeared in
+     * the most recent recorded frame. That frame itself is excluded
+     * from the search — it only supplies the reference value being
+     * compared against older frames. Returns -1 if the register never
+     * changed within the recorded window.
      */
     int
     last_change(const std::string& name) const

@@ -36,10 +36,16 @@ class VcdWriter
     void
     sample(const sim::Model& model)
     {
+        // The first sample dumps every signal inside a $dumpvars block
+        // (VCD spec §21.7.2.2): viewers show defined values from time 0
+        // instead of 'x' until the first change.
+        bool initial = time_ == 0;
         out_ << "#" << time_++ << "\n";
+        if (initial)
+            out_ << "$dumpvars\n";
         for (size_t r = 0; r < d_.num_registers(); ++r) {
             Bits v = model.get_reg((int)r);
-            if (time_ > 1 && v == prev_[r])
+            if (!initial && v == prev_[r])
                 continue;
             prev_[r] = v;
             uint32_t w = v.width();
@@ -52,6 +58,8 @@ class VcdWriter
                 out_ << " " << ident(r) << "\n";
             }
         }
+        if (initial)
+            out_ << "$end\n";
     }
 
   private:

@@ -1,0 +1,433 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "base/error.hpp"
+
+namespace koika::obs {
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+}
+
+bool
+Json::as_bool() const
+{
+    KOIKA_CHECK(kind_ == Kind::kBool);
+    return bool_;
+}
+
+int64_t
+Json::as_int() const
+{
+    if (kind_ == Kind::kDouble)
+        return (int64_t)num_;
+    KOIKA_CHECK(kind_ == Kind::kInt);
+    return int_;
+}
+
+double
+Json::as_double() const
+{
+    if (kind_ == Kind::kInt)
+        return (double)int_;
+    KOIKA_CHECK(kind_ == Kind::kDouble);
+    return num_;
+}
+
+const std::string&
+Json::as_string() const
+{
+    KOIKA_CHECK(kind_ == Kind::kString);
+    return str_;
+}
+
+void
+Json::push_back(Json v)
+{
+    if (kind_ == Kind::kNull)
+        kind_ = Kind::kArray;
+    KOIKA_CHECK(kind_ == Kind::kArray);
+    arr_.push_back(std::move(v));
+}
+
+Json&
+Json::operator[](const std::string& key)
+{
+    if (kind_ == Kind::kNull)
+        kind_ = Kind::kObject;
+    KOIKA_CHECK(kind_ == Kind::kObject);
+    for (auto& [k, v] : obj_)
+        if (k == key)
+            return v;
+    obj_.emplace_back(key, Json());
+    return obj_.back().second;
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    if (kind_ != Kind::kObject)
+        return nullptr;
+    for (const auto& [k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+size_t
+Json::size() const
+{
+    return kind_ == Kind::kArray ? arr_.size()
+           : kind_ == Kind::kObject ? obj_.size()
+                                    : 0;
+}
+
+const Json&
+Json::at(size_t i) const
+{
+    KOIKA_CHECK(kind_ == Kind::kArray && i < arr_.size());
+    return arr_[i];
+}
+
+const std::vector<std::pair<std::string, Json>>&
+Json::items() const
+{
+    KOIKA_CHECK(kind_ == Kind::kObject);
+    return obj_;
+}
+
+namespace {
+
+void
+escape_into(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+number_into(std::string& out, double v)
+{
+    // Integral doubles print as integers, so a dump -> parse -> dump
+    // cycle is textually stable.
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", (long long)v);
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+void
+Json::dump_to(std::string& out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent >= 0) {
+            out += '\n';
+            out.append((size_t)(indent * d), ' ');
+        }
+    };
+    switch (kind_) {
+      case Kind::kNull: out += "null"; break;
+      case Kind::kBool: out += bool_ ? "true" : "false"; break;
+      case Kind::kInt: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", (long long)int_);
+        out += buf;
+        break;
+      }
+      case Kind::kDouble: number_into(out, num_); break;
+      case Kind::kString: escape_into(out, str_); break;
+      case Kind::kArray:
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dump_to(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Kind::kObject:
+        out += '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            escape_into(out, obj_[i].first);
+            out += indent >= 0 ? ": " : ":";
+            obj_[i].second.dump_to(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+// -- Parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    Json
+    run()
+    {
+        Json v = value();
+        skip_ws();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char* what)
+    {
+        fatal("JSON parse error at offset %zu: %s", pos_, what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace((unsigned char)s_[pos_]))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    try_consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value()
+    {
+        skip_ws();
+        char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Json(string());
+          case 't': keyword("true"); return Json(true);
+          case 'f': keyword("false"); return Json(false);
+          case 'n': keyword("null"); return Json();
+          default: return number();
+        }
+    }
+
+    void
+    keyword(const char* kw)
+    {
+        for (const char* p = kw; *p; ++p)
+            expect(*p);
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= (unsigned)(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= (unsigned)(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= (unsigned)(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs unsupported; the layer
+                // only ever emits \u00xx control escapes).
+                if (code < 0x80) {
+                    out += (char)code;
+                } else if (code < 0x800) {
+                    out += (char)(0xC0 | (code >> 6));
+                    out += (char)(0x80 | (code & 0x3F));
+                } else {
+                    out += (char)(0xE0 | (code >> 12));
+                    out += (char)(0x80 | ((code >> 6) & 0x3F));
+                    out += (char)(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        size_t start = pos_;
+        bool is_double = false;
+        if (try_consume('-')) {
+        }
+        while (pos_ < s_.size() &&
+               (std::isdigit((unsigned char)s_[pos_]) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-')) {
+            if (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')
+                is_double = true;
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("invalid number");
+        std::string text = s_.substr(start, pos_ - start);
+        if (is_double)
+            return Json(std::stod(text));
+        return Json((int64_t)std::stoll(text));
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (try_consume(']'))
+            return arr;
+        while (true) {
+            arr.push_back(value());
+            skip_ws();
+            if (try_consume(']'))
+                return arr;
+            expect(',');
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (try_consume('}'))
+            return obj;
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            obj[key] = value();
+            skip_ws();
+            if (try_consume('}'))
+                return obj;
+            expect(',');
+        }
+    }
+
+    const std::string& s_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string& text)
+{
+    return Parser(text).run();
+}
+
+} // namespace koika::obs

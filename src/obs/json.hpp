@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal JSON value type, writer, and parser for the observability
+ * layer.
+ *
+ * Everything the layer exports (metrics snapshots, SimStats, bench
+ * results, Chrome trace events) is JSON; everything the tests validate
+ * is parsed back through this same module, so a round trip is the
+ * contract. Objects preserve insertion order so dumps are deterministic
+ * and diffs are stable. Integers are kept exact (not routed through
+ * double), which matters for cycle and commit counters.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace koika::obs {
+
+class Json
+{
+  public:
+    enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+    Json() = default;
+    Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+    Json(int v) : kind_(Kind::kInt), int_((int64_t)v) {}
+    Json(int64_t v) : kind_(Kind::kInt), int_(v) {}
+    Json(uint64_t v) : kind_(Kind::kInt), int_((int64_t)v) {}
+    Json(double v) : kind_(Kind::kDouble), num_(v) {}
+    Json(const char* s) : kind_(Kind::kString), str_(s) {}
+    Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_number() const
+    {
+        return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+    }
+
+    bool as_bool() const;
+    /** Integer value (exact for kInt; truncated for kDouble). */
+    int64_t as_int() const;
+    uint64_t as_u64() const { return (uint64_t)as_int(); }
+    /** Numeric value (kInt or kDouble). */
+    double as_double() const;
+    const std::string& as_string() const;
+
+    /** Array append. */
+    void push_back(Json v);
+    /** Object field lookup-or-insert (insertion order preserved). */
+    Json& operator[](const std::string& key);
+    /** Object field lookup; nullptr when absent or not an object. */
+    const Json* find(const std::string& key) const;
+
+    /** Array/object element count. */
+    size_t size() const;
+    const Json& at(size_t i) const;
+    const std::vector<std::pair<std::string, Json>>& items() const;
+
+    /**
+     * Serialize. indent < 0 is compact one-line output; indent >= 0
+     * pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Parse text; throws koika::FatalError on malformed input. */
+    static Json parse(const std::string& text);
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace koika::obs

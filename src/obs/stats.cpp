@@ -1,0 +1,221 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/error.hpp"
+
+namespace koika::obs {
+
+uint64_t
+RuleStats::reason(sim::AbortReason r) const
+{
+    switch (r) {
+      case sim::AbortReason::kGuard: return guard_aborts;
+      case sim::AbortReason::kReadConflict: return read_conflict_aborts;
+      case sim::AbortReason::kWriteConflict: return write_conflict_aborts;
+    }
+    return 0;
+}
+
+Json
+SimStats::to_json() const
+{
+    Json j = Json::object();
+    if (!label.empty())
+        j["label"] = label;
+    if (!design.empty())
+        j["design"] = design;
+    if (!engine.empty())
+        j["engine"] = engine;
+    j["cycles"] = cycles;
+    j["wall_seconds"] = wall_seconds;
+    j["cycles_per_sec"] = cycles_per_sec();
+    if (!rules.empty()) {
+        Json arr = Json::array();
+        for (const RuleStats& r : rules) {
+            Json rj = Json::object();
+            rj["name"] = r.name;
+            rj["commits"] = r.commits;
+            rj["aborts"] = r.aborts;
+            if (r.has_reasons) {
+                Json reasons = Json::object();
+                reasons["guard"] = r.guard_aborts;
+                reasons["read_conflict"] = r.read_conflict_aborts;
+                reasons["write_conflict"] = r.write_conflict_aborts;
+                rj["abort_reasons"] = std::move(reasons);
+            }
+            arr.push_back(std::move(rj));
+        }
+        j["rules"] = std::move(arr);
+    }
+    if (!extra.empty()) {
+        Json ej = Json::object();
+        for (const auto& [k, v] : extra)
+            ej[k] = v;
+        j["extra"] = std::move(ej);
+    }
+    return j;
+}
+
+SimStats
+SimStats::from_json(const Json& j)
+{
+    SimStats s;
+    if (const Json* v = j.find("label"))
+        s.label = v->as_string();
+    if (const Json* v = j.find("design"))
+        s.design = v->as_string();
+    if (const Json* v = j.find("engine"))
+        s.engine = v->as_string();
+    if (const Json* v = j.find("cycles"))
+        s.cycles = v->as_u64();
+    if (const Json* v = j.find("wall_seconds"))
+        s.wall_seconds = v->as_double();
+    if (const Json* rules = j.find("rules")) {
+        for (size_t i = 0; i < rules->size(); ++i) {
+            const Json& rj = rules->at(i);
+            RuleStats r;
+            if (const Json* v = rj.find("name"))
+                r.name = v->as_string();
+            if (const Json* v = rj.find("commits"))
+                r.commits = v->as_u64();
+            if (const Json* v = rj.find("aborts"))
+                r.aborts = v->as_u64();
+            if (const Json* reasons = rj.find("abort_reasons")) {
+                r.has_reasons = true;
+                if (const Json* v = reasons->find("guard"))
+                    r.guard_aborts = v->as_u64();
+                if (const Json* v = reasons->find("read_conflict"))
+                    r.read_conflict_aborts = v->as_u64();
+                if (const Json* v = reasons->find("write_conflict"))
+                    r.write_conflict_aborts = v->as_u64();
+            }
+            s.rules.push_back(std::move(r));
+        }
+    }
+    if (const Json* extra = j.find("extra"))
+        for (const auto& [k, v] : extra->items())
+            s.extra[k] = v.as_double();
+    return s;
+}
+
+std::string
+SimStats::to_text() const
+{
+    std::string out;
+    char buf[256];
+
+    std::string head = label;
+    if (!engine.empty())
+        head += head.empty() ? engine : " [" + engine + "]";
+    if (!head.empty())
+        out += head + "\n";
+
+    std::snprintf(buf, sizeof buf, "  cycles       %llu\n",
+                  (unsigned long long)cycles);
+    out += buf;
+    if (wall_seconds > 0) {
+        std::snprintf(buf, sizeof buf, "  wall time    %.4f s\n",
+                      wall_seconds);
+        out += buf;
+        std::snprintf(buf, sizeof buf, "  cycles/sec   %.3e\n",
+                      cycles_per_sec());
+        out += buf;
+    }
+    for (const auto& [k, v] : extra) {
+        std::snprintf(buf, sizeof buf, "  %-12s %.6g\n", k.c_str(), v);
+        out += buf;
+    }
+
+    if (!rules.empty()) {
+        size_t width = 4;
+        for (const RuleStats& r : rules)
+            width = std::max(width, r.name.size());
+        std::snprintf(buf, sizeof buf,
+                      "  %-*s %12s %12s  %s\n", (int)width, "rule",
+                      "commits", "aborts", "abort breakdown");
+        out += buf;
+        for (const RuleStats& r : rules) {
+            std::snprintf(buf, sizeof buf, "  %-*s %12llu %12llu",
+                          (int)width, r.name.c_str(),
+                          (unsigned long long)r.commits,
+                          (unsigned long long)r.aborts);
+            out += buf;
+            if (r.has_reasons && r.aborts > 0) {
+                std::snprintf(
+                    buf, sizeof buf,
+                    "  guard=%llu read_conflict=%llu write_conflict=%llu",
+                    (unsigned long long)r.guard_aborts,
+                    (unsigned long long)r.read_conflict_aborts,
+                    (unsigned long long)r.write_conflict_aborts);
+                out += buf;
+            }
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+void
+SimStats::export_to(MetricsRegistry& registry,
+                    const std::string& prefix) const
+{
+    registry.inc(prefix + "/cycles", cycles);
+    registry.set_gauge(prefix + "/wall_seconds", wall_seconds);
+    registry.set_gauge(prefix + "/cycles_per_sec", cycles_per_sec());
+    for (const auto& [k, v] : extra)
+        registry.set_gauge(prefix + "/" + k, v);
+    for (const RuleStats& r : rules) {
+        const std::string base = prefix + "/rule/" + r.name;
+        registry.inc(base + "/commits", r.commits);
+        registry.inc(base + "/aborts", r.aborts);
+        if (r.has_reasons) {
+            registry.inc(base + "/aborts/guard", r.guard_aborts);
+            registry.inc(base + "/aborts/read_conflict",
+                         r.read_conflict_aborts);
+            registry.inc(base + "/aborts/write_conflict",
+                         r.write_conflict_aborts);
+        }
+    }
+}
+
+SimStats
+collect_stats(const sim::Model& model)
+{
+    SimStats s;
+    s.cycles = model.cycles_run();
+
+    const auto* rs = dynamic_cast<const sim::RuleStatsModel*>(&model);
+    if (rs == nullptr)
+        return s;
+
+    const std::vector<uint64_t>& commits = rs->rule_commit_counts();
+    const std::vector<uint64_t>& aborts = rs->rule_abort_counts();
+    const std::vector<uint64_t>& reasons = rs->rule_abort_reason_counts();
+    size_t n = rs->num_rules();
+    if (commits.size() < n || aborts.size() < n)
+        return s; // counters not compiled in
+    bool has_reasons = reasons.size() >= n * (size_t)sim::kNumAbortReasons;
+
+    for (size_t r = 0; r < n; ++r) {
+        RuleStats rule;
+        rule.name = rs->rule_name((int)r);
+        rule.commits = commits[r];
+        rule.aborts = aborts[r];
+        if (has_reasons) {
+            rule.has_reasons = true;
+            size_t base = r * (size_t)sim::kNumAbortReasons;
+            rule.guard_aborts =
+                reasons[base + (size_t)sim::AbortReason::kGuard];
+            rule.read_conflict_aborts =
+                reasons[base + (size_t)sim::AbortReason::kReadConflict];
+            rule.write_conflict_aborts =
+                reasons[base + (size_t)sim::AbortReason::kWriteConflict];
+        }
+        s.rules.push_back(std::move(rule));
+    }
+    return s;
+}
+
+} // namespace koika::obs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SimStats: one uniform statistics record per simulation run.
+ *
+ * Collected the same way from every engine — tier interpreters,
+ * instrumented generated models, and the RTL cycle/event sims — via the
+ * sim::RuleStatsModel interface when the engine implements it, and
+ * degrading to cycles-only when it does not. This is the paper's
+ * "architectural statistics for free" story (case study 4) packaged so
+ * benches, the cuttlec driver, and tests all report through one schema.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/model.hpp"
+
+namespace koika::obs {
+
+/** Per-rule activity, with optional abort-reason attribution. */
+struct RuleStats
+{
+    std::string name;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+
+    /** True when the engine tracked abort reasons (the three fields
+     *  below then sum to `aborts`). */
+    bool has_reasons = false;
+    uint64_t guard_aborts = 0;
+    uint64_t read_conflict_aborts = 0;
+    uint64_t write_conflict_aborts = 0;
+
+    uint64_t reason(sim::AbortReason r) const;
+};
+
+struct SimStats
+{
+    /** Free-form label, e.g. "fig1/rv32i-primes". */
+    std::string label;
+    /** Design name, when known. */
+    std::string design;
+    /** Engine name: "T0".."T5", "cuttlesim", "rtl-cycle", ... */
+    std::string engine;
+
+    uint64_t cycles = 0;
+    double wall_seconds = 0;
+
+    /** Empty when the engine exposes no per-rule counters. */
+    std::vector<RuleStats> rules;
+
+    /** Additional engine-specific gauges (events/cycle, ...). */
+    std::map<std::string, double> extra;
+
+    double
+    cycles_per_sec() const
+    {
+        return wall_seconds > 0 ? (double)cycles / wall_seconds : 0.0;
+    }
+
+    Json to_json() const;
+    static SimStats from_json(const Json& j);
+
+    /** Multi-line human-readable report (per-rule table included). */
+    std::string to_text() const;
+
+    /**
+     * Mirror into a MetricsRegistry under `prefix`, e.g.
+     * `<prefix>/cycles`, `<prefix>/rule/<name>/commits`,
+     * `<prefix>/rule/<name>/aborts/guard`.
+     */
+    void export_to(MetricsRegistry& registry, const std::string& prefix) const;
+};
+
+/**
+ * Read per-rule counters out of a model. Engine-agnostic: uses
+ * dynamic_cast to sim::RuleStatsModel, so it works on tier engines,
+ * instrumented generated models, or anything else that opts in; for a
+ * plain Model only `cycles` is filled in.
+ */
+SimStats collect_stats(const sim::Model& model);
+
+} // namespace koika::obs

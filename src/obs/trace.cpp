@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include "base/error.hpp"
+#include "obs/json.hpp"
+
+namespace koika::obs {
+
+TraceWriter::TraceWriter(std::ostream& out,
+                         std::vector<std::string> rule_names,
+                         std::string process)
+    : out_(out), rule_names_(std::move(rule_names)),
+      process_(std::move(process))
+{
+    out_ << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    emit_metadata();
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+}
+
+void
+TraceWriter::emit(const std::string& event)
+{
+    if (!first_)
+        out_ << ",";
+    first_ = false;
+    out_ << "\n" << event;
+}
+
+void
+TraceWriter::emit_metadata()
+{
+    {
+        Json e = Json::object();
+        e["ph"] = "M";
+        e["pid"] = 1;
+        e["tid"] = 0;
+        e["name"] = "process_name";
+        e["args"] = Json::object();
+        e["args"]["name"] = process_;
+        emit(e.dump());
+    }
+    for (size_t r = 0; r < rule_names_.size(); ++r) {
+        Json e = Json::object();
+        e["ph"] = "M";
+        e["pid"] = 1;
+        e["tid"] = (int64_t)r;
+        e["name"] = "thread_name";
+        e["args"] = Json::object();
+        e["args"]["name"] = "rule " + rule_names_[r];
+        emit(e.dump());
+    }
+}
+
+void
+TraceWriter::record_cycle(const std::vector<bool>& fired,
+                          const std::vector<const char*>& abort_reasons)
+{
+    KOIKA_CHECK(!finished_);
+    size_t n = rule_names_.size();
+    KOIKA_CHECK(fired.size() >= n);
+    for (size_t r = 0; r < n; ++r) {
+        if (fired[r]) {
+            Json e = Json::object();
+            e["ph"] = "X";
+            e["pid"] = 1;
+            e["tid"] = (int64_t)r;
+            e["ts"] = (int64_t)cycle_;
+            e["dur"] = 1;
+            e["name"] = rule_names_[r];
+            emit(e.dump());
+        } else if (r < abort_reasons.size() &&
+                   abort_reasons[r] != nullptr) {
+            Json e = Json::object();
+            e["ph"] = "i";
+            e["pid"] = 1;
+            e["tid"] = (int64_t)r;
+            e["ts"] = (int64_t)cycle_;
+            e["s"] = "t"; // thread-scoped instant
+            e["name"] = "abort";
+            e["args"] = Json::object();
+            e["args"]["reason"] = abort_reasons[r];
+            emit(e.dump());
+        }
+    }
+    ++cycle_;
+}
+
+void
+TraceWriter::sample(const sim::RuleStatsModel& model)
+{
+    size_t n = rule_names_.size();
+    KOIKA_CHECK(model.num_rules() == n);
+
+    const std::vector<uint64_t>& aborts = model.rule_abort_counts();
+    const std::vector<uint64_t>& reasons = model.rule_abort_reason_counts();
+    bool has_reasons =
+        reasons.size() >= n * (size_t)sim::kNumAbortReasons;
+    prev_aborts_.resize(n, 0);
+    if (has_reasons)
+        prev_reasons_.resize(n * (size_t)sim::kNumAbortReasons, 0);
+
+    std::vector<const char*> abort_reason(n, nullptr);
+    for (size_t r = 0; r < n && r < aborts.size(); ++r) {
+        if (aborts[r] > prev_aborts_[r]) {
+            abort_reason[r] = "abort";
+            if (has_reasons) {
+                size_t base = r * (size_t)sim::kNumAbortReasons;
+                for (int k = 0; k < sim::kNumAbortReasons; ++k) {
+                    if (reasons[base + (size_t)k] >
+                        prev_reasons_[base + (size_t)k]) {
+                        abort_reason[r] =
+                            sim::abort_reason_name((sim::AbortReason)k);
+                        break;
+                    }
+                }
+            }
+        }
+        prev_aborts_[r] = aborts[r];
+    }
+    if (has_reasons)
+        prev_reasons_.assign(reasons.begin(),
+                             reasons.begin() +
+                                 (long)(n * (size_t)sim::kNumAbortReasons));
+
+    record_cycle(model.fired(), abort_reason);
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_ << "\n]}\n";
+    out_.flush();
+}
+
+} // namespace koika::obs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TraceWriter: Chrome trace-event (Perfetto-compatible) rule activity
+ * traces.
+ *
+ * Each simulated cycle maps to one microsecond of trace time and each
+ * rule to one "thread", so opening the output in https://ui.perfetto.dev
+ * (or chrome://tracing) shows a swim lane per rule: a 1 µs duration slice
+ * when the rule committed that cycle, and an instant event annotated with
+ * the abort reason when it aborted. This is the visual form of the
+ * paper's performance-debugging case study (§6, case study 3): "why does
+ * my design stutter" becomes a glanceable gap in the lanes.
+ *
+ * Events are streamed — the writer never buffers more than one event, so
+ * long simulations trace in O(1) memory. JSON validity is guaranteed by
+ * finish() (also called from the destructor).
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace koika::obs {
+
+class TraceWriter
+{
+  public:
+    /**
+     * Start a trace of rules named `rule_names` (lane order). `process`
+     * labels the trace's single process, e.g. the design name.
+     */
+    TraceWriter(std::ostream& out, std::vector<std::string> rule_names,
+                std::string process = "koika");
+
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /**
+     * Record the model's most recent cycle (call after each cycle()).
+     * Reads fired() for commits and the abort-reason count deltas for
+     * aborts; the model's rule order must match `rule_names`.
+     */
+    void sample(const sim::RuleStatsModel& model);
+
+    /**
+     * Record one cycle explicitly (engine-agnostic path): `fired[r]`
+     * per rule, plus (optionally) the abort reason of each non-fired
+     * rule that aborted this cycle (nullptr entries mean "did not run"
+     * and produce no event).
+     */
+    void record_cycle(const std::vector<bool>& fired,
+                      const std::vector<const char*>& abort_reasons);
+
+    /** Close the JSON document. Idempotent. */
+    void finish();
+
+    uint64_t cycles_recorded() const { return cycle_; }
+
+  private:
+    void emit(const std::string& event);
+    void emit_metadata();
+
+    std::ostream& out_;
+    std::vector<std::string> rule_names_;
+    std::string process_;
+    uint64_t cycle_ = 0;
+    bool first_ = true;
+    bool finished_ = false;
+    /** Previous abort/abort-reason counters, for per-cycle deltas. */
+    std::vector<uint64_t> prev_aborts_;
+    std::vector<uint64_t> prev_reasons_;
+};
+
+} // namespace koika::obs

@@ -15,11 +15,43 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/bits.hpp"
 
 namespace koika::sim {
+
+/**
+ * Why a rule's transaction failed (paper §2.3's three failure sources).
+ * The numeric values are part of the generated-model ABI: instrumented
+ * models index their abort_reason_count arrays with them (see
+ * codegen/runtime/cuttlesim.hpp), so interpreted and compiled engines
+ * can be compared entry by entry.
+ */
+enum class AbortReason : int {
+    /** Explicit `abort` or a failed guard (`guard(0)` and `abort()`
+     *  lower to the same check). */
+    kGuard = 0,
+    /** Read-port conflict: read0 of a register already written at
+     *  port 0 this cycle, or read1 forwarding rules violated. */
+    kReadConflict = 1,
+    /** Write-port conflict: double write or write0-after-read1. */
+    kWriteConflict = 2,
+};
+
+constexpr int kNumAbortReasons = 3;
+
+inline const char*
+abort_reason_name(AbortReason reason)
+{
+    switch (reason) {
+      case AbortReason::kGuard: return "guard";
+      case AbortReason::kReadConflict: return "read_conflict";
+      case AbortReason::kWriteConflict: return "write_conflict";
+    }
+    return "?";
+}
 
 class Model
 {
@@ -50,6 +82,43 @@ class Model
             out.push_back(get_reg((int)i));
         return out;
     }
+};
+
+/**
+ * A Model that can additionally report per-rule activity. Implemented by
+ * the tier engines (always) and by GeneratedModel when the wrapped
+ * compiled model was emitted with counters; the observability layer
+ * (src/obs/) discovers it with dynamic_cast so the same stats collector
+ * works on every engine.
+ */
+class RuleStatsModel : public Model
+{
+  public:
+    /** Number of rules in the underlying design's schedule. */
+    virtual size_t num_rules() const = 0;
+
+    /** Source-level name of rule `rule` (same indexing as the counter
+     *  vectors below). */
+    virtual std::string rule_name(int rule) const = 0;
+
+    /** Which rules committed during the most recent cycle. */
+    virtual const std::vector<bool>& fired() const = 0;
+
+    /**
+     * Per-rule commit counters (Gcov-style architecture statistics,
+     * case study 4): [r] = number of cycles rule r committed.
+     */
+    virtual const std::vector<uint64_t>& rule_commit_counts() const = 0;
+    /** Per-rule abort counters. */
+    virtual const std::vector<uint64_t>& rule_abort_counts() const = 0;
+
+    /**
+     * Per-rule, per-reason abort counters, flattened as
+     * [rule * kNumAbortReasons + (int)reason]. Empty when the engine
+     * does not track reasons (e.g. a generated model compiled without
+     * `--instrument`); callers must handle both shapes.
+     */
+    virtual const std::vector<uint64_t>& rule_abort_reason_counts() const = 0;
 };
 
 } // namespace koika::sim

@@ -654,7 +654,8 @@ class TierEngine final : public TierModel
   public:
     TierEngine(const Design& d, Policy policy)
         : d_(d), p_(std::move(policy)), fired_(d.num_rules(), false),
-          commits_(d.num_rules(), 0), aborts_(d.num_rules(), 0)
+          commits_(d.num_rules(), 0), aborts_(d.num_rules(), 0),
+          reasons_(d.num_rules() * (size_t)kNumAbortReasons, 0)
     {
         KOIKA_CHECK(d.typechecked);
     }
@@ -685,6 +686,8 @@ class TierEngine final : public TierModel
 
     uint64_t cycles_run() const override { return cycles_; }
     size_t num_regs() const override { return d_.num_registers(); }
+    size_t num_rules() const override { return d_.num_rules(); }
+    std::string rule_name(int r) const override { return d_.rule(r).name; }
     const std::vector<bool>& fired() const override { return fired_; }
 
     const std::vector<uint64_t>&
@@ -697,6 +700,12 @@ class TierEngine final : public TierModel
     rule_abort_counts() const override
     {
         return aborts_;
+    }
+
+    const std::vector<uint64_t>&
+    rule_abort_reason_counts() const override
+    {
+        return reasons_;
     }
 
     void
@@ -750,6 +759,14 @@ class TierEngine final : public TierModel
         } else {
             p_.fail_rule(r, fail_point_);
             ++aborts_[(size_t)r];
+            AbortReason reason = AbortReason::kGuard;
+            if (fail_point_ != nullptr) {
+                if (fail_point_->kind == ActionKind::kRead)
+                    reason = AbortReason::kReadConflict;
+                else if (fail_point_->kind == ActionKind::kWrite)
+                    reason = AbortReason::kWriteConflict;
+            }
+            ++reasons_[(size_t)r * kNumAbortReasons + (size_t)reason];
         }
         pop_frame();
         return ok;
@@ -942,6 +959,7 @@ class TierEngine final : public TierModel
     const Action* fail_point_ = nullptr;
     std::vector<bool> fired_;
     std::vector<uint64_t> commits_, aborts_;
+    std::vector<uint64_t> reasons_; // [rule * kNumAbortReasons + reason]
     uint64_t cycles_ = 0;
 };
 

@@ -47,27 +47,21 @@ constexpr int kNumTiers = 6;
 
 const char* tier_name(Tier tier);
 
-/** Extended interface offered by tier engines (rule-level control). */
-class TierModel : public Model
+/**
+ * Extended interface offered by tier engines (rule-level control).
+ * Per-rule activity counters (fired set, commit/abort counts, abort
+ * reasons) come from RuleStatsModel, which tier engines always
+ * implement — the interpreter pays nothing measurable for them.
+ */
+class TierModel : public RuleStatsModel
 {
   public:
-    /** Which rules committed during the most recent cycle. */
-    virtual const std::vector<bool>& fired() const = 0;
-
     /**
      * Run one cycle with an explicit rule order (case study 2). Tiers
      * T0-T4 are schedule-independent and support any order; T5 is
      * specialized to the design's schedule and rejects custom orders.
      */
     virtual void cycle_with_order(const std::vector<int>& order) = 0;
-
-    /**
-     * Per-rule commit counters (Gcov-style architecture statistics,
-     * case study 4): [r] = number of cycles rule r committed.
-     */
-    virtual const std::vector<uint64_t>& rule_commit_counts() const = 0;
-    /** Per-rule abort counters. */
-    virtual const std::vector<uint64_t>& rule_abort_counts() const = 0;
 
     // -- Mid-cycle stepping (§3.2: merged data "even allows mid-cycle
     // snapshots"; case study 1 stops halfway through a cycle to print

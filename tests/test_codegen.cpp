@@ -8,6 +8,8 @@
 
 #include <cstdlib>
 
+#include <unistd.h>
+
 #include "codegen/compile.hpp"
 #include "codegen/cpp_emit.hpp"
 #include "harness/random_design.hpp"
@@ -25,9 +27,11 @@ namespace {
 std::string
 workdir()
 {
+    // ctest runs each test in its own process, so `counter` alone does
+    // not make the directory unique under `ctest -j`; add the pid.
     static int counter = 0;
-    return "/tmp/cuttlesim_codegen_test_" + std::to_string(counter++) +
-           ".tmp";
+    return "/tmp/cuttlesim_codegen_test_" + std::to_string(getpid()) +
+           "_" + std::to_string(counter++) + ".tmp";
 }
 
 /** The paper's two-state machine with an MSHR-style struct register. */

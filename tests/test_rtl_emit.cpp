@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include "codegen/compile.hpp"
 #include "harness/random_design.hpp"
 #include "interp/reference.hpp"
@@ -58,7 +60,10 @@ expect_rtl_model_matches(const Design& d, const rtl::Netlist& nl,
 {
     static int counter = 0;
     std::string cls = "m" + std::to_string(counter++);
-    std::string dir = "/tmp/cuttlesim_rtl_emit_" + cls + ".tmp";
+    // ctest runs each test in its own process, so `counter` alone does
+    // not make the directory unique under `ctest -j`; add the pid.
+    std::string dir = "/tmp/cuttlesim_rtl_emit_" +
+                      std::to_string(getpid()) + "_" + cls + ".tmp";
     auto cr = codegen::compile_cpp(
         dir,
         {{cls + ".hpp", rtl::emit_rtl_model(nl, cls)},
