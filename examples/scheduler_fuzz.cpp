@@ -8,10 +8,16 @@
 // not expected there — coherence is the property), and the rv32i core
 // running a real program whose tohost output must be schedule-invariant.
 //
-//   $ ./examples/scheduler_fuzz
+// Seeds are fixed, so a run is reproducible; ctest runs this on every
+// build (labels: tier1, fuzz). An optional argument scales the trial
+// counts for deep runs:
+//
+//   $ ./examples/scheduler_fuzz        # the per-build configuration
+//   $ ./examples/scheduler_fuzz 10    # 10x the trials (ctest -L fuzz)
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 
 #include "designs/designs.hpp"
@@ -106,15 +112,18 @@ fuzz_rv32(int trials)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+    if (scale < 1)
+        scale = 1;
     std::printf("Case study 2: scheduler randomization.\n"
                 "Rules run in a fresh random order every cycle; designs "
                 "must not depend on\nthe scheduler for correctness.\n\n");
     bool ok = true;
-    ok &= fuzz_closed("collatz", 500, 20);
-    ok &= fuzz_closed("fir", 300, 10);
-    ok &= fuzz_rv32(5);
+    ok &= fuzz_closed("collatz", 500, 20 * scale);
+    ok &= fuzz_closed("fir", 300, 10 * scale);
+    ok &= fuzz_rv32(5 * scale);
     std::printf("\n%s\n",
                 ok ? "All randomized schedules preserved functional "
                      "behaviour."

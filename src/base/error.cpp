@@ -1,6 +1,7 @@
 #include "base/error.hpp"
 
 #include <cstdarg>
+#include <sstream>
 #include <vector>
 
 namespace koika {
@@ -21,6 +22,50 @@ vformat(const char* fmt, va_list ap)
 
 } // namespace
 
+std::string
+Diagnostic::render() const
+{
+    if (empty())
+        return "";
+    std::ostringstream os;
+    if (!phase.empty())
+        os << "\n  phase:   " << phase;
+    if (!design.empty())
+        os << "\n  design:  " << design;
+    if (!command.empty())
+        os << "\n  command: " << command;
+    if (!detail.empty()) {
+        os << "\n  output:";
+        // Indent the captured output so it reads as one block.
+        std::istringstream is(detail);
+        std::string line;
+        while (std::getline(is, line))
+            os << "\n    " << line;
+    }
+    return os.str();
+}
+
+namespace {
+
+// Built with += (not operator+) to dodge a GCC 12 -Wrestrict false
+// positive on string concatenation.
+std::string
+compose_what(const std::string& message, const Diagnostic& diag)
+{
+    std::string what = message;
+    what += diag.render();
+    return what;
+}
+
+} // namespace
+
+FatalError::FatalError(const std::string& message, Diagnostic diag)
+    : std::runtime_error(compose_what(message, diag)),
+      diag_(std::move(diag)),
+      message_(message)
+{
+}
+
 void
 fatal(const char* fmt, ...)
 {
@@ -29,6 +74,16 @@ fatal(const char* fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     throw FatalError(msg);
+}
+
+void
+fatal_diag(Diagnostic diag, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    throw FatalError(msg, std::move(diag));
 }
 
 void

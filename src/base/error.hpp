@@ -5,6 +5,13 @@
  * Following the gem5 convention we distinguish between internal invariant
  * violations (panic — a bug in this library) and user-facing errors
  * (fatal — a malformed design, a type error, a bad CLI invocation).
+ *
+ * User-facing errors can carry a structured Diagnostic: which pipeline
+ * phase failed, for which design, running which external command, with
+ * what captured output. The out-of-process compile harness
+ * (src/codegen/compile.cpp) threads this context through every failure so
+ * a wedged generated binary or a broken compiler invocation is
+ * attributable without re-running anything.
  */
 #pragma once
 
@@ -15,16 +22,61 @@
 
 namespace koika {
 
+/**
+ * Structured context attached to a FatalError. All fields are optional;
+ * empty fields are omitted from the rendered message.
+ */
+struct Diagnostic
+{
+    /** Pipeline phase that failed: "typecheck", "compile", "run", ... */
+    std::string phase;
+    /** Design or model-class involved, when known. */
+    std::string design;
+    /** External command that was executing, when one was. */
+    std::string command;
+    /** Captured output (compiler stderr, binary stdout, ...). */
+    std::string detail;
+
+    bool
+    empty() const
+    {
+        return phase.empty() && design.empty() && command.empty() &&
+               detail.empty();
+    }
+
+    /** Multi-line "  phase: ..." context block ("" when empty). */
+    std::string render() const;
+};
+
 /** Error raised for user-facing problems (type errors, bad designs). */
 class FatalError : public std::runtime_error
 {
   public:
-    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what), message_(what)
+    {
+    }
+
+    /** what() becomes `message` followed by the rendered diagnostic. */
+    FatalError(const std::string& message, Diagnostic diag);
+
+    const Diagnostic& diagnostic() const { return diag_; }
+
+    /** The message without the diagnostic context block. */
+    const std::string& message() const { return message_; }
+
+  private:
+    Diagnostic diag_;
+    std::string message_;
 };
 
 /** Raise a FatalError with a printf-style message. */
 [[noreturn]] void fatal(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** Raise a FatalError carrying `diag` with a printf-style message. */
+[[noreturn]] void fatal_diag(Diagnostic diag, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /** Abort the process on an internal invariant violation. */
 [[noreturn]] void panic(const char* fmt, ...)

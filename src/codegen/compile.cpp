@@ -1,10 +1,19 @@
 #include "codegen/compile.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
 
 #include "codegen/cpp_emit.hpp"
 
@@ -28,64 +37,214 @@ write_file(const std::string& path, const std::string& text)
     out << text;
 }
 
-std::string
-capture_command(const std::string& cmd, int* exit_code)
+void
+sleep_seconds(double seconds)
 {
-    std::string output;
-    FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
-    if (pipe == nullptr)
-        fatal("popen failed for: %s", cmd.c_str());
+    if (seconds <= 0)
+        return;
+    struct timespec ts;
+    ts.tv_sec = (time_t)seconds;
+    ts.tv_nsec = (long)((seconds - (double)ts.tv_sec) * 1e9);
+    while (nanosleep(&ts, &ts) == -1 && errno == EINTR)
+        continue;
+}
+
+/**
+ * One attempt: fork, exec `sh -c command` in a fresh process group with
+ * stdout+stderr on a pipe, read under a deadline, SIGKILL the whole
+ * group when the deadline passes, and decode the wait status.
+ */
+RunResult
+run_once(const std::string& command, double timeout_seconds)
+{
+    RunResult result;
+
+    int fds[2];
+    if (pipe(fds) != 0)
+        fatal("pipe failed: %s", std::strerror(errno));
+
+    auto start = std::chrono::steady_clock::now();
+    pid_t pid = fork();
+    if (pid < 0)
+        fatal("fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        // Child: own process group so the watchdog can kill the shell
+        // together with anything it spawned (cc1plus, the binary, ...).
+        setpgid(0, 0);
+        dup2(fds[1], STDOUT_FILENO);
+        dup2(fds[1], STDERR_FILENO);
+        close(fds[0]);
+        close(fds[1]);
+        int devnull = open("/dev/null", O_RDONLY);
+        if (devnull >= 0)
+            dup2(devnull, STDIN_FILENO);
+        execl("/bin/sh", "sh", "-c", command.c_str(), (char*)nullptr);
+        _exit(127);
+    }
+    // Both sides race to setpgid so the group exists before any kill.
+    setpgid(pid, pid);
+    close(fds[1]);
+
+    auto deadline =
+        start + std::chrono::duration<double>(timeout_seconds);
+    bool killed = false;
     char buf[4096];
-    size_t n;
-    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
-        output.append(buf, n);
-    int status = pclose(pipe);
-    *exit_code = status;
-    return output;
+    struct pollfd pfd = {fds[0], POLLIN, 0};
+    for (;;) {
+        int wait_ms = 50;
+        if (!killed) {
+            auto remaining = std::chrono::duration<double>(
+                                 deadline - std::chrono::steady_clock::now())
+                                 .count();
+            if (remaining <= 0) {
+                // Watchdog: kill the whole group, then drain the pipe
+                // until every writer is gone.
+                kill(-pid, SIGKILL);
+                kill(pid, SIGKILL);
+                killed = true;
+            } else {
+                wait_ms = (int)(remaining * 1000) + 1;
+                if (wait_ms > 200)
+                    wait_ms = 200;
+            }
+        }
+        int rv = poll(&pfd, 1, wait_ms);
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rv == 0)
+            continue;
+        ssize_t n = read(fds[0], buf, sizeof buf);
+        if (n > 0) {
+            result.output.append(buf, (size_t)n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        break; // EOF: every process holding the write end has exited.
+    }
+    close(fds[0]);
+
+    int status = 0;
+    while (waitpid(pid, &status, 0) == -1 && errno == EINTR)
+        continue;
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (killed) {
+        result.timed_out = true;
+    } else if (WIFSIGNALED(status)) {
+        result.term_signal = WTERMSIG(status);
+    } else if (WIFEXITED(status)) {
+        result.exit_code = WEXITSTATUS(status);
+    } else {
+        // Neither exited nor signaled (stopped?): report as a signal
+        // death so it is never mistaken for a clean exit.
+        result.term_signal = SIGKILL;
+    }
+    return result;
+}
+
+std::string
+compile_command(const std::string& workdir, const std::string& main_file,
+                const std::string& binary, const std::string& flags)
+{
+    std::ostringstream cmd;
+    cmd << CUTTLESIM_CXX << " -std=c++20 " << flags << " -I "
+        << CUTTLESIM_RUNTIME_DIR << " -I " << workdir << " -o " << binary
+        << " " << workdir << "/" << main_file;
+    return cmd.str();
 }
 
 } // namespace
 
+std::string
+RunResult::describe() const
+{
+    std::ostringstream os;
+    if (timed_out) {
+        os << "timed out after " << seconds << "s (killed by watchdog)";
+    } else if (term_signal != 0) {
+        os << "killed by signal " << term_signal;
+        const char* name = strsignal(term_signal);
+        if (name != nullptr)
+            os << " (" << name << ")";
+    } else {
+        os << "exit code " << exit_code;
+    }
+    if (attempts > 1)
+        os << " after " << attempts << " attempts";
+    return os.str();
+}
+
+RunResult
+run_command(const std::string& command, const RunOptions& opts)
+{
+    double backoff = opts.backoff_seconds;
+    RunResult result;
+    for (int attempt = 0;; ++attempt) {
+        result = run_once(command, opts.timeout_seconds);
+        result.attempts = attempt + 1;
+        if (result.ok() || attempt >= opts.retries)
+            return result;
+        // Only signal deaths and watchdog kills are plausibly transient
+        // (OOM killer, flaky box); a nonzero exit is deterministic.
+        bool transient = result.timed_out || result.term_signal != 0;
+        if (!transient)
+            return result;
+        sleep_seconds(backoff);
+        backoff *= 2;
+    }
+}
+
 CompileResult
 compile_cpp(const std::string& workdir,
             const std::vector<std::pair<std::string, std::string>>& files,
-            const std::string& main_file, const std::string& flags)
+            const std::string& main_file, const std::string& flags,
+            const CompileOptions& opts)
 {
     ::mkdir(workdir.c_str(), 0755);
     for (const auto& [name, contents] : files)
         write_file(workdir + "/" + name, contents);
     std::string binary = workdir + "/" + main_file + ".bin";
+    std::string cmd = compile_command(workdir, main_file, binary, flags);
 
-    std::ostringstream cmd;
-    cmd << CUTTLESIM_CXX << " -std=c++20 " << flags << " -I "
-        << CUTTLESIM_RUNTIME_DIR << " -I " << workdir << " -o " << binary
-        << " " << workdir << "/" << main_file;
-
-    auto start = std::chrono::steady_clock::now();
-    int exit_code = 0;
-    std::string output = capture_command(cmd.str(), &exit_code);
-    auto end = std::chrono::steady_clock::now();
-    if (exit_code != 0)
-        fatal("compiling generated model failed:\n%s\n%s",
-              cmd.str().c_str(), output.c_str());
+    RunOptions run_opts;
+    run_opts.timeout_seconds = opts.timeout_seconds;
+    run_opts.retries = opts.retries;
+    run_opts.backoff_seconds = opts.backoff_seconds;
+    RunResult run = run_command(cmd, run_opts);
+    if (!run.ok())
+        fatal_diag(Diagnostic{.phase = "compile",
+                              .design = opts.design.empty() ? main_file
+                                                            : opts.design,
+                              .command = cmd,
+                              .detail = run.output},
+                   "compiling generated model failed (%s)",
+                   run.describe().c_str());
 
     CompileResult result;
     result.binary = binary;
-    result.compile_seconds =
-        std::chrono::duration<double>(end - start).count();
+    result.compile_seconds = run.seconds;
+    result.attempts = run.attempts;
     return result;
 }
 
 CompileResult
 compile_model_driver(const Design& design, const std::string& workdir,
                      const std::string& driver_cpp,
-                     const std::string& flags)
+                     const std::string& flags, const CompileOptions& opts)
 {
     std::string cls = model_class_name(design);
+    CompileOptions with_design = opts;
+    if (with_design.design.empty())
+        with_design.design = design.name();
     return compile_cpp(workdir,
                        {{cls + ".model.hpp", emit_model(design)},
                         {cls + ".driver.cpp", driver_cpp}},
-                       cls + ".driver.cpp", flags);
+                       cls + ".driver.cpp", flags, with_design);
 }
 
 std::string
@@ -120,26 +279,36 @@ reg_dump_driver(const Design& design)
 }
 
 std::string
-run_binary(const std::string& binary, const std::string& args)
+run_binary(const std::string& binary, const std::string& args,
+           const RunOptions& opts)
 {
-    int exit_code = 0;
-    std::string output = capture_command(binary + " " + args, &exit_code);
-    if (exit_code != 0)
-        fatal("binary %s failed (status %d):\n%s", binary.c_str(),
-              exit_code, output.c_str());
-    return output;
+    // exec, so the shell is replaced by the binary and a crash is
+    // decoded as the binary's own signal death, not as the shell's
+    // 128+N exit-code convention.
+    std::string cmd = "exec " + binary + " " + args;
+    RunResult run = run_command(cmd, opts);
+    if (!run.ok())
+        fatal_diag(Diagnostic{.phase = "run",
+                              .command = cmd,
+                              .detail = run.output},
+                   "binary %s failed (%s)", binary.c_str(),
+                   run.describe().c_str());
+    return run.output;
 }
 
 double
-time_binary(const std::string& binary, const std::string& args)
+time_binary(const std::string& binary, const std::string& args,
+            const RunOptions& opts)
 {
-    auto start = std::chrono::steady_clock::now();
-    int exit_code = 0;
-    capture_command(binary + " " + args + " > /dev/null", &exit_code);
-    auto end = std::chrono::steady_clock::now();
-    if (exit_code != 0)
-        fatal("binary %s failed (status %d)", binary.c_str(), exit_code);
-    return std::chrono::duration<double>(end - start).count();
+    std::string cmd = "exec " + binary + " " + args + " > /dev/null";
+    RunResult run = run_command(cmd, opts);
+    if (!run.ok())
+        fatal_diag(Diagnostic{.phase = "run",
+                              .command = cmd,
+                              .detail = run.output},
+                   "binary %s failed (%s)", binary.c_str(),
+                   run.describe().c_str());
+    return run.seconds;
 }
 
 std::vector<std::vector<Bits>>

@@ -1,12 +1,22 @@
 /**
  * @file
- * Out-of-process compilation of generated models.
+ * Out-of-process compilation of generated models, hardened.
  *
  * Cuttlesim's full pipeline is "emit C++, hand it to a C++ compiler"
  * (§3). The in-tree benchmarks pre-generate models at build time, but the
  * differential tests and the compiler-sensitivity experiment (Fig. 3)
  * exercise the real pipeline: emit the model header plus a small driver,
  * invoke the system C++ compiler with chosen flags, and run the binary.
+ *
+ * Because that pipeline leaves the process — and certified-compiler work
+ * (Fe-Si) teaches us to distrust everything outside it — every external
+ * step runs under a watchdog: commands execute in their own process
+ * group, are killed wholesale when they exceed a timeout, have their exit
+ * status decoded properly (a SIGSEGV in a generated binary reports
+ * "killed by signal 11", never a bogus exit code), and transient failures
+ * (signal deaths, timeouts) are retried once with backoff. Failures throw
+ * FatalError carrying a structured Diagnostic (phase, design, command,
+ * captured output).
  */
 #pragma once
 
@@ -16,12 +26,71 @@
 
 namespace koika::codegen {
 
+/** Policy knobs for one external command. */
+struct RunOptions
+{
+    /** Kill the command's process group after this many seconds. */
+    double timeout_seconds = 120;
+    /** Extra attempts after the first, for transient failures only
+     *  (signal deaths and timeouts; ordinary nonzero exits are
+     *  deterministic and never retried). */
+    int retries = 0;
+    /** Sleep before the first retry; doubled for each further one. */
+    double backoff_seconds = 0.1;
+};
+
+/** Decoded outcome of one external command. */
+struct RunResult
+{
+    /** Interleaved stdout+stderr of the last attempt. */
+    std::string output;
+    /** WEXITSTATUS when the command exited; -1 otherwise. */
+    int exit_code = -1;
+    /** WTERMSIG when the command died on a signal; 0 otherwise. */
+    int term_signal = 0;
+    /** True when the watchdog killed the command. */
+    bool timed_out = false;
+    /** Attempts made (1 = no retry was needed). */
+    int attempts = 1;
+    /** Wall-clock seconds of the last attempt. */
+    double seconds = 0;
+
+    bool exited() const { return !timed_out && term_signal == 0; }
+    bool ok() const { return exited() && exit_code == 0; }
+
+    /** "exit code 3" / "killed by signal 11 (SIGSEGV)" /
+     *  "timed out after 5s (killed by watchdog)". */
+    std::string describe() const;
+};
+
+/**
+ * Run `command` through /bin/sh under the watchdog, capturing
+ * stdout+stderr. Never throws on command failure: decode `RunResult`.
+ * Retries (per `opts`) apply only to transient failures.
+ */
+RunResult run_command(const std::string& command,
+                      const RunOptions& opts = {});
+
 struct CompileResult
 {
     /** Path of the produced executable. */
     std::string binary;
-    /** Wall-clock seconds spent in the C++ compiler. */
+    /** Wall-clock seconds spent in the C++ compiler (last attempt). */
     double compile_seconds = 0;
+    /** Compiler attempts made (>1 after a transient-failure retry). */
+    int attempts = 1;
+};
+
+/** Policy knobs for out-of-process model compilation. */
+struct CompileOptions
+{
+    /** Kill the compiler after this many seconds. */
+    double timeout_seconds = 300;
+    /** Retries for transient compiler failures (OOM-kill, timeout). */
+    int retries = 1;
+    double backoff_seconds = 0.25;
+    /** Design name for diagnostics (defaults to the main file). */
+    std::string design;
 };
 
 /**
@@ -33,7 +102,8 @@ struct CompileResult
 CompileResult compile_model_driver(const Design& design,
                                    const std::string& workdir,
                                    const std::string& driver_cpp,
-                                   const std::string& flags = "-O2");
+                                   const std::string& flags = "-O2",
+                                   const CompileOptions& opts = {});
 
 /**
  * Lower-level entry: write `files` (name -> contents) into workdir,
@@ -46,7 +116,8 @@ CompileResult compile_cpp(const std::string& workdir,
                           const std::vector<std::pair<std::string,
                                                       std::string>>& files,
                           const std::string& main_file,
-                          const std::string& flags);
+                          const std::string& flags,
+                          const CompileOptions& opts = {});
 
 /**
  * A generic driver: runs argv[1] cycles and dumps every register (as hex
@@ -54,12 +125,16 @@ CompileResult compile_cpp(const std::string& workdir,
  */
 std::string reg_dump_driver(const Design& design);
 
-/** Run a binary, capture stdout; throws on nonzero exit. */
-std::string run_binary(const std::string& binary,
-                       const std::string& args);
+/**
+ * Run a binary, capture stdout; throws FatalError (with signal/timeout
+ * detail and the captured output) on anything but a clean exit 0.
+ */
+std::string run_binary(const std::string& binary, const std::string& args,
+                       const RunOptions& opts = {});
 
 /** Wall-clock seconds to run a binary (stdout discarded). */
-double time_binary(const std::string& binary, const std::string& args);
+double time_binary(const std::string& binary, const std::string& args,
+                   const RunOptions& opts = {});
 
 /**
  * Parse reg_dump_driver output into per-cycle register snapshots.

@@ -21,22 +21,41 @@
  *   cuttlec --design fir --print-koika
  *
  * Observability (see README "Observability"): the driver can also run
- * the design on the T5 interpreter and report what happened:
+ * the design and report what happened:
  *   cuttlec --design fir --cycles 5000 --stats=fir-stats.json
  *       per-rule commit/abort/abort-reason statistics as JSON
  *   cuttlec --design fir --cycles 200 --trace=fir.json
  *       Chrome trace-event rule activity, viewable in ui.perfetto.dev
+ * The engine is selectable: --engine=T0..T5 picks an interpreter tier,
+ * --engine=compiled emits the model, compiles it with the system C++
+ * compiler and times the real binary. When that out-of-process pipeline
+ * fails (broken flags, wedged toolchain), cuttlec degrades gracefully:
+ * it warns and falls back to the T5 interpreter tier.
+ *
+ * Resilience (README "Fault-injection campaigns"):
+ *   cuttlec --design rv32i --fault-campaign=SEED --fault-count=100 \
+ *           --cycles 2000 --fault-report=rv32i-faults.json
+ *       seeded, deterministic SEU/stuck-at campaign in lockstep against
+ *       a golden copy; every injection classified masked / sdc /
+ *       detected, counts exported through the obs metrics registry.
  */
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include <unistd.h>
+
+#include "codegen/compile.hpp"
 #include "codegen/cpp_emit.hpp"
 #include "designs/designs.hpp"
+#include "designs/rv32.hpp"
+#include "fault/fault.hpp"
+#include "harness/memory.hpp"
 #include "koika/print.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "riscv/programs.hpp"
 #include "rtl/lower.hpp"
 #include "rtl/optimize.hpp"
 #include "rtl/rtl_emit.hpp"
@@ -61,26 +80,192 @@ usage()
         << "usage: cuttlec --design NAME [--out DIR] [--stats]\n"
            "               [--print-koika] [--no-counters] [--instrument]\n"
            "               [--cycles N] [--stats=FILE] [--trace=FILE]\n"
+           "               [--engine=T0..T5|compiled] [--cxxflags=FLAGS]\n"
+           "               [--fault-campaign=SEED] [--fault-count=N]\n"
+           "               [--fault-report=FILE]\n"
            "       cuttlec --list\n"
            "\n"
-           "  --stats=FILE  simulate (T5 interpreter) and write per-rule\n"
-           "                commit/abort/abort-reason stats as JSON\n"
+           "  --stats=FILE  simulate and write per-rule commit/abort/\n"
+           "                abort-reason stats as JSON\n"
            "  --trace=FILE  simulate and write a Chrome trace-event JSON\n"
            "                (open in ui.perfetto.dev)\n"
-           "  --cycles N    simulation length for --stats=/--trace=\n"
+           "  --cycles N    simulation length / fault-campaign horizon\n"
            "                (default 1000)\n"
+           "  --engine=E    simulation engine: an interpreter tier\n"
+           "                (T0..T5, default T5) or 'compiled' (emit,\n"
+           "                compile with the system C++ compiler, run the\n"
+           "                binary; falls back to T5 with a warning when\n"
+           "                the out-of-process pipeline fails)\n"
+           "  --cxxflags=F  flags for --engine=compiled (default -O2)\n"
+           "  --fault-campaign=SEED\n"
+           "                run a deterministic fault-injection campaign\n"
+           "                (SEU bit-flips + stuck-at faults) against a\n"
+           "                golden copy; classify masked / sdc / detected\n"
+           "  --fault-count=N   injections per campaign (default 100)\n"
+           "  --fault-report=FILE   write the campaign report as JSON\n"
            "  --instrument  emit only NAME_instr.model.hpp: a model with\n"
            "                counters plus abort-reason instrumentation\n";
     return 2;
 }
 
-/** Run `design` on the T5 interpreter, writing stats/trace as asked. */
-int
-simulate(const koika::Design& design, uint64_t cycles,
-         const std::string& stats_file, const std::string& trace_file)
+bool
+parse_tier(const std::string& engine, koika::sim::Tier* tier)
 {
-    auto engine = koika::sim::make_engine(
-        design, koika::sim::Tier::kT5StaticAnalysis);
+    if (engine.size() == 2 && engine[0] == 'T' && engine[1] >= '0' &&
+        engine[1] <= '5') {
+        *tier = (koika::sim::Tier)(engine[1] - '0');
+        return true;
+    }
+    return false;
+}
+
+/**
+ * A fresh-system factory for fault campaigns and golden runs. RISC-V
+ * designs get per-instance magic memories preloaded with a small primes
+ * program (the design is meaningless without a stimulus); every other
+ * registry design is closed and needs none.
+ */
+koika::fault::TargetFactory
+make_target_factory(const koika::Design& design, koika::sim::Tier tier)
+{
+    using koika::designs::Rv32CorePorts;
+    if (design.name().rfind("rv32", 0) != 0)
+        return [&design, tier]() {
+            koika::fault::FaultTarget t;
+            t.model = koika::sim::make_engine(design, tier);
+            return t;
+        };
+
+    int cores = design.name().find("-mc") != std::string::npos ? 2 : 1;
+    auto program = std::make_shared<koika::riscv::Program>(
+        koika::riscv::build_program(koika::riscv::primes_source(20)));
+    auto ports = std::make_shared<std::vector<Rv32CorePorts>>();
+    for (int core = 0; core < cores; ++core)
+        ports->push_back(koika::designs::rv32_ports(design, core, cores));
+
+    return [&design, tier, program, ports]() {
+        struct Ctx
+        {
+            std::vector<std::unique_ptr<koika::harness::MemoryDevice>>
+                mems;
+            std::vector<std::unique_ptr<koika::harness::MemPort>>
+                mem_ports;
+        };
+        auto ctx = std::make_shared<Ctx>();
+        for (const Rv32CorePorts& p : *ports) {
+            auto mem =
+                std::make_unique<koika::harness::MemoryDevice>();
+            mem->load_words(program->words, program->base);
+            ctx->mem_ports.push_back(
+                std::make_unique<koika::harness::MemPort>(*mem,
+                                                          p.imem));
+            ctx->mem_ports.push_back(
+                std::make_unique<koika::harness::MemPort>(*mem,
+                                                          p.dmem));
+            ctx->mems.push_back(std::move(mem));
+        }
+        koika::fault::FaultTarget t;
+        t.model = koika::sim::make_engine(design, tier);
+        t.stimulus = [ctx](koika::sim::Model& m, uint64_t) {
+            for (auto& port : ctx->mem_ports)
+                port->tick(m);
+        };
+        t.context = ctx;
+        return t;
+    };
+}
+
+/** Seeded fault-injection campaign against a golden copy. */
+int
+fault_campaign(const koika::Design& design, koika::sim::Tier tier,
+               uint64_t seed, int count, uint64_t cycles,
+               const std::string& report_file)
+{
+    koika::fault::CampaignConfig config;
+    config.seed = seed;
+    config.count = count;
+    config.cycles = cycles;
+
+    koika::fault::CampaignReport report = koika::fault::run_campaign(
+        design, make_target_factory(design, tier), config);
+    report.engine = koika::sim::tier_name(tier);
+
+    koika::obs::MetricsRegistry metrics;
+    report.export_to(metrics, "fault/" + design.name());
+
+    if (!report_file.empty()) {
+        koika::obs::Json j = report.to_json();
+        j["metrics"] = metrics.to_json();
+        write_file(report_file, j.dump(2) + "\n");
+    }
+    std::cout << report.to_text() << metrics.to_text();
+    return 0;
+}
+
+/**
+ * The compiled engine: emit the model, compile it out-of-process, time
+ * a run of the real binary. Per-rule statistics are an interpreter
+ * feature; the compiled path reports cycles and wall time only (the
+ * SimStats schema degrades to cycles-only, as documented).
+ */
+int
+simulate_compiled(const koika::Design& design, uint64_t cycles,
+                  const std::string& stats_file,
+                  const std::string& trace_file,
+                  const std::string& cxxflags,
+                  const std::string& out_dir)
+{
+    if (!trace_file.empty())
+        koika::fatal("--trace= needs an interpreter engine "
+                     "(--engine=T0..T5); the compiled engine has no "
+                     "per-rule activity feed");
+
+    std::string workdir =
+        out_dir.empty() ? "/tmp/cuttlec_run_" + design.name() + "_" +
+                              std::to_string(getpid())
+                        : out_dir;
+    // A silent driver: run N cycles, print nothing (reg dumps would
+    // dominate the timing and the output).
+    std::string cls = koika::codegen::model_class_name(design);
+    std::string driver = "#include <cstdlib>\n#include \"" + cls +
+                         ".model.hpp\"\n"
+                         "int main(int argc, char** argv) {\n"
+                         "    unsigned long n = argc > 1 ? "
+                         "strtoul(argv[1], nullptr, 10) : 1000;\n"
+                         "    cuttlesim::models::" +
+                         cls +
+                         " m;\n"
+                         "    for (unsigned long c = 0; c < n; ++c) "
+                         "m.cycle();\n"
+                         "    return 0;\n"
+                         "}\n";
+
+    koika::codegen::CompileResult cr =
+        koika::codegen::compile_model_driver(design, workdir, driver,
+                                             cxxflags);
+    double wall = koika::codegen::time_binary(cr.binary,
+                                              std::to_string(cycles));
+
+    koika::obs::SimStats stats;
+    stats.design = design.name();
+    stats.engine = "cuttlesim";
+    stats.cycles = cycles;
+    stats.wall_seconds = wall;
+    stats.extra["compile_seconds"] = cr.compile_seconds;
+
+    if (!stats_file.empty())
+        write_file(stats_file, stats.to_json().dump(2) + "\n");
+    std::cout << stats.to_text();
+    return 0;
+}
+
+/** Run `design` on an interpreter tier, writing stats/trace as asked. */
+int
+simulate(const koika::Design& design, koika::sim::Tier tier,
+         uint64_t cycles, const std::string& stats_file,
+         const std::string& trace_file)
+{
+    auto engine = koika::sim::make_engine(design, tier);
 
     std::ofstream trace_out;
     std::unique_ptr<koika::obs::TraceWriter> trace;
@@ -124,7 +309,7 @@ simulate(const koika::Design& design, uint64_t cycles,
 
     koika::obs::SimStats stats = koika::obs::collect_stats(*engine);
     stats.design = design.name();
-    stats.engine = "T5";
+    stats.engine = koika::sim::tier_name(tier);
     stats.wall_seconds = wall;
 
     if (!stats_file.empty()) {
@@ -142,9 +327,11 @@ int
 main(int argc, char** argv)
 {
     std::string design_name, out_dir, stats_file, trace_file;
+    std::string engine = "T5", cxxflags = "-O2", fault_report;
     bool stats = false, print_koika = false, counters = true;
-    bool instrument = false;
-    uint64_t cycles = 1000;
+    bool instrument = false, fault = false;
+    uint64_t cycles = 1000, fault_seed = 1;
+    int fault_count = 100;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
@@ -162,6 +349,21 @@ main(int argc, char** argv)
             stats_file = arg.substr(std::strlen("--stats="));
         } else if (arg.rfind("--trace=", 0) == 0) {
             trace_file = arg.substr(std::strlen("--trace="));
+        } else if (arg.rfind("--engine=", 0) == 0) {
+            engine = arg.substr(std::strlen("--engine="));
+        } else if (arg.rfind("--cxxflags=", 0) == 0) {
+            cxxflags = arg.substr(std::strlen("--cxxflags="));
+        } else if (arg.rfind("--fault-campaign=", 0) == 0) {
+            fault = true;
+            fault_seed = std::strtoull(
+                arg.c_str() + std::strlen("--fault-campaign="), nullptr,
+                10);
+        } else if (arg.rfind("--fault-count=", 0) == 0) {
+            fault_count = (int)std::strtoul(
+                arg.c_str() + std::strlen("--fault-count="), nullptr,
+                10);
+        } else if (arg.rfind("--fault-report=", 0) == 0) {
+            fault_report = arg.substr(std::strlen("--fault-report="));
         } else if (arg == "--cycles" && i + 1 < argc) {
             cycles = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--print-koika") {
@@ -177,6 +379,13 @@ main(int argc, char** argv)
     if (design_name.empty())
         return usage();
 
+    koika::sim::Tier tier = koika::sim::Tier::kT5StaticAnalysis;
+    bool compiled_engine = engine == "compiled";
+    if (!compiled_engine && !parse_tier(engine, &tier)) {
+        std::cerr << "cuttlec: unknown engine '" << engine << "'\n";
+        return usage();
+    }
+
     try {
         auto design = koika::designs::build_design(design_name);
         std::string cls = koika::codegen::model_class_name(*design);
@@ -186,8 +395,37 @@ main(int argc, char** argv)
             return 0;
         }
 
-        if (!stats_file.empty() || !trace_file.empty())
-            return simulate(*design, cycles, stats_file, trace_file);
+        if (fault) {
+            if (compiled_engine) {
+                // Fault injection pokes registers between cycles, which
+                // needs an in-process model; the out-of-process compiled
+                // engine cannot do that.
+                std::cerr << "cuttlec: warning: fault campaigns run on "
+                             "interpreter tiers; using T5\n";
+                tier = koika::sim::Tier::kT5StaticAnalysis;
+            }
+            return fault_campaign(*design, tier, fault_seed,
+                                  fault_count, cycles, fault_report);
+        }
+
+        if (!stats_file.empty() || !trace_file.empty()) {
+            if (compiled_engine) {
+                try {
+                    return simulate_compiled(*design, cycles,
+                                             stats_file, trace_file,
+                                             cxxflags, out_dir);
+                } catch (const koika::FatalError& err) {
+                    std::cerr
+                        << "cuttlec: warning: compiled engine failed: "
+                        << err.message() << "\n"
+                        << "cuttlec: warning: falling back to the T5 "
+                           "interpreter tier\n";
+                    tier = koika::sim::Tier::kT5StaticAnalysis;
+                }
+            }
+            return simulate(*design, tier, cycles, stats_file,
+                            trace_file);
+        }
 
         if (instrument) {
             if (out_dir.empty())

@@ -1,0 +1,373 @@
+#include "fault/fault.hpp"
+
+#include <random>
+#include <sstream>
+
+namespace koika::fault {
+
+namespace {
+
+/**
+ * Bounded draw via modulo. Deliberately not uniform_int_distribution:
+ * its mapping is implementation-defined, and campaign reports must be
+ * reproducible from the seed alone, everywhere.
+ */
+uint64_t
+draw(std::mt19937_64& rng, uint64_t n)
+{
+    return n == 0 ? 0 : rng() % n;
+}
+
+void
+force_bit(sim::Model& model, int reg, uint32_t bit, bool value)
+{
+    model.set_reg(reg, model.get_reg(reg).with_bit(bit, value));
+}
+
+void
+flip_bit(sim::Model& model, int reg, uint32_t bit)
+{
+    Bits v = model.get_reg(reg);
+    model.set_reg(reg, v.with_bit(bit, !v.bit(bit)));
+}
+
+} // namespace
+
+const char*
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kBitFlip: return "bit_flip";
+      case FaultKind::kStuckAt0: return "stuck_at_0";
+      case FaultKind::kStuckAt1: return "stuck_at_1";
+    }
+    return "?";
+}
+
+const char*
+outcome_name(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::kMasked: return "masked";
+      case Outcome::kSilentDataCorruption: return "sdc";
+      case Outcome::kDetected: return "detected";
+    }
+    return "?";
+}
+
+std::vector<FaultSpec>
+generate_faults(const Design& design, const CampaignConfig& config)
+{
+    std::vector<int> eligible = config.target_regs;
+    if (eligible.empty())
+        for (size_t r = 0; r < design.num_registers(); ++r)
+            if (design.reg((int)r).type->width > 0)
+                eligible.push_back((int)r);
+    if (eligible.empty())
+        fatal("fault campaign on design '%s': no register is wide "
+              "enough to inject into",
+              design.name().c_str());
+    if (config.cycles < 2)
+        fatal("fault campaign needs a horizon of at least 2 cycles");
+
+    std::mt19937_64 rng(config.seed);
+    std::vector<FaultSpec> faults;
+    faults.reserve((size_t)config.count);
+    for (int i = 0; i < config.count; ++i) {
+        FaultSpec spec;
+        // Leave at least one cycle after the injection so the fault has
+        // a chance to propagate (or be masked).
+        spec.cycle = draw(rng, config.cycles - 1);
+        spec.reg = eligible[(size_t)draw(rng, eligible.size())];
+        spec.bit =
+            (uint32_t)draw(rng, design.reg(spec.reg).type->width);
+        spec.kind = config.stuck_at
+                        ? (FaultKind)draw(rng, (uint64_t)kNumFaultKinds)
+                        : FaultKind::kBitFlip;
+        spec.stuck_cycles =
+            spec.kind == FaultKind::kBitFlip
+                ? 1
+                : 1 + draw(rng, config.max_stuck_cycles);
+        faults.push_back(spec);
+    }
+    return faults;
+}
+
+InjectionRecord
+run_injection(const Design& design, const TargetFactory& factory,
+              const FaultSpec& spec, uint64_t cycles)
+{
+    KOIKA_CHECK(spec.reg >= 0 &&
+                (size_t)spec.reg < design.num_registers());
+    InjectionRecord rec;
+    rec.spec = spec;
+    rec.reg_name = design.reg(spec.reg).name;
+
+    FaultTarget golden = factory();
+    FaultTarget faulted = factory();
+    auto* gstats =
+        dynamic_cast<sim::RuleStatsModel*>(golden.model.get());
+    auto* fstats =
+        dynamic_cast<sim::RuleStatsModel*>(faulted.model.get());
+    bool track = gstats != nullptr && fstats != nullptr;
+
+    std::vector<uint64_t> gprev, fprev, gprev_r, fprev_r;
+    if (track) {
+        gprev = gstats->rule_abort_counts();
+        fprev = fstats->rule_abort_counts();
+        gprev_r = gstats->rule_abort_reason_counts();
+        fprev_r = fstats->rule_abort_reason_counts();
+    }
+
+    bool injected = false;
+    bool engine_fault = false;
+    size_t nregs = design.num_registers();
+    for (uint64_t c = 0; c < cycles; ++c) {
+        golden.model->cycle();
+        if (golden.stimulus)
+            golden.stimulus(*golden.model, c);
+        try {
+            faulted.model->cycle();
+            if (faulted.stimulus)
+                faulted.stimulus(*faulted.model, c);
+        } catch (const std::exception& e) {
+            // The engine itself tripped over the corrupted state — the
+            // strongest form of detection.
+            rec.detected = true;
+            rec.detect_cycle = c;
+            rec.detect_detail = std::string("engine fault: ") + e.what();
+            engine_fault = true;
+            break;
+        }
+
+        // Detection: a rule aborted in the faulted run more often than
+        // in the golden run during the same cycle — the design's guards
+        // and port discipline noticing bad state.
+        if (track) {
+            const auto& g = gstats->rule_abort_counts();
+            const auto& f = fstats->rule_abort_counts();
+            if (injected && !rec.detected) {
+                for (size_t r = 0; r < g.size() && r < f.size(); ++r) {
+                    uint64_t gd = g[r] - gprev[r];
+                    uint64_t fd = f[r] - fprev[r];
+                    if (fd <= gd)
+                        continue;
+                    rec.detected = true;
+                    rec.detect_cycle = c;
+                    std::string reason = "abort";
+                    const auto& gr =
+                        gstats->rule_abort_reason_counts();
+                    const auto& fr =
+                        fstats->rule_abort_reason_counts();
+                    for (int k = 0; k < sim::kNumAbortReasons; ++k) {
+                        size_t idx =
+                            r * (size_t)sim::kNumAbortReasons +
+                            (size_t)k;
+                        if (idx >= gr.size() || idx >= fr.size())
+                            break;
+                        if (fr[idx] - fprev_r[idx] >
+                            gr[idx] - gprev_r[idx]) {
+                            reason = std::string(sim::abort_reason_name(
+                                         (sim::AbortReason)k)) +
+                                     " abort";
+                            break;
+                        }
+                    }
+                    rec.detect_detail = "rule '" +
+                                        gstats->rule_name((int)r) +
+                                        "': excess " + reason;
+                    break;
+                }
+            }
+            gprev = g;
+            fprev = f;
+            gprev_r = gstats->rule_abort_reason_counts();
+            fprev_r = fstats->rule_abort_reason_counts();
+        }
+
+        // Divergence scan before (re-)forcing, so it measures what the
+        // fault propagated into, not the forced bit itself.
+        if (injected && !rec.diverged) {
+            for (size_t r = 0; r < nregs; ++r) {
+                if (faulted.model->get_reg((int)r) !=
+                    golden.model->get_reg((int)r)) {
+                    rec.diverged = true;
+                    rec.first_divergence_cycle = c;
+                    rec.first_divergence_reg = (int)r;
+                    break;
+                }
+            }
+        }
+
+        // Injection happens at the cycle boundary: after cycle
+        // spec.cycle committed (and its stimulus ran), before the next
+        // cycle starts. Stuck-at faults re-assert the forced bit for
+        // stuck_cycles consecutive boundaries.
+        if (c == spec.cycle) {
+            switch (spec.kind) {
+              case FaultKind::kBitFlip:
+                flip_bit(*faulted.model, spec.reg, spec.bit);
+                break;
+              case FaultKind::kStuckAt0:
+                force_bit(*faulted.model, spec.reg, spec.bit, false);
+                break;
+              case FaultKind::kStuckAt1:
+                force_bit(*faulted.model, spec.reg, spec.bit, true);
+                break;
+            }
+            injected = true;
+        } else if (injected && spec.kind != FaultKind::kBitFlip &&
+                   c > spec.cycle &&
+                   c < spec.cycle + spec.stuck_cycles) {
+            force_bit(*faulted.model, spec.reg, spec.bit,
+                      spec.kind == FaultKind::kStuckAt1);
+        }
+    }
+
+    if (!engine_fault) {
+        rec.final_state_matches = true;
+        for (size_t r = 0; r < nregs; ++r) {
+            if (faulted.model->get_reg((int)r) !=
+                golden.model->get_reg((int)r)) {
+                rec.final_state_matches = false;
+                if (!rec.diverged) {
+                    rec.diverged = true;
+                    rec.first_divergence_cycle = cycles;
+                    rec.first_divergence_reg = (int)r;
+                }
+                break;
+            }
+        }
+    }
+
+    if (rec.detected)
+        rec.outcome = Outcome::kDetected;
+    else if (!rec.final_state_matches)
+        rec.outcome = Outcome::kSilentDataCorruption;
+    else
+        rec.outcome = Outcome::kMasked;
+    return rec;
+}
+
+CampaignReport
+run_campaign(const Design& design, const TargetFactory& factory,
+             const CampaignConfig& config)
+{
+    CampaignReport report;
+    report.design = design.name();
+    report.config = config;
+    for (const FaultSpec& spec : generate_faults(design, config)) {
+        InjectionRecord rec =
+            run_injection(design, factory, spec, config.cycles);
+        switch (rec.outcome) {
+          case Outcome::kMasked: report.masked++; break;
+          case Outcome::kSilentDataCorruption: report.sdc++; break;
+          case Outcome::kDetected: report.detected++; break;
+        }
+        report.injections.push_back(std::move(rec));
+    }
+    return report;
+}
+
+obs::Json
+CampaignReport::to_json() const
+{
+    obs::Json j = obs::Json::object();
+    j["design"] = design;
+    j["engine"] = engine;
+    if (!config.label.empty())
+        j["label"] = config.label;
+
+    obs::Json cfg = obs::Json::object();
+    cfg["seed"] = config.seed;
+    cfg["count"] = (int64_t)config.count;
+    cfg["cycles"] = config.cycles;
+    cfg["stuck_at"] = config.stuck_at;
+    cfg["max_stuck_cycles"] = config.max_stuck_cycles;
+    j["config"] = std::move(cfg);
+
+    obs::Json summary = obs::Json::object();
+    summary["injections"] = (uint64_t)injections.size();
+    summary["masked"] = masked;
+    summary["sdc"] = sdc;
+    summary["detected"] = detected;
+    j["summary"] = std::move(summary);
+
+    obs::Json list = obs::Json::array();
+    for (size_t i = 0; i < injections.size(); ++i) {
+        const InjectionRecord& r = injections[i];
+        obs::Json e = obs::Json::object();
+        e["index"] = (uint64_t)i;
+        e["cycle"] = r.spec.cycle;
+        e["reg"] = (int64_t)r.spec.reg;
+        e["reg_name"] = r.reg_name;
+        e["bit"] = (uint64_t)r.spec.bit;
+        e["kind"] = fault_kind_name(r.spec.kind);
+        if (r.spec.kind != FaultKind::kBitFlip)
+            e["stuck_cycles"] = r.spec.stuck_cycles;
+        e["outcome"] = outcome_name(r.outcome);
+        e["diverged"] = r.diverged;
+        if (r.diverged) {
+            e["first_divergence_cycle"] = r.first_divergence_cycle;
+            e["first_divergence_reg"] = (int64_t)r.first_divergence_reg;
+        }
+        e["detected"] = r.detected;
+        if (r.detected) {
+            e["detect_cycle"] = r.detect_cycle;
+            e["detect_detail"] = r.detect_detail;
+        }
+        e["final_state_matches"] = r.final_state_matches;
+        list.push_back(std::move(e));
+    }
+    j["injections"] = std::move(list);
+    return j;
+}
+
+std::string
+CampaignReport::to_text() const
+{
+    std::ostringstream os;
+    uint64_t total = (uint64_t)injections.size();
+    os << "fault campaign: design " << design;
+    if (!engine.empty())
+        os << ", engine " << engine;
+    os << ", seed " << config.seed << ", " << total << " injections, "
+       << config.cycles << "-cycle horizon\n";
+    auto line = [&](const char* name, uint64_t n) {
+        double pct = total ? 100.0 * (double)n / (double)total : 0.0;
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "  %-10s %6lu  (%5.1f%%)\n",
+                      name, (unsigned long)n, pct);
+        os << buf;
+    };
+    line("masked", masked);
+    line("sdc", sdc);
+    line("detected", detected);
+    return os.str();
+}
+
+void
+CampaignReport::export_to(obs::MetricsRegistry& registry,
+                          const std::string& prefix) const
+{
+    registry.inc(prefix + "/injections", (uint64_t)injections.size());
+    registry.inc(prefix + "/outcome/masked", masked);
+    registry.inc(prefix + "/outcome/sdc", sdc);
+    registry.inc(prefix + "/outcome/detected", detected);
+    for (const InjectionRecord& r : injections)
+        registry.inc(prefix + "/kind/" + fault_kind_name(r.spec.kind) +
+                     "/" + outcome_name(r.outcome));
+}
+
+TargetFactory
+closed_target(
+    const std::function<std::unique_ptr<sim::Model>()>& make_model)
+{
+    return [make_model]() {
+        FaultTarget t;
+        t.model = make_model();
+        return t;
+    };
+}
+
+} // namespace koika::fault

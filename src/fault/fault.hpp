@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deterministic fault-injection campaigns over any sim::Model.
+ *
+ * The lockstep harness proves that every engine computes the same state
+ * every cycle; this module turns that machinery around and asks what the
+ * *design* does when state itself misbehaves — the SEU / soft-error
+ * resilience analysis that at-scale simulators run as a first-class
+ * workload. A campaign draws a seeded, reproducible set of faults
+ * (transient bit-flips and stuck-at-0/1 forces on architectural
+ * registers), replays each one against a golden copy of the same model,
+ * and classifies the outcome with the standard taxonomy:
+ *
+ *   - masked:   the corrupted state washed out; final state matches the
+ *               golden run and no detection signal fired.
+ *   - sdc:      silent data corruption — final state differs from the
+ *               golden run and nothing noticed.
+ *   - detected: a guard/abort fired that did not fire in the golden run
+ *               at the same cycle (the design's own port discipline and
+ *               guards acting as an error detector), or the engine
+ *               itself faulted on the corrupted state.
+ *
+ * Everything is deterministic: the same seed and config produce a
+ * byte-identical JSON report (no wall-clock data is recorded), so
+ * campaign reports can be diffed across engines and commits.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "koika/design.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/model.hpp"
+
+namespace koika::fault {
+
+enum class FaultKind : int {
+    /** Flip one bit once (single-event upset). */
+    kBitFlip = 0,
+    /** Force one bit to 0 for a window of cycles. */
+    kStuckAt0 = 1,
+    /** Force one bit to 1 for a window of cycles. */
+    kStuckAt1 = 2,
+};
+
+constexpr int kNumFaultKinds = 3;
+
+const char* fault_kind_name(FaultKind kind);
+
+enum class Outcome : int {
+    kMasked = 0,
+    kSilentDataCorruption = 1,
+    kDetected = 2,
+};
+
+const char* outcome_name(Outcome outcome);
+
+/** One fault to inject. */
+struct FaultSpec
+{
+    /** Inject after this many cycles have committed (and after the
+     *  cycle's stimulus ran), i.e. into the state cycle `cycle+1`
+     *  starts from. */
+    uint64_t cycle = 0;
+    /** Register index in the design's order. */
+    int reg = 0;
+    /** Bit position within the register. */
+    uint32_t bit = 0;
+    FaultKind kind = FaultKind::kBitFlip;
+    /** For stuck-at faults: number of consecutive cycle boundaries the
+     *  bit stays forced (>= 1). Ignored for bit flips. */
+    uint64_t stuck_cycles = 1;
+};
+
+/** What one injection did, fully attributable. */
+struct InjectionRecord
+{
+    FaultSpec spec;
+    /** Register name (denormalized so reports stand alone). */
+    std::string reg_name;
+    Outcome outcome = Outcome::kMasked;
+
+    /** True when any register ever differed from the golden run. */
+    bool diverged = false;
+    uint64_t first_divergence_cycle = 0;
+    int first_divergence_reg = -1;
+
+    /** True when a detection signal fired (see header comment). */
+    bool detected = false;
+    uint64_t detect_cycle = 0;
+    /** "rule 'writeback': 1 excess abort" or "engine fault: ...". */
+    std::string detect_detail;
+
+    /** True when the final states matched at the horizon. */
+    bool final_state_matches = false;
+};
+
+/**
+ * One fresh instance of the system under test: the model plus whatever
+ * per-instance peripherals drive it. The stimulus (may be null) runs
+ * after every cycle, exactly like the lockstep harness's. `context`
+ * keeps peripheral objects alive for the model's lifetime.
+ */
+struct FaultTarget
+{
+    std::unique_ptr<sim::Model> model;
+    std::function<void(sim::Model&, uint64_t)> stimulus;
+    std::shared_ptr<void> context;
+};
+
+/** Builds a fresh, identically-initialized target per run. */
+using TargetFactory = std::function<FaultTarget()>;
+
+struct CampaignConfig
+{
+    uint64_t seed = 1;
+    /** Number of injections. */
+    int count = 100;
+    /** Simulation horizon per injection, in cycles. */
+    uint64_t cycles = 1000;
+    /** Registers eligible for injection; empty = all. */
+    std::vector<int> target_regs;
+    /** Also draw stuck-at faults (bit flips only when false). */
+    bool stuck_at = true;
+    /** Forcing window drawn for stuck-at faults: [1, max]. */
+    uint64_t max_stuck_cycles = 8;
+    /** Free-form label echoed into the report. */
+    std::string label;
+};
+
+struct CampaignReport
+{
+    std::string design;
+    /** Engine the campaign ran on ("T5", "T4", ...). */
+    std::string engine;
+    CampaignConfig config;
+
+    std::vector<InjectionRecord> injections;
+    uint64_t masked = 0;
+    uint64_t sdc = 0;
+    uint64_t detected = 0;
+
+    /**
+     * Deterministic report: config echo, per-injection records, and
+     * summary counts. Contains no timestamps or wall-clock data, so two
+     * runs with the same seed dump byte-identical JSON.
+     */
+    obs::Json to_json() const;
+
+    /** Short human-readable summary table. */
+    std::string to_text() const;
+
+    /**
+     * Export outcome counts under `prefix`:
+     *   <prefix>/injections, <prefix>/outcome/<masked|sdc|detected>,
+     *   <prefix>/kind/<bit_flip|stuck_at_0|stuck_at_1>/<outcome>.
+     */
+    void export_to(obs::MetricsRegistry& registry,
+                   const std::string& prefix) const;
+};
+
+/**
+ * Draw the campaign's fault list. Deterministic in (design, config):
+ * injection cycles are uniform over [1, config.cycles - 1], registers
+ * uniform over the eligible set, bits uniform over the register's
+ * width. Zero-width registers are never targeted.
+ */
+std::vector<FaultSpec> generate_faults(const Design& design,
+                                       const CampaignConfig& config);
+
+/**
+ * Run one injection: golden and faulted targets in lockstep to the
+ * horizon, fault applied per `spec`, outcome classified.
+ */
+InjectionRecord run_injection(const Design& design,
+                              const TargetFactory& factory,
+                              const FaultSpec& spec, uint64_t cycles);
+
+/** Run a whole campaign: generate_faults + run_injection per fault. */
+CampaignReport run_campaign(const Design& design,
+                            const TargetFactory& factory,
+                            const CampaignConfig& config);
+
+/**
+ * Convenience factory for closed designs (no stimulus): a tier-style
+ * engine built by `make_model` each time.
+ */
+TargetFactory
+closed_target(const std::function<std::unique_ptr<sim::Model>()>& make_model);
+
+} // namespace koika::fault

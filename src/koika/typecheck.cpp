@@ -22,7 +22,8 @@ class Checker
     run()
     {
         for (const auto& f : d_.functions())
-            check_function(f.get());
+            in_context("function", f->name,
+                       [&] { check_function(f.get()); });
         std::set<int> scheduled;
         for (int r : d_.schedule_order()) {
             if (scheduled.count(r))
@@ -35,14 +36,40 @@ class Checker
             scope_.clear();
             max_slots_ = 0;
             in_function_ = false;
-            TypePtr t = check(rule.body);
-            (void)t;
+            in_context("rule", rule.name, [&] {
+                TypePtr t = check(rule.body);
+                (void)t;
+            });
             rule.nslots = max_slots_;
         }
         d_.typechecked = true;
     }
 
   private:
+    /**
+     * Run `body`, prefixing any user-facing error with the rule or
+     * function it came from — "unbound variable 'v'" alone is useless
+     * against a thousand-rule design — and tagging it with a typecheck
+     * Diagnostic. Errors that already carry a context keep theirs.
+     */
+    template <typename F>
+    void
+    in_context(const char* what, const std::string& name, F&& body)
+    {
+        try {
+            body();
+        } catch (const FatalError& err) {
+            Diagnostic diag = err.diagnostic();
+            if (diag.phase.empty())
+                diag.phase = "typecheck";
+            if (diag.design.empty())
+                diag.design = d_.name();
+            throw FatalError("in " + std::string(what) + " '" + name +
+                                 "': " + err.message(),
+                             std::move(diag));
+        }
+    }
+
     void
     check_function(FunctionDef* f)
     {
@@ -81,7 +108,10 @@ class Checker
     TypePtr
     check(Action* a)
     {
-        KOIKA_CHECK(a != nullptr);
+        // Reachable from user designs (a Builder call handed a null
+        // subtree), so a diagnostic, not a panic.
+        if (a == nullptr)
+            fatal("malformed design: null action in the AST");
         if (a->type != nullptr)
             fatal("AST node %d (%s) appears more than once; "
                   "use Builder::clone for subtree reuse",
@@ -96,7 +126,9 @@ class Checker
     {
         switch (a->kind) {
           case ActionKind::kConst:
-            KOIKA_CHECK(a->const_type != nullptr);
+            if (a->const_type == nullptr)
+                fatal("malformed design: constant literal is missing "
+                      "its type");
             if (a->const_type->width != a->value.width())
                 fatal("literal width %u does not match type %s",
                       a->value.width(), a->const_type->str().c_str());
@@ -213,6 +245,8 @@ class Checker
           }
 
           case ActionKind::kCall: {
+            if (a->fn == nullptr)
+                fatal("malformed design: call action has no callee");
             if (!checked_fns_.count(a->fn))
                 fatal("call to function '%s' before its definition "
                       "(recursion is not allowed)",
@@ -231,7 +265,12 @@ class Checker
             return a->fn->ret;
           }
         }
-        panic("unreachable action kind");
+        // Not a switch default: every valid ActionKind is handled
+        // above, so reaching here means the node's kind field holds an
+        // out-of-range value. Hand-built ASTs can do that; report it
+        // instead of aborting the process.
+        fatal("malformed design: action node %d has invalid kind %d",
+              a->id, (int)a->kind);
     }
 
     void

@@ -1,0 +1,191 @@
+// Hardened-pipeline tests: the run_command watchdog (status decoding,
+// timeouts, process-group kills), the transient-only retry policy, and
+// the structured Diagnostics carried by FatalError when compilation or
+// a generated binary fails.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+
+#include <unistd.h>
+
+#include "base/error.hpp"
+#include "codegen/compile.hpp"
+
+using namespace koika;
+using namespace koika::codegen;
+
+namespace {
+
+std::string
+workdir()
+{
+    static int counter = 0;
+    return "/tmp/cuttlesim_compile_test_" + std::to_string(getpid()) +
+           "_" + std::to_string(counter++) + ".tmp";
+}
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+TEST(RunCommand, CapturesStdoutAndStderr)
+{
+    RunResult r = run_command("echo out; echo err >&2");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("out"), std::string::npos);
+    EXPECT_NE(r.output.find("err"), std::string::npos);
+}
+
+TEST(RunCommand, DecodesExitCode)
+{
+    RunResult r = run_command("exit 3");
+    EXPECT_TRUE(r.exited());
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.exit_code, 3);
+    EXPECT_EQ(r.term_signal, 0);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_EQ(r.describe(), "exit code 3");
+}
+
+TEST(RunCommand, DecodesSignalDeath)
+{
+    // A SIGSEGV death must report the signal, never a fake exit code.
+    RunResult r = run_command("kill -SEGV $$");
+    EXPECT_FALSE(r.exited());
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.term_signal, SIGSEGV);
+    EXPECT_EQ(r.exit_code, -1);
+    EXPECT_NE(r.describe().find("killed by signal"), std::string::npos);
+}
+
+TEST(RunCommand, WatchdogKillsRunawayCommand)
+{
+    RunOptions opts;
+    opts.timeout_seconds = 0.5;
+    auto start = std::chrono::steady_clock::now();
+    RunResult r = run_command("sleep 30", opts);
+    double elapsed = seconds_since(start);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.describe().find("killed by watchdog"),
+              std::string::npos);
+    // Far below the command's own 30s: the watchdog did the killing.
+    EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(RunCommand, WatchdogKillsWholeProcessGroup)
+{
+    // The shell spawns a grandchild holding the pipe's write end; if
+    // only the shell were killed, the drain loop would hang for the
+    // grandchild's full 30s sleep.
+    RunOptions opts;
+    opts.timeout_seconds = 0.5;
+    auto start = std::chrono::steady_clock::now();
+    RunResult r = run_command("sh -c 'sleep 30' & wait", opts);
+    double elapsed = seconds_since(start);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(RunCommand, RetriesTransientSignalDeath)
+{
+    // First attempt kills itself; the retry finds the marker and
+    // succeeds — the transient-failure path (OOM-kill, flaky box).
+    std::string marker = workdir();
+    RunOptions opts;
+    opts.retries = 1;
+    opts.backoff_seconds = 0.01;
+    RunResult r = run_command("if [ -e " + marker +
+                                  " ]; then echo recovered; "
+                                  "else touch " +
+                                  marker + "; kill -KILL $$; fi",
+                              opts);
+    unlink(marker.c_str());
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_NE(r.output.find("recovered"), std::string::npos);
+}
+
+TEST(RunCommand, NeverRetriesDeterministicExit)
+{
+    // A nonzero exit is deterministic; retrying it only wastes time.
+    RunOptions opts;
+    opts.retries = 2;
+    RunResult r = run_command("exit 1", opts);
+    EXPECT_EQ(r.attempts, 1);
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(CompileCpp, BadFlagsThrowDiagnosticWithCompilerOutput)
+{
+    try {
+        compile_cpp(workdir(), {{"main.cpp", "int main() { return 0; }"}},
+                    "main.cpp", "-fno-such-flag-xyz", {.retries = 0});
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.diagnostic().phase, "compile");
+        // The failing command and the compiler's own complaint both
+        // travel with the error.
+        EXPECT_NE(e.diagnostic().command.find("-fno-such-flag-xyz"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("-fno-such-flag-xyz"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("exit code"),
+                  std::string::npos);
+    }
+}
+
+TEST(CompileCpp, CompilesAndRunsTrivialProgram)
+{
+    CompileResult cr = compile_cpp(
+        workdir(),
+        {{"main.cpp",
+          "#include <cstdio>\nint main() { std::puts(\"hi\"); }"}},
+        "main.cpp", "-O0");
+    EXPECT_EQ(cr.attempts, 1);
+    std::string out = run_binary(cr.binary, "");
+    EXPECT_NE(out.find("hi"), std::string::npos);
+}
+
+TEST(RunBinary, InfiniteLoopIsKilledWithinTimeout)
+{
+    CompileResult cr = compile_cpp(
+        workdir(), {{"main.cpp", "int main() { for (;;) {} }"}},
+        "main.cpp", "-O0");
+    RunOptions opts;
+    opts.timeout_seconds = 0.5;
+    auto start = std::chrono::steady_clock::now();
+    try {
+        run_binary(cr.binary, "", opts);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("timed out"),
+                  std::string::npos);
+        EXPECT_EQ(e.diagnostic().phase, "run");
+    }
+    EXPECT_LT(seconds_since(start), 10.0);
+}
+
+TEST(RunBinary, CrashReportsSignalNotExitCode)
+{
+    CompileResult cr = compile_cpp(
+        workdir(),
+        {{"main.cpp", "int main() { __builtin_trap(); }"}},
+        "main.cpp", "-O0");
+    try {
+        run_binary(cr.binary, "");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("killed by signal"),
+                  std::string::npos);
+    }
+}

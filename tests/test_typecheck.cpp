@@ -250,6 +250,88 @@ TEST(Typecheck, RuleScheduledTwiceRejected)
     EXPECT_THROW(typecheck(d), FatalError);
 }
 
+TEST(TypecheckDiagnostics, ErrorsNameTheOffendingRule)
+{
+    Design d("bigdesign");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    d.add_rule("fine", b.write0(x, b.k(8, 1)));
+    d.add_rule("broken", b.write0(x, b.var("ghost")));
+    d.schedule("fine");
+    d.schedule("broken");
+    try {
+        typecheck(d);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        // "unbound variable 'ghost'" alone is useless against a
+        // thousand-rule design: the rule and design must be named.
+        EXPECT_NE(std::string(e.what()).find("in rule 'broken'"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("ghost"),
+                  std::string::npos);
+        EXPECT_EQ(e.diagnostic().phase, "typecheck");
+        EXPECT_EQ(e.diagnostic().design, "bigdesign");
+    }
+}
+
+TEST(TypecheckDiagnostics, ErrorsNameTheOffendingFunction)
+{
+    Design d("t");
+    Builder b(d);
+    b.fn("truncating", {}, bits_type(8), b.k(4, 0));
+    d.add_rule("r", b.k(0, 0));
+    d.schedule("r");
+    try {
+        typecheck(d);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(
+            std::string(e.what()).find("in function 'truncating'"),
+            std::string::npos);
+    }
+}
+
+TEST(TypecheckDiagnostics, NullActionIsAnErrorNotACrash)
+{
+    // A hand-built AST with a null subtree must produce a diagnostic,
+    // not dereference the null pointer.
+    Design d("t");
+    Builder b(d);
+    Action* body = b.seq({b.guard(b.k(1, 1)), b.guard(b.k(1, 1))});
+    body->a1 = nullptr;
+    d.add_rule("r", body);
+    d.schedule("r");
+    try {
+        typecheck(d);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("null action"),
+                  std::string::npos);
+    }
+}
+
+TEST(TypecheckDiagnostics, InvalidActionKindIsAnErrorNotAnAbort)
+{
+    // An out-of-range kind field (corrupted or hand-built AST) used to
+    // hit a panic() that aborts the process; it must report instead.
+    Design d("t");
+    Builder b(d);
+    int x = b.reg("x", 8);
+    Action* body = b.write0(x, b.k(8, 1));
+    body->a0->kind = (ActionKind)99;
+    d.add_rule("r", body);
+    d.schedule("r");
+    try {
+        typecheck(d);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("invalid kind"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("in rule 'r'"),
+                  std::string::npos);
+    }
+}
+
 TEST(Typecheck, NestedCallFramesSized)
 {
     Design d("t");
