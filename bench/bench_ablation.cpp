@@ -27,8 +27,10 @@ namespace {
 using koika::sim::make_engine;
 using koika::sim::Tier;
 
-constexpr int kBatch = 5'000;
-constexpr uint32_t kSmallPrimes = 100;
+/** KOIKA_BENCH_SMOKE shrinks batches and the primes workload so the
+ *  bench-smoke ctest finishes in seconds (bench_util.hpp). */
+const int kBatch = bench::scaled(5'000, 200);
+const uint32_t kSmallPrimes = bench::scaled<uint32_t>(100, 20);
 
 void
 bm_tier_free(benchmark::State& state, const char* label,
@@ -87,15 +89,15 @@ register_design(const char* name)
         std::string bname = std::string("ablation/") + name + "/" +
                             koika::sim::tier_name(t);
         if (cpu)
-            benchmark::RegisterBenchmark(
+            bench::smoke_iters(benchmark::RegisterBenchmark(
                 bname.c_str(), [bname, name, t](benchmark::State& s) {
                     bm_tier_cpu(s, bname.c_str(), name, t);
-                });
+                }));
         else
-            benchmark::RegisterBenchmark(
+            bench::smoke_iters(benchmark::RegisterBenchmark(
                 bname.c_str(), [bname, name, t](benchmark::State& s) {
                     bm_tier_free(s, bname.c_str(), name, t);
-                });
+                }));
     }
 }
 
@@ -103,10 +105,10 @@ template <typename M>
 void
 register_codegen(const char* bench_name)
 {
-    benchmark::RegisterBenchmark(bench_name,
-                                 [bench_name](benchmark::State& s) {
-                                     bm_codegen_free<M>(s, bench_name);
-                                 });
+    bench::smoke_iters(benchmark::RegisterBenchmark(
+        bench_name, [bench_name](benchmark::State& s) {
+            bm_codegen_free<M>(s, bench_name);
+        }));
 }
 
 } // namespace

@@ -24,7 +24,10 @@
 
 namespace {
 
-constexpr int kBatch = 20'000;
+/** KOIKA_BENCH_SMOKE shrinks batches and the primes workload so the
+ *  bench-smoke ctest finishes in seconds (bench_util.hpp). */
+const int kBatch = bench::scaled(20'000, 1'000);
+const uint32_t kPrimes = bench::scaled<uint32_t>(50, 20);
 
 void
 record_events(const char* label, const char* engine,
@@ -89,7 +92,7 @@ bm_eventsim_cpu(benchmark::State& state, const char* label)
     for (auto _ : state) {
         koika::rtl::EventSim sim(koika::rtl::lower(d));
         bench::Timer timer;
-        cycles += bench::run_primes(d, sim, 1, 50);
+        cycles += bench::run_primes(d, sim, 1, kPrimes);
         record_events(label, "event-driven", sim, timer.seconds());
     }
     state.SetItemsProcessed((int64_t)cycles);
@@ -103,7 +106,7 @@ bm_cyclesim_cpu(benchmark::State& state, const char* label)
     for (auto _ : state) {
         koika::rtl::CycleSim sim(koika::rtl::lower(d));
         bench::Timer timer;
-        cycles += bench::run_primes(d, sim, 1, 50);
+        cycles += bench::run_primes(d, sim, 1, kPrimes);
         bench::report().record(label, "interpreted-cycle", sim,
                                timer.seconds());
     }
@@ -118,7 +121,7 @@ bm_compiled_cpu(benchmark::State& state, const char* label)
     for (auto _ : state) {
         koika::codegen::GeneratedModel<cuttlesim::models::rv32i_rtl> m;
         bench::Timer timer;
-        cycles += bench::run_primes(d, m, 1, 50);
+        cycles += bench::run_primes(d, m, 1, kPrimes);
         bench::report().record(label, "compiled-cycle", m,
                                timer.seconds());
     }
@@ -128,8 +131,8 @@ bm_compiled_cpu(benchmark::State& state, const char* label)
 void
 reg(const char* name, void (*fn)(benchmark::State&, const char*))
 {
-    benchmark::RegisterBenchmark(
-        name, [name, fn](benchmark::State& s) { fn(s, name); });
+    bench::smoke_iters(benchmark::RegisterBenchmark(
+        name, [name, fn](benchmark::State& s) { fn(s, name); }));
 }
 
 void
@@ -137,10 +140,10 @@ reg2(const char* name,
      void (*fn)(benchmark::State&, const char*, const char*),
      const char* design)
 {
-    benchmark::RegisterBenchmark(name,
-                                 [name, fn, design](benchmark::State& s) {
-                                     fn(s, name, design);
-                                 });
+    bench::smoke_iters(benchmark::RegisterBenchmark(
+        name, [name, fn, design](benchmark::State& s) {
+            fn(s, name, design);
+        }));
 }
 
 } // namespace

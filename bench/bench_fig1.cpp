@@ -33,7 +33,10 @@
 
 namespace {
 
-constexpr int kCombBatch = 200'000;
+/** KOIKA_BENCH_SMOKE shrinks batches and the primes workload so the
+ *  bench-smoke ctest finishes in seconds (bench_util.hpp). */
+const int kCombBatch = bench::scaled(200'000, 2'000);
+const uint32_t kPrimes = bench::scaled<uint32_t>(bench::kPrimesBound, 100);
 
 /** cuttlesim vs verilator-koika from a "fig1/<design>/<engine>" label. */
 std::string
@@ -75,7 +78,7 @@ bm_cpu(benchmark::State& state, const char* label,
     for (auto _ : state) {
         koika::codegen::GeneratedModel<M> m;
         bench::Timer timer;
-        uint64_t run_cycles = bench::run_primes(d, m, cores);
+        uint64_t run_cycles = bench::run_primes(d, m, cores, kPrimes);
         last_wall = timer.seconds();
         cycles += run_cycles;
         // Record the final iteration: one full program execution.
@@ -90,21 +93,21 @@ template <typename M>
 void
 register_comb(const char* bench_name)
 {
-    benchmark::RegisterBenchmark(bench_name,
-                                 [bench_name](benchmark::State& s) {
-                                     bm_comb<M>(s, bench_name);
-                                 });
+    bench::smoke_iters(benchmark::RegisterBenchmark(
+        bench_name, [bench_name](benchmark::State& s) {
+            bm_comb<M>(s, bench_name);
+        }));
 }
 
 template <typename M>
 void
 register_cpu(const char* bench_name, const char* design_name, int cores)
 {
-    benchmark::RegisterBenchmark(
+    bench::smoke_iters(benchmark::RegisterBenchmark(
         bench_name,
         [bench_name, design_name, cores](benchmark::State& s) {
             bm_cpu<M>(s, bench_name, design_name, cores);
-        });
+        }));
 }
 
 } // namespace

@@ -30,7 +30,10 @@
 
 namespace {
 
-constexpr int kCombBatch = 200'000;
+/** KOIKA_BENCH_SMOKE shrinks batches and the primes workload so the
+ *  bench-smoke ctest finishes in seconds (bench_util.hpp). */
+const int kCombBatch = bench::scaled(200'000, 2'000);
+const uint32_t kPrimes = bench::scaled<uint32_t>(bench::kPrimesBound, 100);
 
 std::string
 engine_of(const std::string& label)
@@ -67,7 +70,7 @@ bm_cpu(benchmark::State& state, const char* label)
     for (auto _ : state) {
         koika::codegen::GeneratedModel<M> m;
         bench::Timer timer;
-        cycles += bench::run_primes(d, m, 1);
+        cycles += bench::run_primes(d, m, 1, kPrimes);
         bench::report().record(label, engine_of(label), m,
                                timer.seconds());
     }
@@ -78,20 +81,20 @@ template <typename M>
 void
 register_comb(const char* bench_name)
 {
-    benchmark::RegisterBenchmark(bench_name,
-                                 [bench_name](benchmark::State& s) {
-                                     bm_comb<M>(s, bench_name);
-                                 });
+    bench::smoke_iters(benchmark::RegisterBenchmark(
+        bench_name, [bench_name](benchmark::State& s) {
+            bm_comb<M>(s, bench_name);
+        }));
 }
 
 template <typename M>
 void
 register_cpu(const char* bench_name)
 {
-    benchmark::RegisterBenchmark(bench_name,
-                                 [bench_name](benchmark::State& s) {
-                                     bm_cpu<M>(s, bench_name);
-                                 });
+    bench::smoke_iters(benchmark::RegisterBenchmark(
+        bench_name, [bench_name](benchmark::State& s) {
+            bm_cpu<M>(s, bench_name);
+        }));
 }
 
 } // namespace

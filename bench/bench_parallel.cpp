@@ -1,0 +1,131 @@
+// Parallel campaign runner: determinism and scaling of the work-sharding
+// harness (src/harness/parallel.hpp).
+//
+// Not a paper figure — this bench guards the tooling the reproduction
+// runs on. It runs the same fault-injection campaign serially (jobs=1)
+// and sharded across one worker per hardware thread, checks the two
+// reports are byte-identical (the determinism contract documented in
+// fault::CampaignConfig), and reports the wall-clock speedup. A second
+// section shards independent simulation repetitions with
+// parallel_for_metrics and checks the merged per-worker metrics match
+// the serial tally.
+//
+// Writes BENCH_parallel.json; the `extra` map carries jobs and speedup.
+// Speedup tracks the machine (on a 1-core runner it is ~1.0), so no
+// entry asserts a minimum — byte-identity is the hard check here.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+#include "harness/parallel.hpp"
+#include "sim/tiers.hpp"
+
+namespace {
+
+koika::fault::CampaignReport
+run_campaign(const koika::Design& d, int jobs, int count, uint64_t cycles,
+             double* wall)
+{
+    koika::fault::CampaignConfig config;
+    config.seed = 0xC0FFEE;
+    config.count = count;
+    config.cycles = cycles;
+    config.jobs = jobs;
+    config.label = "bench_parallel";
+    auto factory = koika::fault::closed_target([&d] {
+        return koika::sim::make_engine(
+            d, koika::sim::Tier::kT5StaticAnalysis);
+    });
+    bench::Timer timer;
+    koika::fault::CampaignReport report =
+        koika::fault::run_campaign(d, factory, config);
+    *wall = timer.seconds();
+    report.engine = "T5";
+    return report;
+}
+
+void
+record(const std::string& label, uint64_t cycles, double wall, int jobs,
+       double speedup)
+{
+    koika::obs::SimStats s;
+    s.label = label;
+    s.engine = "T5";
+    s.cycles = cycles;
+    s.wall_seconds = wall;
+    s.extra["jobs"] = (double)jobs;
+    s.extra["speedup_vs_serial"] = speedup;
+    bench::report().add(std::move(s));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::report_init("parallel");
+    const int jobs = koika::harness::resolve_jobs(0);
+    const int count = bench::scaled(192, 24);
+    const uint64_t horizon = bench::scaled<uint64_t>(2'000, 200);
+    const koika::Design& d = bench::design("collatz");
+
+    std::printf("Parallel harness bench (%d hardware jobs)\n\n", jobs);
+
+    // Fault campaign: serial vs sharded must agree byte for byte.
+    double wall_serial = 0, wall_parallel = 0;
+    koika::fault::CampaignReport serial =
+        run_campaign(d, 1, count, horizon, &wall_serial);
+    koika::fault::CampaignReport parallel =
+        run_campaign(d, jobs, count, horizon, &wall_parallel);
+    if (serial.to_json().dump(2) != parallel.to_json().dump(2))
+        koika::panic("sharded campaign report differs from serial run");
+    uint64_t campaign_cycles = (uint64_t)count * horizon * 2; // golden+faulted
+    double speedup = wall_parallel > 0 ? wall_serial / wall_parallel : 0;
+    record("parallel/fault-campaign/jobs=1", campaign_cycles, wall_serial,
+           1, 1.0);
+    record("parallel/fault-campaign/jobs=hw", campaign_cycles,
+           wall_parallel, jobs, speedup);
+    std::printf("fault campaign  %4d injections  serial %.3fs  "
+                "jobs=%d %.3fs  speedup %.2fx  reports byte-identical\n",
+                count, wall_serial, jobs, wall_parallel, speedup);
+
+    // Repetition sharding: per-worker metric registries, merged at join.
+    const uint64_t reps = bench::scaled<uint64_t>(64, 8);
+    auto one_rep = [&](uint64_t rep, koika::obs::MetricsRegistry& reg) {
+        auto engine = koika::sim::make_engine(
+            d, koika::sim::Tier::kT5StaticAnalysis);
+        // Jobs-independent per-rep seed, even though collatz ignores it:
+        // the idiom every stochastic repetition shard should follow.
+        (void)koika::harness::derive_seed(0xC0FFEE, rep);
+        for (uint64_t c = 0; c < horizon; ++c)
+            engine->cycle();
+        reg.inc("parallel.reps");
+        reg.inc("parallel.cycles", horizon);
+    };
+
+    koika::obs::MetricsRegistry merged_serial;
+    bench::Timer ts;
+    koika::harness::parallel_for_metrics(reps, 1, merged_serial, one_rep);
+    double rep_serial = ts.seconds();
+
+    koika::obs::MetricsRegistry merged;
+    bench::Timer tp;
+    koika::harness::parallel_for_metrics(reps, jobs, merged, one_rep);
+    double rep_parallel = tp.seconds();
+
+    if (merged.to_json().dump(2) != merged_serial.to_json().dump(2))
+        koika::panic("merged worker metrics differ from serial tally");
+    double rep_speedup = rep_parallel > 0 ? rep_serial / rep_parallel : 0;
+    record("parallel/repetitions/jobs=1", reps * horizon, rep_serial, 1,
+           1.0);
+    record("parallel/repetitions/jobs=hw", reps * horizon, rep_parallel,
+           jobs, rep_speedup);
+    std::printf("repetitions     %4llu runs        serial %.3fs  "
+                "jobs=%d %.3fs  speedup %.2fx  metrics identical\n",
+                (unsigned long long)reps, rep_serial, jobs, rep_parallel,
+                rep_speedup);
+
+    bench::report().write();
+    return 0;
+}

@@ -47,8 +47,11 @@ constexpr Row kRows[] = {
 constexpr uint64_t kFreeRunningBudget = 100'000'000;
 
 /** T5 cycle budget for the free-running stats entries (the interpreter
- *  is ~3 orders slower than the compiled model; keep the row cheap). */
-constexpr uint64_t kStatsBudget = 50'000;
+ *  is ~3 orders slower than the compiled model; keep the row cheap).
+ *  KOIKA_BENCH_SMOKE shrinks it further, and the primes workload with
+ *  it, so the bench-smoke ctest finishes in seconds. */
+const uint64_t kStatsBudget = bench::scaled<uint64_t>(50'000, 2'000);
+const uint32_t kPrimes = bench::scaled<uint32_t>(bench::kPrimesBound, 100);
 
 } // namespace
 
@@ -83,7 +86,7 @@ main()
             auto engine = koika::sim::make_engine(
                 d, koika::sim::Tier::kT5StaticAnalysis);
             bench::Timer timer;
-            cycles = bench::run_primes(d, *engine, row.cores);
+            cycles = bench::run_primes(d, *engine, row.cores, kPrimes);
             bench::report().record(label, "T5", *engine,
                                    timer.seconds());
         }
@@ -96,7 +99,7 @@ main()
     std::printf("\nCycle counts for rv32* are primes(%u) to completion;\n"
                 "DSP blocks use a fixed free-running budget (the paper "
                 "ran 1G/30M/25.1M).\n",
-                bench::kPrimesBound);
+                kPrimes);
     bench::report().write();
     return 0;
 }

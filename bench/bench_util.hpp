@@ -7,10 +7,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "codegen/compile.hpp"
 #include "codegen/generated_model.hpp"
 #include "designs/designs.hpp"
 #include "designs/rv32.hpp"
@@ -18,6 +20,69 @@
 #include "riscv/programs.hpp"
 
 namespace bench {
+
+/**
+ * Smoke mode (KOIKA_BENCH_SMOKE=1 in the environment): every bench
+ * binary shrinks to a seconds-long run — tiny cycle counts, one
+ * google-benchmark iteration per case — while still exercising every
+ * engine and writing its BENCH_<name>.json. The `bench-smoke` ctest
+ * label runs each binary this way and validates the JSON against
+ * tools/check_bench_schema.py, so the reporting pipeline can't rot
+ * between full benchmark sessions. Numbers produced under smoke mode
+ * are NOT meaningful measurements.
+ */
+inline bool
+smoke()
+{
+    static const bool on = [] {
+        const char* env = std::getenv("KOIKA_BENCH_SMOKE");
+        return env != nullptr && *env != '\0' && std::string(env) != "0";
+    }();
+    return on;
+}
+
+/** Pick the full-size or smoke-size value for a bench parameter. */
+template <typename T>
+inline T
+scaled(T full, T smoke_value)
+{
+    return smoke() ? smoke_value : full;
+}
+
+/**
+ * Clamp a google-benchmark case to one iteration under smoke mode
+ * (version-stable; `--benchmark_min_time=...s` only parses on 1.8+).
+ * Templated so non-gbench binaries don't need the benchmark header:
+ *   bench::smoke_iters(benchmark::RegisterBenchmark(...));
+ */
+template <typename B>
+inline B*
+smoke_iters(B* b)
+{
+    if (smoke())
+        b->Iterations(1);
+    return b;
+}
+
+/**
+ * Compile options for benches that invoke the external toolchain
+ * (fig3): the content-addressed compiled-model cache is ON by default,
+ * so re-running a benchmark session skips the identical model/driver
+ * compiles and goes straight to timing the binaries (fig3 times
+ * execution, never compilation, so hits don't distort it).
+ * KOIKA_BENCH_NO_CACHE=1 opts out, e.g. when the compiler itself is
+ * under study.
+ */
+inline koika::codegen::CompileOptions
+cache_options()
+{
+    koika::codegen::CompileOptions opts;
+    const char* env = std::getenv("KOIKA_BENCH_NO_CACHE");
+    bool no_cache = env != nullptr && *env != '\0' && std::string(env) != "0";
+    opts.cache.dir =
+        no_cache ? "" : koika::codegen::default_cache_dir();
+    return opts;
+}
 
 /** Default prime-sieve bound for the CPU workload (paper: "a simple
  *  integer arithmetic benchmark"). */
@@ -78,10 +143,11 @@ class Timer
 /**
  * Machine-readable results sink: every bench binary funnels its
  * per-engine SimStats here and writes BENCH_<name>.json next to the
- * text output (the observability layer's bench schema; see
- * EXPERIMENTS.md "Observability"). Entries are keyed by label —
- * re-recording a label (google-benchmark re-runs a function while
- * estimating iteration counts) replaces the earlier entry.
+ * text output (schema "cuttlesim-bench-v1"; field-by-field reference
+ * in EXPERIMENTS.md, validator in tools/check_bench_schema.py).
+ * Entries are keyed by label — re-recording a label (google-benchmark
+ * re-runs a function while estimating iteration counts) replaces the
+ * earlier entry.
  */
 class BenchReport
 {
@@ -134,6 +200,7 @@ class BenchReport
     {
         written_ = true;
         koika::obs::Json root = koika::obs::Json::object();
+        root["schema"] = std::string("cuttlesim-bench-v1");
         root["bench"] = name_;
         koika::obs::Json arr = koika::obs::Json::array();
         koika::obs::MetricsRegistry metrics;

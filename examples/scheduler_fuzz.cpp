@@ -9,11 +9,15 @@
 // running a real program whose tohost output must be schedule-invariant.
 //
 // Seeds are fixed, so a run is reproducible; ctest runs this on every
-// build (labels: tier1, fuzz). An optional argument scales the trial
-// counts for deep runs:
+// build (labels: tier1, fuzz). Trials are independent, each seeded by
+// harness::derive_seed(base, trial), and sharded across worker threads
+// (src/harness/parallel.hpp) — the verdict is identical at any job
+// count. Optional arguments scale the trial counts for deep runs and
+// set the worker count:
 //
-//   $ ./examples/scheduler_fuzz        # the per-build configuration
+//   $ ./examples/scheduler_fuzz        # per-build config, 1 worker/core
 //   $ ./examples/scheduler_fuzz 10    # 10x the trials (ctest -L fuzz)
+//   $ ./examples/scheduler_fuzz 10 4  # same, on exactly 4 workers
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +28,7 @@
 #include "designs/msi.hpp"
 #include "designs/rv32.hpp"
 #include "harness/memory.hpp"
+#include "harness/parallel.hpp"
 #include "riscv/goldensim.hpp"
 #include "riscv/programs.hpp"
 #include "sim/tiers.hpp"
@@ -42,6 +47,8 @@ identity_order(const Design& d)
     return order;
 }
 
+int fuzz_jobs = 1;
+
 /** Fuzz a closed design: final state must match the canonical run. */
 bool
 fuzz_closed(const std::string& name, int cycles, int trials)
@@ -50,10 +57,15 @@ fuzz_closed(const std::string& name, int cycles, int trials)
     auto canonical = sim::make_engine(*d, sim::Tier::kT4MergedData);
     for (int c = 0; c < cycles; ++c)
         canonical->cycle();
+    // Snapshot the canonical final state so the sharded trials only
+    // touch immutable data.
+    std::vector<Bits> final_state;
+    for (size_t r = 0; r < d->num_registers(); ++r)
+        final_state.push_back(canonical->get_reg((int)r));
 
-    std::mt19937_64 rng(42);
-    int agreeing = 0;
-    for (int t = 0; t < trials; ++t) {
+    std::vector<char> agreed(trials, 0);
+    harness::parallel_for((uint64_t)trials, fuzz_jobs, [&](uint64_t t) {
+        std::mt19937_64 rng(harness::derive_seed(42, t));
         auto e = sim::make_engine(*d, sim::Tier::kT4MergedData);
         std::vector<int> order = identity_order(*d);
         for (int c = 0; c < cycles; ++c) {
@@ -62,9 +74,12 @@ fuzz_closed(const std::string& name, int cycles, int trials)
         }
         bool same = true;
         for (size_t r = 0; r < d->num_registers(); ++r)
-            same &= e->get_reg((int)r) == canonical->get_reg((int)r);
-        agreeing += same;
-    }
+            same &= e->get_reg((int)r) == final_state[r];
+        agreed[t] = same;
+    });
+    int agreeing = 0;
+    for (char a : agreed)
+        agreeing += a;
     std::printf("  %-8s: %d/%d random schedules reach the canonical "
                 "final state\n",
                 name.c_str(), agreeing, trials);
@@ -83,9 +98,9 @@ fuzz_rv32(int trials)
 
     auto d = build_design("rv32i");
     Rv32CorePorts ports = rv32_ports(*d, 0, 1);
-    std::mt19937_64 rng(7);
-    int good = 0;
-    for (int t = 0; t < trials; ++t) {
+    std::vector<char> matched(trials, 0);
+    harness::parallel_for((uint64_t)trials, fuzz_jobs, [&](uint64_t t) {
+        std::mt19937_64 rng(harness::derive_seed(7, t));
         auto e = sim::make_engine(*d, sim::Tier::kT4MergedData);
         harness::MemoryDevice mem;
         mem.load_words(prog.words, prog.base);
@@ -101,8 +116,11 @@ fuzz_rv32(int trials)
                 e->get_reg(ports.e2w_valid).is_zero())
                 break;
         }
-        good += mem.tohost() == golden.tohost();
-    }
+        matched[t] = mem.tohost() == golden.tohost();
+    });
+    int good = 0;
+    for (char m : matched)
+        good += m;
     std::printf("  rv32i   : %d/%d random per-cycle schedules produce "
                 "the golden primes(100)\n            output (%u primes)\n",
                 good, trials, golden.tohost()[0]);
@@ -117,9 +135,13 @@ main(int argc, char** argv)
     int scale = argc > 1 ? std::atoi(argv[1]) : 1;
     if (scale < 1)
         scale = 1;
+    fuzz_jobs =
+        harness::resolve_jobs(argc > 2 ? std::atoi(argv[2]) : 0);
     std::printf("Case study 2: scheduler randomization.\n"
                 "Rules run in a fresh random order every cycle; designs "
-                "must not depend on\nthe scheduler for correctness.\n\n");
+                "must not depend on\nthe scheduler for correctness.\n"
+                "(%d trial workers; the verdict is jobs-independent.)\n\n",
+                fuzz_jobs);
     bool ok = true;
     ok &= fuzz_closed("collatz", 500, 20 * scale);
     ok &= fuzz_closed("fir", 300, 10 * scale);

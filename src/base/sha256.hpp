@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SHA-256, self-contained (FIPS 180-4).
+ *
+ * The compiled-model cache (src/codegen/compile.hpp) is content
+ * addressed: the cache key is the SHA-256 of the emitted C++, the
+ * compiler identity, and the flags. The container ships no crypto
+ * library, so the digest is implemented here — ~60 lines of fully
+ * specified arithmetic, validated against the FIPS test vectors in
+ * tests/test_bits.cpp.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace koika {
+
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb more input (streaming; call any number of times). */
+    void update(const void* data, size_t len);
+    void update(const std::string& s) { update(s.data(), s.size()); }
+
+    /** Finish and return the digest as 64 lowercase hex characters.
+     *  The object must not be reused afterwards. */
+    std::string hex_digest();
+
+  private:
+    void compress(const uint8_t* block);
+
+    uint32_t state_[8];
+    uint64_t length_ = 0;
+    uint8_t buffer_[64];
+    size_t buffered_ = 0;
+};
+
+/** One-shot convenience: hex SHA-256 of `data`. */
+std::string sha256_hex(const std::string& data);
+
+} // namespace koika

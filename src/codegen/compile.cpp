@@ -1,12 +1,17 @@
 #include "codegen/compile.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <atomic>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
@@ -15,6 +20,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "base/sha256.hpp"
 #include "codegen/cpp_emit.hpp"
 
 #ifndef CUTTLESIM_RUNTIME_DIR
@@ -158,7 +164,227 @@ compile_command(const std::string& workdir, const std::string& main_file,
     return cmd.str();
 }
 
+// -- Compiled-model cache ----------------------------------------------------
+
+/** Serializes compile_metrics() updates and cache bookkeeping. */
+std::mutex&
+cache_mutex()
+{
+    static std::mutex* m = new std::mutex();
+    return *m;
+}
+
+void
+cache_count(const char* name, uint64_t delta = 1)
+{
+    std::lock_guard<std::mutex> lock(cache_mutex());
+    compile_metrics().inc(name, delta);
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/**
+ * Compiler identity for the cache key: absolute path plus the first
+ * line of `--version` (so upgrading the toolchain in place invalidates
+ * entries). Computed once per process.
+ */
+const std::string&
+compiler_id()
+{
+    static const std::string* id = [] {
+        std::string banner;
+        RunOptions opts;
+        opts.timeout_seconds = 20;
+        RunResult r =
+            run_command(std::string(CUTTLESIM_CXX) + " --version", opts);
+        if (r.ok()) {
+            size_t eol = r.output.find('\n');
+            banner = r.output.substr(0, eol);
+        }
+        return new std::string(std::string(CUTTLESIM_CXX) + "\n" +
+                               banner);
+    }();
+    return *id;
+}
+
+/**
+ * The cache key: a SHA-256 over every input that determines the binary
+ * — compiler identity, flags, the runtime header the -I path exposes,
+ * and each (name, contents) source pair. Field separators are length
+ * prefixes, so concatenation ambiguity cannot alias two keys.
+ */
+std::string
+cache_key_for(const std::vector<std::pair<std::string, std::string>>& files,
+              const std::string& main_file, const std::string& flags)
+{
+    Sha256 h;
+    auto field = [&h](const std::string& s) {
+        uint64_t len = s.size();
+        h.update(&len, sizeof len);
+        h.update(s);
+    };
+    field(compiler_id());
+    field(flags);
+    field(main_file);
+    field(read_file(std::string(CUTTLESIM_RUNTIME_DIR) +
+                    "/cuttlesim.hpp"));
+    for (const auto& [name, contents] : files) {
+        field(name);
+        field(contents);
+    }
+    return h.hex_digest();
+}
+
+/** Copy `src` to `dst` byte-for-byte, executable. False on any error. */
+bool
+copy_binary(const std::string& src, const std::string& dst)
+{
+    std::string data = read_file(src);
+    if (data.empty())
+        return false;
+    static std::atomic<uint64_t> counter{0};
+    std::string tmp = dst + ".tmp." + std::to_string(getpid()) + "." +
+                      std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << data;
+        if (!out)
+            return false;
+    }
+    if (chmod(tmp.c_str(), 0755) != 0 ||
+        rename(tmp.c_str(), dst.c_str()) != 0) {
+        unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Enforce the size cap: delete the oldest entries (mtime order; hits
+ * re-touch their entry) until the directory fits. Racing invocations
+ * may both try to delete the same entry; unlink of a missing file is
+ * harmless.
+ */
+void
+cache_evict(const CacheConfig& cache)
+{
+    if (cache.max_bytes == 0)
+        return;
+    struct Entry
+    {
+        std::string path;
+        uint64_t bytes;
+        time_t mtime;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    DIR* dir = opendir(cache.dir.c_str());
+    if (dir == nullptr)
+        return;
+    while (struct dirent* ent = readdir(dir)) {
+        std::string name = ent->d_name;
+        if (name.size() < 5 ||
+            name.compare(name.size() - 4, 4, ".bin") != 0)
+            continue;
+        std::string path = cache.dir + "/" + name;
+        struct stat st;
+        if (stat(path.c_str(), &st) != 0)
+            continue;
+        entries.push_back({path, (uint64_t)st.st_size, st.st_mtime});
+        total += (uint64_t)st.st_size;
+    }
+    closedir(dir);
+    if (total <= cache.max_bytes)
+        return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Entry& e : entries) {
+        if (total <= cache.max_bytes)
+            break;
+        if (unlink(e.path.c_str()) == 0)
+            cache_count("compile.cache_evictions");
+        total -= e.bytes;
+    }
+}
+
+std::string
+cache_entry_path(const CacheConfig& cache, const std::string& key)
+{
+    return cache.dir + "/" + key + ".bin";
+}
+
+/** Try to satisfy the compile from the cache. True on a hit, with the
+ *  cached binary copied to `binary`. */
+bool
+cache_lookup(const CacheConfig& cache, const std::string& key,
+             const std::string& binary)
+{
+    std::string entry = cache_entry_path(cache, key);
+    struct stat st;
+    if (stat(entry.c_str(), &st) != 0)
+        return false;
+    if (!copy_binary(entry, binary))
+        return false;
+    // Touch the entry so eviction treats it as recently used.
+    utimensat(AT_FDCWD, entry.c_str(), nullptr, 0);
+    return true;
+}
+
+/** mkdir -p: create `path` and any missing parents. */
+void
+mkdir_p(const std::string& path)
+{
+    for (size_t i = 1; i <= path.size(); ++i)
+        if (i == path.size() || path[i] == '/')
+            ::mkdir(path.substr(0, i).c_str(), 0755);
+}
+
+/** Publish a freshly compiled binary: temp file + atomic rename. */
+void
+cache_store(const CacheConfig& cache, const std::string& key,
+            const std::string& binary)
+{
+    mkdir_p(cache.dir);
+    if (copy_binary(binary, cache_entry_path(cache, key))) {
+        cache_count("compile.cache_stores");
+        cache_evict(cache);
+    }
+}
+
 } // namespace
+
+std::string
+default_cache_dir()
+{
+    if (const char* dir = std::getenv("CUTTLESIM_CACHE_DIR"))
+        return dir;
+    if (const char* xdg = std::getenv("XDG_CACHE_HOME"))
+        return std::string(xdg) + "/cuttlesim";
+    if (const char* home = std::getenv("HOME"))
+        return std::string(home) + "/.cache/cuttlesim";
+    return "";
+}
+
+obs::MetricsRegistry&
+compile_metrics()
+{
+    static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+    return *registry;
+}
 
 std::string
 RunResult::describe() const
@@ -209,13 +435,27 @@ compile_cpp(const std::string& workdir,
     for (const auto& [name, contents] : files)
         write_file(workdir + "/" + name, contents);
     std::string binary = workdir + "/" + main_file + ".bin";
-    std::string cmd = compile_command(workdir, main_file, binary, flags);
 
+    CompileResult result;
+    result.binary = binary;
+    bool caching = !opts.cache.dir.empty();
+    if (caching) {
+        result.cache_key = cache_key_for(files, main_file, flags);
+        if (cache_lookup(opts.cache, result.cache_key, binary)) {
+            cache_count("compile.cache_hits");
+            result.cache_hit = true;
+            return result;
+        }
+        cache_count("compile.cache_misses");
+    }
+
+    std::string cmd = compile_command(workdir, main_file, binary, flags);
     RunOptions run_opts;
     run_opts.timeout_seconds = opts.timeout_seconds;
     run_opts.retries = opts.retries;
     run_opts.backoff_seconds = opts.backoff_seconds;
     RunResult run = run_command(cmd, run_opts);
+    cache_count("compile.external_compiles");
     if (!run.ok())
         fatal_diag(Diagnostic{.phase = "compile",
                               .design = opts.design.empty() ? main_file
@@ -225,10 +465,10 @@ compile_cpp(const std::string& workdir,
                    "compiling generated model failed (%s)",
                    run.describe().c_str());
 
-    CompileResult result;
-    result.binary = binary;
     result.compile_seconds = run.seconds;
     result.attempts = run.attempts;
+    if (caching)
+        cache_store(opts.cache, result.cache_key, binary);
     return result;
 }
 

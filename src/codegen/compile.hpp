@@ -17,12 +17,21 @@
  * (signal deaths, timeouts) are retried once with backoff. Failures throw
  * FatalError carrying a structured Diagnostic (phase, design, command,
  * captured output).
+ *
+ * The pipeline's dominant cost — invoking the external compiler — is
+ * amortized by a content-addressed cache (CacheConfig): the key is the
+ * SHA-256 of the sources, the runtime header, the compiler identity,
+ * and the flags, so a hit is guaranteed to reproduce the exact binary
+ * the compiler would have produced and skips the fork/exec pipeline
+ * entirely. Entries are published with write-to-temp + atomic rename,
+ * which keeps the cache safe under concurrent cuttlec invocations.
  */
 #pragma once
 
 #include <string>
 
 #include "koika/design.hpp"
+#include "obs/metrics.hpp"
 
 namespace koika::codegen {
 
@@ -71,14 +80,58 @@ struct RunResult
 RunResult run_command(const std::string& command,
                       const RunOptions& opts = {});
 
+/**
+ * The compiled-model cache. Content addressed: key = SHA-256 of the
+ * written sources, the cuttlesim runtime header, the compiler identity
+ * (path + `--version` banner), and the flags. A hit copies the cached
+ * binary into the workdir without running the compiler; a miss
+ * compiles, then publishes the binary into the cache via temp-file +
+ * atomic rename (safe under concurrent cuttlec invocations sharing one
+ * cache directory). The directory is size-capped: after a store, the
+ * oldest entries (by mtime; hits re-touch) are evicted until the cap
+ * holds.
+ *
+ * Activity is observable through compile_metrics(): counters
+ * `compile.cache_hits`, `compile.cache_misses`, `compile.cache_stores`,
+ * `compile.cache_evictions`, and `compile.external_compiles`.
+ */
+struct CacheConfig
+{
+    /** Cache directory; empty disables the cache entirely. */
+    std::string dir;
+    /** Evict oldest entries beyond this many bytes (0 = uncapped). */
+    uint64_t max_bytes = 2ull * 1024 * 1024 * 1024;
+};
+
+/**
+ * The conventional cache location: $CUTTLESIM_CACHE_DIR if set, else
+ * $XDG_CACHE_HOME/cuttlesim, else ~/.cache/cuttlesim (empty string when
+ * no home directory is resolvable, which disables the cache).
+ */
+std::string default_cache_dir();
+
+/**
+ * Process-wide compile-pipeline metrics (cache hit/miss/store/eviction
+ * counts, external compiler invocations). Increments are internally
+ * serialized, so the pipeline may run from pool workers; snapshot the
+ * registry only while no compile is in flight.
+ */
+obs::MetricsRegistry& compile_metrics();
+
 struct CompileResult
 {
     /** Path of the produced executable. */
     std::string binary;
-    /** Wall-clock seconds spent in the C++ compiler (last attempt). */
+    /** Wall-clock seconds spent in the C++ compiler (last attempt);
+     *  0 on a cache hit. */
     double compile_seconds = 0;
     /** Compiler attempts made (>1 after a transient-failure retry). */
     int attempts = 1;
+    /** True when the binary came out of the cache (no compiler run). */
+    bool cache_hit = false;
+    /** Content hash of (sources, runtime, compiler, flags); empty when
+     *  the cache was disabled. */
+    std::string cache_key;
 };
 
 /** Policy knobs for out-of-process model compilation. */
@@ -91,6 +144,8 @@ struct CompileOptions
     double backoff_seconds = 0.25;
     /** Design name for diagnostics (defaults to the main file). */
     std::string design;
+    /** Compiled-model cache; disabled unless `cache.dir` is set. */
+    CacheConfig cache;
 };
 
 /**

@@ -34,10 +34,18 @@
  *
  * Resilience (README "Fault-injection campaigns"):
  *   cuttlec --design rv32i --fault-campaign=SEED --fault-count=100 \
- *           --cycles 2000 --fault-report=rv32i-faults.json
+ *           --cycles 2000 --fault-report=rv32i-faults.json --jobs=8
  *       seeded, deterministic SEU/stuck-at campaign in lockstep against
  *       a golden copy; every injection classified masked / sdc /
  *       detected, counts exported through the obs metrics registry.
+ *       --jobs shards injections across worker threads; the report
+ *       stays byte-identical to a serial run (same seed ⇒ same bytes).
+ *
+ * Scaling: --engine=compiled reuses previously compiled models through
+ * a content-addressed cache (--cache-dir, default ~/.cache/cuttlesim;
+ * --no-cache disables). A warm hit skips the external compiler
+ * entirely; the compile.cache_* counters in the output say which path
+ * ran.
  */
 #include <chrono>
 #include <cstring>
@@ -82,7 +90,8 @@ usage()
            "               [--cycles N] [--stats=FILE] [--trace=FILE]\n"
            "               [--engine=T0..T5|compiled] [--cxxflags=FLAGS]\n"
            "               [--fault-campaign=SEED] [--fault-count=N]\n"
-           "               [--fault-report=FILE]\n"
+           "               [--fault-report=FILE] [--jobs=N]\n"
+           "               [--cache-dir=DIR] [--no-cache]\n"
            "       cuttlec --list\n"
            "\n"
            "  --stats=FILE  simulate and write per-rule commit/abort/\n"
@@ -103,6 +112,15 @@ usage()
            "                golden copy; classify masked / sdc / detected\n"
            "  --fault-count=N   injections per campaign (default 100)\n"
            "  --fault-report=FILE   write the campaign report as JSON\n"
+           "  --jobs=N      shard fault injections across N worker\n"
+           "                threads (0 = one per hardware thread;\n"
+           "                default 1). The report is byte-identical\n"
+           "                at any job count\n"
+           "  --cache-dir=DIR   compiled-model cache for\n"
+           "                --engine=compiled (default\n"
+           "                ~/.cache/cuttlesim; a warm hit skips the\n"
+           "                external compiler)\n"
+           "  --no-cache    disable the compiled-model cache\n"
            "  --instrument  emit only NAME_instr.model.hpp: a model with\n"
            "                counters plus abort-reason instrumentation\n";
     return 2;
@@ -178,13 +196,14 @@ make_target_factory(const koika::Design& design, koika::sim::Tier tier)
 /** Seeded fault-injection campaign against a golden copy. */
 int
 fault_campaign(const koika::Design& design, koika::sim::Tier tier,
-               uint64_t seed, int count, uint64_t cycles,
+               uint64_t seed, int count, uint64_t cycles, int jobs,
                const std::string& report_file)
 {
     koika::fault::CampaignConfig config;
     config.seed = seed;
     config.count = count;
     config.cycles = cycles;
+    config.jobs = jobs;
 
     koika::fault::CampaignReport report = koika::fault::run_campaign(
         design, make_target_factory(design, tier), config);
@@ -213,7 +232,8 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
                   const std::string& stats_file,
                   const std::string& trace_file,
                   const std::string& cxxflags,
-                  const std::string& out_dir)
+                  const std::string& out_dir,
+                  const std::string& cache_dir)
 {
     if (!trace_file.empty())
         koika::fatal("--trace= needs an interpreter engine "
@@ -240,9 +260,11 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
                          "    return 0;\n"
                          "}\n";
 
+    koika::codegen::CompileOptions copts;
+    copts.cache.dir = cache_dir;
     koika::codegen::CompileResult cr =
         koika::codegen::compile_model_driver(design, workdir, driver,
-                                             cxxflags);
+                                             cxxflags, copts);
     double wall = koika::codegen::time_binary(cr.binary,
                                               std::to_string(cycles));
 
@@ -252,10 +274,16 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
     stats.cycles = cycles;
     stats.wall_seconds = wall;
     stats.extra["compile_seconds"] = cr.compile_seconds;
+    stats.extra["compile_cache_hit"] = cr.cache_hit ? 1 : 0;
 
-    if (!stats_file.empty())
-        write_file(stats_file, stats.to_json().dump(2) + "\n");
-    std::cout << stats.to_text();
+    if (!stats_file.empty()) {
+        koika::obs::Json j = stats.to_json();
+        j["compile_metrics"] =
+            koika::codegen::compile_metrics().to_json();
+        write_file(stats_file, j.dump(2) + "\n");
+    }
+    std::cout << stats.to_text()
+              << koika::codegen::compile_metrics().to_text();
     return 0;
 }
 
@@ -328,10 +356,11 @@ main(int argc, char** argv)
 {
     std::string design_name, out_dir, stats_file, trace_file;
     std::string engine = "T5", cxxflags = "-O2", fault_report;
+    std::string cache_dir = koika::codegen::default_cache_dir();
     bool stats = false, print_koika = false, counters = true;
     bool instrument = false, fault = false;
     uint64_t cycles = 1000, fault_seed = 1;
-    int fault_count = 100;
+    int fault_count = 100, jobs = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
@@ -364,6 +393,13 @@ main(int argc, char** argv)
                 10);
         } else if (arg.rfind("--fault-report=", 0) == 0) {
             fault_report = arg.substr(std::strlen("--fault-report="));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = (int)std::strtol(arg.c_str() + std::strlen("--jobs="),
+                                    nullptr, 10);
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache_dir = arg.substr(std::strlen("--cache-dir="));
+        } else if (arg == "--no-cache") {
+            cache_dir.clear();
         } else if (arg == "--cycles" && i + 1 < argc) {
             cycles = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--print-koika") {
@@ -405,7 +441,8 @@ main(int argc, char** argv)
                 tier = koika::sim::Tier::kT5StaticAnalysis;
             }
             return fault_campaign(*design, tier, fault_seed,
-                                  fault_count, cycles, fault_report);
+                                  fault_count, cycles, jobs,
+                                  fault_report);
         }
 
         if (!stats_file.empty() || !trace_file.empty()) {
@@ -413,7 +450,8 @@ main(int argc, char** argv)
                 try {
                     return simulate_compiled(*design, cycles,
                                              stats_file, trace_file,
-                                             cxxflags, out_dir);
+                                             cxxflags, out_dir,
+                                             cache_dir);
                 } catch (const koika::FatalError& err) {
                     std::cerr
                         << "cuttlec: warning: compiled engine failed: "

@@ -3,6 +3,8 @@
 #include <random>
 #include <sstream>
 
+#include "harness/parallel.hpp"
+
 namespace koika::fault {
 
 namespace {
@@ -256,15 +258,25 @@ run_campaign(const Design& design, const TargetFactory& factory,
     CampaignReport report;
     report.design = design.name();
     report.config = config;
-    for (const FaultSpec& spec : generate_faults(design, config)) {
-        InjectionRecord rec =
-            run_injection(design, factory, spec, config.cycles);
+
+    // The entire fault list is drawn from the campaign seed before any
+    // injection runs, so sharding the (independent) injections across
+    // workers cannot change what gets injected; writing each record
+    // into its own slot keeps the report order identical to a serial
+    // run. Outcome tallying happens after the join, in list order.
+    std::vector<FaultSpec> faults = generate_faults(design, config);
+    report.injections.resize(faults.size());
+    harness::parallel_for(
+        faults.size(), config.jobs, [&](uint64_t i) {
+            report.injections[i] = run_injection(
+                design, factory, faults[i], config.cycles);
+        });
+    for (const InjectionRecord& rec : report.injections) {
         switch (rec.outcome) {
           case Outcome::kMasked: report.masked++; break;
           case Outcome::kSilentDataCorruption: report.sdc++; break;
           case Outcome::kDetected: report.detected++; break;
         }
-        report.injections.push_back(std::move(rec));
     }
     return report;
 }

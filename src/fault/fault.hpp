@@ -130,6 +130,16 @@ struct CampaignConfig
     uint64_t max_stuck_cycles = 8;
     /** Free-form label echoed into the report. */
     std::string label;
+    /**
+     * Worker threads for run_campaign: 1 = serial, 0 = one per
+     * hardware thread. Deliberately NOT echoed into the JSON report:
+     * the whole fault list is drawn from `seed` up front and each
+     * injection is independent, so the report is byte-identical at any
+     * job count (tested: `ctest -R cuttlec_fault_jobs`). The target
+     * factory must tolerate concurrent calls when jobs != 1 (anything
+     * built from a const Design qualifies).
+     */
+    int jobs = 1;
 };
 
 struct CampaignReport
@@ -180,7 +190,12 @@ InjectionRecord run_injection(const Design& design,
                               const TargetFactory& factory,
                               const FaultSpec& spec, uint64_t cycles);
 
-/** Run a whole campaign: generate_faults + run_injection per fault. */
+/**
+ * Run a whole campaign: generate_faults, then run_injection per fault,
+ * sharded across config.jobs worker threads (src/harness/parallel.hpp;
+ * injections stay in fault-list order, so the report matches a serial
+ * run byte for byte).
+ */
 CampaignReport run_campaign(const Design& design,
                             const TargetFactory& factory,
                             const CampaignConfig& config);

@@ -1,0 +1,191 @@
+#include "harness/parallel.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace koika::harness {
+
+int
+resolve_jobs(int jobs)
+{
+    if (jobs >= 1)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : (int)hw;
+}
+
+uint64_t
+derive_seed(uint64_t base, uint64_t item)
+{
+    // splitmix64: the statistically-solid mixer behind std::seed_seq
+    // alternatives; fully defined arithmetic, so derived seeds are the
+    // same on every platform (the determinism contract).
+    uint64_t z = base + (item + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+struct ThreadPool::Impl
+{
+    std::mutex mutex;
+    std::condition_variable start_cv;
+    std::condition_variable done_cv;
+    std::vector<std::thread> threads;
+
+    // Current batch, published under `mutex` with a new generation.
+    uint64_t generation = 0;
+    uint64_t n = 0;
+    const std::function<void(uint64_t, int)>* fn = nullptr;
+    int remaining = 0;
+    bool shutdown = false;
+
+    // First failure per worker; item index picks the winner at join.
+    std::vector<std::exception_ptr> errors;
+    std::vector<uint64_t> error_items;
+
+    void
+    worker(int id, int jobs)
+    {
+        uint64_t seen = 0;
+        for (;;) {
+            uint64_t batch_n;
+            const std::function<void(uint64_t, int)>* batch_fn;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                start_cv.wait(lock, [&] {
+                    return shutdown || generation != seen;
+                });
+                if (shutdown)
+                    return;
+                seen = generation;
+                batch_n = n;
+                batch_fn = fn;
+            }
+            for (uint64_t item = (uint64_t)id; item < batch_n;
+                 item += (uint64_t)jobs) {
+                try {
+                    (*batch_fn)(item, id);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (errors[(size_t)id] == nullptr) {
+                        errors[(size_t)id] = std::current_exception();
+                        error_items[(size_t)id] = item;
+                    }
+                }
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--remaining == 0)
+                done_cv.notify_all();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int jobs)
+    : impl_(nullptr), jobs_(resolve_jobs(jobs))
+{
+    if (jobs_ == 1)
+        return; // serial pool: run() executes inline, no threads.
+    impl_ = new Impl();
+    impl_->errors.resize((size_t)jobs_);
+    impl_->error_items.resize((size_t)jobs_);
+    for (int w = 0; w < jobs_; ++w)
+        impl_->threads.emplace_back(
+            [this, w] { impl_->worker(w, jobs_); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (impl_ == nullptr)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->shutdown = true;
+    }
+    impl_->start_cv.notify_all();
+    for (std::thread& t : impl_->threads)
+        t.join();
+    delete impl_;
+}
+
+void
+ThreadPool::run(uint64_t n,
+                const std::function<void(uint64_t, int)>& fn)
+{
+    if (n == 0)
+        return;
+    if (impl_ == nullptr) {
+        // Single-job pool: plain loop on the calling thread. Same
+        // error contract as the threaded path — every item runs, the
+        // lowest-indexed failure is rethrown after the walk — so
+        // jobs=1 and jobs=N are observably identical.
+        std::exception_ptr first_inline;
+        for (uint64_t item = 0; item < n; ++item) {
+            try {
+                fn(item, 0);
+            } catch (...) {
+                if (first_inline == nullptr)
+                    first_inline = std::current_exception();
+            }
+        }
+        if (first_inline != nullptr)
+            std::rethrow_exception(first_inline);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->n = n;
+        impl_->fn = &fn;
+        impl_->remaining = jobs_;
+        std::fill(impl_->errors.begin(), impl_->errors.end(), nullptr);
+        ++impl_->generation;
+    }
+    impl_->start_cv.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        impl_->done_cv.wait(lock,
+                            [&] { return impl_->remaining == 0; });
+    }
+    // Deterministic error surfacing: the failure a serial run would
+    // have hit first (lowest item index) wins.
+    std::exception_ptr first;
+    uint64_t first_item = 0;
+    for (size_t w = 0; w < impl_->errors.size(); ++w) {
+        if (impl_->errors[w] == nullptr)
+            continue;
+        if (first == nullptr || impl_->error_items[w] < first_item) {
+            first = impl_->errors[w];
+            first_item = impl_->error_items[w];
+        }
+    }
+    if (first != nullptr)
+        std::rethrow_exception(first);
+}
+
+void
+parallel_for(uint64_t n, int jobs,
+             const std::function<void(uint64_t)>& fn)
+{
+    ThreadPool pool(jobs);
+    pool.run(n, [&fn](uint64_t item, int) { fn(item); });
+}
+
+void
+parallel_for_metrics(
+    uint64_t n, int jobs, obs::MetricsRegistry& merged,
+    const std::function<void(uint64_t, obs::MetricsRegistry&)>& fn)
+{
+    ThreadPool pool(jobs);
+    std::vector<obs::MetricsRegistry> shards((size_t)pool.jobs());
+    pool.run(n, [&fn, &shards](uint64_t item, int worker) {
+        fn(item, shards[(size_t)worker]);
+    });
+    for (const obs::MetricsRegistry& shard : shards)
+        merged.merge_from(shard);
+}
+
+} // namespace koika::harness

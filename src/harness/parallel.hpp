@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic work sharding across a fixed thread pool.
+ *
+ * The repository's expensive workloads — fault-injection campaigns
+ * (src/fault/), scheduler-fuzz trials, bench repetitions — are
+ * embarrassingly parallel: N independent items, each producing a result
+ * that only depends on its index. This module shards such work across a
+ * fixed pool of worker threads *without* giving up the repo's hard
+ * determinism contracts:
+ *
+ *   - Sharding is static: item i always runs on worker (i % jobs), and
+ *     each worker processes its items in increasing index order. Which
+ *     thread computes an item never depends on timing.
+ *   - Results are owned per item (the caller indexes a pre-sized
+ *     vector), so the assembled output is identical to a serial run.
+ *   - Observability is per worker: each worker fills a private
+ *     obs::MetricsRegistry and the shards are merged in worker order at
+ *     join (obs::MetricsRegistry::merge_from), so merged metrics are
+ *     byte-identical no matter how threads interleave.
+ *   - Stochastic work derives per-item seeds from one base seed
+ *     (derive_seed, a splitmix64 step), so results are independent of
+ *     the job count — `--jobs=8` replays `--jobs=1` exactly.
+ *
+ * Worker callables must only touch their own item's state (plus
+ * read-only shared inputs such as a typechecked Design); the pool
+ * provides no locking for shared mutable state.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/metrics.hpp"
+
+namespace koika::harness {
+
+/**
+ * Resolve a --jobs request: values >= 1 pass through; 0 (or negative)
+ * means one job per hardware thread. Always returns >= 1.
+ */
+int resolve_jobs(int jobs);
+
+/**
+ * Per-item seed derivation (splitmix64 over base + item). Use one base
+ * seed per campaign/sweep and one derived seed per item so the draw for
+ * item i is the same whether items run serially or sharded.
+ */
+uint64_t derive_seed(uint64_t base, uint64_t item);
+
+/**
+ * A fixed pool of `jobs` worker threads. Threads are started once and
+ * reused across run() calls (the "fixed thread pool" of the campaign
+ * runner); a pool of one job degenerates to inline execution on the
+ * calling thread, so serial runs stay single-threaded and debuggable.
+ */
+class ThreadPool
+{
+  public:
+    /** `jobs` as for resolve_jobs (0 = hardware concurrency). */
+    explicit ThreadPool(int jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Run fn(item, worker) for every item in [0, n), item i on worker
+     * (i % jobs), each worker walking its items in increasing order.
+     * Blocks until all items finished. If workers threw, rethrows the
+     * exception of the lowest-indexed failing item after the join (the
+     * same exception a serial run would have surfaced first); the
+     * remaining items still run.
+     */
+    void run(uint64_t n,
+             const std::function<void(uint64_t item, int worker)>& fn);
+
+  private:
+    struct Impl;
+    Impl* impl_;
+    int jobs_;
+};
+
+/**
+ * One-shot sharded loop: fn(i) for i in [0, n) across `jobs` threads
+ * (static sharding as in ThreadPool::run). Convenience wrapper that
+ * builds a transient pool; hot callers reuse a ThreadPool.
+ */
+void parallel_for(uint64_t n, int jobs,
+                  const std::function<void(uint64_t item)>& fn);
+
+/**
+ * Sharded loop with per-worker metrics: fn(i, registry) writes into its
+ * worker's private registry; at join the shards are folded into
+ * `merged` in worker order (deterministic merge).
+ */
+void parallel_for_metrics(
+    uint64_t n, int jobs, obs::MetricsRegistry& merged,
+    const std::function<void(uint64_t item, obs::MetricsRegistry& metrics)>&
+        fn);
+
+} // namespace koika::harness

@@ -1,6 +1,7 @@
 #include "koika/types.hpp"
 
 #include <map>
+#include <mutex>
 
 namespace koika {
 
@@ -40,8 +41,12 @@ TypePtr
 bits_type(uint32_t width)
 {
     KOIKA_CHECK(width <= Bits::kMaxWidth);
+    // The intern table is process-global shared state; the parallel
+    // harness builds engines from worker threads, so guard it.
+    static std::mutex* mutex = new std::mutex();
     static std::map<uint32_t, TypePtr>* interned =
         new std::map<uint32_t, TypePtr>();
+    std::lock_guard<std::mutex> lock(*mutex);
     auto it = interned->find(width);
     if (it != interned->end())
         return it->second;

@@ -80,6 +80,28 @@ MetricsRegistry::histogram(const std::string& name) const
     return it == histograms_.end() ? nullptr : &it->second;
 }
 
+void
+MetricsRegistry::merge_from(const MetricsRegistry& other)
+{
+    for (const auto& [name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto& [name, value] : other.gauges_)
+        gauges_[name] = value;
+    for (const auto& [name, h] : other.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            histograms_.emplace(name, h);
+            continue;
+        }
+        Histogram& mine = it->second;
+        KOIKA_CHECK(mine.bounds == h.bounds);
+        for (size_t i = 0; i < mine.counts.size(); ++i)
+            mine.counts[i] += h.counts[i];
+        mine.total += h.total;
+        mine.sum += h.sum;
+    }
+}
+
 Json
 MetricsRegistry::to_json() const
 {

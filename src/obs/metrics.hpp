@@ -11,7 +11,9 @@
  *
  * The registry is deliberately not thread-safe: every engine in this
  * repository is single-threaded, and keeping the increment path a plain
- * map lookup keeps the instrumentation overhead story honest.
+ * map lookup keeps the instrumentation overhead story honest. Parallel
+ * work uses one private registry per worker and folds the shards
+ * together with merge_from() at join (src/harness/parallel.hpp).
  */
 #pragma once
 
@@ -75,6 +77,17 @@ class MetricsRegistry
     {
         return histograms_;
     }
+
+    // -- Merging ------------------------------------------------------------
+    /**
+     * Fold `other` into this registry: counters add, gauges take the
+     * other side's value, histogram bucket counts add (the bounds must
+     * agree when both sides define the same histogram). This is the
+     * join step of the parallel harness (src/harness/parallel.hpp):
+     * each worker fills a private registry and the shards are merged in
+     * worker order, so the result is deterministic.
+     */
+    void merge_from(const MetricsRegistry& other);
 
     // -- Exporters ----------------------------------------------------------
     /** {"counters":{...},"gauges":{...},"histograms":{...}} */

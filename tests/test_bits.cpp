@@ -267,3 +267,44 @@ TEST(Bits, MaxWidthRoundTrip)
         EXPECT_EQ(x.word(i), words[i]);
     EXPECT_EQ(x.slice(64, 64).to_u64(), words[1]);
 }
+
+// -- SHA-256 (src/base/sha256.hpp): FIPS 180-4 test vectors ------------
+
+#include "base/sha256.hpp"
+
+TEST(Sha256, Fips180_4Vectors)
+{
+    // NIST FIPS 180-4 / NESSIE reference digests.
+    EXPECT_EQ(koika::sha256_hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(koika::sha256_hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(koika::sha256_hex("abcdbcdecdefdefgefghfghighijhijk"
+                                "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAVector)
+{
+    koika::Sha256 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(h.hex_digest(),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot)
+{
+    std::string data = "the quick brown fox jumps over the lazy dog";
+    for (size_t split = 0; split <= data.size(); split += 7) {
+        koika::Sha256 h;
+        h.update(data.substr(0, split));
+        h.update(data.substr(split));
+        EXPECT_EQ(h.hex_digest(), koika::sha256_hex(data));
+    }
+}

@@ -189,3 +189,124 @@ TEST(RunBinary, CrashReportsSignalNotExitCode)
                   std::string::npos);
     }
 }
+
+// -- Content-addressed compiled-model cache ----------------------------
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+std::string
+read_whole_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+CompileOptions
+cached_opts(const std::string& cache_dir)
+{
+    CompileOptions opts;
+    opts.cache.dir = cache_dir;
+    return opts;
+}
+
+const std::vector<std::pair<std::string, std::string>> kHello = {
+    {"main.cpp",
+     "#include <cstdio>\nint main() { std::puts(\"cached hi\"); }"}};
+
+} // namespace
+
+TEST(CompileCache, SecondIdenticalCompileHitsAndReproducesTheBinary)
+{
+    std::string cache = workdir();
+    uint64_t hits0 = compile_metrics().counter("compile.cache_hits");
+    uint64_t ext0 =
+        compile_metrics().counter("compile.external_compiles");
+
+    CompileResult miss =
+        compile_cpp(workdir(), kHello, "main.cpp", "-O0",
+                    cached_opts(cache));
+    EXPECT_FALSE(miss.cache_hit);
+    ASSERT_FALSE(miss.cache_key.empty());
+
+    CompileResult hit =
+        compile_cpp(workdir(), kHello, "main.cpp", "-O0",
+                    cached_opts(cache));
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_EQ(hit.cache_key, miss.cache_key);
+    EXPECT_EQ(hit.compile_seconds, 0.0);
+
+    // The hit's binary is byte-identical to the compiled one and runs.
+    EXPECT_EQ(read_whole_file(hit.binary), read_whole_file(miss.binary));
+    EXPECT_NE(run_binary(hit.binary, "").find("cached hi"),
+              std::string::npos);
+
+    // Observable through the metrics registry (compile.cache_hits).
+    EXPECT_EQ(compile_metrics().counter("compile.cache_hits"),
+              hits0 + 1);
+    EXPECT_EQ(compile_metrics().counter("compile.external_compiles"),
+              ext0 + 1);
+}
+
+TEST(CompileCache, KeyTracksSourcesAndFlags)
+{
+    std::string cache = workdir();
+    CompileResult a = compile_cpp(workdir(), kHello, "main.cpp", "-O0",
+                                  cached_opts(cache));
+    CompileResult b = compile_cpp(
+        workdir(),
+        {{"main.cpp",
+          "#include <cstdio>\nint main() { std::puts(\"other\"); }"}},
+        "main.cpp", "-O0", cached_opts(cache));
+    CompileResult c = compile_cpp(workdir(), kHello, "main.cpp", "-O1",
+                                  cached_opts(cache));
+    EXPECT_NE(a.cache_key, b.cache_key);
+    EXPECT_NE(a.cache_key, c.cache_key);
+    EXPECT_FALSE(b.cache_hit);
+    EXPECT_FALSE(c.cache_hit);
+}
+
+TEST(CompileCache, DisabledCacheNeverHitsAndLeavesKeyEmpty)
+{
+    CompileResult a = compile_cpp(workdir(), kHello, "main.cpp", "-O0");
+    EXPECT_FALSE(a.cache_hit);
+    EXPECT_TRUE(a.cache_key.empty());
+}
+
+TEST(CompileCache, SizeCapEvictsOldestEntries)
+{
+    std::string cache = workdir();
+    CompileOptions opts = cached_opts(cache);
+    opts.cache.max_bytes = 1; // every store evicts all older entries
+    uint64_t evict0 =
+        compile_metrics().counter("compile.cache_evictions");
+    compile_cpp(workdir(), kHello, "main.cpp", "-O0", opts);
+    compile_cpp(
+        workdir(),
+        {{"main.cpp",
+          "#include <cstdio>\nint main() { std::puts(\"v2\"); }"}},
+        "main.cpp", "-O0", opts);
+    EXPECT_GT(compile_metrics().counter("compile.cache_evictions"),
+              evict0);
+}
+
+TEST(CompileCache, FailedCompilesAreNotCached)
+{
+    std::string cache = workdir();
+    auto broken = std::vector<std::pair<std::string, std::string>>{
+        {"main.cpp", "int main() { this does not parse; }"}};
+    EXPECT_THROW(compile_cpp(workdir(), broken, "main.cpp", "-O0",
+                             cached_opts(cache)),
+                 koika::FatalError);
+    // Same sources again: still a miss (nothing was published).
+    uint64_t hits0 = compile_metrics().counter("compile.cache_hits");
+    EXPECT_THROW(compile_cpp(workdir(), broken, "main.cpp", "-O0",
+                             cached_opts(cache)),
+                 koika::FatalError);
+    EXPECT_EQ(compile_metrics().counter("compile.cache_hits"), hits0);
+}

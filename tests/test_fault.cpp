@@ -252,3 +252,43 @@ TEST(FaultCampaign, ReportJsonHasTheDocumentedSchema)
     ASSERT_NE(injections, nullptr);
     ASSERT_TRUE(injections->is_array());
 }
+
+TEST(FaultCampaign, ShardedReportIsByteIdenticalToSerial)
+{
+    auto d = designs::build_design("collatz");
+    CampaignConfig config;
+    config.seed = 2026;
+    config.count = 30;
+    config.cycles = 250;
+    auto factory = tier_factory(*d);
+
+    config.jobs = 1;
+    CampaignReport serial = run_campaign(*d, factory, config);
+    config.jobs = 8;
+    CampaignReport sharded = run_campaign(*d, factory, config);
+    serial.engine = sharded.engine = "T5";
+
+    // The whole contract: the report must not betray the job count.
+    EXPECT_EQ(serial.to_json().dump(2), sharded.to_json().dump(2));
+
+    obs::MetricsRegistry ms, mp;
+    serial.export_to(ms, "fault/collatz");
+    sharded.export_to(mp, "fault/collatz");
+    EXPECT_EQ(ms.to_json().dump(2), mp.to_json().dump(2));
+}
+
+TEST(FaultCampaign, JobsZeroResolvesToHardwareAndStaysDeterministic)
+{
+    auto d = designs::build_design("collatz");
+    CampaignConfig config;
+    config.seed = 11;
+    config.count = 12;
+    config.cycles = 150;
+    auto factory = tier_factory(*d);
+
+    CampaignReport serial = run_campaign(*d, factory, config);
+    config.jobs = 0; // one worker per hardware thread
+    CampaignReport sharded = run_campaign(*d, factory, config);
+    serial.engine = sharded.engine = "T5";
+    EXPECT_EQ(serial.to_json().dump(2), sharded.to_json().dump(2));
+}

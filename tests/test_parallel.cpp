@@ -1,0 +1,164 @@
+// The deterministic work-sharding harness (src/harness/parallel.hpp):
+// static sharding, inline serial degeneration, exception surfacing,
+// jobs-independent seed derivation, and the per-worker metrics merge.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/parallel.hpp"
+#include "obs/metrics.hpp"
+
+using namespace koika;
+using namespace koika::harness;
+
+TEST(ResolveJobs, PositivePassesThroughZeroMeansHardware)
+{
+    EXPECT_EQ(resolve_jobs(1), 1);
+    EXPECT_EQ(resolve_jobs(7), 7);
+    int hw = resolve_jobs(0);
+    EXPECT_GE(hw, 1);
+    EXPECT_EQ(resolve_jobs(-3), hw);
+}
+
+TEST(DeriveSeed, IsDeterministicAndSpreadsItems)
+{
+    EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+    std::set<uint64_t> seeds;
+    for (uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(derive_seed(42, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+    // Different base seeds diverge too.
+    EXPECT_NE(derive_seed(42, 5), derive_seed(43, 5));
+}
+
+TEST(ParallelFor, VisitsEveryItemExactlyOnce)
+{
+    for (int jobs : {1, 2, 8}) {
+        std::vector<std::atomic<int>> visits(100);
+        parallel_for(100, jobs, [&](uint64_t i) { visits[i]++; });
+        for (auto& v : visits)
+            EXPECT_EQ(v.load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, ZeroItemsIsANoOp)
+{
+    parallel_for(0, 4, [&](uint64_t) { FAIL(); });
+}
+
+TEST(ThreadPool, StaticShardingItemToWorkerIsIModJobs)
+{
+    ThreadPool pool(4);
+    ASSERT_EQ(pool.jobs(), 4);
+    std::vector<int> worker_of(64, -1);
+    pool.run(64, [&](uint64_t i, int w) { worker_of[i] = w; });
+    for (uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(worker_of[i], (int)(i % 4));
+}
+
+TEST(ThreadPool, EachWorkerWalksItsItemsInIncreasingOrder)
+{
+    ThreadPool pool(3);
+    std::mutex mu;
+    std::vector<std::vector<uint64_t>> order(3);
+    pool.run(50, [&](uint64_t i, int w) {
+        std::lock_guard<std::mutex> lock(mu);
+        order[w].push_back(i);
+    });
+    for (int w = 0; w < 3; ++w) {
+        for (size_t k = 1; k < order[w].size(); ++k)
+            EXPECT_LT(order[w][k - 1], order[w][k]);
+    }
+}
+
+TEST(ThreadPool, SerialPoolRunsInlineOnTheCallingThread)
+{
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    bool inline_run = false;
+    pool.run(5, [&](uint64_t, int worker) {
+        inline_run = std::this_thread::get_id() == caller && worker == 0;
+    });
+    EXPECT_TRUE(inline_run);
+}
+
+TEST(ThreadPool, IsReusableAcrossRuns)
+{
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 10; ++round)
+        pool.run(7, [&](uint64_t, int) { total++; });
+    EXPECT_EQ(total.load(), 70);
+}
+
+TEST(ThreadPool, RethrowsLowestItemsExceptionLikeASerialRun)
+{
+    for (int jobs : {1, 4}) {
+        ThreadPool pool(jobs);
+        std::atomic<int> ran{0};
+        try {
+            pool.run(20, [&](uint64_t i, int) {
+                ran++;
+                if (i == 3 || i == 11)
+                    throw std::runtime_error("item " +
+                                             std::to_string(i));
+            });
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "item 3") << "jobs=" << jobs;
+        }
+        // The pool joins before rethrowing: every item still ran.
+        EXPECT_EQ(ran.load(), 20) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelForMetrics, MergedCountersMatchSerialTally)
+{
+    auto work = [](uint64_t i, obs::MetricsRegistry& m) {
+        m.inc("items");
+        m.inc("weighted", i);
+        m.observe("value", (double)(i % 5));
+    };
+    obs::MetricsRegistry serial;
+    parallel_for_metrics(40, 1, serial, work);
+    obs::MetricsRegistry sharded;
+    parallel_for_metrics(40, 8, sharded, work);
+    EXPECT_EQ(serial.to_json().dump(2), sharded.to_json().dump(2));
+    EXPECT_EQ(sharded.counter("items"), 40u);
+    EXPECT_EQ(sharded.counter("weighted"), (uint64_t)40 * 39 / 2);
+}
+
+TEST(MetricsMerge, CountersAddGaugesTakeOtherHistogramsFold)
+{
+    obs::MetricsRegistry a, b;
+    a.inc("c", 2);
+    b.inc("c", 3);
+    b.inc("only_b");
+    a.set_gauge("g", 1.0);
+    b.set_gauge("g", 7.0);
+    a.observe("h", 0.5);
+    b.observe("h", 2.0);
+    a.merge_from(b);
+    EXPECT_EQ(a.counter("c"), 5u);
+    EXPECT_EQ(a.counter("only_b"), 1u);
+    EXPECT_EQ(a.gauge("g"), 7.0);
+    ASSERT_NE(a.histogram("h"), nullptr);
+    EXPECT_EQ(a.histogram("h")->total, 2u);
+    EXPECT_DOUBLE_EQ(a.histogram("h")->sum, 2.5);
+}
+
+TEST(MetricsMerge, MergingAnEmptyRegistryIsIdentity)
+{
+    obs::MetricsRegistry a, empty;
+    a.inc("c", 4);
+    a.set_gauge("g", 2.5);
+    std::string before = a.to_json().dump(2);
+    a.merge_from(empty);
+    EXPECT_EQ(a.to_json().dump(2), before);
+}

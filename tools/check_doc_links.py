@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo resolves.
+
+Walks the repository's *.md files (skipping build trees and dot
+directories), extracts inline links, and verifies:
+
+  - relative file links point at an existing file or directory;
+  - fragment links (#section, both bare and FILE.md#section) resolve to
+    a heading in the target file, using GitHub's anchor slug rules;
+  - bare directory links are allowed (they render as listings).
+
+External links (http://, https://, mailto:) are not fetched — this is a
+hermetic checker meant for ctest (test: docs_links).
+
+Usage: check_doc_links.py REPO_ROOT
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", ".git", ".cache", "node_modules"}
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's markdown heading -> anchor id transformation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)      # drop code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # keep link text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith(".")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        slugs = {}
+        anchors = set()
+        in_fence = False
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                for line in f:
+                    if CODE_FENCE_RE.match(line):
+                        in_fence = not in_fence
+                        continue
+                    if in_fence:
+                        continue
+                    m = HEADING_RE.match(line)
+                    if not m:
+                        continue
+                    slug = github_slug(m.group(1))
+                    n = slugs.get(slug, 0)
+                    slugs[slug] = n + 1
+                    anchors.add(slug if n == 0 else f"{slug}-{n}")
+        except OSError:
+            pass
+        cache[path] = anchors
+    return cache[path]
+
+
+def links_of(path):
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    root = os.path.abspath(argv[1])
+    problems = []
+    anchor_cache = {}
+    checked = 0
+    for md in sorted(md_files(root)):
+        rel_md = os.path.relpath(md, root)
+        for lineno, target in links_of(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            where = f"{rel_md}:{lineno}"
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part))
+            else:
+                dest = md  # same-file fragment
+            if not os.path.exists(dest):
+                problems.append(f"{where}: broken link '{target}' "
+                                f"(no such file)")
+                continue
+            if fragment:
+                if os.path.isdir(dest) or not dest.endswith(".md"):
+                    continue  # anchors only checked inside markdown
+                if fragment not in anchors_of(dest, anchor_cache):
+                    problems.append(f"{where}: broken anchor "
+                                    f"'{target}' (no heading "
+                                    f"'#{fragment}' in "
+                                    f"{os.path.relpath(dest, root)})")
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"{checked} relative link(s) across the repo's markdown "
+              f"resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
