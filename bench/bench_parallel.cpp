@@ -10,9 +10,12 @@
 // parallel_for_metrics and checks the merged per-worker metrics match
 // the serial tally.
 //
-// Writes BENCH_parallel.json; the `extra` map carries jobs and speedup.
-// Speedup tracks the machine (on a 1-core runner it is ~1.0), so no
-// entry asserts a minimum — byte-identity is the hard check here.
+// Writes BENCH_parallel.json; the `extra` map carries jobs and speedup,
+// and the campaign entries carry the coverage summary block (the merged
+// fault-campaign coverage database is held to the same serial-vs-shard
+// byte-identity contract as the report). Speedup tracks the machine (on
+// a 1-core runner it is ~1.0), so no entry asserts a minimum —
+// byte-identity is the hard check here.
 
 #include <cstdio>
 
@@ -33,6 +36,9 @@ run_campaign(const koika::Design& d, int jobs, int count, uint64_t cycles,
     config.cycles = cycles;
     config.jobs = jobs;
     config.label = "bench_parallel";
+    // Coverage rides along: the shard-merged database must honor the
+    // same byte-identity contract as the report itself.
+    config.collect_coverage = true;
     auto factory = koika::fault::closed_target([&d] {
         return koika::sim::make_engine(
             d, koika::sim::Tier::kT5StaticAnalysis);
@@ -47,7 +53,8 @@ run_campaign(const koika::Design& d, int jobs, int count, uint64_t cycles,
 
 void
 record(const std::string& label, uint64_t cycles, double wall, int jobs,
-       double speedup)
+       double speedup,
+       const koika::obs::Json& coverage = koika::obs::Json())
 {
     koika::obs::SimStats s;
     s.label = label;
@@ -56,6 +63,7 @@ record(const std::string& label, uint64_t cycles, double wall, int jobs,
     s.wall_seconds = wall;
     s.extra["jobs"] = (double)jobs;
     s.extra["speedup_vs_serial"] = speedup;
+    s.coverage = coverage;
     bench::report().add(std::move(s));
 }
 
@@ -80,12 +88,16 @@ main()
         run_campaign(d, jobs, count, horizon, &wall_parallel);
     if (serial.to_json().dump(2) != parallel.to_json().dump(2))
         koika::panic("sharded campaign report differs from serial run");
+    if (serial.coverage.to_json().dump(2) !=
+        parallel.coverage.to_json().dump(2))
+        koika::panic("sharded coverage database differs from serial run");
     uint64_t campaign_cycles = (uint64_t)count * horizon * 2; // golden+faulted
     double speedup = wall_parallel > 0 ? wall_serial / wall_parallel : 0;
     record("parallel/fault-campaign/jobs=1", campaign_cycles, wall_serial,
-           1, 1.0);
+           1, 1.0, serial.coverage.summary_json());
     record("parallel/fault-campaign/jobs=hw", campaign_cycles,
-           wall_parallel, jobs, speedup);
+           wall_parallel, jobs, speedup,
+           parallel.coverage.summary_json());
     std::printf("fault campaign  %4d injections  serial %.3fs  "
                 "jobs=%d %.3fs  speedup %.2fx  reports byte-identical\n",
                 count, wall_serial, jobs, wall_parallel, speedup);

@@ -18,10 +18,18 @@
 //   $ ./examples/scheduler_fuzz        # per-build config, 1 worker/core
 //   $ ./examples/scheduler_fuzz 10    # 10x the trials (ctest -L fuzz)
 //   $ ./examples/scheduler_fuzz 10 4  # same, on exactly 4 workers
+//
+// With KOIKA_FUZZ_COVERAGE=PREFIX set, every fuzzed design also
+// accumulates a cuttlesim-cov-v1 design-coverage database over all its
+// trials, written to PREFIX<design>.cov.json. Per-trial maps are folded
+// in trial order after the workers join, so — like the verdict — the
+// database is byte-identical at any worker count and can be merged with
+// databases from other producers via `cuttlec --coverage-merge`.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <random>
 
 #include "designs/designs.hpp"
@@ -29,6 +37,7 @@
 #include "designs/rv32.hpp"
 #include "harness/memory.hpp"
 #include "harness/parallel.hpp"
+#include "obs/coverage.hpp"
 #include "riscv/goldensim.hpp"
 #include "riscv/programs.hpp"
 #include "sim/tiers.hpp"
@@ -49,6 +58,23 @@ identity_order(const Design& d)
 
 int fuzz_jobs = 1;
 
+/** $KOIKA_FUZZ_COVERAGE, or empty when coverage is off. */
+std::string fuzz_cov_prefix;
+
+/** Fold per-trial maps in trial order and write the database. */
+void
+save_fuzz_coverage(const Design& d, const std::string& name,
+                   const std::vector<obs::CoverageMap>& trials)
+{
+    obs::CoverageMap merged = obs::CoverageMap::for_design(d);
+    for (const obs::CoverageMap& m : trials)
+        merged.merge(m);
+    std::string path = fuzz_cov_prefix + name + ".cov.json";
+    merged.save(path);
+    std::printf("  %-8s: coverage database written to %s\n",
+                name.c_str(), path.c_str());
+}
+
 /** Fuzz a closed design: final state must match the canonical run. */
 bool
 fuzz_closed(const std::string& name, int cycles, int trials)
@@ -64,19 +90,33 @@ fuzz_closed(const std::string& name, int cycles, int trials)
         final_state.push_back(canonical->get_reg((int)r));
 
     std::vector<char> agreed(trials, 0);
+    std::vector<obs::CoverageMap> cov;
+    if (!fuzz_cov_prefix.empty())
+        cov.resize((size_t)trials);
     harness::parallel_for((uint64_t)trials, fuzz_jobs, [&](uint64_t t) {
         std::mt19937_64 rng(harness::derive_seed(42, t));
         auto e = sim::make_engine(*d, sim::Tier::kT4MergedData);
+        std::unique_ptr<obs::CoverageCollector> collector;
+        if (!cov.empty())
+            collector =
+                std::make_unique<obs::CoverageCollector>(*d, *e);
         std::vector<int> order = identity_order(*d);
         for (int c = 0; c < cycles; ++c) {
             std::shuffle(order.begin(), order.end(), rng);
             e->cycle_with_order(order);
+            if (collector != nullptr)
+                collector->sample();
         }
         bool same = true;
         for (size_t r = 0; r < d->num_registers(); ++r)
             same &= e->get_reg((int)r) == final_state[r];
         agreed[t] = same;
+        if (collector != nullptr)
+            cov[t] = collector->take(
+                sim::tier_name(sim::Tier::kT4MergedData));
     });
+    if (!cov.empty())
+        save_fuzz_coverage(*d, name, cov);
     int agreeing = 0;
     for (char a : agreed)
         agreeing += a;
@@ -99,9 +139,16 @@ fuzz_rv32(int trials)
     auto d = build_design("rv32i");
     Rv32CorePorts ports = rv32_ports(*d, 0, 1);
     std::vector<char> matched(trials, 0);
+    std::vector<obs::CoverageMap> cov;
+    if (!fuzz_cov_prefix.empty())
+        cov.resize((size_t)trials);
     harness::parallel_for((uint64_t)trials, fuzz_jobs, [&](uint64_t t) {
         std::mt19937_64 rng(harness::derive_seed(7, t));
         auto e = sim::make_engine(*d, sim::Tier::kT4MergedData);
+        std::unique_ptr<obs::CoverageCollector> collector;
+        if (!cov.empty())
+            collector =
+                std::make_unique<obs::CoverageCollector>(*d, *e);
         harness::MemoryDevice mem;
         mem.load_words(prog.words, prog.base);
         harness::MemPort imem(mem, ports.imem), dmem(mem, ports.dmem);
@@ -111,13 +158,20 @@ fuzz_rv32(int trials)
             e->cycle_with_order(order);
             imem.tick(*e);
             dmem.tick(*e);
+            if (collector != nullptr)
+                collector->sample();
             if (!e->get_reg(ports.halted).is_zero() &&
                 e->get_reg(ports.d2e_valid).is_zero() &&
                 e->get_reg(ports.e2w_valid).is_zero())
                 break;
         }
         matched[t] = mem.tohost() == golden.tohost();
+        if (collector != nullptr)
+            cov[t] = collector->take(
+                sim::tier_name(sim::Tier::kT4MergedData));
     });
+    if (!cov.empty())
+        save_fuzz_coverage(*d, "rv32i", cov);
     int good = 0;
     for (char m : matched)
         good += m;
@@ -137,6 +191,8 @@ main(int argc, char** argv)
         scale = 1;
     fuzz_jobs =
         harness::resolve_jobs(argc > 2 ? std::atoi(argv[2]) : 0);
+    if (const char* prefix = std::getenv("KOIKA_FUZZ_COVERAGE"))
+        fuzz_cov_prefix = prefix;
     std::printf("Case study 2: scheduler randomization.\n"
                 "Rules run in a fresh random order every cycle; designs "
                 "must not depend on\nthe scheduler for correctness.\n"

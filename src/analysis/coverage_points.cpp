@@ -1,0 +1,67 @@
+#include "analysis/coverage_points.hpp"
+
+namespace koika::analysis {
+
+namespace {
+
+/**
+ * Mark `a` and its statement-position descendants. Mirrors both the
+ * emitter's statement layout (codegen/cpp_emit.cpp, emit_stmt) and the
+ * annotated listing (harness/coverage.cpp): `seq` is glue, a `let`
+ * binding is one line whose bound value is expression-nested, an `if`
+ * is a branch whose arms are statement blocks, a `guard` is a branch
+ * leaf, and any other action in statement position is a statement leaf.
+ */
+void
+walk_stmt(const Action* a, std::vector<CoverKind>& kinds)
+{
+    switch (a->kind) {
+      case ActionKind::kSeq:
+        walk_stmt(a->a0, kinds);
+        walk_stmt(a->a1, kinds);
+        return;
+      case ActionKind::kLet:
+        // The binding is the statement; the bound value (a0) is an
+        // expression. The body continues the statement block.
+        kinds[(size_t)a->id] = CoverKind::kStmt;
+        walk_stmt(a->a1, kinds);
+        return;
+      case ActionKind::kIf:
+        kinds[(size_t)a->id] = CoverKind::kBranch;
+        walk_stmt(a->a1, kinds);
+        walk_stmt(a->a2, kinds);
+        return;
+      case ActionKind::kGuard:
+        kinds[(size_t)a->id] = CoverKind::kBranch;
+        return;
+      default:
+        kinds[(size_t)a->id] = CoverKind::kStmt;
+        return;
+    }
+}
+
+} // namespace
+
+std::vector<CoverKind>
+coverage_points(const Design& design)
+{
+    std::vector<CoverKind> kinds(design.num_nodes(), CoverKind::kNone);
+    for (size_t r = 0; r < design.num_rules(); ++r)
+        walk_stmt(design.rule((int)r).body, kinds);
+    return kinds;
+}
+
+CoverageShape
+count_points(const std::vector<CoverKind>& kinds)
+{
+    CoverageShape shape;
+    for (CoverKind k : kinds) {
+        if (k != CoverKind::kNone)
+            ++shape.statements;
+        if (k == CoverKind::kBranch)
+            ++shape.branches;
+    }
+    return shape;
+}
+
+} // namespace koika::analysis

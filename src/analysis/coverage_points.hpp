@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Statement/branch-point classification for design coverage.
+ *
+ * Coverage must mean the same thing on every engine — the AST
+ * interpreters (reference, tiers T0–T5) and the generated C++ models.
+ * The interpreters naturally visit every AST node; the generated code
+ * only has increment sites where the emitter chose to place statements.
+ * This classifier fixes a common vocabulary: it walks each rule body in
+ * *statement position* exactly the way the code generator (and the
+ * Gcov-style annotated listing in src/harness/coverage.cpp) lay out
+ * lines, and marks:
+ *
+ *   - kStmt:   a node that renders as one executable line (a `let`
+ *              binding, or a leaf action in statement position),
+ *   - kBranch: a node with two runtime outcomes (`if` taken/not-taken,
+ *              `guard` pass/fail),
+ *   - kNone:   everything else — expression-nested nodes, let-bound
+ *              values, `seq` glue, and combinational function bodies.
+ *
+ * Engines may count whatever is convenient internally; the coverage
+ * layer (src/obs/coverage.hpp) masks counts down to the marked nodes,
+ * so any two engines agree wherever the classifier agrees. Generated
+ * models only instrument marked nodes in the first place.
+ *
+ * The walk is purely structural (no schedule or analysis input), so the
+ * classification of a design is stable across engines and processes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "koika/design.hpp"
+
+namespace koika::analysis {
+
+/** Coverage role of one AST node (indexed by Action::id). */
+enum class CoverKind : uint8_t {
+    kNone = 0,   ///< Not a coverage point.
+    kStmt = 1,   ///< Statement point: one execution count.
+    kBranch = 2, ///< Branch point: statement count + taken/not-taken.
+};
+
+/**
+ * Classify every node of the design; the result has exactly
+ * design.num_nodes() entries. Only rule bodies are walked (function
+ * bodies are combinational helpers, never statement positions).
+ */
+std::vector<CoverKind> coverage_points(const Design& design);
+
+/** Totals over a classification (the denominators of % coverage). */
+struct CoverageShape
+{
+    uint64_t statements = 0; ///< kStmt + kBranch nodes.
+    uint64_t branches = 0;   ///< kBranch nodes (each has 2 outcomes).
+};
+
+CoverageShape count_points(const std::vector<CoverKind>& kinds);
+
+} // namespace koika::analysis

@@ -481,8 +481,10 @@ compile_model_driver(const Design& design, const std::string& workdir,
     CompileOptions with_design = opts;
     if (with_design.design.empty())
         with_design.design = design.name();
+    EmitOptions eopts = opts.emit;
+    eopts.class_name.clear(); // the file is named after the design
     return compile_cpp(workdir,
-                       {{cls + ".model.hpp", emit_model(design)},
+                       {{cls + ".model.hpp", emit_model(design, eopts)},
                         {cls + ".driver.cpp", driver_cpp}},
                        cls + ".driver.cpp", flags, with_design);
 }

@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/coverage_points.hpp"
+
 namespace koika::codegen {
 
 namespace {
@@ -67,6 +69,8 @@ class Emitter
             const EmitOptions& options)
         : d_(d), an_(an), opts_(options)
     {
+        if (opts_.coverage)
+            cov_kinds_ = analysis::coverage_points(d);
     }
 
     std::string
@@ -419,6 +423,17 @@ class Emitter
             line("uint64_t abort_reason_count[kNumRules * "
                  "num_abort_reasons] = {};");
         }
+        if (opts_.coverage) {
+            line("// Statement/branch coverage (--instrument): one slot");
+            line("// per source AST node; increments only at classified");
+            line("// statement and branch points, so counts line up with");
+            line("// the interpreter tiers point by point.");
+            line("static constexpr size_t kNumNodes = " +
+                 std::to_string(d_.num_nodes()) + ";");
+            line("uint64_t stmt_count[kNumNodes] = {};");
+            line("uint64_t branch_taken_count[kNumNodes] = {};");
+            line("uint64_t branch_not_taken_count[kNumNodes] = {};");
+        }
         line();
     }
 
@@ -616,7 +631,16 @@ class Emitter
     void
     emit_stmt(const Action* a, const std::string* target)
     {
-        if (is_pure(a)) {
+        // Coverage points count on entry, before the node can abort,
+        // matching the interpreters (which count at eval entry). Marked
+        // branch nodes must also emit a real if/else so both outcomes
+        // have increment sites, so they bypass the pure shortcut.
+        analysis::CoverKind ck =
+            cov_kinds_.empty() ? analysis::CoverKind::kNone
+                               : cov_kinds_[(size_t)a->id];
+        if (ck != analysis::CoverKind::kNone)
+            line("++stmt_count[" + std::to_string(a->id) + "];");
+        if (is_pure(a) && ck != analysis::CoverKind::kBranch) {
             if (target != nullptr)
                 line(*target + " = " + emit_pure(a) + ";");
             return;
@@ -649,13 +673,19 @@ class Emitter
             return;
 
           case ActionKind::kIf: {
+            bool branch_point = ck == analysis::CoverKind::kBranch;
             std::string c = materialize(a->a0);
             line("if (" + c + ") {");
             {
                 Indent in(*this);
+                if (branch_point)
+                    line("++branch_taken_count[" +
+                         std::to_string(a->id) + "];");
                 emit_stmt(a->a1, target);
             }
-            bool trivial_else = target == nullptr &&
+            // A branch point needs the else arm as an increment site
+            // even when it would otherwise be elided.
+            bool trivial_else = !branch_point && target == nullptr &&
                                 a->a2->kind == ActionKind::kConst;
             if (trivial_else) {
                 line("}");
@@ -663,6 +693,9 @@ class Emitter
                 line("} else {");
                 {
                     Indent in(*this);
+                    if (branch_point)
+                        line("++branch_not_taken_count[" +
+                             std::to_string(a->id) + "];");
                     emit_stmt(a->a2, target);
                 }
                 line("}");
@@ -713,7 +746,16 @@ class Emitter
 
           case ActionKind::kGuard: {
             std::string c = materialize(a->a0);
-            line("if (!" + paren(c) + ") " + fail_expr(a));
+            if (ck == analysis::CoverKind::kBranch) {
+                // The fail path always returns, so the pass counter
+                // after the if only increments when the guard holds.
+                line("if (!" + paren(c) + ") { ++branch_not_taken_count[" +
+                     std::to_string(a->id) + "]; " + fail_expr(a) + " }");
+                line("++branch_taken_count[" + std::to_string(a->id) +
+                     "];");
+            } else {
+                line("if (!" + paren(c) + ") " + fail_expr(a));
+            }
             return;
           }
 
@@ -975,6 +1017,8 @@ class Emitter
     std::map<std::string, std::string> type_names_;
     std::set<std::string> used_type_names_;
     std::vector<TypePtr> ordered_types_;
+    /** Empty unless opts_.coverage (then indexed by Action::id). */
+    std::vector<analysis::CoverKind> cov_kinds_;
 };
 
 } // namespace

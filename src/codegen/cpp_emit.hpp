@@ -48,6 +48,17 @@ struct EmitOptions
      */
     bool abort_reasons = false;
 
+    /**
+     * Emit statement/branch coverage arrays (`stmt_count`,
+     * `branch_taken_count`, `branch_not_taken_count`, one slot per AST
+     * node, increments only at the points analysis::coverage_points
+     * classifies). GeneratedModel exposes them through
+     * sim::CoverageModel, so compiled models feed the same coverage
+     * databases as the interpreter tiers. Off by default for the same
+     * reason as abort_reasons; `cuttlec --instrument` turns it on.
+     */
+    bool coverage = false;
+
     /** Override the emitted class name (empty = model_class_name()). */
     std::string class_name;
 };

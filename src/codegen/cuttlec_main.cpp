@@ -15,7 +15,8 @@
  *              rv32i.v              (structural Verilog)
  *   cuttlec --design rv32i --instrument --out build/generated
  *       writes rv32i_instr.model.hpp only (class rv32i_instr, counters
- *       plus abort-reason attribution for the observability layer)
+ *       plus abort-reason attribution and statement/branch coverage
+ *       arrays for the observability layer)
  *   cuttlec --list
  *   cuttlec --design fir --stats    (sizes only, no files)
  *   cuttlec --design fir --print-koika
@@ -26,11 +27,26 @@
  *       per-rule commit/abort/abort-reason statistics as JSON
  *   cuttlec --design fir --cycles 200 --trace=fir.json
  *       Chrome trace-event rule activity, viewable in ui.perfetto.dev
+ *   cuttlec --design fir --cycles 200 --vcd=fir.vcd
+ *       committed-register waveform for GTKWave (interpreter engines)
+ *   cuttlec --design rv32i --cycles 2000 --coverage=rv32i.cov.json
+ *       design-coverage database (statements, branch outcomes, rule
+ *       activity, register toggles) in the cuttlesim-cov-v1 schema;
+ *       --coverage-lcov= renders LCOV for genhtml, --coverage-report=
+ *       writes the Gcov-style annotated listing
+ *   cuttlec --coverage-merge OUT IN...
+ *       fold coverage shards (fault campaigns, fuzz workers, bench
+ *       reps) into one database; merging is commutative, so any shard
+ *       order produces the same bytes
  * The engine is selectable: --engine=T0..T5 picks an interpreter tier,
  * --engine=compiled emits the model, compiles it with the system C++
- * compiler and times the real binary. When that out-of-process pipeline
- * fails (broken flags, wedged toolchain), cuttlec degrades gracefully:
- * it warns and falls back to the T5 interpreter tier.
+ * compiler and times the real binary. With --trace= or --coverage=, the
+ * compiled engine emits an instrumented model plus an observing driver
+ * that streams per-cycle rule activity and a final coverage record over
+ * stdout, which cuttlec replays into the same trace/coverage files the
+ * interpreter tiers write. When that out-of-process pipeline fails
+ * (broken flags, wedged toolchain), cuttlec degrades gracefully: it
+ * warns and falls back to the T5 interpreter tier.
  *
  * Resilience (README "Fault-injection campaigns"):
  *   cuttlec --design rv32i --fault-campaign=SEED --fault-count=100 \
@@ -40,6 +56,8 @@
  *       detected, counts exported through the obs metrics registry.
  *       --jobs shards injections across worker threads; the report
  *       stays byte-identical to a serial run (same seed ⇒ same bytes).
+ *       Adding --coverage=FILE accumulates a coverage database over the
+ *       faulted runs, also byte-identical at any job count.
  *
  * Scaling: --engine=compiled reuses previously compiled models through
  * a content-addressed cache (--cache-dir, default ~/.cache/cuttlesim;
@@ -51,6 +69,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include <unistd.h>
 
@@ -59,8 +78,11 @@
 #include "designs/designs.hpp"
 #include "designs/rv32.hpp"
 #include "fault/fault.hpp"
+#include "harness/coverage.hpp"
 #include "harness/memory.hpp"
+#include "harness/vcd.hpp"
 #include "koika/print.hpp"
+#include "obs/coverage.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "riscv/programs.hpp"
@@ -88,16 +110,38 @@ usage()
         << "usage: cuttlec --design NAME [--out DIR] [--stats]\n"
            "               [--print-koika] [--no-counters] [--instrument]\n"
            "               [--cycles N] [--stats=FILE] [--trace=FILE]\n"
+           "               [--vcd=FILE] [--coverage=FILE]\n"
+           "               [--coverage-lcov=FILE] [--coverage-report=FILE]\n"
            "               [--engine=T0..T5|compiled] [--cxxflags=FLAGS]\n"
            "               [--fault-campaign=SEED] [--fault-count=N]\n"
            "               [--fault-report=FILE] [--jobs=N]\n"
            "               [--cache-dir=DIR] [--no-cache]\n"
+           "       cuttlec --coverage-merge OUT IN...\n"
            "       cuttlec --list\n"
            "\n"
            "  --stats=FILE  simulate and write per-rule commit/abort/\n"
-           "                abort-reason stats as JSON\n"
+           "                abort-reason stats as JSON (includes a\n"
+           "                coverage summary when --coverage= also ran)\n"
            "  --trace=FILE  simulate and write a Chrome trace-event JSON\n"
-           "                (open in ui.perfetto.dev)\n"
+           "                (open in ui.perfetto.dev); works on every\n"
+           "                engine, including --engine=compiled\n"
+           "  --vcd=FILE    simulate and write a VCD waveform of the\n"
+           "                committed registers (interpreter engines)\n"
+           "  --coverage=FILE\n"
+           "                simulate and write a cuttlesim-cov-v1 design\n"
+           "                coverage database: statement counts, branch\n"
+           "                taken/not-taken counts, per-rule activity,\n"
+           "                per-bit register toggles. Works on every\n"
+           "                engine; combine with --fault-campaign= to\n"
+           "                accumulate coverage over the faulted runs\n"
+           "  --coverage-lcov=FILE   also render the database as an LCOV\n"
+           "                tracefile (genhtml-compatible; the listing it\n"
+           "                refers to is written next to it as FILE.src)\n"
+           "  --coverage-report=FILE  also write the Gcov-style annotated\n"
+           "                source listing with execution counts\n"
+           "  --coverage-merge OUT IN...\n"
+           "                merge coverage databases into OUT (shards\n"
+           "                from --jobs workers, fuzz trials, bench reps)\n"
            "  --cycles N    simulation length / fault-campaign horizon\n"
            "                (default 1000)\n"
            "  --engine=E    simulation engine: an interpreter tier\n"
@@ -114,15 +158,16 @@ usage()
            "  --fault-report=FILE   write the campaign report as JSON\n"
            "  --jobs=N      shard fault injections across N worker\n"
            "                threads (0 = one per hardware thread;\n"
-           "                default 1). The report is byte-identical\n"
-           "                at any job count\n"
+           "                default 1). Reports and coverage databases\n"
+           "                are byte-identical at any job count\n"
            "  --cache-dir=DIR   compiled-model cache for\n"
            "                --engine=compiled (default\n"
            "                ~/.cache/cuttlesim; a warm hit skips the\n"
            "                external compiler)\n"
            "  --no-cache    disable the compiled-model cache\n"
            "  --instrument  emit only NAME_instr.model.hpp: a model with\n"
-           "                counters plus abort-reason instrumentation\n";
+           "                counters, abort-reason attribution, and\n"
+           "                statement/branch coverage arrays\n";
     return 2;
 }
 
@@ -137,11 +182,60 @@ parse_tier(const std::string& engine, koika::sim::Tier* tier)
     return false;
 }
 
+/** Files one simulation run should produce (empty = not asked for). */
+struct RunOutputs
+{
+    std::string stats;
+    std::string trace;
+    std::string vcd;
+    std::string coverage;
+    std::string coverage_lcov;
+    std::string coverage_report;
+
+    bool
+    wants_coverage() const
+    {
+        return !coverage.empty() || !coverage_lcov.empty() ||
+               !coverage_report.empty();
+    }
+
+    bool
+    wants_run() const
+    {
+        return !stats.empty() || !trace.empty() || !vcd.empty() ||
+               wants_coverage();
+    }
+};
+
 /**
- * A fresh-system factory for fault campaigns and golden runs. RISC-V
- * designs get per-instance magic memories preloaded with a small primes
- * program (the design is meaningless without a stimulus); every other
- * registry design is closed and needs none.
+ * Write every coverage artifact that was asked for and return the
+ * summary block for embedding into SimStats.
+ */
+koika::obs::Json
+write_coverage_outputs(const koika::Design& design,
+                       const koika::obs::CoverageMap& map,
+                       const RunOutputs& out)
+{
+    if (!out.coverage.empty())
+        map.save(out.coverage);
+    if (!out.coverage_lcov.empty()) {
+        std::string src = out.coverage_lcov + ".src";
+        koika::obs::LcovReport rep =
+            koika::obs::lcov_export(design, map, src);
+        write_file(out.coverage_lcov, rep.info);
+        write_file(src, rep.listing);
+    }
+    if (!out.coverage_report.empty())
+        write_file(out.coverage_report,
+                   koika::harness::coverage_report(design, map));
+    return map.summary_json();
+}
+
+/**
+ * A fresh-system factory for fault campaigns, golden runs, and plain
+ * simulation. RISC-V designs get per-instance magic memories preloaded
+ * with a small primes program (the design is meaningless without a
+ * stimulus); every other registry design is closed and needs none.
  */
 koika::fault::TargetFactory
 make_target_factory(const koika::Design& design, koika::sim::Tier tier)
@@ -197,13 +291,14 @@ make_target_factory(const koika::Design& design, koika::sim::Tier tier)
 int
 fault_campaign(const koika::Design& design, koika::sim::Tier tier,
                uint64_t seed, int count, uint64_t cycles, int jobs,
-               const std::string& report_file)
+               const std::string& report_file, const RunOutputs& out)
 {
     koika::fault::CampaignConfig config;
     config.seed = seed;
     config.count = count;
     config.cycles = cycles;
     config.jobs = jobs;
+    config.collect_coverage = out.wants_coverage();
 
     koika::fault::CampaignReport report = koika::fault::run_campaign(
         design, make_target_factory(design, tier), config);
@@ -212,9 +307,16 @@ fault_campaign(const koika::Design& design, koika::sim::Tier tier,
     koika::obs::MetricsRegistry metrics;
     report.export_to(metrics, "fault/" + design.name());
 
+    if (report.has_coverage) {
+        report.coverage.add_engine(report.engine);
+        write_coverage_outputs(design, report.coverage, out);
+    }
+
     if (!report_file.empty()) {
         koika::obs::Json j = report.to_json();
         j["metrics"] = metrics.to_json();
+        if (report.has_coverage)
+            j["coverage"] = report.coverage.summary_json();
         write_file(report_file, j.dump(2) + "\n");
     }
     std::cout << report.to_text() << metrics.to_text();
@@ -222,51 +324,287 @@ fault_campaign(const koika::Design& design, koika::sim::Tier tier,
 }
 
 /**
- * The compiled engine: emit the model, compile it out-of-process, time
- * a run of the real binary. Per-rule statistics are an interpreter
- * feature; the compiled path reports cycles and wall time only (the
- * SimStats schema degrades to cycles-only, as documented).
+ * The driver emitted for an observing --engine=compiled run: besides
+ * cycling the model, it streams what the interpreter tiers can report
+ * in-process. One "T <chars>" line per cycle when tracing (one char per
+ * scheduled rule: '*' committed, 'g'/'r'/'w' guard/read/write-conflict
+ * abort, '.' idle), and one final "COV {json}" record when collecting
+ * coverage (sparse statement/branch counts straight from the model's
+ * instrumentation arrays, per-rule totals, per-bit toggle counts
+ * computed by diffing committed state each cycle). cuttlec parses that
+ * stdout and replays it into the same TraceWriter/CoverageMap files an
+ * interpreter run writes.
+ */
+std::string
+observing_driver(const koika::Design& design, bool want_trace,
+                 bool want_cov)
+{
+    std::string cls = koika::codegen::model_class_name(design);
+    std::ostringstream os;
+    os << "#include <cstdint>\n#include <cstdio>\n#include <cstdlib>\n"
+          "#include <cstring>\n"
+          "#include \""
+       << cls << ".model.hpp\"\n"
+       << "using model_t = cuttlesim::models::" << cls << ";\n"
+       << "int main(int argc, char** argv) {\n"
+          "    unsigned long n = argc > 1 ? strtoul(argv[1], nullptr, "
+          "10) : 1000;\n"
+          "    static model_t m;\n";
+    if (want_cov)
+        os << "    static uint64_t prev[model_t::kNumRegs][8];\n"
+              "    static uint64_t now[8];\n"
+              "    static size_t off[model_t::kNumRegs + 1];\n"
+              "    for (size_t r = 0; r < model_t::kNumRegs; ++r) {\n"
+              "        m.get_reg_words(r, prev[r]);\n"
+              "        off[r + 1] = off[r] + model_t::kRegWidths[r];\n"
+              "    }\n"
+              "    uint64_t* rise = (uint64_t*)calloc(\n"
+              "        off[model_t::kNumRegs] + 1, sizeof(uint64_t));\n"
+              "    uint64_t* fall = (uint64_t*)calloc(\n"
+              "        off[model_t::kNumRegs] + 1, sizeof(uint64_t));\n";
+    if (want_trace)
+        os << "    static uint64_t prev_reason[model_t::kNumRules * "
+              "3];\n"
+              "    static char lbuf[model_t::kNumRules + 1];\n";
+    os << "    for (unsigned long c = 0; c < n; ++c) {\n"
+          "        m.cycle();\n";
+    if (want_cov)
+        os << "        for (size_t r = 0; r < model_t::kNumRegs; ++r) "
+              "{\n"
+              "            m.get_reg_words(r, now);\n"
+              "            for (size_t b = 0; b < model_t::kRegWidths[r]; "
+              "++b) {\n"
+              "                uint64_t ob = (prev[r][b >> 6] >> (b & "
+              "63)) & 1;\n"
+              "                uint64_t nb = (now[b >> 6] >> (b & 63)) "
+              "& 1;\n"
+              "                if (ob != nb) ++(nb ? rise : "
+              "fall)[off[r] + b];\n"
+              "            }\n"
+              "            std::memcpy(prev[r], now, sizeof now);\n"
+              "        }\n";
+    if (want_trace)
+        os << "        for (size_t r = 0; r < model_t::kNumRules; ++r) "
+              "{\n"
+              "            char ch = '.';\n"
+              "            if (m.last_fired[r]) ch = '*';\n"
+              "            else {\n"
+              "                const char k[3] = {'g', 'r', 'w'};\n"
+              "                for (int j = 0; j < 3; ++j)\n"
+              "                    if (m.abort_reason_count[r * 3 + "
+              "(size_t)j] != prev_reason[r * 3 + (size_t)j]) { ch = "
+              "k[j]; break; }\n"
+              "            }\n"
+              "            lbuf[r] = ch;\n"
+              "        }\n"
+              "        lbuf[model_t::kNumRules] = 0;\n"
+              "        std::memcpy(prev_reason, m.abort_reason_count, "
+              "sizeof prev_reason);\n"
+              "        std::printf(\"T %s\\n\", lbuf);\n";
+    os << "    }\n";
+    if (want_cov) {
+        os << "    const char* sep;\n"
+              "    std::printf(\"COV {\");\n";
+        auto sparse = [&](const char* key, const char* array) {
+            os << "    std::printf(\"\\\"" << key << "\\\":{\");\n"
+               << "    sep = \"\";\n"
+               << "    for (size_t i = 0; i < model_t::kNumNodes; ++i)\n"
+               << "        if (m." << array << "[i]) {\n"
+               << "            std::printf(\"%s\\\"%zu\\\":%llu\", sep, "
+                  "i, (unsigned long long)m."
+               << array << "[i]);\n"
+               << "            sep = \",\";\n"
+               << "        }\n"
+               << "    std::printf(\"},\");\n";
+        };
+        sparse("stmt", "stmt_count");
+        sparse("taken", "branch_taken_count");
+        sparse("not_taken", "branch_not_taken_count");
+        os << "    std::printf(\"\\\"rules\\\":{\");\n"
+              "    sep = \"\";\n"
+              "    for (size_t r = 0; r < model_t::kNumRules; ++r) {\n"
+              "        std::printf(\"%s\\\"%s\\\":[%llu,%llu]\", sep, "
+              "model_t::kRuleNames[r],\n"
+              "                    (unsigned long "
+              "long)m.commit_count[r],\n"
+              "                    (unsigned long "
+              "long)m.abort_count[r]);\n"
+              "        sep = \",\";\n"
+              "    }\n"
+              "    std::printf(\"},\");\n";
+        auto toggles = [&](const char* key, const char* array) {
+            os << "    std::printf(\"\\\"" << key << "\\\":[\");\n"
+               << "    for (size_t r = 0; r < model_t::kNumRegs; ++r) "
+                  "{\n"
+               << "        std::printf(\"%s[\", r ? \",\" : \"\");\n"
+               << "        for (size_t b = 0; b < "
+                  "model_t::kRegWidths[r]; ++b)\n"
+               << "            std::printf(\"%s%llu\", b ? \",\" : "
+                  "\"\", (unsigned long long)"
+               << array << "[off[r] + b]);\n"
+               << "        std::printf(\"]\");\n"
+               << "    }\n"
+               << "    std::printf(\"]\");\n";
+        };
+        toggles("rise", "rise");
+        os << "    std::printf(\",\");\n";
+        toggles("fall", "fall");
+        os << "    std::printf(\"}\\n\");\n";
+    }
+    os << "    return 0;\n}\n";
+    return os.str();
+}
+
+/** Turn the observing driver's "COV {json}" record into a database. */
+koika::obs::CoverageMap
+parse_compiled_coverage(const koika::Design& design,
+                        const std::string& json, uint64_t cycles)
+{
+    koika::obs::Json j = koika::obs::Json::parse(json);
+    koika::obs::CoverageMap map =
+        koika::obs::CoverageMap::for_design(design);
+    map.cycles = cycles;
+    map.add_engine("cuttlesim");
+    auto fill = [&](const char* key, std::vector<uint64_t>& dst) {
+        if (const koika::obs::Json* o = j.find(key))
+            for (const auto& [k, v] : o->items()) {
+                size_t id = (size_t)std::stoull(k);
+                if (id < dst.size())
+                    dst[id] = v.as_u64();
+            }
+    };
+    fill("stmt", map.stmt_count);
+    fill("taken", map.branch_taken);
+    fill("not_taken", map.branch_not_taken);
+    if (const koika::obs::Json* rules = j.find("rules"))
+        for (const auto& [name, v] : rules->items())
+            for (koika::obs::CoverageMap::RuleCov& rc : map.rules)
+                if (rc.name == name) {
+                    rc.commits = v.at(0).as_u64();
+                    rc.aborts = v.at(1).as_u64();
+                    break;
+                }
+    auto fill_bits = [&](const char* key, bool is_rise) {
+        const koika::obs::Json* arr = j.find(key);
+        if (arr == nullptr)
+            return;
+        for (size_t r = 0; r < arr->size() && r < map.regs.size();
+             ++r) {
+            const koika::obs::Json& a = arr->at(r);
+            std::vector<uint64_t>& dst =
+                is_rise ? map.regs[r].rise : map.regs[r].fall;
+            for (size_t b = 0; b < a.size() && b < dst.size(); ++b)
+                dst[b] = a.at(b).as_u64();
+        }
+    };
+    fill_bits("rise", true);
+    fill_bits("fall", false);
+    return map;
+}
+
+/**
+ * The compiled engine: emit the model, compile it out-of-process, run
+ * the real binary. A plain --stats= run times a silent driver (no
+ * instrumentation, no output — the benchmark configuration). With
+ * --trace= or --coverage= the model is emitted instrumented and driven
+ * by an observing driver whose stdout cuttlec replays into the same
+ * artifacts an interpreter run writes.
  */
 int
 simulate_compiled(const koika::Design& design, uint64_t cycles,
-                  const std::string& stats_file,
-                  const std::string& trace_file,
-                  const std::string& cxxflags,
+                  const RunOutputs& out, const std::string& cxxflags,
                   const std::string& out_dir,
                   const std::string& cache_dir)
 {
-    if (!trace_file.empty())
-        koika::fatal("--trace= needs an interpreter engine "
-                     "(--engine=T0..T5); the compiled engine has no "
-                     "per-rule activity feed");
+    if (!out.vcd.empty())
+        koika::fatal("--vcd= needs an interpreter engine "
+                     "(--engine=T0..T5): waveforms sample committed "
+                     "state in-process every cycle");
+
+    bool want_trace = !out.trace.empty();
+    bool want_cov = out.wants_coverage();
+    bool observe = want_trace || want_cov;
 
     std::string workdir =
         out_dir.empty() ? "/tmp/cuttlec_run_" + design.name() + "_" +
                               std::to_string(getpid())
                         : out_dir;
-    // A silent driver: run N cycles, print nothing (reg dumps would
-    // dominate the timing and the output).
     std::string cls = koika::codegen::model_class_name(design);
-    std::string driver = "#include <cstdlib>\n#include \"" + cls +
-                         ".model.hpp\"\n"
-                         "int main(int argc, char** argv) {\n"
-                         "    unsigned long n = argc > 1 ? "
-                         "strtoul(argv[1], nullptr, 10) : 1000;\n"
-                         "    cuttlesim::models::" +
-                         cls +
-                         " m;\n"
-                         "    for (unsigned long c = 0; c < n; ++c) "
-                         "m.cycle();\n"
-                         "    return 0;\n"
-                         "}\n";
 
     koika::codegen::CompileOptions copts;
     copts.cache.dir = cache_dir;
+
+    if (!observe) {
+        // A silent driver: run N cycles, print nothing (reg dumps would
+        // dominate the timing and the output).
+        std::string driver = "#include <cstdlib>\n#include \"" + cls +
+                             ".model.hpp\"\n"
+                             "int main(int argc, char** argv) {\n"
+                             "    unsigned long n = argc > 1 ? "
+                             "strtoul(argv[1], nullptr, 10) : 1000;\n"
+                             "    cuttlesim::models::" +
+                             cls +
+                             " m;\n"
+                             "    for (unsigned long c = 0; c < n; ++c) "
+                             "m.cycle();\n"
+                             "    return 0;\n"
+                             "}\n";
+        koika::codegen::CompileResult cr =
+            koika::codegen::compile_model_driver(design, workdir,
+                                                 driver, cxxflags,
+                                                 copts);
+        double wall = koika::codegen::time_binary(
+            cr.binary, std::to_string(cycles));
+
+        koika::obs::SimStats stats;
+        stats.design = design.name();
+        stats.engine = "cuttlesim";
+        stats.cycles = cycles;
+        stats.wall_seconds = wall;
+        stats.extra["compile_seconds"] = cr.compile_seconds;
+        stats.extra["compile_cache_hit"] = cr.cache_hit ? 1 : 0;
+
+        if (!out.stats.empty()) {
+            koika::obs::Json j = stats.to_json();
+            j["compile_metrics"] =
+                koika::codegen::compile_metrics().to_json();
+            write_file(out.stats, j.dump(2) + "\n");
+        }
+        std::cout << stats.to_text()
+                  << koika::codegen::compile_metrics().to_text();
+        return 0;
+    }
+
+    copts.emit.counters = true;
+    copts.emit.abort_reasons = want_trace;
+    copts.emit.coverage = want_cov;
     koika::codegen::CompileResult cr =
-        koika::codegen::compile_model_driver(design, workdir, driver,
-                                             cxxflags, copts);
-    double wall = koika::codegen::time_binary(cr.binary,
-                                              std::to_string(cycles));
+        koika::codegen::compile_model_driver(
+            design, workdir, observing_driver(design, want_trace,
+                                              want_cov),
+            cxxflags, copts);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::string output =
+        koika::codegen::run_binary(cr.binary, std::to_string(cycles));
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    // Replay the observing driver's stdout.
+    std::vector<std::string> rule_names;
+    for (int r : design.schedule_order())
+        rule_names.push_back(design.rule(r).name);
+
+    std::ofstream trace_out;
+    std::unique_ptr<koika::obs::TraceWriter> trace;
+    if (want_trace) {
+        trace_out.open(out.trace);
+        if (!trace_out)
+            koika::fatal("cannot write %s", out.trace.c_str());
+        trace = std::make_unique<koika::obs::TraceWriter>(
+            trace_out, rule_names, design.name());
+    }
 
     koika::obs::SimStats stats;
     stats.design = design.name();
@@ -276,54 +614,133 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
     stats.extra["compile_seconds"] = cr.compile_seconds;
     stats.extra["compile_cache_hit"] = cr.cache_hit ? 1 : 0;
 
-    if (!stats_file.empty()) {
+    std::istringstream lines(output);
+    std::string line;
+    bool saw_cov = false;
+    while (std::getline(lines, line)) {
+        if (line.rfind("T ", 0) == 0 && trace != nullptr) {
+            std::vector<bool> fired(rule_names.size(), false);
+            std::vector<const char*> reasons(rule_names.size(),
+                                             nullptr);
+            for (size_t r = 0;
+                 r < rule_names.size() && r + 2 < line.size(); ++r) {
+                switch (line[r + 2]) {
+                  case '*': fired[r] = true; break;
+                  case 'g':
+                    reasons[r] = koika::sim::abort_reason_name(
+                        koika::sim::AbortReason::kGuard);
+                    break;
+                  case 'r':
+                    reasons[r] = koika::sim::abort_reason_name(
+                        koika::sim::AbortReason::kReadConflict);
+                    break;
+                  case 'w':
+                    reasons[r] = koika::sim::abort_reason_name(
+                        koika::sim::AbortReason::kWriteConflict);
+                    break;
+                  default: break;
+                }
+            }
+            trace->record_cycle(fired, reasons);
+        } else if (line.rfind("COV ", 0) == 0 && want_cov) {
+            koika::obs::CoverageMap map = parse_compiled_coverage(
+                design, line.substr(4), cycles);
+            stats.coverage = write_coverage_outputs(design, map, out);
+            for (const koika::obs::CoverageMap::RuleCov& rc :
+                 map.rules) {
+                koika::obs::RuleStats rs;
+                rs.name = rc.name;
+                rs.commits = rc.commits;
+                rs.aborts = rc.aborts;
+                stats.rules.push_back(std::move(rs));
+            }
+            saw_cov = true;
+        }
+    }
+    if (trace != nullptr)
+        trace->finish();
+    if (want_cov && !saw_cov)
+        koika::fatal("compiled run of '%s' produced no COV record "
+                     "(driver output was %zu bytes)",
+                     design.name().c_str(), output.size());
+
+    if (!out.stats.empty()) {
         koika::obs::Json j = stats.to_json();
         j["compile_metrics"] =
             koika::codegen::compile_metrics().to_json();
-        write_file(stats_file, j.dump(2) + "\n");
+        write_file(out.stats, j.dump(2) + "\n");
     }
     std::cout << stats.to_text()
               << koika::codegen::compile_metrics().to_text();
     return 0;
 }
 
-/** Run `design` on an interpreter tier, writing stats/trace as asked. */
+/** Run `design` on an interpreter tier, writing artifacts as asked. */
 int
 simulate(const koika::Design& design, koika::sim::Tier tier,
-         uint64_t cycles, const std::string& stats_file,
-         const std::string& trace_file)
+         uint64_t cycles, const RunOutputs& out)
 {
-    auto engine = koika::sim::make_engine(design, tier);
+    // Same stimulus routing as fault campaigns and golden runs: rv32
+    // designs run the primes program out of magic memories, closed
+    // designs run bare.
+    koika::fault::FaultTarget target =
+        make_target_factory(design, tier)();
+    koika::sim::Model& model = *target.model;
+    auto* rs = dynamic_cast<koika::sim::RuleStatsModel*>(&model);
 
     std::ofstream trace_out;
     std::unique_ptr<koika::obs::TraceWriter> trace;
-    if (!trace_file.empty()) {
-        trace_out.open(trace_file);
+    if (!out.trace.empty()) {
+        KOIKA_CHECK(rs != nullptr);
+        trace_out.open(out.trace);
         if (!trace_out)
-            koika::fatal("cannot write %s", trace_file.c_str());
+            koika::fatal("cannot write %s", out.trace.c_str());
         std::vector<std::string> rule_names;
-        for (size_t r = 0; r < engine->num_rules(); ++r)
-            rule_names.push_back(engine->rule_name((int)r));
+        for (size_t r = 0; r < rs->num_rules(); ++r)
+            rule_names.push_back(rs->rule_name((int)r));
         trace = std::make_unique<koika::obs::TraceWriter>(
             trace_out, std::move(rule_names), design.name());
     }
 
+    std::ofstream vcd_out;
+    std::unique_ptr<koika::harness::VcdWriter> vcd;
+    if (!out.vcd.empty()) {
+        vcd_out.open(out.vcd);
+        if (!vcd_out)
+            koika::fatal("cannot write %s", out.vcd.c_str());
+        vcd = std::make_unique<koika::harness::VcdWriter>(design,
+                                                          vcd_out);
+        vcd->sample(model); // time 0: the initial committed state
+    }
+
+    std::unique_ptr<koika::obs::CoverageCollector> cov;
+    if (out.wants_coverage())
+        cov = std::make_unique<koika::obs::CoverageCollector>(design,
+                                                              model);
+
     koika::obs::MetricsRegistry metrics;
-    metrics.define_histogram("rules_fired_per_cycle", [&] {
-        std::vector<double> bounds;
-        for (size_t r = 0; r <= engine->num_rules(); ++r)
-            bounds.push_back((double)r);
-        return bounds;
-    }());
+    if (rs != nullptr)
+        metrics.define_histogram("rules_fired_per_cycle", [&] {
+            std::vector<double> bounds;
+            for (size_t r = 0; r <= rs->num_rules(); ++r)
+                bounds.push_back((double)r);
+            return bounds;
+        }());
 
     auto t0 = std::chrono::steady_clock::now();
     for (uint64_t c = 0; c < cycles; ++c) {
-        engine->cycle();
+        model.cycle();
+        if (target.stimulus)
+            target.stimulus(model, c);
         if (trace != nullptr)
-            trace->sample(*engine);
-        if (!stats_file.empty()) {
+            trace->sample(*rs);
+        if (vcd != nullptr)
+            vcd->sample(model);
+        if (cov != nullptr)
+            cov->sample();
+        if (!out.stats.empty() && rs != nullptr) {
             size_t fired = 0;
-            for (bool f : engine->fired())
+            for (bool f : rs->fired())
                 fired += f;
             metrics.observe("rules_fired_per_cycle", (double)fired);
         }
@@ -335,18 +752,55 @@ simulate(const koika::Design& design, koika::sim::Tier tier,
     if (trace != nullptr)
         trace->finish();
 
-    koika::obs::SimStats stats = koika::obs::collect_stats(*engine);
+    koika::obs::SimStats stats = koika::obs::collect_stats(model);
     stats.design = design.name();
     stats.engine = koika::sim::tier_name(tier);
     stats.wall_seconds = wall;
 
-    if (!stats_file.empty()) {
+    if (cov != nullptr) {
+        koika::obs::CoverageMap map =
+            cov->take(koika::sim::tier_name(tier));
+        stats.coverage = write_coverage_outputs(design, map, out);
+    }
+
+    if (!out.stats.empty()) {
         koika::obs::Json j = stats.to_json();
         j["metrics"] = metrics.to_json();
-        write_file(stats_file, j.dump(2) + "\n");
+        write_file(out.stats, j.dump(2) + "\n");
     }
     std::cout << stats.to_text();
     return 0;
+}
+
+/** `cuttlec --coverage-merge OUT IN...`: fold shards into OUT. */
+int
+coverage_merge(int argc, char** argv, int i)
+{
+    if (i + 2 > argc - 1) {
+        std::cerr << "cuttlec: --coverage-merge needs OUT and at "
+                     "least one IN\n";
+        return usage();
+    }
+    std::string out_path = argv[i + 1];
+    try {
+        koika::obs::CoverageMap merged =
+            koika::obs::CoverageMap::load(argv[i + 2]);
+        for (int k = i + 3; k < argc; ++k)
+            merged.merge(koika::obs::CoverageMap::load(argv[k]));
+        merged.save(out_path);
+        koika::obs::CoverageMap::Summary s = merged.summary();
+        std::cout << "merged " << (argc - i - 2) << " databases into "
+                  << out_path << ": " << s.stmt_covered << "/"
+                  << s.stmt_points << " statements, "
+                  << s.branch_outcomes_covered << "/"
+                  << s.branch_outcomes << " branch outcomes, "
+                  << s.toggle_dirs_covered << "/" << s.toggle_dirs
+                  << " toggle directions\n";
+        return 0;
+    } catch (const koika::FatalError& err) {
+        std::cerr << "cuttlec: " << err.what() << "\n";
+        return 1;
+    }
 }
 
 } // namespace
@@ -354,9 +808,10 @@ simulate(const koika::Design& design, koika::sim::Tier tier,
 int
 main(int argc, char** argv)
 {
-    std::string design_name, out_dir, stats_file, trace_file;
+    std::string design_name, out_dir;
     std::string engine = "T5", cxxflags = "-O2", fault_report;
     std::string cache_dir = koika::codegen::default_cache_dir();
+    RunOutputs outputs;
     bool stats = false, print_koika = false, counters = true;
     bool instrument = false, fault = false;
     uint64_t cycles = 1000, fault_seed = 1;
@@ -368,6 +823,8 @@ main(int argc, char** argv)
                 std::cout << name << "\n";
             return 0;
         }
+        if (arg == "--coverage-merge")
+            return coverage_merge(argc, argv, i);
         if (arg == "--design" && i + 1 < argc) {
             design_name = argv[++i];
         } else if (arg == "--out" && i + 1 < argc) {
@@ -375,9 +832,19 @@ main(int argc, char** argv)
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg.rfind("--stats=", 0) == 0) {
-            stats_file = arg.substr(std::strlen("--stats="));
+            outputs.stats = arg.substr(std::strlen("--stats="));
         } else if (arg.rfind("--trace=", 0) == 0) {
-            trace_file = arg.substr(std::strlen("--trace="));
+            outputs.trace = arg.substr(std::strlen("--trace="));
+        } else if (arg.rfind("--vcd=", 0) == 0) {
+            outputs.vcd = arg.substr(std::strlen("--vcd="));
+        } else if (arg.rfind("--coverage=", 0) == 0) {
+            outputs.coverage = arg.substr(std::strlen("--coverage="));
+        } else if (arg.rfind("--coverage-lcov=", 0) == 0) {
+            outputs.coverage_lcov =
+                arg.substr(std::strlen("--coverage-lcov="));
+        } else if (arg.rfind("--coverage-report=", 0) == 0) {
+            outputs.coverage_report =
+                arg.substr(std::strlen("--coverage-report="));
         } else if (arg.rfind("--engine=", 0) == 0) {
             engine = arg.substr(std::strlen("--engine="));
         } else if (arg.rfind("--cxxflags=", 0) == 0) {
@@ -442,14 +909,13 @@ main(int argc, char** argv)
             }
             return fault_campaign(*design, tier, fault_seed,
                                   fault_count, cycles, jobs,
-                                  fault_report);
+                                  fault_report, outputs);
         }
 
-        if (!stats_file.empty() || !trace_file.empty()) {
+        if (outputs.wants_run()) {
             if (compiled_engine) {
                 try {
-                    return simulate_compiled(*design, cycles,
-                                             stats_file, trace_file,
+                    return simulate_compiled(*design, cycles, outputs,
                                              cxxflags, out_dir,
                                              cache_dir);
                 } catch (const koika::FatalError& err) {
@@ -461,8 +927,7 @@ main(int argc, char** argv)
                     tier = koika::sim::Tier::kT5StaticAnalysis;
                 }
             }
-            return simulate(*design, tier, cycles, stats_file,
-                            trace_file);
+            return simulate(*design, tier, cycles, outputs);
         }
 
         if (instrument) {
@@ -471,6 +936,7 @@ main(int argc, char** argv)
             koika::codegen::EmitOptions opts;
             opts.counters = true;
             opts.abort_reasons = true;
+            opts.coverage = true;
             opts.class_name = cls + "_instr";
             write_file(out_dir + "/" + cls + "_instr.model.hpp",
                        koika::codegen::emit_model(*design, opts));

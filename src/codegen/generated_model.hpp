@@ -25,11 +25,13 @@
 namespace koika::codegen {
 
 template <typename M>
-class GeneratedModel final : public sim::RuleStatsModel
+class GeneratedModel final : public sim::RuleStatsModel,
+                             public sim::CoverageModel
 {
     // RTL netlist models expose no rule structure at all; Cuttlesim
     // models always have kNumRules/kRuleNames, counters unless emitted
-    // with --no-counters, and abort reasons only with --instrument.
+    // with --no-counters, and abort reasons plus coverage arrays only
+    // with --instrument.
     static constexpr bool kHasRules = requires { M::kNumRules; };
     static constexpr bool kHasCounters = requires(const M& m) {
         m.commit_count[0];
@@ -38,6 +40,12 @@ class GeneratedModel final : public sim::RuleStatsModel
     };
     static constexpr bool kHasAbortReasons = requires(const M& m) {
         m.abort_reason_count[0];
+    };
+    static constexpr bool kHasCoverage = requires(const M& m) {
+        M::kNumNodes;
+        m.stmt_count[0];
+        m.branch_taken_count[0];
+        m.branch_not_taken_count[0];
     };
 
     static constexpr size_t
@@ -133,12 +141,58 @@ class GeneratedModel final : public sim::RuleStatsModel
         return reasons_;
     }
 
+    // -- CoverageModel ------------------------------------------------------
+    // Coverage-instrumented models count unconditionally (the arrays
+    // are compiled in), so enabling is a no-op; models emitted without
+    // coverage return empty vectors per the CoverageModel contract.
+    void enable_coverage() override {}
+
+    size_t
+    num_nodes() const override
+    {
+        if constexpr (kHasCoverage)
+            return M::kNumNodes;
+        else
+            return 0;
+    }
+
+    const std::vector<uint64_t>&
+    stmt_counts() const override
+    {
+        stmt_.clear();
+        if constexpr (kHasCoverage)
+            stmt_.assign(impl_.stmt_count,
+                         impl_.stmt_count + M::kNumNodes);
+        return stmt_;
+    }
+
+    const std::vector<uint64_t>&
+    branch_taken_counts() const override
+    {
+        taken_.clear();
+        if constexpr (kHasCoverage)
+            taken_.assign(impl_.branch_taken_count,
+                          impl_.branch_taken_count + M::kNumNodes);
+        return taken_;
+    }
+
+    const std::vector<uint64_t>&
+    branch_not_taken_counts() const override
+    {
+        not_taken_.clear();
+        if constexpr (kHasCoverage)
+            not_taken_.assign(impl_.branch_not_taken_count,
+                              impl_.branch_not_taken_count + M::kNumNodes);
+        return not_taken_;
+    }
+
   private:
     M impl_;
     // Scratch vectors bridging the model's C arrays to the interface's
     // vector returns; refreshed on every accessor call.
     mutable std::vector<bool> fired_;
     mutable std::vector<uint64_t> commits_, aborts_, reasons_;
+    mutable std::vector<uint64_t> stmt_, taken_, not_taken_;
 };
 
 } // namespace koika::codegen

@@ -97,7 +97,8 @@ generate_faults(const Design& design, const CampaignConfig& config)
 
 InjectionRecord
 run_injection(const Design& design, const TargetFactory& factory,
-              const FaultSpec& spec, uint64_t cycles)
+              const FaultSpec& spec, uint64_t cycles,
+              obs::CoverageMap* coverage)
 {
     KOIKA_CHECK(spec.reg >= 0 &&
                 (size_t)spec.reg < design.num_registers());
@@ -107,6 +108,13 @@ run_injection(const Design& design, const TargetFactory& factory,
 
     FaultTarget golden = factory();
     FaultTarget faulted = factory();
+
+    // Coverage is harvested from the faulted run only: the golden copy
+    // exercises nothing an ordinary simulation would not.
+    std::unique_ptr<obs::CoverageCollector> collector;
+    if (coverage != nullptr)
+        collector = std::make_unique<obs::CoverageCollector>(
+            design, *faulted.model);
     auto* gstats =
         dynamic_cast<sim::RuleStatsModel*>(golden.model.get());
     auto* fstats =
@@ -132,6 +140,8 @@ run_injection(const Design& design, const TargetFactory& factory,
             faulted.model->cycle();
             if (faulted.stimulus)
                 faulted.stimulus(*faulted.model, c);
+            if (collector != nullptr)
+                collector->sample();
         } catch (const std::exception& e) {
             // The engine itself tripped over the corrupted state — the
             // strongest form of detection.
@@ -248,6 +258,8 @@ run_injection(const Design& design, const TargetFactory& factory,
         rec.outcome = Outcome::kSilentDataCorruption;
     else
         rec.outcome = Outcome::kMasked;
+    if (collector != nullptr)
+        *coverage = collector->take("");
     return rec;
 }
 
@@ -266,11 +278,24 @@ run_campaign(const Design& design, const TargetFactory& factory,
     // run. Outcome tallying happens after the join, in list order.
     std::vector<FaultSpec> faults = generate_faults(design, config);
     report.injections.resize(faults.size());
+    std::vector<obs::CoverageMap> shard_cov;
+    if (config.collect_coverage)
+        shard_cov.resize(faults.size());
     harness::parallel_for(
         faults.size(), config.jobs, [&](uint64_t i) {
             report.injections[i] = run_injection(
-                design, factory, faults[i], config.cycles);
+                design, factory, faults[i], config.cycles,
+                config.collect_coverage ? &shard_cov[i] : nullptr);
         });
+    if (config.collect_coverage) {
+        // Fold per-injection maps in fault-list order after the join;
+        // merge() is commutative addition, so the database matches a
+        // serial run byte for byte at any job count.
+        report.coverage = obs::CoverageMap::for_design(design);
+        for (const obs::CoverageMap& m : shard_cov)
+            report.coverage.merge(m);
+        report.has_coverage = true;
+    }
     for (const InjectionRecord& rec : report.injections) {
         switch (rec.outcome) {
           case Outcome::kMasked: report.masked++; break;

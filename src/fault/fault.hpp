@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "koika/design.hpp"
+#include "obs/coverage.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/model.hpp"
@@ -140,6 +141,15 @@ struct CampaignConfig
      * built from a const Design qualifies).
      */
     int jobs = 1;
+    /**
+     * Also accumulate a design-coverage database over the campaign's
+     * faulted runs (fault campaigns double as coverage-amplifying
+     * stimulus: forced bad state exercises guard/conflict paths a clean
+     * run never reaches). Per-injection maps are folded in fault-list
+     * order after the join, so the database — like the report — is
+     * byte-identical at any job count.
+     */
+    bool collect_coverage = false;
 };
 
 struct CampaignReport
@@ -153,6 +163,12 @@ struct CampaignReport
     uint64_t masked = 0;
     uint64_t sdc = 0;
     uint64_t detected = 0;
+
+    /** Merged coverage of all faulted runs (config.collect_coverage);
+     *  unlabeled — the caller knows which engine ran the campaign and
+     *  adds it via coverage.add_engine(). */
+    bool has_coverage = false;
+    obs::CoverageMap coverage;
 
     /**
      * Deterministic report: config echo, per-injection records, and
@@ -184,11 +200,14 @@ std::vector<FaultSpec> generate_faults(const Design& design,
 
 /**
  * Run one injection: golden and faulted targets in lockstep to the
- * horizon, fault applied per `spec`, outcome classified.
+ * horizon, fault applied per `spec`, outcome classified. When
+ * `coverage` is non-null it receives the faulted run's coverage map
+ * (partial when the engine faulted mid-run), with no engine label.
  */
 InjectionRecord run_injection(const Design& design,
                               const TargetFactory& factory,
-                              const FaultSpec& spec, uint64_t cycles);
+                              const FaultSpec& spec, uint64_t cycles,
+                              obs::CoverageMap* coverage = nullptr);
 
 /**
  * Run a whole campaign: generate_faults, then run_injection per fault,

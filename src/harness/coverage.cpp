@@ -8,11 +8,60 @@ namespace koika::harness {
 
 namespace {
 
+/**
+ * Where the annotated printer gets its numbers. The two sources differ
+ * only on `else` lines: raw interpreter counts use the else-arm node's
+ * own execution count, while a coverage database (which stores counts
+ * only at classified points) uses the `if` node's not-taken count —
+ * the same number, reached from the other side.
+ */
+struct CountSource
+{
+    virtual ~CountSource() = default;
+    virtual uint64_t line(const Action* a) const = 0;
+    virtual uint64_t else_line(const Action* if_node) const = 0;
+};
+
+struct RawCounts final : CountSource
+{
+    explicit RawCounts(const std::vector<uint64_t>& counts)
+        : counts_(counts)
+    {
+    }
+    uint64_t
+    line(const Action* a) const override
+    {
+        return node_count(counts_, a);
+    }
+    uint64_t
+    else_line(const Action* if_node) const override
+    {
+        return node_count(counts_, if_node->a2);
+    }
+    const std::vector<uint64_t>& counts_;
+};
+
+struct MapCounts final : CountSource
+{
+    explicit MapCounts(const obs::CoverageMap& cov) : cov_(cov) {}
+    uint64_t
+    line(const Action* a) const override
+    {
+        return node_count(cov_.stmt_count, a);
+    }
+    uint64_t
+    else_line(const Action* if_node) const override
+    {
+        return node_count(cov_.branch_not_taken, if_node);
+    }
+    const obs::CoverageMap& cov_;
+};
+
 /** Statement-level annotated printer (count column + Kôika text). */
 class AnnotatedPrinter
 {
   public:
-    AnnotatedPrinter(const Design& d, const std::vector<uint64_t>& counts)
+    AnnotatedPrinter(const Design& d, const CountSource& counts)
         : d_(d), counts_(counts)
     {
     }
@@ -37,12 +86,6 @@ class AnnotatedPrinter
             << "\n";
     }
 
-    uint64_t
-    count(const Action* a) const
-    {
-        return node_count(counts_, a);
-    }
-
     void
     block(const Action* a, int indent)
     {
@@ -52,22 +95,22 @@ class AnnotatedPrinter
             block(a->a1, indent);
             return;
           case ActionKind::kLet:
-            emit_line(count(a), indent,
+            emit_line(counts_.line(a), indent,
                       "let " + a->var + " := " + print_action(a->a0, &d_) +
                           " in");
             block(a->a1, indent);
             return;
           case ActionKind::kIf: {
-            emit_line(count(a), indent,
+            emit_line(counts_.line(a), indent,
                       "if (" + print_action(a->a0, &d_) + ") {");
             block(a->a1, indent + 1);
             if (a->a2->kind == ActionKind::kConst &&
                 a->a2->value.width() == 0) {
-                emit_line(count(a), indent, "}");
+                emit_line(counts_.line(a), indent, "}");
             } else {
-                emit_line(count(a->a2), indent, "} else {");
+                emit_line(counts_.else_line(a), indent, "} else {");
                 block(a->a2, indent + 1);
-                emit_line(count(a), indent, "}");
+                emit_line(counts_.line(a), indent, "}");
             }
             return;
           }
@@ -75,13 +118,13 @@ class AnnotatedPrinter
             // Leaf statement: one annotated line. The count column is
             // the node's execution count — exactly what Gcov shows on
             // the corresponding generated-C++ line.
-            emit_line(count(a), indent, print_action(a, &d_));
+            emit_line(counts_.line(a), indent, print_action(a, &d_));
             return;
         }
     }
 
     const Design& d_;
-    const std::vector<uint64_t>& counts_;
+    const CountSource& counts_;
     std::ostringstream os_;
 };
 
@@ -91,7 +134,8 @@ std::string
 coverage_report_rule(const Design& design, int rule,
                      const std::vector<uint64_t>& counts)
 {
-    return AnnotatedPrinter(design, counts).rule(rule);
+    RawCounts src(counts);
+    return AnnotatedPrinter(design, src).rule(rule);
 }
 
 std::string
@@ -101,6 +145,23 @@ coverage_report(const Design& design,
     std::string out;
     for (int r : design.schedule_order())
         out += coverage_report_rule(design, r, counts) + "\n";
+    return out;
+}
+
+std::string
+coverage_report_rule(const Design& design, int rule,
+                     const obs::CoverageMap& cov)
+{
+    MapCounts src(cov);
+    return AnnotatedPrinter(design, src).rule(rule);
+}
+
+std::string
+coverage_report(const Design& design, const obs::CoverageMap& cov)
+{
+    std::string out;
+    for (int r : design.schedule_order())
+        out += coverage_report_rule(design, r, cov) + "\n";
     return out;
 }
 

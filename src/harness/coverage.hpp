@@ -17,6 +17,7 @@
 #include <string>
 
 #include "interp/reference.hpp"
+#include "obs/coverage.hpp"
 
 namespace koika::harness {
 
@@ -27,6 +28,21 @@ std::string coverage_report_rule(const Design& design, int rule,
 /** Annotated listing of every scheduled rule. */
 std::string coverage_report(const Design& design,
                             const std::vector<uint64_t>& counts);
+
+/**
+ * Annotated listing rendered from a coverage database instead of raw
+ * interpreter counts. Works for ANY engine a CoverageMap was collected
+ * from (tier interpreters, reference sim, instrumented compiled
+ * models): statement lines show the masked statement count, and `else`
+ * lines show the branch's not-taken count, which is exact even though
+ * the database only stores counts at classified points.
+ */
+std::string coverage_report_rule(const Design& design, int rule,
+                                 const obs::CoverageMap& cov);
+
+/** CoverageMap-based listing of every scheduled rule. */
+std::string coverage_report(const Design& design,
+                            const obs::CoverageMap& cov);
 
 /** Execution count of a node id (0 if coverage was off). */
 inline uint64_t

@@ -126,8 +126,12 @@ ReferenceSim::do_write(const Action* a, Bits value)
 void
 ReferenceSim::enable_coverage()
 {
+    if (coverage_enabled_)
+        return;
     coverage_enabled_ = true;
     coverage_.assign(d_.num_nodes(), 0);
+    taken_.assign(d_.num_nodes(), 0);
+    not_taken_.assign(d_.num_nodes(), 0);
 }
 
 Bits
@@ -158,8 +162,12 @@ ReferenceSim::eval(const Action* a)
         eval(a->a0);
         return eval(a->a1);
 
-      case ActionKind::kIf:
-        return eval(a->a0).truthy() ? eval(a->a1) : eval(a->a2);
+      case ActionKind::kIf: {
+        bool t = eval(a->a0).truthy();
+        if (coverage_enabled_)
+            ++(t ? taken_ : not_taken_)[(size_t)a->id];
+        return t ? eval(a->a1) : eval(a->a2);
+      }
 
       case ActionKind::kRead:
         return do_read(a);
@@ -168,10 +176,14 @@ ReferenceSim::eval(const Action* a)
         do_write(a, eval(a->a0));
         return Bits();
 
-      case ActionKind::kGuard:
-        if (!eval(a->a0).truthy())
+      case ActionKind::kGuard: {
+        bool pass = eval(a->a0).truthy();
+        if (coverage_enabled_)
+            ++(pass ? taken_ : not_taken_)[(size_t)a->id];
+        if (!pass)
             throw RuleAbort{};
         return Bits();
+      }
 
       case ActionKind::kUnop: {
         Bits v = eval(a->a0);

@@ -71,6 +71,14 @@ class ReferenceSim
     void enable_coverage();
     /** Per-node execution counts (indexed by Action::id). */
     const std::vector<uint64_t>& coverage() const { return coverage_; }
+    /** Per-node branch outcomes (meaningful at `if`/`guard` nodes):
+     *  condition truthy / guard passed. Empty until enable_coverage. */
+    const std::vector<uint64_t>& branch_taken() const { return taken_; }
+    /** Else arm taken / guard failed. */
+    const std::vector<uint64_t>& branch_not_taken() const
+    {
+        return not_taken_;
+    }
 
   private:
     struct RuleAbort {};
@@ -91,6 +99,7 @@ class ReferenceSim
     uint64_t cycles_ = 0;
     bool coverage_enabled_ = false;
     std::vector<uint64_t> coverage_;
+    std::vector<uint64_t> taken_, not_taken_;
 };
 
 } // namespace koika

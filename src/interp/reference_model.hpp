@@ -11,12 +11,31 @@
 
 namespace koika {
 
-class ReferenceModel final : public sim::Model
+class ReferenceModel final : public sim::RuleStatsModel,
+                             public sim::CoverageModel
 {
   public:
-    explicit ReferenceModel(const Design& design) : sim_(design) {}
+    explicit ReferenceModel(const Design& design)
+        : sim_(design), commits_(design.num_rules(), 0),
+          aborts_(design.num_rules(), 0)
+    {
+    }
 
-    void cycle() override { sim_.cycle(); }
+    void
+    cycle() override
+    {
+        sim_.cycle();
+        // The reference interpreter attempts every scheduled rule once
+        // per cycle: a rule either committed (fired) or aborted.
+        const std::vector<bool>& fired = sim_.fired();
+        for (int r : sim_.design().schedule_order()) {
+            if (fired[(size_t)r])
+                ++commits_[(size_t)r];
+            else
+                ++aborts_[(size_t)r];
+        }
+    }
+
     Bits get_reg(int reg) const override { return sim_.reg(reg); }
 
     void
@@ -35,8 +54,66 @@ class ReferenceModel final : public sim::Model
 
     ReferenceSim& interpreter() { return sim_; }
 
+    // -- RuleStatsModel (commit/abort tallies accumulated from the
+    // interpreter's per-cycle fired set; no abort-reason attribution —
+    // the specification semantics has no conflict taxonomy).
+    size_t num_rules() const override { return sim_.design().num_rules(); }
+
+    std::string
+    rule_name(int rule) const override
+    {
+        return sim_.design().rule(rule).name;
+    }
+
+    const std::vector<bool>& fired() const override { return sim_.fired(); }
+
+    const std::vector<uint64_t>&
+    rule_commit_counts() const override
+    {
+        return commits_;
+    }
+
+    const std::vector<uint64_t>&
+    rule_abort_counts() const override
+    {
+        return aborts_;
+    }
+
+    const std::vector<uint64_t>&
+    rule_abort_reason_counts() const override
+    {
+        return no_reasons_;
+    }
+
+    // -- CoverageModel (delegates to the interpreter's node counters;
+    // the obs layer masks these down to classified statement points).
+    void enable_coverage() override { sim_.enable_coverage(); }
+
+    size_t num_nodes() const override
+    {
+        return sim_.design().num_nodes();
+    }
+
+    const std::vector<uint64_t>& stmt_counts() const override
+    {
+        return sim_.coverage();
+    }
+
+    const std::vector<uint64_t>& branch_taken_counts() const override
+    {
+        return sim_.branch_taken();
+    }
+
+    const std::vector<uint64_t>& branch_not_taken_counts() const override
+    {
+        return sim_.branch_not_taken();
+    }
+
   private:
     ReferenceSim sim_;
+    std::vector<uint64_t> commits_;
+    std::vector<uint64_t> aborts_;
+    std::vector<uint64_t> no_reasons_;
 };
 
 } // namespace koika

@@ -1,0 +1,607 @@
+#include "obs/coverage.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "koika/print.hpp"
+
+namespace koika::obs {
+
+const char*
+CoverageMap::schema()
+{
+    return "cuttlesim-cov-v1";
+}
+
+CoverageMap
+CoverageMap::for_design(const Design& design)
+{
+    CoverageMap m;
+    m.design = design.name();
+    m.nodes = design.num_nodes();
+    analysis::CoverageShape shape =
+        analysis::count_points(analysis::coverage_points(design));
+    m.stmt_points = shape.statements;
+    m.branch_points = shape.branches;
+    m.stmt_count.assign(m.nodes, 0);
+    m.branch_taken.assign(m.nodes, 0);
+    m.branch_not_taken.assign(m.nodes, 0);
+    m.rules.resize(design.num_rules());
+    for (size_t r = 0; r < design.num_rules(); ++r)
+        m.rules[r].name = design.rule((int)r).name;
+    m.regs.resize(design.num_registers());
+    for (size_t r = 0; r < design.num_registers(); ++r) {
+        RegToggles& t = m.regs[r];
+        t.name = design.reg((int)r).name;
+        t.width = design.reg((int)r).type->width;
+        t.rise.assign(t.width, 0);
+        t.fall.assign(t.width, 0);
+        m.toggle_bits += t.width;
+    }
+    return m;
+}
+
+void
+CoverageMap::add_engine(const std::string& engine)
+{
+    if (engine.empty())
+        return; // unlabeled shard; the merger names the engine
+    auto it = std::lower_bound(engines.begin(), engines.end(), engine);
+    if (it == engines.end() || *it != engine)
+        engines.insert(it, engine);
+}
+
+void
+CoverageMap::merge(const CoverageMap& other)
+{
+    if (design != other.design)
+        fatal("coverage merge: databases describe different designs "
+              "('%s' vs '%s')",
+              design.c_str(), other.design.c_str());
+    if (nodes != other.nodes || stmt_points != other.stmt_points ||
+        branch_points != other.branch_points ||
+        toggle_bits != other.toggle_bits ||
+        rules.size() != other.rules.size() ||
+        regs.size() != other.regs.size())
+        fatal("coverage merge: databases for design '%s' have "
+              "incompatible shapes (different design versions?)",
+              design.c_str());
+    for (size_t i = 0; i < rules.size(); ++i)
+        if (rules[i].name != other.rules[i].name)
+            fatal("coverage merge: rule %zu is '%s' in one database and "
+                  "'%s' in the other",
+                  i, rules[i].name.c_str(), other.rules[i].name.c_str());
+    for (size_t i = 0; i < regs.size(); ++i)
+        if (regs[i].name != other.regs[i].name ||
+            regs[i].width != other.regs[i].width)
+            fatal("coverage merge: register %zu differs between the "
+                  "databases",
+                  i);
+
+    cycles += other.cycles;
+    for (const std::string& e : other.engines)
+        add_engine(e);
+    for (size_t i = 0; i < stmt_count.size(); ++i) {
+        stmt_count[i] += other.stmt_count[i];
+        branch_taken[i] += other.branch_taken[i];
+        branch_not_taken[i] += other.branch_not_taken[i];
+    }
+    for (size_t i = 0; i < rules.size(); ++i) {
+        rules[i].commits += other.rules[i].commits;
+        rules[i].aborts += other.rules[i].aborts;
+    }
+    for (size_t i = 0; i < regs.size(); ++i) {
+        for (uint32_t b = 0; b < regs[i].width; ++b) {
+            regs[i].rise[b] += other.regs[i].rise[b];
+            regs[i].fall[b] += other.regs[i].fall[b];
+        }
+    }
+}
+
+CoverageMap::Summary
+CoverageMap::summary() const
+{
+    Summary s;
+    s.stmt_points = stmt_points;
+    s.branch_outcomes = 2 * branch_points;
+    s.toggle_dirs = 2 * toggle_bits;
+    for (uint64_t c : stmt_count)
+        if (c > 0)
+            ++s.stmt_covered;
+    for (size_t i = 0; i < branch_taken.size(); ++i) {
+        if (branch_taken[i] > 0)
+            ++s.branch_outcomes_covered;
+        if (branch_not_taken[i] > 0)
+            ++s.branch_outcomes_covered;
+    }
+    for (const RegToggles& t : regs) {
+        for (uint32_t b = 0; b < t.width; ++b) {
+            if (t.rise[b] > 0)
+                ++s.toggle_dirs_covered;
+            if (t.fall[b] > 0)
+                ++s.toggle_dirs_covered;
+        }
+    }
+    for (const RuleCov& r : rules)
+        if (r.commits == 0)
+            s.uncovered_rules.push_back(r.name);
+    return s;
+}
+
+namespace {
+
+double
+pct(uint64_t covered, uint64_t total)
+{
+    return total == 0 ? 100.0 : 100.0 * (double)covered / (double)total;
+}
+
+Json
+pct_block(uint64_t covered, uint64_t total)
+{
+    Json j = Json::object();
+    j["covered"] = covered;
+    j["total"] = total;
+    j["pct"] = pct(covered, total);
+    return j;
+}
+
+} // namespace
+
+Json
+CoverageMap::summary_json() const
+{
+    Summary s = summary();
+    Json j = Json::object();
+    j["statements"] = pct_block(s.stmt_covered, s.stmt_points);
+    j["branches"] =
+        pct_block(s.branch_outcomes_covered, s.branch_outcomes);
+    j["toggles"] = pct_block(s.toggle_dirs_covered, s.toggle_dirs);
+    Json uncovered = Json::array();
+    for (const std::string& name : s.uncovered_rules)
+        uncovered.push_back(name);
+    j["uncovered_rules"] = std::move(uncovered);
+    return j;
+}
+
+Json
+CoverageMap::to_json() const
+{
+    Json j = Json::object();
+    j["schema"] = std::string(schema());
+    j["design"] = design;
+    j["nodes"] = nodes;
+    j["cycles"] = cycles;
+    Json eng = Json::array();
+    for (const std::string& e : engines)
+        eng.push_back(e);
+    j["engines"] = std::move(eng);
+    Json points = Json::object();
+    points["statements"] = stmt_points;
+    points["branches"] = branch_points;
+    points["toggle_bits"] = toggle_bits;
+    j["points"] = std::move(points);
+    // Sparse maps keyed by node id; ids ascend, so the insertion-ordered
+    // object dumps deterministically.
+    Json stmts = Json::object();
+    for (size_t i = 0; i < stmt_count.size(); ++i)
+        if (stmt_count[i] > 0)
+            stmts[std::to_string(i)] = stmt_count[i];
+    j["statements"] = std::move(stmts);
+    Json branches = Json::object();
+    for (size_t i = 0; i < branch_taken.size(); ++i) {
+        if (branch_taken[i] == 0 && branch_not_taken[i] == 0)
+            continue;
+        Json pair = Json::array();
+        pair.push_back(branch_taken[i]);
+        pair.push_back(branch_not_taken[i]);
+        branches[std::to_string(i)] = std::move(pair);
+    }
+    j["branches"] = std::move(branches);
+    Json jrules = Json::array();
+    for (const RuleCov& r : rules) {
+        Json jr = Json::object();
+        jr["name"] = r.name;
+        jr["commits"] = r.commits;
+        jr["aborts"] = r.aborts;
+        jrules.push_back(std::move(jr));
+    }
+    j["rules"] = std::move(jrules);
+    Json jregs = Json::array();
+    for (const RegToggles& t : regs) {
+        Json jt = Json::object();
+        jt["name"] = t.name;
+        jt["width"] = (uint64_t)t.width;
+        Json rise = Json::array(), fall = Json::array();
+        for (uint32_t b = 0; b < t.width; ++b) {
+            rise.push_back(t.rise[b]);
+            fall.push_back(t.fall[b]);
+        }
+        jt["rise"] = std::move(rise);
+        jt["fall"] = std::move(fall);
+        jregs.push_back(std::move(jt));
+    }
+    j["toggles"] = std::move(jregs);
+    return j;
+}
+
+namespace {
+
+const Json&
+require(const Json& j, const char* key)
+{
+    const Json* v = j.find(key);
+    if (v == nullptr)
+        fatal("coverage database: missing field '%s'", key);
+    return *v;
+}
+
+} // namespace
+
+CoverageMap
+CoverageMap::from_json(const Json& j)
+{
+    if (!j.is_object())
+        fatal("coverage database: root must be an object");
+    const Json* tag = j.find("schema");
+    if (tag == nullptr || tag->as_string() != schema())
+        fatal("coverage database: schema tag must be '%s'", schema());
+    CoverageMap m;
+    m.design = require(j, "design").as_string();
+    m.nodes = require(j, "nodes").as_u64();
+    m.cycles = require(j, "cycles").as_u64();
+    for (size_t i = 0; i < require(j, "engines").size(); ++i)
+        m.add_engine(require(j, "engines").at(i).as_string());
+    const Json& points = require(j, "points");
+    m.stmt_points = require(points, "statements").as_u64();
+    m.branch_points = require(points, "branches").as_u64();
+    m.toggle_bits = require(points, "toggle_bits").as_u64();
+    m.stmt_count.assign(m.nodes, 0);
+    m.branch_taken.assign(m.nodes, 0);
+    m.branch_not_taken.assign(m.nodes, 0);
+    for (const auto& [key, value] : require(j, "statements").items()) {
+        size_t id = (size_t)std::stoull(key);
+        if (id >= m.nodes)
+            fatal("coverage database: statement id %zu out of range", id);
+        m.stmt_count[id] = value.as_u64();
+    }
+    for (const auto& [key, value] : require(j, "branches").items()) {
+        size_t id = (size_t)std::stoull(key);
+        if (id >= m.nodes || value.size() != 2)
+            fatal("coverage database: bad branch entry '%s'", key.c_str());
+        m.branch_taken[id] = value.at(0).as_u64();
+        m.branch_not_taken[id] = value.at(1).as_u64();
+    }
+    const Json& jrules = require(j, "rules");
+    m.rules.resize(jrules.size());
+    for (size_t i = 0; i < jrules.size(); ++i) {
+        const Json& jr = jrules.at(i);
+        m.rules[i].name = require(jr, "name").as_string();
+        m.rules[i].commits = require(jr, "commits").as_u64();
+        m.rules[i].aborts = require(jr, "aborts").as_u64();
+    }
+    const Json& jregs = require(j, "toggles");
+    m.regs.resize(jregs.size());
+    for (size_t i = 0; i < jregs.size(); ++i) {
+        const Json& jt = jregs.at(i);
+        RegToggles& t = m.regs[i];
+        t.name = require(jt, "name").as_string();
+        t.width = (uint32_t)require(jt, "width").as_u64();
+        const Json& rise = require(jt, "rise");
+        const Json& fall = require(jt, "fall");
+        if (rise.size() != t.width || fall.size() != t.width)
+            fatal("coverage database: toggle arrays for '%s' do not "
+                  "match its width",
+                  t.name.c_str());
+        t.rise.resize(t.width);
+        t.fall.resize(t.width);
+        for (uint32_t b = 0; b < t.width; ++b) {
+            t.rise[b] = rise.at(b).as_u64();
+            t.fall[b] = fall.at(b).as_u64();
+        }
+    }
+    return m;
+}
+
+void
+CoverageMap::save(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write coverage database '%s'", path.c_str());
+    out << to_json().dump(2) << "\n";
+}
+
+CoverageMap
+CoverageMap::load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read coverage database '%s'", path.c_str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return from_json(Json::parse(buf.str()));
+}
+
+// ---------------------------------------------------------------------------
+// CoverageCollector.
+// ---------------------------------------------------------------------------
+
+CoverageCollector::CoverageCollector(const Design& design,
+                                     sim::Model& model)
+    : d_(design), m_(model), kinds_(analysis::coverage_points(design))
+{
+    cov_ = dynamic_cast<sim::CoverageModel*>(&model);
+    if (cov_ != nullptr)
+        cov_->enable_coverage();
+    prev_.reserve(design.num_registers());
+    rise_.resize(design.num_registers());
+    fall_.resize(design.num_registers());
+    for (size_t r = 0; r < design.num_registers(); ++r) {
+        prev_.push_back(model.get_reg((int)r));
+        uint32_t w = design.reg((int)r).type->width;
+        rise_[r].assign(w, 0);
+        fall_[r].assign(w, 0);
+    }
+}
+
+void
+CoverageCollector::sample()
+{
+    for (size_t r = 0; r < prev_.size(); ++r) {
+        Bits now = m_.get_reg((int)r);
+        const Bits& old = prev_[r];
+        uint32_t w = now.width();
+        for (uint32_t word = 0; word * 64 < w; ++word) {
+            uint64_t diff = now.word(word) ^ old.word(word);
+            while (diff != 0) {
+                uint32_t bit =
+                    word * 64 + (uint32_t)__builtin_ctzll(diff);
+                diff &= diff - 1;
+                if (bit >= w)
+                    break;
+                if (now.bit(bit))
+                    ++rise_[r][bit];
+                else
+                    ++fall_[r][bit];
+            }
+        }
+        prev_[r] = std::move(now);
+    }
+    ++cycles_;
+}
+
+CoverageMap
+CoverageCollector::take(const std::string& engine) const
+{
+    CoverageMap m = CoverageMap::for_design(d_);
+    m.cycles = cycles_;
+    m.add_engine(engine);
+    if (cov_ != nullptr && !cov_->stmt_counts().empty()) {
+        const std::vector<uint64_t>& stmt = cov_->stmt_counts();
+        const std::vector<uint64_t>& taken = cov_->branch_taken_counts();
+        const std::vector<uint64_t>& not_taken =
+            cov_->branch_not_taken_counts();
+        // Mask down to the classified points: engines are free to count
+        // every node they visit, but only the common vocabulary is kept,
+        // so all engines produce identical databases for the same run.
+        for (size_t i = 0; i < m.nodes && i < stmt.size(); ++i) {
+            if (kinds_[i] == analysis::CoverKind::kNone)
+                continue;
+            m.stmt_count[i] = stmt[i];
+            if (kinds_[i] == analysis::CoverKind::kBranch) {
+                m.branch_taken[i] = taken[i];
+                m.branch_not_taken[i] = not_taken[i];
+            }
+        }
+    }
+    if (const auto* rs = dynamic_cast<const sim::RuleStatsModel*>(&m_)) {
+        // Match rules by name, not index: generated models order their
+        // counters by schedule position, the map by design rule order.
+        const std::vector<uint64_t> commits = rs->rule_commit_counts();
+        const std::vector<uint64_t> aborts = rs->rule_abort_counts();
+        size_t n = std::min(commits.size(), aborts.size());
+        for (size_t r = 0; r < rs->num_rules() && r < n; ++r) {
+            std::string name = rs->rule_name((int)r);
+            for (CoverageMap::RuleCov& rc : m.rules) {
+                if (rc.name == name) {
+                    rc.commits += commits[r];
+                    rc.aborts += aborts[r];
+                    break;
+                }
+            }
+        }
+    }
+    for (size_t r = 0; r < m.regs.size(); ++r) {
+        m.regs[r].rise = rise_[r];
+        m.regs[r].fall = fall_[r];
+    }
+    return m;
+}
+
+// ---------------------------------------------------------------------------
+// LCOV export.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Builds the pseudo-source listing and the LCOV records in one walk.
+ * The layout mirrors analysis::coverage_points / the annotated listing
+ * in harness/coverage.cpp: one statement per line, `if` lines carry the
+ * two branch outcomes.
+ */
+class LcovBuilder
+{
+  public:
+    LcovBuilder(const Design& d, const CoverageMap& m) : d_(d), m_(m) {}
+
+    LcovReport
+    build(const std::string& source_path)
+    {
+        for (size_t r = 0; r < d_.num_rules(); ++r) {
+            emit_line("rule " + d_.rule((int)r).name + " {");
+            fn_.push_back({line_, d_.rule((int)r).name,
+                           m_.rules.size() > r ? m_.rules[r].commits : 0});
+            indent_ = 1;
+            block(d_.rule((int)r).body);
+            indent_ = 0;
+            emit_line("}");
+            emit_line("");
+        }
+
+        std::string info;
+        info += "TN:\n";
+        info += "SF:" + source_path + "\n";
+        uint64_t fnh = 0;
+        for (const Fn& f : fn_)
+            info += "FN:" + std::to_string(f.line) + "," + f.name + "\n";
+        for (const Fn& f : fn_) {
+            info += "FNDA:" + std::to_string(f.hits) + "," + f.name + "\n";
+            if (f.hits > 0)
+                ++fnh;
+        }
+        info += "FNF:" + std::to_string(fn_.size()) + "\n";
+        info += "FNH:" + std::to_string(fnh) + "\n";
+        uint64_t brh = 0;
+        for (const Branch& b : branches_) {
+            info += "BRDA:" + std::to_string(b.line) + ",0,0," +
+                    (b.executed ? std::to_string(b.taken) : "-") + "\n";
+            info += "BRDA:" + std::to_string(b.line) + ",0,1," +
+                    (b.executed ? std::to_string(b.not_taken) : "-") + "\n";
+            brh += (b.taken > 0) + (b.not_taken > 0);
+        }
+        info += "BRF:" + std::to_string(2 * branches_.size()) + "\n";
+        info += "BRH:" + std::to_string(brh) + "\n";
+        uint64_t lh = 0;
+        for (const Da& da : da_) {
+            info += "DA:" + std::to_string(da.line) + "," +
+                    std::to_string(da.count) + "\n";
+            if (da.count > 0)
+                ++lh;
+        }
+        info += "LF:" + std::to_string(da_.size()) + "\n";
+        info += "LH:" + std::to_string(lh) + "\n";
+        info += "end_of_record\n";
+        return LcovReport{std::move(listing_), std::move(info)};
+    }
+
+  private:
+    struct Fn
+    {
+        uint64_t line;
+        std::string name;
+        uint64_t hits;
+    };
+    struct Da
+    {
+        uint64_t line;
+        uint64_t count;
+    };
+    struct Branch
+    {
+        uint64_t line;
+        bool executed;
+        uint64_t taken, not_taken;
+    };
+
+    uint64_t count(const Action* a) const
+    {
+        size_t id = (size_t)a->id;
+        return id < m_.stmt_count.size() ? m_.stmt_count[id] : 0;
+    }
+
+    void
+    emit_line(const std::string& text)
+    {
+        ++line_;
+        for (int i = 0; i < indent_; ++i)
+            listing_ += "    ";
+        listing_ += text;
+        listing_ += "\n";
+    }
+
+    void
+    stmt_line(const Action* a, const std::string& text)
+    {
+        emit_line(text);
+        da_.push_back({line_, count(a)});
+    }
+
+    void
+    branch_line(const Action* a, const std::string& text)
+    {
+        stmt_line(a, text);
+        size_t id = (size_t)a->id;
+        branches_.push_back({line_, count(a) > 0,
+                             id < m_.branch_taken.size()
+                                 ? m_.branch_taken[id]
+                                 : 0,
+                             id < m_.branch_not_taken.size()
+                                 ? m_.branch_not_taken[id]
+                                 : 0});
+    }
+
+    void
+    block(const Action* a)
+    {
+        switch (a->kind) {
+          case ActionKind::kSeq:
+            block(a->a0);
+            block(a->a1);
+            return;
+          case ActionKind::kLet:
+            stmt_line(a, "let " + a->var +
+                             " := " + print_action(a->a0, &d_) + " in");
+            block(a->a1);
+            return;
+          case ActionKind::kIf: {
+            branch_line(a, "if (" + print_action(a->a0, &d_) + ") {");
+            ++indent_;
+            block(a->a1);
+            --indent_;
+            bool trivial_else = a->a2->kind == ActionKind::kConst &&
+                                a->a2->type->width == 0;
+            if (trivial_else) {
+                emit_line("}");
+            } else {
+                emit_line("} else {");
+                ++indent_;
+                block(a->a2);
+                --indent_;
+                emit_line("}");
+            }
+            return;
+          }
+          case ActionKind::kGuard:
+            branch_line(a,
+                        "guard(" + print_action(a->a0, &d_) + ")");
+            return;
+          default:
+            stmt_line(a, print_action(a, &d_));
+            return;
+        }
+    }
+
+    const Design& d_;
+    const CoverageMap& m_;
+    std::string listing_;
+    uint64_t line_ = 0;
+    int indent_ = 0;
+    std::vector<Fn> fn_;
+    std::vector<Da> da_;
+    std::vector<Branch> branches_;
+};
+
+} // namespace
+
+LcovReport
+lcov_export(const Design& design, const CoverageMap& map,
+            const std::string& source_path)
+{
+    return LcovBuilder(design, map).build(source_path);
+}
+
+} // namespace koika::obs

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Design coverage as a first-class, engine-agnostic observability
+ * artifact (case study 4, promoted to a subsystem).
+ *
+ * The paper's observation is that a Cuttlesim model matches the source
+ * design nearly line by line, so plain code coverage *is* detailed
+ * architectural statistics at zero hardware cost. This module makes
+ * that uniform across every engine:
+ *
+ *   - CoverageMap: statement counts (per classified AST node), branch
+ *     outcome counts (taken/not-taken per `if`/`guard`), per-rule
+ *     commit/abort counts, and per-bit register toggle counts
+ *     (0→1 rises and 1→0 falls). Persisted as a versioned
+ *     "cuttlesim-cov-v1" JSON database; `merge()` is commutative
+ *     element-wise addition, so sharded producers (fault campaigns,
+ *     fuzz trials, bench reps under --jobs=N) accumulate coverage
+ *     byte-identically to a serial run.
+ *   - CoverageCollector: harvests a CoverageMap from any sim::Model.
+ *     Statement/branch counts come from the CoverageModel mixin
+ *     (tier engines, the reference interpreter, instrumented generated
+ *     models), masked through analysis::coverage_points so engines
+ *     that count every visited node and engines that only instrument
+ *     statement points report identical databases. Rule activity comes
+ *     from RuleStatsModel; toggles are computed here by diffing
+ *     committed state across cycles, which works on every engine.
+ *   - lcov_export: renders the map as an LCOV .info file over a
+ *     generated pseudo-source listing, so standard tooling (genhtml)
+ *     produces browsable reports.
+ *
+ * The database deliberately contains only exact integers (no wall-clock
+ * and no floats), which is what makes `--jobs=1` vs `--jobs=8` and
+ * repeated runs byte-comparable. Percentages live in summaries
+ * (`summary_json`), which feed `--stats=` and BENCH_*.json.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage_points.hpp"
+#include "koika/design.hpp"
+#include "obs/json.hpp"
+#include "sim/model.hpp"
+
+namespace koika::obs {
+
+class CoverageMap
+{
+  public:
+    /** The database schema tag ("cuttlesim-cov-v1"). */
+    static const char* schema();
+
+    CoverageMap() = default;
+
+    /**
+     * An all-zero map shaped for `design`: dense per-node count
+     * vectors, one rule entry per rule, one toggle entry per register.
+     */
+    static CoverageMap for_design(const Design& design);
+
+    // -- Identity and shape (merge() requires these to agree). --------
+    std::string design;
+    uint64_t nodes = 0;        ///< AST node count (vector lengths).
+    uint64_t stmt_points = 0;  ///< Classified statement points.
+    uint64_t branch_points = 0; ///< Classified branch points.
+    uint64_t toggle_bits = 0;  ///< Total register bits.
+
+    // -- Accumulated counts. -------------------------------------------
+    uint64_t cycles = 0;
+    /** Engines that contributed (sorted, unique). */
+    std::vector<std::string> engines;
+    std::vector<uint64_t> stmt_count;       ///< [node id]
+    std::vector<uint64_t> branch_taken;     ///< [node id]
+    std::vector<uint64_t> branch_not_taken; ///< [node id]
+
+    struct RuleCov
+    {
+        std::string name;
+        uint64_t commits = 0;
+        uint64_t aborts = 0;
+    };
+    std::vector<RuleCov> rules;
+
+    struct RegToggles
+    {
+        std::string name;
+        uint32_t width = 0;
+        std::vector<uint64_t> rise; ///< [bit] 0→1 transitions.
+        std::vector<uint64_t> fall; ///< [bit] 1→0 transitions.
+    };
+    std::vector<RegToggles> regs;
+
+    /** Record a contributing engine (kept sorted and unique). */
+    void add_engine(const std::string& engine);
+
+    /**
+     * Fold `other` into this map: counts add element-wise, cycles add,
+     * engine sets union. Addition is commutative and associative, so
+     * any merge order over the same shards produces the same database.
+     * Raises FatalError when the maps describe different designs or
+     * shapes (the guard against merging unrelated databases).
+     */
+    void merge(const CoverageMap& other);
+
+    // -- Summary (percentages; for --stats= and bench reports). --------
+    struct Summary
+    {
+        uint64_t stmt_points = 0, stmt_covered = 0;
+        uint64_t branch_outcomes = 0, branch_outcomes_covered = 0;
+        uint64_t toggle_dirs = 0, toggle_dirs_covered = 0;
+        std::vector<std::string> uncovered_rules; ///< Never committed.
+    };
+    Summary summary() const;
+    /** The summary block embedded in SimStats ("coverage": {...}). */
+    Json summary_json() const;
+
+    // -- Persistence. --------------------------------------------------
+    Json to_json() const;
+    static CoverageMap from_json(const Json& j);
+    /** Write the database (pretty-printed, trailing newline). */
+    void save(const std::string& path) const;
+    /** Read and validate a database; FatalError on any problem. */
+    static CoverageMap load(const std::string& path);
+};
+
+/**
+ * Harvest coverage from a live model. Construct before running (the
+ * constructor snapshots initial state and enables CoverageModel
+ * collection when the engine supports it), call sample() after every
+ * cycle() (toggle accounting), then take() once at the end.
+ */
+class CoverageCollector
+{
+  public:
+    CoverageCollector(const Design& design, sim::Model& model);
+
+    /** Account register toggles for the cycle that just ran. */
+    void sample();
+
+    /** Build the final map; `engine` names the contributing engine. */
+    CoverageMap take(const std::string& engine) const;
+
+  private:
+    const Design& d_;
+    sim::Model& m_;
+    sim::CoverageModel* cov_ = nullptr;
+    std::vector<analysis::CoverKind> kinds_;
+    std::vector<Bits> prev_;
+    std::vector<std::vector<uint64_t>> rise_, fall_;
+    uint64_t cycles_ = 0;
+};
+
+/** LCOV rendering of a CoverageMap (see lcov_export). */
+struct LcovReport
+{
+    /** Pseudo-source listing the .info refers to (one statement per
+     *  line, laid out exactly like the classifier walks rule bodies). */
+    std::string listing;
+    /** LCOV tracefile contents (genhtml-compatible). */
+    std::string info;
+};
+
+/**
+ * Render `map` as LCOV over a generated listing of `design`;
+ * `source_path` is the path recorded on the SF: line (where the caller
+ * will write `listing`).
+ */
+LcovReport lcov_export(const Design& design, const CoverageMap& map,
+                       const std::string& source_path);
+
+} // namespace koika::obs

@@ -55,6 +55,8 @@ SimStats::to_json() const
             ej[k] = v;
         j["extra"] = std::move(ej);
     }
+    if (coverage.kind() != Json::Kind::kNull)
+        j["coverage"] = coverage;
     return j;
 }
 
@@ -97,6 +99,8 @@ SimStats::from_json(const Json& j)
     if (const Json* extra = j.find("extra"))
         for (const auto& [k, v] : extra->items())
             s.extra[k] = v.as_double();
+    if (const Json* cov = j.find("coverage"))
+        s.coverage = *cov;
     return s;
 }
 
@@ -126,6 +130,36 @@ SimStats::to_text() const
     for (const auto& [k, v] : extra) {
         std::snprintf(buf, sizeof buf, "  %-12s %.6g\n", k.c_str(), v);
         out += buf;
+    }
+
+    if (coverage.is_object()) {
+        auto cov_line = [&](const char* key, const char* label) {
+            const Json* b = coverage.find(key);
+            if (b == nullptr || !b->is_object())
+                return;
+            const Json* p = b->find("pct");
+            const Json* c = b->find("covered");
+            const Json* t = b->find("total");
+            if (p == nullptr || c == nullptr || t == nullptr)
+                return;
+            std::snprintf(buf, sizeof buf,
+                          "  %-12s %6.2f%% (%llu/%llu)\n", label,
+                          p->as_double(),
+                          (unsigned long long)c->as_u64(),
+                          (unsigned long long)t->as_u64());
+            out += buf;
+        };
+        cov_line("statements", "% stmts");
+        cov_line("branches", "% branches");
+        cov_line("toggles", "% toggles");
+        if (const Json* u = coverage.find("uncovered_rules")) {
+            if (u->is_array() && u->size() > 0) {
+                out += "  uncovered rules:";
+                for (size_t i = 0; i < u->size(); ++i)
+                    out += " " + u->at(i).as_string();
+                out += '\n';
+            }
+        }
     }
 
     if (!rules.empty()) {

@@ -57,6 +57,14 @@ struct SimStats
     /** Additional engine-specific gauges (events/cycle, ...). */
     std::map<std::string, double> extra;
 
+    /**
+     * Coverage summary block (CoverageMap::summary_json: % statements,
+     * % branches, % toggles, uncovered rules). kNull when the run did
+     * not collect coverage; emitted as "coverage" in to_json, so it
+     * flows into --stats= files and BENCH_*.json unchanged.
+     */
+    Json coverage;
+
     double
     cycles_per_sec() const
     {

@@ -121,4 +121,49 @@ class RuleStatsModel : public Model
     virtual const std::vector<uint64_t>& rule_abort_reason_counts() const = 0;
 };
 
+/**
+ * An engine that can report per-node execution coverage. This is a
+ * standalone mixin rather than a Model subclass so engines can combine
+ * it freely with RuleStatsModel without a diamond; the coverage layer
+ * (src/obs/coverage.hpp) discovers it with
+ * `dynamic_cast<CoverageModel*>(&model)` — the same pattern the stats
+ * collector uses for RuleStatsModel.
+ *
+ * Counts are per AST node id of the source design. Engines may count
+ * every node they visit (the interpreters do) or only the classified
+ * statement/branch points (generated models do); consumers mask counts
+ * through analysis::coverage_points before comparing engines, so both
+ * shapes yield identical coverage.
+ */
+class CoverageModel
+{
+  public:
+    virtual ~CoverageModel() = default;
+
+    /**
+     * Start collecting (idempotent). Engines that always collect — e.g.
+     * generated models compiled with coverage arrays — may make this a
+     * no-op. Counts only cover cycles run after the first call.
+     */
+    virtual void enable_coverage() = 0;
+
+    /** Number of AST nodes (the length of the count vectors). */
+    virtual size_t num_nodes() const = 0;
+
+    /**
+     * Per-node execution counts. Empty when coverage was never enabled
+     * (mirrors the rule_abort_reason_counts contract: callers must
+     * handle both shapes).
+     */
+    virtual const std::vector<uint64_t>& stmt_counts() const = 0;
+
+    /** Per-node taken counts (meaningful at `if`/`guard` nodes: the
+     *  condition evaluated truthy / the guard passed). */
+    virtual const std::vector<uint64_t>& branch_taken_counts() const = 0;
+
+    /** Per-node not-taken counts (else arm / guard failed). */
+    virtual const std::vector<uint64_t>&
+    branch_not_taken_counts() const = 0;
+};
+
 } // namespace koika::sim

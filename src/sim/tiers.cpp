@@ -733,6 +733,38 @@ class TierEngine final : public TierModel
         return p_.get_intermediate(reg);
     }
 
+    // -- CoverageModel. The evaluator counts every node it visits (the
+    // cheapest uniform rule); consumers mask the counts down to the
+    // classified statement/branch points (analysis::coverage_points),
+    // where all engines agree.
+    void
+    enable_coverage() override
+    {
+        if (cov_on_)
+            return;
+        cov_on_ = true;
+        cov_stmt_.assign(d_.num_nodes(), 0);
+        cov_taken_.assign(d_.num_nodes(), 0);
+        cov_not_taken_.assign(d_.num_nodes(), 0);
+    }
+
+    size_t num_nodes() const override { return d_.num_nodes(); }
+
+    const std::vector<uint64_t>& stmt_counts() const override
+    {
+        return cov_stmt_;
+    }
+
+    const std::vector<uint64_t>& branch_taken_counts() const override
+    {
+        return cov_taken_;
+    }
+
+    const std::vector<uint64_t>& branch_not_taken_counts() const override
+    {
+        return cov_not_taken_;
+    }
+
   private:
     void
     run(const std::vector<int>& order)
@@ -791,6 +823,8 @@ class TierEngine final : public TierModel
     bool
     eval(const Action* a, Bits& out)
     {
+        if (cov_on_)
+            ++cov_stmt_[(size_t)a->id];
         switch (a->kind) {
           case ActionKind::kConst:
             out = a->value;
@@ -828,7 +862,10 @@ class TierEngine final : public TierModel
             Bits c;
             if (!eval(a->a0, c))
                 return false;
-            return eval(c.truthy() ? a->a1 : a->a2, out);
+            bool taken = c.truthy();
+            if (cov_on_)
+                ++(taken ? cov_taken_ : cov_not_taken_)[(size_t)a->id];
+            return eval(taken ? a->a1 : a->a2, out);
           }
 
           case ActionKind::kRead:
@@ -854,7 +891,10 @@ class TierEngine final : public TierModel
             Bits c;
             if (!eval(a->a0, c))
                 return false;
-            if (!c.truthy()) {
+            bool pass = c.truthy();
+            if (cov_on_)
+                ++(pass ? cov_taken_ : cov_not_taken_)[(size_t)a->id];
+            if (!pass) {
                 fail_point_ = a;
                 return false;
             }
@@ -961,6 +1001,8 @@ class TierEngine final : public TierModel
     std::vector<uint64_t> commits_, aborts_;
     std::vector<uint64_t> reasons_; // [rule * kNumAbortReasons + reason]
     uint64_t cycles_ = 0;
+    bool cov_on_ = false;
+    std::vector<uint64_t> cov_stmt_, cov_taken_, cov_not_taken_;
 };
 
 } // namespace

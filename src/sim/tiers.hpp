@@ -53,7 +53,7 @@ const char* tier_name(Tier tier);
  * reasons) come from RuleStatsModel, which tier engines always
  * implement — the interpreter pays nothing measurable for them.
  */
-class TierModel : public RuleStatsModel
+class TierModel : public RuleStatsModel, public CoverageModel
 {
   public:
     /**

@@ -1,0 +1,341 @@
+// The unified design-coverage subsystem: the statement/branch-point
+// classifier, CoverageMap shape/merge/persistence, CoverageCollector on
+// every interpreter engine (reference + T0..T5), the LCOV exporter, and
+// the summary block — plus the cross-engine agreement property the
+// whole design rests on: any two engines produce the same database for
+// the same run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage_points.hpp"
+#include "designs/designs.hpp"
+#include "interp/reference_model.hpp"
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+#include "obs/coverage.hpp"
+#include "sim/tiers.hpp"
+
+using namespace koika;
+using namespace koika::obs;
+using analysis::CoverKind;
+using sim::Tier;
+
+namespace {
+
+/**
+ * A design with one of each statement shape in one rule body:
+ *   seq [ let t = x + 1 in write0(x, t);
+ *         if (c) { write0(y, 1) } else { write0(y, 2) };
+ *         guard(c);
+ *         write0(z, 3) ]
+ */
+struct Shapes
+{
+    std::unique_ptr<Design> d;
+    Action* seq_node;
+    Action* let_node;
+    Action* if_node;
+    Action* guard_node;
+    Action* then_node;
+    Action* else_node;
+    Action* tail_node;
+
+    Shapes()
+    {
+        d = std::make_unique<Design>("shapes");
+        Builder b(*d);
+        int c = b.reg("c", 1, 1);
+        int x = b.reg("x", 8, 0);
+        int y = b.reg("y", 8, 0);
+        int z = b.reg("z", 8, 0);
+        let_node = b.let("t", b.add(b.read0(x), b.k(8, 1)),
+                         b.write0(x, b.var("t")));
+        then_node = b.write0(y, b.k(8, 1));
+        else_node = b.write0(y, b.k(8, 2));
+        if_node = b.if_(b.read0(c), then_node, else_node);
+        guard_node = b.guard(b.read0(c));
+        tail_node = b.write0(z, b.k(8, 3));
+        seq_node = b.seq({let_node, if_node, guard_node, tail_node});
+        d->add_rule("r", seq_node);
+        d->schedule("r");
+        typecheck(*d);
+    }
+};
+
+CoverageMap
+collect(const Design& d, sim::Model& m, int cycles,
+        const std::string& engine)
+{
+    CoverageCollector collector(d, m);
+    for (int c = 0; c < cycles; ++c) {
+        m.cycle();
+        collector.sample();
+    }
+    return collector.take(engine);
+}
+
+} // namespace
+
+TEST(Classifier, MarksStatementShapes)
+{
+    Shapes s;
+    std::vector<CoverKind> kinds = analysis::coverage_points(*s.d);
+    ASSERT_EQ(kinds.size(), s.d->num_nodes());
+    // seq is glue, never a point; both its statement children are.
+    EXPECT_EQ(kinds[(size_t)s.seq_node->id], CoverKind::kNone);
+    EXPECT_EQ(kinds[(size_t)s.let_node->id], CoverKind::kStmt);
+    EXPECT_EQ(kinds[(size_t)s.tail_node->id], CoverKind::kStmt);
+    // if and guard each have two runtime outcomes.
+    EXPECT_EQ(kinds[(size_t)s.if_node->id], CoverKind::kBranch);
+    EXPECT_EQ(kinds[(size_t)s.guard_node->id], CoverKind::kBranch);
+    // Both if arms are statement positions of their own.
+    EXPECT_EQ(kinds[(size_t)s.then_node->id], CoverKind::kStmt);
+    EXPECT_EQ(kinds[(size_t)s.else_node->id], CoverKind::kStmt);
+
+    // 7 statements: let + its body write, if + both arms, guard, tail.
+    analysis::CoverageShape shape = analysis::count_points(kinds);
+    EXPECT_EQ(shape.statements, 7u);
+    EXPECT_EQ(shape.branches, 2u); // if, guard
+}
+
+TEST(Classifier, FunctionBodiesAreNotPoints)
+{
+    // Every classified point must sit inside a rule body: functions are
+    // combinational helpers, so nothing outside the rules is marked.
+    auto d = designs::build_design("rv32i");
+    std::vector<CoverKind> kinds = analysis::coverage_points(*d);
+    analysis::CoverageShape shape = analysis::count_points(kinds);
+    EXPECT_GT(shape.statements, 0u);
+    uint64_t marked = 0;
+    for (CoverKind k : kinds)
+        marked += k != CoverKind::kNone;
+    EXPECT_EQ(marked, shape.statements);
+    // The rv32 design leans heavily on functions: far fewer statement
+    // points than AST nodes.
+    EXPECT_LT(shape.statements, kinds.size() / 4);
+}
+
+TEST(CoverageMap, ForDesignShape)
+{
+    auto d = designs::build_collatz();
+    CoverageMap m = CoverageMap::for_design(*d);
+    EXPECT_EQ(m.design, "collatz");
+    EXPECT_EQ(m.nodes, d->num_nodes());
+    EXPECT_EQ(m.stmt_count.size(), d->num_nodes());
+    EXPECT_EQ(m.branch_taken.size(), d->num_nodes());
+    EXPECT_EQ(m.branch_not_taken.size(), d->num_nodes());
+    ASSERT_EQ(m.rules.size(), d->num_rules());
+    ASSERT_EQ(m.regs.size(), d->num_registers());
+    uint64_t bits = 0;
+    for (const CoverageMap::RegToggles& r : m.regs) {
+        EXPECT_EQ(r.rise.size(), r.width);
+        EXPECT_EQ(r.fall.size(), r.width);
+        bits += r.width;
+    }
+    EXPECT_EQ(m.toggle_bits, bits);
+    EXPECT_EQ(m.cycles, 0u);
+    EXPECT_TRUE(m.engines.empty());
+}
+
+TEST(CoverageMap, AddEngineSortedUniqueSkipsEmpty)
+{
+    auto d = designs::build_collatz();
+    CoverageMap m = CoverageMap::for_design(*d);
+    m.add_engine("zeta");
+    m.add_engine("alpha");
+    m.add_engine("zeta");
+    m.add_engine(""); // unlabeled shard: no entry
+    EXPECT_EQ(m.engines, (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(Collector, AllInterpreterEnginesAgree)
+{
+    // The tentpole property: reference semantics and every tier produce
+    // the same database for the same run. take("") keeps the engine set
+    // empty so the JSON dumps are directly comparable.
+    auto d = designs::build_collatz();
+    ReferenceModel ref(*d);
+    std::string expected = collect(*d, ref, 200, "").to_json().dump(2);
+    for (int t = 0; t < sim::kNumTiers; ++t) {
+        auto e = sim::make_engine(*d, (Tier)t);
+        CoverageMap m = collect(*d, *e, 200, "");
+        EXPECT_EQ(m.to_json().dump(2), expected)
+            << "tier " << sim::tier_name((Tier)t)
+            << " disagrees with the reference interpreter";
+    }
+}
+
+TEST(Collector, CountsMatchKnownTrajectory)
+{
+    // collatz(27): one rule body per cycle; branch outcomes follow the
+    // parity of the trajectory, toggles follow the register diffs.
+    Shapes s;
+    auto e = sim::make_engine(*s.d, Tier::kT5StaticAnalysis);
+    CoverageMap m = collect(*s.d, *e, 10, "T5");
+    EXPECT_EQ(m.cycles, 10u);
+    EXPECT_EQ(m.engines, (std::vector<std::string>{"T5"}));
+    // c is constant 1: every cycle takes the if and passes the guard.
+    EXPECT_EQ(m.stmt_count[(size_t)s.let_node->id], 10u);
+    EXPECT_EQ(m.branch_taken[(size_t)s.if_node->id], 10u);
+    EXPECT_EQ(m.branch_not_taken[(size_t)s.if_node->id], 0u);
+    EXPECT_EQ(m.stmt_count[(size_t)s.then_node->id], 10u);
+    EXPECT_EQ(m.stmt_count[(size_t)s.else_node->id], 0u);
+    EXPECT_EQ(m.branch_taken[(size_t)s.guard_node->id], 10u);
+    ASSERT_EQ(m.rules.size(), 1u);
+    EXPECT_EQ(m.rules[0].commits, 10u);
+    EXPECT_EQ(m.rules[0].aborts, 0u);
+    // x counts 0,1,2,...,10: bit 0 rises on every even->odd step.
+    const CoverageMap::RegToggles* x = nullptr;
+    for (const CoverageMap::RegToggles& r : m.regs)
+        if (r.name == "x")
+            x = &r;
+    ASSERT_NE(x, nullptr);
+    EXPECT_EQ(x->rise[0], 5u);
+    EXPECT_EQ(x->fall[0], 5u);
+    EXPECT_EQ(x->rise[7], 0u); // never reaches 128
+}
+
+TEST(CoverageMap, MergeIsCommutative)
+{
+    auto d = designs::build_collatz();
+    auto e1 = sim::make_engine(*d, Tier::kT4MergedData);
+    auto e2 = sim::make_engine(*d, Tier::kT5StaticAnalysis);
+    CoverageMap a = collect(*d, *e1, 137, "T4");
+    CoverageMap b = collect(*d, *e2, 263, "T5");
+
+    CoverageMap ab = CoverageMap::for_design(*d);
+    ab.merge(a);
+    ab.merge(b);
+    CoverageMap ba = CoverageMap::for_design(*d);
+    ba.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.to_json().dump(2), ba.to_json().dump(2));
+    EXPECT_EQ(ab.cycles, 400u);
+    EXPECT_EQ(ab.engines, (std::vector<std::string>{"T4", "T5"}));
+    // Element-wise addition, spot-checked on one vector.
+    for (size_t i = 0; i < ab.stmt_count.size(); ++i)
+        EXPECT_EQ(ab.stmt_count[i], a.stmt_count[i] + b.stmt_count[i]);
+}
+
+TEST(CoverageMap, MergeRejectsForeignDatabases)
+{
+    auto collatz = designs::build_collatz();
+    auto fir = designs::build_design("fir");
+    CoverageMap a = CoverageMap::for_design(*collatz);
+    CoverageMap b = CoverageMap::for_design(*fir);
+    EXPECT_THROW(a.merge(b), FatalError);
+}
+
+TEST(CoverageMap, JsonRoundTripIsByteIdentical)
+{
+    auto d = designs::build_design("fir");
+    auto e = sim::make_engine(*d, Tier::kT5StaticAnalysis);
+    CoverageMap m = collect(*d, *e, 300, "T5-static-analysis");
+    std::string once = m.to_json().dump(2);
+    CoverageMap back = CoverageMap::from_json(m.to_json());
+    EXPECT_EQ(back.to_json().dump(2), once);
+
+    // save/load goes through the same JSON, plus validation.
+    std::string path = testing::TempDir() + "cov_roundtrip.json";
+    m.save(path);
+    CoverageMap loaded = CoverageMap::load(path);
+    EXPECT_EQ(loaded.to_json().dump(2), once);
+    std::remove(path.c_str());
+}
+
+TEST(CoverageMap, LoadRejectsGarbage)
+{
+    std::string path = testing::TempDir() + "cov_garbage.json";
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("{\"schema\": \"not-a-coverage-db\"}\n", f);
+    fclose(f);
+    EXPECT_THROW(CoverageMap::load(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(CoverageMap, SummaryCountsCoveredPoints)
+{
+    Shapes s;
+    auto e = sim::make_engine(*s.d, Tier::kT5StaticAnalysis);
+    CoverageMap m = collect(*s.d, *e, 10, "T5");
+    CoverageMap::Summary sum = m.summary();
+    EXPECT_EQ(sum.stmt_points, 7u);
+    // The else arm never executes: 6 of 7 statements covered.
+    EXPECT_EQ(sum.stmt_covered, 6u);
+    // 2 branches = 4 outcomes; if-not-taken and guard-fail never occur.
+    EXPECT_EQ(sum.branch_outcomes, 4u);
+    EXPECT_EQ(sum.branch_outcomes_covered, 2u);
+    // c never toggles; y rises once (0->1) and never falls; z likewise.
+    EXPECT_EQ(sum.toggle_dirs, 2u * (1 + 8 + 8 + 8));
+    EXPECT_GT(sum.toggle_dirs_covered, 0u);
+    EXPECT_LT(sum.toggle_dirs_covered, sum.toggle_dirs);
+    EXPECT_TRUE(sum.uncovered_rules.empty());
+
+    Json j = m.summary_json();
+    EXPECT_EQ(j["statements"]["covered"].as_u64(), 6u);
+    EXPECT_EQ(j["statements"]["total"].as_u64(), 7u);
+}
+
+TEST(CoverageMap, SummaryNamesRulesThatNeverCommit)
+{
+    // collatz(27) in 5 cycles: reload never fires.
+    auto d = designs::build_collatz();
+    auto e = sim::make_engine(*d, Tier::kT5StaticAnalysis);
+    CoverageMap m = collect(*d, *e, 5, "T5");
+    CoverageMap::Summary sum = m.summary();
+    ASSERT_EQ(sum.uncovered_rules.size(), 1u);
+    EXPECT_EQ(sum.uncovered_rules[0], "reload");
+}
+
+TEST(Lcov, ExportsGenhtmlCompatibleRecords)
+{
+    auto d = designs::build_collatz();
+    auto e = sim::make_engine(*d, Tier::kT5StaticAnalysis);
+    CoverageMap m = collect(*d, *e, 500, "T5");
+    LcovReport lcov = lcov_export(*d, m, "collatz.cov.src");
+    EXPECT_NE(lcov.info.find("TN:"), std::string::npos);
+    EXPECT_NE(lcov.info.find("SF:collatz.cov.src"), std::string::npos);
+    // One FN/FNDA pair per rule, with real commit counts.
+    EXPECT_NE(lcov.info.find("FN:"), std::string::npos);
+    EXPECT_NE(lcov.info.find("FNDA:"), std::string::npos);
+    EXPECT_NE(lcov.info.find("DA:"), std::string::npos);
+    EXPECT_NE(lcov.info.find("BRDA:"), std::string::npos);
+    EXPECT_NE(lcov.info.find("end_of_record"), std::string::npos);
+    // The listing is the pseudo-source the SF: line points at; every DA:
+    // line number must exist in it.
+    EXPECT_FALSE(lcov.listing.empty());
+    size_t lines = 0;
+    for (char c : lcov.listing)
+        lines += c == '\n';
+    size_t pos = 0;
+    while ((pos = lcov.info.find("\nDA:", pos)) != std::string::npos) {
+        size_t line = std::stoul(lcov.info.substr(pos + 4));
+        EXPECT_GE(line, 1u);
+        EXPECT_LE(line, lines);
+        ++pos;
+    }
+}
+
+TEST(Collector, FirAndMsiTiersAgreeToo)
+{
+    // Same agreement property on designs with functions (fir) and heavy
+    // inter-rule conflicts (msi) — the masking must hold everywhere.
+    for (const char* name : {"fir", "msi"}) {
+        auto d = designs::build_design(name);
+        auto t0 = sim::make_engine(*d, Tier::kT0Naive);
+        std::string expected =
+            collect(*d, *t0, 150, "").to_json().dump(2);
+        for (int t = 1; t < sim::kNumTiers; ++t) {
+            auto e = sim::make_engine(*d, (Tier)t);
+            EXPECT_EQ(collect(*d, *e, 150, "").to_json().dump(2),
+                      expected)
+                << name << " tier " << sim::tier_name((Tier)t);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 #include "codegen/generated_model.hpp"
 #include "designs/designs.hpp"
 #include "designs/rv32.hpp"
+#include "obs/coverage.hpp"
 #include "obs/stats.hpp"
 #include "riscv/goldensim.hpp"
 #include "riscv/programs.hpp"
@@ -293,6 +294,60 @@ TEST(Generated, InstrumentedRv32iMatchesT5AbortReasons)
     auto ma = activity_by_name(m);
     ASSERT_FALSE(ea.empty());
     expect_same_activity(ea, ma);
+}
+
+TEST(Generated, InstrumentedMsiCoverageMatchesT5)
+{
+    // The unified coverage contract across the engine spectrum: the
+    // --instrument compiled model and the T5 interpreter must produce
+    // the exact same coverage database (statements, branch outcomes,
+    // rules, toggles) for the same run. take("") leaves the engine set
+    // empty so the JSON dumps compare directly.
+    auto d = build_design("msi");
+    auto engine = make_engine(*d, Tier::kT5StaticAnalysis);
+    GeneratedModel<cuttlesim::models::msi_instr> m;
+    obs::CoverageCollector ce(*d, *engine);
+    obs::CoverageCollector cm(*d, m);
+    for (int c = 0; c < 2000; ++c) {
+        engine->cycle();
+        m.cycle();
+        ce.sample();
+        cm.sample();
+    }
+    obs::CoverageMap from_engine = ce.take("");
+    obs::CoverageMap from_model = cm.take("");
+    // Both actually collected statement data (the instrumented model
+    // compiles its count arrays in).
+    obs::CoverageMap::Summary s = from_model.summary();
+    ASSERT_GT(s.stmt_covered, 0u);
+    ASSERT_GT(s.branch_outcomes_covered, 0u);
+    EXPECT_EQ(from_model.to_json().dump(2),
+              from_engine.to_json().dump(2));
+}
+
+TEST(Generated, InstrumentedRv32iCoverageMatchesT5)
+{
+    // Same property on the pipelined core running a real program.
+    Program prog = build_program(primes_source(30));
+    auto d = build_design("rv32i");
+
+    auto engine = make_engine(*d, Tier::kT5StaticAnalysis);
+    Rv32System sys_e(*d, *engine, prog, 1);
+    GeneratedModel<cuttlesim::models::rv32i_instr> m;
+    Rv32System sys_m(*d, m, prog, 1);
+
+    obs::CoverageCollector ce(*d, *engine);
+    obs::CoverageCollector cm(*d, m);
+    for (int c = 0; c < 5000 && !sys_e.halted(); ++c) {
+        sys_e.run(1);
+        sys_m.run(1);
+        ce.sample();
+        cm.sample();
+    }
+    ASSERT_TRUE(sys_e.halted());
+    ASSERT_TRUE(sys_m.halted());
+    EXPECT_EQ(cm.take("").to_json().dump(2),
+              ce.take("").to_json().dump(2));
 }
 
 TEST(Generated, CommitCountersCountRuleActivity)

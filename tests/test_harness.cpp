@@ -84,6 +84,70 @@ TEST(Coverage, BranchCountsSplit)
     EXPECT_EQ(sim.coverage()[(size_t)else_id], 50u);
 }
 
+TEST(Coverage, AnnotatedListingGoldenText)
+{
+    // The exact Gcov-style rendering, from both count sources: raw
+    // interpreter node counts and a CoverageMap harvested from a tier
+    // engine. The `else` line is the one place they differ internally
+    // (raw counts read the else-arm node, the map reads the branch's
+    // not-taken count) — the rendered text must still be identical.
+    Design d("probe");
+    Builder b(d);
+    int c = b.reg("c", 1, 1);
+    int x = b.reg("x", 8, 0);
+    int y = b.reg("y", 8, 0);
+    Action* body = b.seq({
+        b.let("t", b.add(b.read0(x), b.k(8, 1)),
+              b.write0(x, b.var("t"))),
+        b.if_(b.read0(c), b.write0(y, b.k(8, 7)),
+              b.write0(y, b.k(8, 9))),
+        b.guard(b.read0(c)),
+    });
+    d.add_rule("r", body);
+    d.schedule("r");
+    typecheck(d);
+
+    const std::string golden =
+        "rule r:\n"
+        "        10:     let t := (x.rd0() + 8'b00000001) in\n"
+        "        10:     x.wr0(t)\n"
+        "        10:     if (c.rd0()) {\n"
+        "        10:         y.wr0(8'b00000111)\n"
+        "         0:     } else {\n"
+        "         0:         y.wr0(8'b00001001)\n"
+        "        10:     }\n"
+        "        10:     guard(c.rd0())\n"
+        "\n";
+
+    ReferenceSim ref(d);
+    ref.enable_coverage();
+    for (int i = 0; i < 10; ++i)
+        ref.cycle();
+    EXPECT_EQ(coverage_report(d, ref.coverage()), golden);
+
+    auto e = sim::make_engine(d, sim::Tier::kT5StaticAnalysis);
+    obs::CoverageCollector collector(d, *e);
+    for (int i = 0; i < 10; ++i) {
+        e->cycle();
+        collector.sample();
+    }
+    EXPECT_EQ(coverage_report(d, collector.take("T5")), golden);
+}
+
+TEST(Coverage, NodeCountOutOfRangeIsZero)
+{
+    // Counts vectors can be shorter than the node table (coverage off,
+    // or a database from a smaller shape): out-of-range reads are 0,
+    // never UB — the listing renders with zeros instead of crashing.
+    auto d = designs::build_collatz();
+    std::vector<uint64_t> empty;
+    EXPECT_EQ(node_count(empty, d->rule(0).body), 0u);
+    EXPECT_EQ(node_count(empty, nullptr), 0u);
+    std::string report = coverage_report(*d, empty);
+    EXPECT_NE(report.find("         0: "), std::string::npos);
+    EXPECT_EQ(report.find("1:"), std::string::npos);
+}
+
 TEST(Debugger, BreakOnAbortAndCommit)
 {
     auto d = designs::build_collatz();

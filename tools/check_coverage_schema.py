@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Validate coverage databases against the cuttlesim-cov-v1 schema.
+
+Every coverage producer (cuttlec --coverage=, fault campaigns,
+scheduler_fuzz with KOIKA_FUZZ_COVERAGE=, cuttlec --coverage-merge)
+writes one database per design; this checker is the executable form of
+the schema documented in EXPERIMENTS.md ("The coverage database
+schema"). ctest runs it over databases produced during the suite
+(label: coverage), so a drifting writer fails the build instead of
+silently producing unmergeable shards.
+
+Beyond field shapes, it checks the internal consistency invariants the
+merge operation relies on: sparse statement/branch ids must be inside
+[0, nodes), branch entries must be [taken, not_taken] pairs, toggle
+rise/fall arrays must match the declared register width, and every
+count must be an exact non-negative integer (floats would break the
+byte-identity contract between --jobs=1 and --jobs=N producers).
+
+Usage: check_coverage_schema.py FILE.json [FILE.json ...]
+Exits 0 when every file validates; prints one line per problem.
+"""
+
+import json
+import sys
+
+
+def err(problems, path, msg):
+    problems.append(f"{path}: {msg}")
+
+
+def check_count(problems, path, value, what):
+    if isinstance(value, bool) or not isinstance(value, int):
+        err(problems, path, f"{what} must be an exact integer, got "
+                            f"{type(value).__name__}")
+        return False
+    if value < 0:
+        err(problems, path, f"{what} must be non-negative, got {value}")
+        return False
+    return True
+
+
+def check_string(problems, path, obj, key):
+    if key not in obj or not isinstance(obj[key], str):
+        err(problems, path, f"missing or non-string field '{key}'")
+        return False
+    return True
+
+
+def check_sparse(problems, path, obj, key, nodes, pair):
+    """A sparse {node-id: count} or {node-id: [taken, not_taken]} map."""
+    block = obj.get(key)
+    if not isinstance(block, dict):
+        err(problems, path, f"'{key}' must be an object")
+        return
+    for node_id, value in block.items():
+        where = f"{path} {key}[{node_id}]"
+        if not node_id.isdigit() or int(node_id) >= nodes:
+            err(problems, where,
+                f"key must be a node id in [0, {nodes})")
+        if pair:
+            if not isinstance(value, list) or len(value) != 2:
+                err(problems, where, "value must be [taken, not_taken]")
+                continue
+            for v in value:
+                check_count(problems, where, v, "branch outcome count")
+        else:
+            check_count(problems, where, value, "statement count")
+
+
+def check_file(problems, path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(problems, path, f"unreadable or invalid JSON: {e}")
+        return
+    if not isinstance(root, dict):
+        err(problems, path, "root must be an object")
+        return
+    if root.get("schema") != "cuttlesim-cov-v1":
+        err(problems, path,
+            f"schema tag must be 'cuttlesim-cov-v1', got "
+            f"{root.get('schema')!r}")
+        return
+    check_string(problems, path, root, "design")
+    nodes = root.get("nodes")
+    if not check_count(problems, path, nodes, "'nodes'"):
+        return
+    check_count(problems, path, root.get("cycles"), "'cycles'")
+
+    engines = root.get("engines")
+    if not isinstance(engines, list) or \
+            not all(isinstance(e, str) for e in engines):
+        err(problems, path, "'engines' must be an array of strings")
+    elif engines != sorted(set(engines)):
+        err(problems, path, "'engines' must be sorted and unique "
+                            "(the merge invariant)")
+
+    points = root.get("points")
+    if not isinstance(points, dict):
+        err(problems, path, "'points' must be an object")
+    else:
+        for key in ("statements", "branches", "toggle_bits"):
+            check_count(problems, f"{path} points", points.get(key),
+                        f"'{key}'")
+
+    check_sparse(problems, path, root, "statements", nodes, pair=False)
+    check_sparse(problems, path, root, "branches", nodes, pair=True)
+
+    rules = root.get("rules")
+    if not isinstance(rules, list):
+        err(problems, path, "'rules' must be an array")
+    else:
+        for i, rule in enumerate(rules):
+            where = f"{path} rules[{i}]"
+            if not isinstance(rule, dict):
+                err(problems, where, "rule must be an object")
+                continue
+            check_string(problems, where, rule, "name")
+            check_count(problems, where, rule.get("commits"), "'commits'")
+            check_count(problems, where, rule.get("aborts"), "'aborts'")
+
+    toggles = root.get("toggles")
+    if not isinstance(toggles, list):
+        err(problems, path, "'toggles' must be an array")
+        return
+    total_bits = 0
+    for i, reg in enumerate(toggles):
+        where = f"{path} toggles[{i}]"
+        if not isinstance(reg, dict):
+            err(problems, where, "toggle entry must be an object")
+            continue
+        check_string(problems, where, reg, "name")
+        width = reg.get("width")
+        if not check_count(problems, where, width, "'width'"):
+            continue
+        total_bits += width
+        for key in ("rise", "fall"):
+            arr = reg.get(key)
+            if not isinstance(arr, list) or len(arr) != width:
+                err(problems, where,
+                    f"'{key}' must be an array of {width} counts")
+                continue
+            for v in arr:
+                check_count(problems, where, v, f"'{key}' count")
+    if isinstance(points, dict) and \
+            isinstance(points.get("toggle_bits"), int) and \
+            points["toggle_bits"] != total_bits:
+        err(problems, path,
+            f"points.toggle_bits is {points['toggle_bits']} but the "
+            f"toggle arrays cover {total_bits} bits")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    for path in argv[1:]:
+        check_file(problems, path)
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"{len(argv) - 1} coverage database(s) validate against "
+              f"cuttlesim-cov-v1")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Compare two cuttlesim-cov-v1 coverage databases; fail on regression.
+
+The CI coverage gate: given a BASELINE database (committed, or produced
+by the previous build) and a NEW database from the current build, report
+every coverage point that the baseline reached and the new run did not.
+A point is one of:
+
+  - a statement (count > 0),
+  - a branch outcome (taken > 0, or not_taken > 0, each separately),
+  - a rule that ever committed,
+  - a toggle direction (a register bit's 0->1 rise or 1->0 fall).
+
+Exit status: 0 when NEW covers everything BASELINE covered (newly
+covered points are reported as improvements, never as failures), 1 when
+any covered point was lost, 2 on usage or input errors. ctest wires this
+as the `coverage_gate` test (label: coverage), so a change that silently
+stops exercising part of a design fails the suite.
+
+The two databases must describe the same design and shape; comparing
+unrelated designs is an input error, mirroring CoverageMap::merge.
+
+Usage: coverage_diff.py BASELINE.json NEW.json
+       coverage_diff.py --self-test
+"""
+
+import json
+import sys
+import tempfile
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    if not isinstance(db, dict) or db.get("schema") != "cuttlesim-cov-v1":
+        raise ValueError(f"{path}: not a cuttlesim-cov-v1 database")
+    return db
+
+
+def covered_points(db):
+    """The set of covered point names, spelled stably for diffing."""
+    points = set()
+    for node_id, count in db.get("statements", {}).items():
+        if count > 0:
+            points.add(f"statement node {node_id}")
+    for node_id, outcome in db.get("branches", {}).items():
+        if outcome[0] > 0:
+            points.add(f"branch node {node_id} taken")
+        if outcome[1] > 0:
+            points.add(f"branch node {node_id} not-taken")
+    for rule in db.get("rules", []):
+        if rule.get("commits", 0) > 0:
+            points.add(f"rule {rule['name']} committed")
+    for reg in db.get("toggles", []):
+        for direction in ("rise", "fall"):
+            for bit, count in enumerate(reg.get(direction, [])):
+                if count > 0:
+                    points.add(f"toggle {reg['name']}[{bit}] {direction}")
+    return points
+
+
+def diff(baseline, new):
+    """Return (lost, gained) covered-point sets, checking identity."""
+    for key in ("design", "nodes", "points"):
+        if baseline.get(key) != new.get(key):
+            raise ValueError(
+                f"databases disagree on '{key}': "
+                f"{baseline.get(key)!r} vs {new.get(key)!r} — not "
+                f"comparable")
+    base_points = covered_points(baseline)
+    new_points = covered_points(new)
+    return sorted(base_points - new_points), sorted(new_points - base_points)
+
+
+def run_diff(baseline_path, new_path):
+    try:
+        baseline = load(baseline_path)
+        new = load(new_path)
+        lost, gained = diff(baseline, new)
+    except (OSError, ValueError, KeyError, IndexError, TypeError) as e:
+        print(f"coverage_diff: {e}", file=sys.stderr)
+        return 2
+    for point in gained:
+        print(f"+ newly covered: {point}")
+    for point in lost:
+        print(f"- REGRESSION: no longer covered: {point}")
+    base_total = len(covered_points(baseline))
+    print(f"coverage_diff: {baseline.get('design')}: "
+          f"{base_total} baseline points, {len(gained)} gained, "
+          f"{len(lost)} lost")
+    return 1 if lost else 0
+
+
+def self_test():
+    """Exercise the gate on synthetic databases; exit 0 when it behaves."""
+    base = {
+        "schema": "cuttlesim-cov-v1",
+        "design": "selftest",
+        "nodes": 4,
+        "cycles": 10,
+        "engines": ["T5"],
+        "points": {"statements": 2, "branches": 1, "toggle_bits": 2},
+        "statements": {"0": 5, "2": 1},
+        "branches": {"2": [1, 0]},
+        "rules": [{"name": "r0", "commits": 5, "aborts": 5}],
+        "toggles": [{"name": "x", "width": 2,
+                     "rise": [1, 0], "fall": [1, 0]}],
+    }
+    # Same coverage, different counts: counts may drift, points may not.
+    same = json.loads(json.dumps(base))
+    same["statements"] = {"0": 99, "2": 3}
+    same["branches"] = {"2": [7, 0]}
+    # Lost the branch-taken outcome and the statement at node 2.
+    worse = json.loads(json.dumps(base))
+    worse["statements"] = {"0": 5}
+    worse["branches"] = {"2": [0, 0]}
+    # Other design: must be an input error, not a pass.
+    other = json.loads(json.dumps(base))
+    other["design"] = "other"
+
+    def run(a, b):
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as fa, \
+                tempfile.NamedTemporaryFile("w", suffix=".json") as fb:
+            json.dump(a, fa)
+            fa.flush()
+            json.dump(b, fb)
+            fb.flush()
+            return run_diff(fa.name, fb.name)
+
+    checks = [
+        ("identical databases pass", run(base, base), 0),
+        ("count drift without point loss passes", run(base, same), 0),
+        ("lost points fail", run(base, worse), 1),
+        ("gained points pass", run(worse, base), 0),
+        ("mismatched designs are an input error", run(base, other), 2),
+    ]
+    failed = [name for name, got, want in checks if got != want]
+    for name, got, want in checks:
+        status = "ok" if got == want else f"FAIL (exit {got}, want {want})"
+        print(f"self-test: {name}: {status}")
+    return 1 if failed else 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return run_diff(argv[1], argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
