@@ -88,10 +88,19 @@ main()
     //    change? (A watchpoint run backwards, as with rr.)
     for (int c = 0; c < 2; ++c) {
         std::string chan = "l1_" + std::to_string(c) + "_p2c_dreq_valid";
-        int ago = dbg.last_change(chan);
-        std::printf("  (rr) reverse-watch %s: changed %d cycles ago "
-                    "(now %s)\n",
-                    chan.c_str(), ago, dbg.reg_str(chan).c_str());
+        harness::LastChange lc = dbg.last_change(chan);
+        if (lc.found())
+            std::printf("  (rr) reverse-watch %s: changed %lu cycles "
+                        "ago (now %s)\n",
+                        chan.c_str(), (unsigned long)lc.ago,
+                        dbg.reg_str(chan).c_str());
+        else
+            std::printf("  (rr) reverse-watch %s: %s (now %s)\n",
+                        chan.c_str(),
+                        lc.status == harness::LastChange::kNeverChanged
+                            ? "never changed"
+                            : "history truncated",
+                        dbg.reg_str(chan).c_str());
     }
     std::printf("\nThe downgrade request was *consumed* (valid fell to "
                 "0) but the response\nchannels stayed empty:\n");

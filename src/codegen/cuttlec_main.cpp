@@ -66,6 +66,7 @@
  * ran.
  */
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -73,6 +74,7 @@
 
 #include <unistd.h>
 
+#include "base/io.hpp"
 #include "codegen/compile.hpp"
 #include "codegen/cpp_emit.hpp"
 #include "designs/designs.hpp"
@@ -81,10 +83,13 @@
 #include "harness/coverage.hpp"
 #include "harness/memory.hpp"
 #include "harness/vcd.hpp"
+#include "interp/reference_model.hpp"
 #include "koika/print.hpp"
 #include "obs/coverage.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "replay/bisect.hpp"
+#include "replay/checkpoint.hpp"
 #include "riscv/programs.hpp"
 #include "rtl/lower.hpp"
 #include "rtl/optimize.hpp"
@@ -94,14 +99,63 @@
 
 namespace {
 
+/** All whole-file artifacts publish atomically (temp file + rename). */
 void
 write_file(const std::string& path, const std::string& text)
 {
-    std::ofstream out(path);
-    if (!out)
-        koika::fatal("cannot write %s", path.c_str());
-    out << text;
+    koika::write_file_atomic(path, text);
 }
+
+/**
+ * Streaming writer (traces, VCD waveforms) with the same atomic
+ * publish discipline: bytes stream into `path + ".tmp.<pid>"` and the
+ * final name appears only on a healthy close. FatalError with a
+ * "write-output" diagnostic (nonzero exit) on any stream failure, so a
+ * full disk cannot silently truncate an artifact.
+ */
+class AtomicStream
+{
+  public:
+    void
+    open(const std::string& path)
+    {
+        path_ = path;
+        tmp_ = path + ".tmp." + std::to_string(getpid());
+        out_.open(tmp_, std::ios::binary);
+        if (!out_)
+            fail("cannot open for writing");
+    }
+
+    bool is_open() const { return out_.is_open(); }
+    std::ofstream& stream() { return out_; }
+
+    void
+    publish()
+    {
+        out_.flush();
+        if (!out_)
+            fail("stream write failed");
+        out_.close();
+        if (std::rename(tmp_.c_str(), path_.c_str()) != 0)
+            fail(std::strerror(errno));
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& detail)
+    {
+        std::remove(tmp_.c_str());
+        koika::Diagnostic diag;
+        diag.phase = "write-output";
+        diag.command = path_;
+        diag.detail = detail;
+        koika::fatal_diag(std::move(diag), "cannot write '%s'",
+                          path_.c_str());
+    }
+
+    std::string path_, tmp_;
+    std::ofstream out_;
+};
 
 int
 usage()
@@ -112,10 +166,15 @@ usage()
            "               [--cycles N] [--stats=FILE] [--trace=FILE]\n"
            "               [--vcd=FILE] [--coverage=FILE]\n"
            "               [--coverage-lcov=FILE] [--coverage-report=FILE]\n"
-           "               [--engine=T0..T5|compiled] [--cxxflags=FLAGS]\n"
+           "               [--engine=T0..T5|ref|compiled] [--cxxflags=FLAGS]\n"
            "               [--fault-campaign=SEED] [--fault-count=N]\n"
-           "               [--fault-report=FILE] [--jobs=N]\n"
-           "               [--cache-dir=DIR] [--no-cache]\n"
+           "               [--fault-report=FILE] [--fault-checkpoint=FILE]\n"
+           "               [--jobs=N] [--cache-dir=DIR] [--no-cache]\n"
+           "               [--checkpoint=FILE] [--checkpoint-every=N]\n"
+           "               [--restore=FILE] [--run-to=CYCLE]\n"
+           "       cuttlec --design NAME --bisect-divergence A B\n"
+           "               [--perturb=CYCLE:REG:BIT] [--cycles N]\n"
+           "               [--bisect-report=FILE]\n"
            "       cuttlec --coverage-merge OUT IN...\n"
            "       cuttlec --list\n"
            "\n"
@@ -160,6 +219,31 @@ usage()
            "                threads (0 = one per hardware thread;\n"
            "                default 1). Reports and coverage databases\n"
            "                are byte-identical at any job count\n"
+           "  --fault-checkpoint=FILE\n"
+           "                resumable campaigns: progress is saved to\n"
+           "                FILE after each chunk of injections and a\n"
+           "                matching file resumes instead of re-running;\n"
+           "                the final report is byte-identical either way\n"
+           "  --checkpoint=FILE\n"
+           "                save a cuttlesim-ckpt-v1 checkpoint of the\n"
+           "                full simulation state (registers, engine\n"
+           "                counters, peripherals, coverage, metrics) at\n"
+           "                the end of the run (in-process engines)\n"
+           "  --checkpoint-every=N\n"
+           "                also save FILE.<cycle> every N cycles\n"
+           "  --restore=FILE    resume from a checkpoint; stats and\n"
+           "                coverage match an uninterrupted run\n"
+           "  --run-to=CYCLE    run to an absolute committed-cycle\n"
+           "                count (instead of --cycles more)\n"
+           "  --bisect-divergence A B\n"
+           "                find the first cycle where engines A and B\n"
+           "                (T0..T5 or 'ref') commit different state:\n"
+           "                checkpointed scan + binary search + 1-cycle\n"
+           "                replay; reports cycle, register, firing sets\n"
+           "  --perturb=CYCLE:REG:BIT\n"
+           "                deterministically flip one bit in engine B\n"
+           "                after CYCLE commits (bisector self-test)\n"
+           "  --bisect-report=FILE  write the bisection result as JSON\n"
            "  --cache-dir=DIR   compiled-model cache for\n"
            "                --engine=compiled (default\n"
            "                ~/.cache/cuttlesim; a warm hit skips the\n"
@@ -191,6 +275,10 @@ struct RunOutputs
     std::string coverage;
     std::string coverage_lcov;
     std::string coverage_report;
+    std::string checkpoint;        ///< --checkpoint=FILE
+    uint64_t checkpoint_every = 0; ///< --checkpoint-every=N
+    std::string restore;           ///< --restore=FILE
+    uint64_t run_to = 0;           ///< --run-to=CYCLE (0 = unset)
 
     bool
     wants_coverage() const
@@ -200,10 +288,16 @@ struct RunOutputs
     }
 
     bool
+    wants_replay() const
+    {
+        return !checkpoint.empty() || !restore.empty() || run_to != 0;
+    }
+
+    bool
     wants_run() const
     {
         return !stats.empty() || !trace.empty() || !vcd.empty() ||
-               wants_coverage();
+               wants_coverage() || wants_replay();
     }
 };
 
@@ -232,19 +326,51 @@ write_coverage_outputs(const koika::Design& design,
 }
 
 /**
+ * Build an in-process model for an engine name: an interpreter tier
+ * (T0..T5) or the reference interpreter ("ref").
+ */
+std::unique_ptr<koika::sim::Model>
+make_model(const koika::Design& design, const std::string& engine)
+{
+    if (engine == "ref")
+        return std::make_unique<koika::ReferenceModel>(design);
+    koika::sim::Tier tier;
+    if (!parse_tier(engine, &tier))
+        koika::fatal("unknown in-process engine '%s' (expected T0..T5 "
+                     "or 'ref')",
+                     engine.c_str());
+    return koika::sim::make_engine(design, tier);
+}
+
+/** Display label for an in-process engine (stats/report "engine"). */
+std::string
+engine_label(const std::string& engine)
+{
+    if (engine == "ref")
+        return "reference";
+    koika::sim::Tier tier;
+    if (parse_tier(engine, &tier))
+        return koika::sim::tier_name(tier);
+    return engine;
+}
+
+/**
  * A fresh-system factory for fault campaigns, golden runs, and plain
  * simulation. RISC-V designs get per-instance magic memories preloaded
  * with a small primes program (the design is meaningless without a
  * stimulus); every other registry design is closed and needs none.
+ * RISC-V targets carry save_env/load_env hooks serializing the
+ * memories and ports, so checkpoints capture the whole system.
  */
 koika::fault::TargetFactory
-make_target_factory(const koika::Design& design, koika::sim::Tier tier)
+make_target_factory(const koika::Design& design,
+                    const std::string& engine)
 {
     using koika::designs::Rv32CorePorts;
     if (design.name().rfind("rv32", 0) != 0)
-        return [&design, tier]() {
+        return [&design, engine]() {
             koika::fault::FaultTarget t;
-            t.model = koika::sim::make_engine(design, tier);
+            t.model = make_model(design, engine);
             return t;
         };
 
@@ -255,7 +381,7 @@ make_target_factory(const koika::Design& design, koika::sim::Tier tier)
     for (int core = 0; core < cores; ++core)
         ports->push_back(koika::designs::rv32_ports(design, core, cores));
 
-    return [&design, tier, program, ports]() {
+    return [&design, engine, program, ports]() {
         struct Ctx
         {
             std::vector<std::unique_ptr<koika::harness::MemoryDevice>>
@@ -277,10 +403,23 @@ make_target_factory(const koika::Design& design, koika::sim::Tier tier)
             ctx->mems.push_back(std::move(mem));
         }
         koika::fault::FaultTarget t;
-        t.model = koika::sim::make_engine(design, tier);
+        t.model = make_model(design, engine);
         t.stimulus = [ctx](koika::sim::Model& m, uint64_t) {
             for (auto& port : ctx->mem_ports)
                 port->tick(m);
+        };
+        // Fixed serialization order: every memory, then every port.
+        t.save_env = [ctx](koika::sim::StateWriter& w) {
+            for (auto& mem : ctx->mems)
+                mem->save_state(w);
+            for (auto& port : ctx->mem_ports)
+                port->save_state(w);
+        };
+        t.load_env = [ctx](koika::sim::StateReader& r) {
+            for (auto& mem : ctx->mems)
+                mem->load_state(r);
+            for (auto& port : ctx->mem_ports)
+                port->load_state(r);
         };
         t.context = ctx;
         return t;
@@ -289,9 +428,10 @@ make_target_factory(const koika::Design& design, koika::sim::Tier tier)
 
 /** Seeded fault-injection campaign against a golden copy. */
 int
-fault_campaign(const koika::Design& design, koika::sim::Tier tier,
+fault_campaign(const koika::Design& design, const std::string& engine,
                uint64_t seed, int count, uint64_t cycles, int jobs,
-               const std::string& report_file, const RunOutputs& out)
+               const std::string& report_file,
+               const std::string& checkpoint_file, const RunOutputs& out)
 {
     koika::fault::CampaignConfig config;
     config.seed = seed;
@@ -299,10 +439,15 @@ fault_campaign(const koika::Design& design, koika::sim::Tier tier,
     config.cycles = cycles;
     config.jobs = jobs;
     config.collect_coverage = out.wants_coverage();
+    config.checkpoint_file = checkpoint_file;
 
     koika::fault::CampaignReport report = koika::fault::run_campaign(
-        design, make_target_factory(design, tier), config);
-    report.engine = koika::sim::tier_name(tier);
+        design, make_target_factory(design, engine), config);
+    report.engine = engine_label(engine);
+    if (report.resumed > 0)
+        std::cerr << "cuttlec: resumed fault campaign from '"
+                  << checkpoint_file << "' (" << report.resumed << "/"
+                  << count << " injections already done)\n";
 
     koika::obs::MetricsRegistry metrics;
     report.export_to(metrics, "fault/" + design.name());
@@ -520,6 +665,11 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
         koika::fatal("--vcd= needs an interpreter engine "
                      "(--engine=T0..T5): waveforms sample committed "
                      "state in-process every cycle");
+    if (out.wants_replay())
+        koika::fatal("--checkpoint/--restore/--run-to need an "
+                     "in-process engine (--engine=T0..T5 or ref): "
+                     "checkpoints snapshot committed state between "
+                     "cycles");
 
     bool want_trace = !out.trace.empty();
     bool want_cov = out.wants_coverage();
@@ -596,14 +746,12 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
     for (int r : design.schedule_order())
         rule_names.push_back(design.rule(r).name);
 
-    std::ofstream trace_out;
+    AtomicStream trace_out;
     std::unique_ptr<koika::obs::TraceWriter> trace;
     if (want_trace) {
         trace_out.open(out.trace);
-        if (!trace_out)
-            koika::fatal("cannot write %s", out.trace.c_str());
         trace = std::make_unique<koika::obs::TraceWriter>(
-            trace_out, rule_names, design.name());
+            trace_out.stream(), rule_names, design.name());
     }
 
     koika::obs::SimStats stats;
@@ -657,8 +805,10 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
             saw_cov = true;
         }
     }
-    if (trace != nullptr)
+    if (trace != nullptr) {
         trace->finish();
+        trace_out.publish();
+    }
     if (want_cov && !saw_cov)
         koika::fatal("compiled run of '%s' produced no COV record "
                      "(driver output was %zu bytes)",
@@ -675,41 +825,94 @@ simulate_compiled(const koika::Design& design, uint64_t cycles,
     return 0;
 }
 
-/** Run `design` on an interpreter tier, writing artifacts as asked. */
+/**
+ * Capture the full simulation state between cycles: committed
+ * registers and engine counters (Checkpoint::capture), peripheral
+ * state ("env"), coverage-collector accumulators ("coverage"), and the
+ * metrics registry ("metrics"). Everything a byte-identical resume
+ * needs.
+ */
+koika::replay::Checkpoint
+capture_system(const koika::Design& design,
+               const koika::fault::FaultTarget& target,
+               const koika::obs::CoverageCollector* cov,
+               const koika::obs::MetricsRegistry& metrics)
+{
+    koika::replay::Checkpoint ck =
+        koika::replay::Checkpoint::capture(design, *target.model);
+    if (target.save_env) {
+        koika::sim::StateWriter w;
+        target.save_env(w);
+        ck.set_section("env", w.take());
+    }
+    if (cov != nullptr) {
+        koika::sim::StateWriter w;
+        cov->save_state(w);
+        ck.set_section("coverage", w.take());
+    }
+    ck.set_section("metrics", metrics.to_json().dump());
+    return ck;
+}
+
+/** Run `design` on an in-process engine, writing artifacts as asked. */
 int
-simulate(const koika::Design& design, koika::sim::Tier tier,
+simulate(const koika::Design& design, const std::string& engine,
          uint64_t cycles, const RunOutputs& out)
 {
+    std::string label = engine_label(engine);
     // Same stimulus routing as fault campaigns and golden runs: rv32
     // designs run the primes program out of magic memories, closed
     // designs run bare.
     koika::fault::FaultTarget target =
-        make_target_factory(design, tier)();
+        make_target_factory(design, engine)();
     koika::sim::Model& model = *target.model;
     auto* rs = dynamic_cast<koika::sim::RuleStatsModel*>(&model);
 
-    std::ofstream trace_out;
+    // Restore committed registers + engine counters + peripherals
+    // before any observer attaches, so collectors snapshot the
+    // restored state as their baseline.
+    uint64_t start = 0;
+    std::unique_ptr<koika::replay::Checkpoint> restored;
+    if (!out.restore.empty()) {
+        restored = std::make_unique<koika::replay::Checkpoint>(
+            koika::replay::Checkpoint::load(out.restore));
+        if (!restored->restore_into(design, model))
+            std::cerr << "cuttlec: warning: checkpoint engine state "
+                         "was captured by a different engine family; "
+                         "registers restored, counters restart at "
+                         "zero\n";
+        if (const std::string* env = restored->section("env")) {
+            KOIKA_CHECK(target.load_env != nullptr);
+            koika::sim::StateReader r(*env);
+            target.load_env(r);
+        }
+        start = restored->cycle;
+    }
+    uint64_t end = out.run_to != 0 ? out.run_to : start + cycles;
+    if (end < start)
+        koika::fatal("--run-to=%llu is before the checkpoint's cycle "
+                     "%llu",
+                     (unsigned long long)end,
+                     (unsigned long long)start);
+
+    AtomicStream trace_out;
     std::unique_ptr<koika::obs::TraceWriter> trace;
     if (!out.trace.empty()) {
         KOIKA_CHECK(rs != nullptr);
         trace_out.open(out.trace);
-        if (!trace_out)
-            koika::fatal("cannot write %s", out.trace.c_str());
         std::vector<std::string> rule_names;
         for (size_t r = 0; r < rs->num_rules(); ++r)
             rule_names.push_back(rs->rule_name((int)r));
         trace = std::make_unique<koika::obs::TraceWriter>(
-            trace_out, std::move(rule_names), design.name());
+            trace_out.stream(), std::move(rule_names), design.name());
     }
 
-    std::ofstream vcd_out;
+    AtomicStream vcd_out;
     std::unique_ptr<koika::harness::VcdWriter> vcd;
     if (!out.vcd.empty()) {
         vcd_out.open(out.vcd);
-        if (!vcd_out)
-            koika::fatal("cannot write %s", out.vcd.c_str());
-        vcd = std::make_unique<koika::harness::VcdWriter>(design,
-                                                          vcd_out);
+        vcd = std::make_unique<koika::harness::VcdWriter>(
+            design, vcd_out.stream());
         vcd->sample(model); // time 0: the initial committed state
     }
 
@@ -727,8 +930,23 @@ simulate(const koika::Design& design, koika::sim::Tier tier,
             return bounds;
         }());
 
+    // Replay the observers' accumulated state so a restored run's
+    // stats and coverage files come out byte-identical (minus
+    // wall-clock) to an uninterrupted run's.
+    if (restored != nullptr) {
+        if (cov != nullptr) {
+            if (const std::string* s = restored->section("coverage")) {
+                koika::sim::StateReader r(*s);
+                cov->load_state(r);
+            }
+        }
+        if (const std::string* s = restored->section("metrics"))
+            metrics = koika::obs::MetricsRegistry::from_json(
+                koika::obs::Json::parse(*s));
+    }
+
     auto t0 = std::chrono::steady_clock::now();
-    for (uint64_t c = 0; c < cycles; ++c) {
+    for (uint64_t c = start; c < end; ++c) {
         model.cycle();
         if (target.stimulus)
             target.stimulus(model, c);
@@ -744,22 +962,33 @@ simulate(const koika::Design& design, koika::sim::Tier tier,
                 fired += f;
             metrics.observe("rules_fired_per_cycle", (double)fired);
         }
+        if (!out.checkpoint.empty() && out.checkpoint_every != 0 &&
+            (c + 1) % out.checkpoint_every == 0 && c + 1 != end)
+            capture_system(design, target, cov.get(), metrics)
+                .save(out.checkpoint + "." + std::to_string(c + 1));
     }
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
 
-    if (trace != nullptr)
+    if (trace != nullptr) {
         trace->finish();
+        trace_out.publish();
+    }
+    if (vcd != nullptr)
+        vcd_out.publish();
+
+    if (!out.checkpoint.empty())
+        capture_system(design, target, cov.get(), metrics)
+            .save(out.checkpoint);
 
     koika::obs::SimStats stats = koika::obs::collect_stats(model);
     stats.design = design.name();
-    stats.engine = koika::sim::tier_name(tier);
+    stats.engine = label;
     stats.wall_seconds = wall;
 
     if (cov != nullptr) {
-        koika::obs::CoverageMap map =
-            cov->take(koika::sim::tier_name(tier));
+        koika::obs::CoverageMap map = cov->take(label);
         stats.coverage = write_coverage_outputs(design, map, out);
     }
 
@@ -769,6 +998,80 @@ simulate(const koika::Design& design, koika::sim::Tier tier,
         write_file(out.stats, j.dump(2) + "\n");
     }
     std::cout << stats.to_text();
+    return 0;
+}
+
+/**
+ * `cuttlec --bisect-divergence A B`: locate the first committed cycle
+ * where two engines disagree, by checkpointed scan + binary search +
+ * single-cycle replay (replay/bisect.hpp). --perturb injects a
+ * deterministic bit flip into engine B so the machinery can be
+ * demonstrated (and tested) on engines that genuinely agree.
+ */
+int
+bisect_divergence_cmd(const koika::Design& design,
+                      const std::string& engine_a,
+                      const std::string& engine_b, uint64_t cycles,
+                      const std::string& perturb,
+                      const std::string& report_file)
+{
+    koika::replay::BisectConfig config;
+    config.horizon = cycles;
+    if (!perturb.empty()) {
+        // CYCLE:REG:BIT — flip one bit of B's committed state right
+        // after cycle CYCLE commits. A pure function of the committed
+        // cycle count, so restore+replay reproduces it exactly.
+        uint64_t pcycle = 0;
+        unsigned pbit = 0;
+        char preg[128] = {0};
+        if (std::sscanf(perturb.c_str(), "%llu:%127[^:]:%u",
+                        (unsigned long long*)&pcycle, preg,
+                        &pbit) != 3)
+            koika::fatal("--perturb wants CYCLE:REG:BIT, got '%s'",
+                         perturb.c_str());
+        int reg = design.reg_index(preg);
+        if (reg < 0)
+            koika::fatal("--perturb: no register '%s' in design '%s'",
+                         preg, design.name().c_str());
+        config.perturb_b = [pcycle, reg,
+                            pbit](koika::sim::Model& m,
+                                  uint64_t committed) {
+            if (committed == pcycle) {
+                koika::Bits v = m.get_reg(reg);
+                m.set_reg(reg, v.with_bit(pbit, !v.bit(pbit)));
+            }
+        };
+    }
+
+    auto subject_factory = [&design](const std::string& engine) {
+        koika::fault::TargetFactory tf =
+            make_target_factory(design, engine);
+        return [tf]() {
+            koika::fault::FaultTarget t = tf();
+            koika::replay::Subject s;
+            s.model = std::move(t.model);
+            s.stimulus = t.stimulus;
+            s.save_env = t.save_env;
+            s.load_env = t.load_env;
+            s.context = t.context;
+            return s;
+        };
+    };
+
+    koika::replay::DivergenceReport rep =
+        koika::replay::bisect_divergence(design,
+                                         subject_factory(engine_a),
+                                         subject_factory(engine_b),
+                                         config);
+    rep.engine_a = engine_label(engine_a);
+    rep.engine_b = engine_label(engine_b);
+
+    if (!report_file.empty()) {
+        koika::obs::Json j = rep.to_json();
+        j["design"] = design.name();
+        write_file(report_file, j.dump(2) + "\n");
+    }
+    std::cout << rep.to_text();
     return 0;
 }
 
@@ -811,9 +1114,11 @@ main(int argc, char** argv)
     std::string design_name, out_dir;
     std::string engine = "T5", cxxflags = "-O2", fault_report;
     std::string cache_dir = koika::codegen::default_cache_dir();
+    std::string fault_checkpoint;
+    std::string bisect_a, bisect_b, perturb, bisect_report;
     RunOutputs outputs;
     bool stats = false, print_koika = false, counters = true;
-    bool instrument = false, fault = false;
+    bool instrument = false, fault = false, bisect = false;
     uint64_t cycles = 1000, fault_seed = 1;
     int fault_count = 100, jobs = 1;
     for (int i = 1; i < argc; ++i) {
@@ -860,6 +1165,30 @@ main(int argc, char** argv)
                 10);
         } else if (arg.rfind("--fault-report=", 0) == 0) {
             fault_report = arg.substr(std::strlen("--fault-report="));
+        } else if (arg.rfind("--fault-checkpoint=", 0) == 0) {
+            fault_checkpoint =
+                arg.substr(std::strlen("--fault-checkpoint="));
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            outputs.checkpoint =
+                arg.substr(std::strlen("--checkpoint="));
+        } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            outputs.checkpoint_every = std::strtoull(
+                arg.c_str() + std::strlen("--checkpoint-every="),
+                nullptr, 10);
+        } else if (arg.rfind("--restore=", 0) == 0) {
+            outputs.restore = arg.substr(std::strlen("--restore="));
+        } else if (arg.rfind("--run-to=", 0) == 0) {
+            outputs.run_to = std::strtoull(
+                arg.c_str() + std::strlen("--run-to="), nullptr, 10);
+        } else if (arg == "--bisect-divergence" && i + 2 < argc) {
+            bisect = true;
+            bisect_a = argv[++i];
+            bisect_b = argv[++i];
+        } else if (arg.rfind("--perturb=", 0) == 0) {
+            perturb = arg.substr(std::strlen("--perturb="));
+        } else if (arg.rfind("--bisect-report=", 0) == 0) {
+            bisect_report =
+                arg.substr(std::strlen("--bisect-report="));
         } else if (arg.rfind("--jobs=", 0) == 0) {
             jobs = (int)std::strtol(arg.c_str() + std::strlen("--jobs="),
                                     nullptr, 10);
@@ -884,7 +1213,8 @@ main(int argc, char** argv)
 
     koika::sim::Tier tier = koika::sim::Tier::kT5StaticAnalysis;
     bool compiled_engine = engine == "compiled";
-    if (!compiled_engine && !parse_tier(engine, &tier)) {
+    if (!compiled_engine && engine != "ref" &&
+        !parse_tier(engine, &tier)) {
         std::cerr << "cuttlec: unknown engine '" << engine << "'\n";
         return usage();
     }
@@ -898,6 +1228,16 @@ main(int argc, char** argv)
             return 0;
         }
 
+        if (bisect) {
+            if (bisect_a == "compiled" || bisect_b == "compiled")
+                koika::fatal("--bisect-divergence needs in-process "
+                             "engines (T0..T5 or ref); the compiled "
+                             "engine runs out of process");
+            return bisect_divergence_cmd(*design, bisect_a, bisect_b,
+                                         cycles, perturb,
+                                         bisect_report);
+        }
+
         if (fault) {
             if (compiled_engine) {
                 // Fault injection pokes registers between cycles, which
@@ -905,11 +1245,12 @@ main(int argc, char** argv)
                 // engine cannot do that.
                 std::cerr << "cuttlec: warning: fault campaigns run on "
                              "interpreter tiers; using T5\n";
-                tier = koika::sim::Tier::kT5StaticAnalysis;
+                engine = "T5";
             }
-            return fault_campaign(*design, tier, fault_seed,
+            return fault_campaign(*design, engine, fault_seed,
                                   fault_count, cycles, jobs,
-                                  fault_report, outputs);
+                                  fault_report, fault_checkpoint,
+                                  outputs);
         }
 
         if (outputs.wants_run()) {
@@ -924,10 +1265,10 @@ main(int argc, char** argv)
                         << err.message() << "\n"
                         << "cuttlec: warning: falling back to the T5 "
                            "interpreter tier\n";
-                    tier = koika::sim::Tier::kT5StaticAnalysis;
+                    engine = "T5";
                 }
             }
-            return simulate(*design, tier, cycles, outputs);
+            return simulate(*design, engine, cycles, outputs);
         }
 
         if (instrument) {

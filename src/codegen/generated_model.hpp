@@ -21,12 +21,14 @@
 #include <vector>
 
 #include "sim/model.hpp"
+#include "sim/state.hpp"
 
 namespace koika::codegen {
 
 template <typename M>
 class GeneratedModel final : public sim::RuleStatsModel,
-                             public sim::CoverageModel
+                             public sim::CoverageModel,
+                             public sim::CheckpointableModel
 {
     // RTL netlist models expose no rule structure at all; Cuttlesim
     // models always have kNumRules/kRuleNames, counters unless emitted
@@ -184,6 +186,81 @@ class GeneratedModel final : public sim::RuleStatsModel,
             not_taken_.assign(impl_.branch_not_taken_count,
                               impl_.branch_not_taken_count + M::kNumNodes);
         return not_taken_;
+    }
+
+    // -- CheckpointableModel ------------------------------------------------
+    // The key records which counter families this compiled shape
+    // carries; a checkpoint taken on a differently-instrumented build
+    // (or another engine family) restores registers only.
+    std::string
+    state_key() const override
+    {
+        std::string key = "generated-v1";
+        if constexpr (kHasCounters)
+            key += "+counters";
+        if constexpr (kHasAbortReasons)
+            key += "+reasons";
+        if constexpr (kHasCoverage)
+            key += "+coverage";
+        return key;
+    }
+
+    void
+    save_extra_state(sim::StateWriter& w) const override
+    {
+        w.put_u64(impl_.cycles);
+        if constexpr (kHasCounters) {
+            w.put_bool_vec(fired());
+            w.put_u64_vec(rule_commit_counts());
+            w.put_u64_vec(rule_abort_counts());
+        }
+        if constexpr (kHasAbortReasons)
+            w.put_u64_vec(rule_abort_reason_counts());
+        if constexpr (kHasCoverage) {
+            w.put_u64_vec(stmt_counts());
+            w.put_u64_vec(branch_taken_counts());
+            w.put_u64_vec(branch_not_taken_counts());
+        }
+    }
+
+    void
+    load_extra_state(sim::StateReader& r) override
+    {
+        impl_.cycles = r.get_u64();
+        if constexpr (kHasCounters) {
+            std::vector<bool> fired = r.get_bool_vec();
+            std::vector<uint64_t> commits = r.get_u64_vec();
+            std::vector<uint64_t> aborts = r.get_u64_vec();
+            KOIKA_CHECK(fired.size() == static_num_rules() &&
+                        commits.size() == static_num_rules() &&
+                        aborts.size() == static_num_rules());
+            for (size_t i = 0; i < static_num_rules(); ++i) {
+                impl_.last_fired[i] = fired[i];
+                impl_.commit_count[i] = commits[i];
+                impl_.abort_count[i] = aborts[i];
+            }
+        }
+        if constexpr (kHasAbortReasons) {
+            std::vector<uint64_t> reasons = r.get_u64_vec();
+            KOIKA_CHECK(reasons.size() ==
+                        static_num_rules() *
+                            (size_t)sim::kNumAbortReasons);
+            for (size_t i = 0; i < reasons.size(); ++i)
+                impl_.abort_reason_count[i] = reasons[i];
+        }
+        if constexpr (kHasCoverage) {
+            std::vector<uint64_t> stmt = r.get_u64_vec();
+            std::vector<uint64_t> taken = r.get_u64_vec();
+            std::vector<uint64_t> not_taken = r.get_u64_vec();
+            KOIKA_CHECK(stmt.size() == (size_t)M::kNumNodes &&
+                        taken.size() == (size_t)M::kNumNodes &&
+                        not_taken.size() == (size_t)M::kNumNodes);
+            for (size_t i = 0; i < (size_t)M::kNumNodes; ++i) {
+                impl_.stmt_count[i] = stmt[i];
+                impl_.branch_taken_count[i] = taken[i];
+                impl_.branch_not_taken_count[i] = not_taken[i];
+            }
+        }
     }
 
   private:

@@ -1,13 +1,18 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
+#include <fstream>
 #include <random>
 #include <sstream>
 
+#include "base/io.hpp"
 #include "harness/parallel.hpp"
 
 namespace koika::fault {
 
 namespace {
+
+constexpr const char* kFaultCkptSchema = "cuttlesim-fault-ckpt-v1";
 
 /**
  * Bounded draw via modulo. Deliberately not uniform_int_distribution:
@@ -31,6 +36,154 @@ flip_bit(sim::Model& model, int reg, uint32_t bit)
 {
     Bits v = model.get_reg(reg);
     model.set_reg(reg, v.with_bit(bit, !v.bit(bit)));
+}
+
+obs::Json
+injection_to_json(size_t index, const InjectionRecord& r)
+{
+    obs::Json e = obs::Json::object();
+    e["index"] = (uint64_t)index;
+    e["cycle"] = r.spec.cycle;
+    e["reg"] = (int64_t)r.spec.reg;
+    e["reg_name"] = r.reg_name;
+    e["bit"] = (uint64_t)r.spec.bit;
+    e["kind"] = fault_kind_name(r.spec.kind);
+    if (r.spec.kind != FaultKind::kBitFlip)
+        e["stuck_cycles"] = r.spec.stuck_cycles;
+    e["outcome"] = outcome_name(r.outcome);
+    e["diverged"] = r.diverged;
+    if (r.diverged) {
+        e["first_divergence_cycle"] = r.first_divergence_cycle;
+        e["first_divergence_reg"] = (int64_t)r.first_divergence_reg;
+    }
+    e["detected"] = r.detected;
+    if (r.detected) {
+        e["detect_cycle"] = r.detect_cycle;
+        e["detect_detail"] = r.detect_detail;
+    }
+    e["final_state_matches"] = r.final_state_matches;
+    return e;
+}
+
+const obs::Json&
+jfield(const obs::Json& j, const char* key)
+{
+    const obs::Json* v = j.find(key);
+    if (v == nullptr)
+        fatal("fault checkpoint: missing field '%s'", key);
+    return *v;
+}
+
+InjectionRecord
+injection_from_json(const obs::Json& e)
+{
+    InjectionRecord r;
+    r.spec.cycle = jfield(e, "cycle").as_u64();
+    r.spec.reg = (int)jfield(e, "reg").as_int();
+    r.reg_name = jfield(e, "reg_name").as_string();
+    r.spec.bit = (uint32_t)jfield(e, "bit").as_u64();
+    std::string kind = jfield(e, "kind").as_string();
+    for (int k = 0; k < kNumFaultKinds; ++k)
+        if (kind == fault_kind_name((FaultKind)k))
+            r.spec.kind = (FaultKind)k;
+    if (const obs::Json* sc = e.find("stuck_cycles"))
+        r.spec.stuck_cycles = sc->as_u64();
+    std::string outcome = jfield(e, "outcome").as_string();
+    for (int o = 0; o < 3; ++o)
+        if (outcome == outcome_name((Outcome)o))
+            r.outcome = (Outcome)o;
+    r.diverged = jfield(e, "diverged").as_bool();
+    if (r.diverged) {
+        r.first_divergence_cycle =
+            jfield(e, "first_divergence_cycle").as_u64();
+        r.first_divergence_reg =
+            (int)jfield(e, "first_divergence_reg").as_int();
+    }
+    r.detected = jfield(e, "detected").as_bool();
+    if (r.detected) {
+        r.detect_cycle = jfield(e, "detect_cycle").as_u64();
+        r.detect_detail = jfield(e, "detect_detail").as_string();
+    }
+    r.final_state_matches = jfield(e, "final_state_matches").as_bool();
+    return r;
+}
+
+obs::Json
+config_echo(const CampaignConfig& config)
+{
+    obs::Json cfg = obs::Json::object();
+    cfg["seed"] = config.seed;
+    cfg["count"] = (int64_t)config.count;
+    cfg["cycles"] = config.cycles;
+    cfg["stuck_at"] = config.stuck_at;
+    cfg["max_stuck_cycles"] = config.max_stuck_cycles;
+    return cfg;
+}
+
+/** Write campaign progress (completed prefix) atomically. */
+void
+save_progress(const std::string& path, const std::string& design,
+              const CampaignConfig& config,
+              const std::vector<InjectionRecord>& records,
+              size_t completed, const obs::CoverageMap* coverage)
+{
+    obs::Json j = obs::Json::object();
+    j["schema"] = kFaultCkptSchema;
+    j["design"] = design;
+    j["config"] = config_echo(config);
+    j["completed"] = (uint64_t)completed;
+    obs::Json list = obs::Json::array();
+    for (size_t i = 0; i < completed; ++i)
+        list.push_back(injection_to_json(i, records[i]));
+    j["injections"] = std::move(list);
+    if (coverage != nullptr)
+        j["coverage"] = coverage->to_json();
+    write_file_atomic(path, j.dump(2) + "\n");
+}
+
+/**
+ * Load campaign progress. Returns the number of completed injections
+ * (0 when the file does not exist), filling the record prefix and
+ * merged coverage. FatalError when the file exists but describes a
+ * different campaign — resuming someone else's progress would produce
+ * a silently wrong report.
+ */
+size_t
+load_progress(const std::string& path, const std::string& design,
+              const CampaignConfig& config,
+              std::vector<InjectionRecord>& records,
+              obs::CoverageMap* coverage)
+{
+    if (!std::ifstream(path))
+        return 0;
+    obs::Json j = obs::Json::parse(read_file(path));
+    if (jfield(j, "schema").as_string() != kFaultCkptSchema)
+        fatal("fault checkpoint '%s': not a %s file", path.c_str(),
+              kFaultCkptSchema);
+    if (jfield(j, "design").as_string() != design ||
+        jfield(j, "config").dump() != config_echo(config).dump())
+        fatal("fault checkpoint '%s' was written by a different "
+              "campaign (design or config mismatch); delete it or "
+              "match the original flags",
+              path.c_str());
+    size_t completed = (size_t)jfield(j, "completed").as_u64();
+    const obs::Json& list = jfield(j, "injections");
+    if (completed > records.size() || list.size() != completed)
+        fatal("fault checkpoint '%s': completed count does not match "
+              "its records",
+              path.c_str());
+    for (size_t i = 0; i < completed; ++i)
+        records[i] = injection_from_json(list.at(i));
+    if (coverage != nullptr) {
+        const obs::Json* cov = j.find("coverage");
+        if (cov == nullptr)
+            fatal("fault checkpoint '%s' has no coverage section but "
+                  "this campaign collects coverage; delete it to "
+                  "restart",
+                  path.c_str());
+        coverage->merge(obs::CoverageMap::from_json(*cov));
+    }
+    return completed;
 }
 
 } // namespace
@@ -278,23 +431,51 @@ run_campaign(const Design& design, const TargetFactory& factory,
     // run. Outcome tallying happens after the join, in list order.
     std::vector<FaultSpec> faults = generate_faults(design, config);
     report.injections.resize(faults.size());
+    if (config.collect_coverage) {
+        report.coverage = obs::CoverageMap::for_design(design);
+        report.has_coverage = true;
+    }
+
+    // Resume a checkpointed campaign: the completed prefix of records
+    // (and its merged coverage) comes straight from the progress file,
+    // and only the remaining injections actually run. Coverage merge
+    // is associative addition, so prefix-from-file + suffix-run equals
+    // an uninterrupted run byte for byte.
+    size_t completed = 0;
+    if (!config.checkpoint_file.empty())
+        completed = load_progress(
+            config.checkpoint_file, report.design, config,
+            report.injections,
+            config.collect_coverage ? &report.coverage : nullptr);
+    report.resumed = completed;
+
+    size_t chunk = config.checkpoint_file.empty()
+                       ? faults.size()
+                       : (size_t)std::max(config.checkpoint_every, 1);
     std::vector<obs::CoverageMap> shard_cov;
     if (config.collect_coverage)
         shard_cov.resize(faults.size());
-    harness::parallel_for(
-        faults.size(), config.jobs, [&](uint64_t i) {
-            report.injections[i] = run_injection(
-                design, factory, faults[i], config.cycles,
-                config.collect_coverage ? &shard_cov[i] : nullptr);
-        });
-    if (config.collect_coverage) {
+    while (completed < faults.size()) {
+        size_t end = std::min(completed + chunk, faults.size());
+        harness::parallel_for(
+            end - completed, config.jobs, [&](uint64_t k) {
+                size_t i = completed + k;
+                report.injections[i] = run_injection(
+                    design, factory, faults[i], config.cycles,
+                    config.collect_coverage ? &shard_cov[i] : nullptr);
+            });
         // Fold per-injection maps in fault-list order after the join;
         // merge() is commutative addition, so the database matches a
         // serial run byte for byte at any job count.
-        report.coverage = obs::CoverageMap::for_design(design);
-        for (const obs::CoverageMap& m : shard_cov)
-            report.coverage.merge(m);
-        report.has_coverage = true;
+        if (config.collect_coverage)
+            for (size_t i = completed; i < end; ++i)
+                report.coverage.merge(shard_cov[i]);
+        completed = end;
+        if (!config.checkpoint_file.empty())
+            save_progress(config.checkpoint_file, report.design,
+                          config, report.injections, completed,
+                          config.collect_coverage ? &report.coverage
+                                                  : nullptr);
     }
     for (const InjectionRecord& rec : report.injections) {
         switch (rec.outcome) {
@@ -315,13 +496,7 @@ CampaignReport::to_json() const
     if (!config.label.empty())
         j["label"] = config.label;
 
-    obs::Json cfg = obs::Json::object();
-    cfg["seed"] = config.seed;
-    cfg["count"] = (int64_t)config.count;
-    cfg["cycles"] = config.cycles;
-    cfg["stuck_at"] = config.stuck_at;
-    cfg["max_stuck_cycles"] = config.max_stuck_cycles;
-    j["config"] = std::move(cfg);
+    j["config"] = config_echo(config);
 
     obs::Json summary = obs::Json::object();
     summary["injections"] = (uint64_t)injections.size();
@@ -331,31 +506,8 @@ CampaignReport::to_json() const
     j["summary"] = std::move(summary);
 
     obs::Json list = obs::Json::array();
-    for (size_t i = 0; i < injections.size(); ++i) {
-        const InjectionRecord& r = injections[i];
-        obs::Json e = obs::Json::object();
-        e["index"] = (uint64_t)i;
-        e["cycle"] = r.spec.cycle;
-        e["reg"] = (int64_t)r.spec.reg;
-        e["reg_name"] = r.reg_name;
-        e["bit"] = (uint64_t)r.spec.bit;
-        e["kind"] = fault_kind_name(r.spec.kind);
-        if (r.spec.kind != FaultKind::kBitFlip)
-            e["stuck_cycles"] = r.spec.stuck_cycles;
-        e["outcome"] = outcome_name(r.outcome);
-        e["diverged"] = r.diverged;
-        if (r.diverged) {
-            e["first_divergence_cycle"] = r.first_divergence_cycle;
-            e["first_divergence_reg"] = (int64_t)r.first_divergence_reg;
-        }
-        e["detected"] = r.detected;
-        if (r.detected) {
-            e["detect_cycle"] = r.detect_cycle;
-            e["detect_detail"] = r.detect_detail;
-        }
-        e["final_state_matches"] = r.final_state_matches;
-        list.push_back(std::move(e));
-    }
+    for (size_t i = 0; i < injections.size(); ++i)
+        list.push_back(injection_to_json(i, injections[i]));
     j["injections"] = std::move(list);
     return j;
 }

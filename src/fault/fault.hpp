@@ -36,6 +36,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/model.hpp"
+#include "sim/state.hpp"
 
 namespace koika::fault {
 
@@ -105,11 +106,19 @@ struct InjectionRecord
  * per-instance peripherals drive it. The stimulus (may be null) runs
  * after every cycle, exactly like the lockstep harness's. `context`
  * keeps peripheral objects alive for the model's lifetime.
+ *
+ * save_env/load_env (may be null) serialize the peripherals' own state
+ * — RAM contents, pending responses — so a checkpointed run resumes
+ * byte-identically (the "env" section of a cuttlesim-ckpt-v1 file).
+ * load_env runs on a freshly built target, so save and load must agree
+ * on peripheral order and layout.
  */
 struct FaultTarget
 {
     std::unique_ptr<sim::Model> model;
     std::function<void(sim::Model&, uint64_t)> stimulus;
+    std::function<void(sim::StateWriter&)> save_env;
+    std::function<void(sim::StateReader&)> load_env;
     std::shared_ptr<void> context;
 };
 
@@ -150,6 +159,19 @@ struct CampaignConfig
      * byte-identical at any job count.
      */
     bool collect_coverage = false;
+    /**
+     * Progress checkpoint for long campaigns: a JSON file
+     * (cuttlesim-fault-ckpt-v1) rewritten atomically after each
+     * completed chunk of injections. When the file already exists at
+     * campaign start and echoes this exact config, the completed
+     * prefix of records (and its merged coverage) is loaded instead of
+     * re-run, and the campaign continues from there. Deliberately NOT
+     * echoed into the report: a resumed campaign produces the same
+     * bytes as an uninterrupted one.
+     */
+    std::string checkpoint_file;
+    /** Injections per progress-save chunk (with checkpoint_file). */
+    int checkpoint_every = 16;
 };
 
 struct CampaignReport
@@ -169,6 +191,10 @@ struct CampaignReport
      *  adds it via coverage.add_engine(). */
     bool has_coverage = false;
     obs::CoverageMap coverage;
+
+    /** Injections loaded from config.checkpoint_file instead of run.
+     *  Excluded from to_json (resume must not change the report). */
+    uint64_t resumed = 0;
 
     /**
      * Deterministic report: config echo, per-injection records, and

@@ -64,6 +64,27 @@ class MemoryDevice
     const std::vector<uint32_t>& tohost() const { return tohost_; }
     const std::vector<uint8_t>& bytes() const { return mem_; }
 
+    /** Checkpoint the full RAM image and captured tohost stream. */
+    void
+    save_state(sim::StateWriter& w) const
+    {
+        w.put_string(std::string(mem_.begin(), mem_.end()));
+        w.put_u64(tohost_.size());
+        for (uint32_t v : tohost_)
+            w.put_u64(v);
+    }
+
+    void
+    load_state(sim::StateReader& r)
+    {
+        std::string bytes = r.get_string();
+        mem_.assign(bytes.begin(), bytes.end());
+        tohost_.clear();
+        uint64_t n = r.get_u64();
+        for (uint64_t i = 0; i < n; ++i)
+            tohost_.push_back((uint32_t)r.get_u64());
+    }
+
   private:
     std::vector<uint8_t> mem_;
     std::vector<uint32_t> tohost_;
@@ -121,6 +142,24 @@ class MemPort final : public Peripheral
                 dev_.write(addr, data, wstrb);
             }
         }
+    }
+
+    // The shared MemoryDevice is serialized once by its owner; the
+    // port itself only carries the in-flight response.
+    void
+    save_state(sim::StateWriter& w) const override
+    {
+        w.put_u64(pending_.has_value() ? 1 : 0);
+        w.put_u64(pending_.value_or(0));
+    }
+
+    void
+    load_state(sim::StateReader& r) override
+    {
+        bool has = r.get_u64() != 0;
+        uint64_t value = r.get_u64();
+        pending_ = has ? std::optional<uint32_t>((uint32_t)value)
+                       : std::nullopt;
     }
 
   private:

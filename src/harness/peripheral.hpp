@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "sim/model.hpp"
+#include "sim/state.hpp"
 
 namespace koika::harness {
 
@@ -25,6 +26,15 @@ class Peripheral
     virtual ~Peripheral() = default;
     /** Called after every design cycle, on committed state. */
     virtual void tick(sim::Model& model) = 0;
+
+    /**
+     * Checkpoint hooks: serialize any device state not held in design
+     * registers (RAM contents, pending responses). Stateless
+     * peripherals keep the no-op defaults. save/load must agree on
+     * layout; restore happens on a freshly constructed peripheral.
+     */
+    virtual void save_state(sim::StateWriter&) const {}
+    virtual void load_state(sim::StateReader&) {}
 };
 
 /**

@@ -80,6 +80,27 @@ class ReferenceSim
         return not_taken_;
     }
 
+    /** Checkpoint restore: overwrite the cycle counter and last fired
+     *  set (sizes must already match the design). */
+    void
+    restore_progress(uint64_t cycles, std::vector<bool> fired)
+    {
+        cycles_ = cycles;
+        fired_ = std::move(fired);
+    }
+    /** Checkpoint restore: overwrite the per-node counters; implies
+     *  enable_coverage. */
+    void
+    restore_coverage(std::vector<uint64_t> stmt,
+                     std::vector<uint64_t> taken,
+                     std::vector<uint64_t> not_taken)
+    {
+        enable_coverage();
+        coverage_ = std::move(stmt);
+        taken_ = std::move(taken);
+        not_taken_ = std::move(not_taken);
+    }
+
   private:
     struct RuleAbort {};
 

@@ -6,13 +6,16 @@
  */
 #pragma once
 
+#include "base/error.hpp"
 #include "interp/reference.hpp"
 #include "sim/model.hpp"
+#include "sim/state.hpp"
 
 namespace koika {
 
 class ReferenceModel final : public sim::RuleStatsModel,
-                             public sim::CoverageModel
+                             public sim::CoverageModel,
+                             public sim::CheckpointableModel
 {
   public:
     explicit ReferenceModel(const Design& design)
@@ -107,6 +110,54 @@ class ReferenceModel final : public sim::RuleStatsModel,
     const std::vector<uint64_t>& branch_not_taken_counts() const override
     {
         return sim_.branch_not_taken();
+    }
+
+    // -- CheckpointableModel.
+    std::string state_key() const override { return "reference-v1"; }
+
+    void
+    save_extra_state(sim::StateWriter& w) const override
+    {
+        w.put_u64(sim_.cycles_run());
+        w.put_bool_vec(sim_.fired());
+        w.put_u64_vec(commits_);
+        w.put_u64_vec(aborts_);
+        bool cov = !sim_.coverage().empty();
+        w.put_u64(cov ? 1 : 0);
+        if (cov) {
+            w.put_u64_vec(sim_.coverage());
+            w.put_u64_vec(sim_.branch_taken());
+            w.put_u64_vec(sim_.branch_not_taken());
+        }
+    }
+
+    void
+    load_extra_state(sim::StateReader& r) override
+    {
+        uint64_t cycles = r.get_u64();
+        std::vector<bool> fired = r.get_bool_vec();
+        std::vector<uint64_t> commits = r.get_u64_vec();
+        std::vector<uint64_t> aborts = r.get_u64_vec();
+        size_t nrules = sim_.design().num_rules();
+        if (fired.size() != nrules || commits.size() != nrules ||
+            aborts.size() != nrules)
+            fatal("checkpoint engine state does not match this "
+                  "design's rule count");
+        sim_.restore_progress(cycles, std::move(fired));
+        commits_ = std::move(commits);
+        aborts_ = std::move(aborts);
+        if (r.get_u64() != 0) {
+            std::vector<uint64_t> stmt = r.get_u64_vec();
+            std::vector<uint64_t> taken = r.get_u64_vec();
+            std::vector<uint64_t> not_taken = r.get_u64_vec();
+            size_t nnodes = sim_.design().num_nodes();
+            if (stmt.size() != nnodes || taken.size() != nnodes ||
+                not_taken.size() != nnodes)
+                fatal("checkpoint coverage state does not match this "
+                      "design's node count");
+            sim_.restore_coverage(std::move(stmt), std::move(taken),
+                                  std::move(not_taken));
+        }
     }
 
   private:

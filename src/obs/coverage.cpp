@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/error.hpp"
+#include "base/io.hpp"
 #include "koika/print.hpp"
 
 namespace koika::obs {
@@ -308,10 +309,7 @@ CoverageMap::from_json(const Json& j)
 void
 CoverageMap::save(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot write coverage database '%s'", path.c_str());
-    out << to_json().dump(2) << "\n";
+    write_file_atomic(path, to_json().dump(2) + "\n");
 }
 
 CoverageMap
@@ -371,6 +369,37 @@ CoverageCollector::sample()
         prev_[r] = std::move(now);
     }
     ++cycles_;
+}
+
+void
+CoverageCollector::save_state(sim::StateWriter& w) const
+{
+    w.put_u64(cycles_);
+    w.put_u64(rise_.size());
+    for (size_t r = 0; r < rise_.size(); ++r) {
+        w.put_u64_vec(rise_[r]);
+        w.put_u64_vec(fall_[r]);
+    }
+}
+
+void
+CoverageCollector::load_state(sim::StateReader& r)
+{
+    cycles_ = r.get_u64();
+    uint64_t nregs = r.get_u64();
+    if (nregs != rise_.size())
+        fatal("checkpoint coverage section does not match this "
+              "design's register count");
+    for (size_t i = 0; i < rise_.size(); ++i) {
+        std::vector<uint64_t> rise = r.get_u64_vec();
+        std::vector<uint64_t> fall = r.get_u64_vec();
+        if (rise.size() != rise_[i].size() ||
+            fall.size() != fall_[i].size())
+            fatal("checkpoint coverage section does not match register "
+                  "'%s' width", d_.reg((int)i).name.c_str());
+        rise_[i] = std::move(rise);
+        fall_[i] = std::move(fall);
+    }
 }
 
 CoverageMap

@@ -43,6 +43,7 @@
 #include "koika/design.hpp"
 #include "obs/json.hpp"
 #include "sim/model.hpp"
+#include "sim/state.hpp"
 
 namespace koika::obs {
 
@@ -141,6 +142,16 @@ class CoverageCollector
 
     /** Build the final map; `engine` names the contributing engine. */
     CoverageMap take(const std::string& engine) const;
+
+    /**
+     * Checkpoint hooks for the collector's own accumulators (toggle
+     * counts and sampled-cycle tally). Statement/branch counts live in
+     * the engine and are checkpointed there; `prev_` is re-snapshotted
+     * by the constructor, so build the collector only after restoring
+     * the model.
+     */
+    void save_state(sim::StateWriter& w) const;
+    void load_state(sim::StateReader& r);
 
   private:
     const Design& d_;

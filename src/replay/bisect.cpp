@@ -1,0 +1,235 @@
+#include "replay/bisect.hpp"
+
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace koika::replay {
+
+namespace {
+
+/** Run one cycle plus its boundary actions (stimulus, perturbation). */
+void
+run_boundary(Subject& s, uint64_t c,
+             const std::function<void(sim::Model&, uint64_t)>& perturb)
+{
+    s.model->cycle();
+    if (s.stimulus)
+        s.stimulus(*s.model, c);
+    if (perturb)
+        perturb(*s.model, c + 1);
+}
+
+Checkpoint
+capture_full(const Design& design, const Subject& s)
+{
+    Checkpoint ck = Checkpoint::capture(design, *s.model);
+    if (s.save_env) {
+        sim::StateWriter w;
+        s.save_env(w);
+        ck.set_section("env", w.take());
+    }
+    return ck;
+}
+
+void
+restore_full(const Design& design, Subject& s, const Checkpoint& ck)
+{
+    ck.restore_into(design, *s.model);
+    if (s.load_env) {
+        const std::string* env = ck.section("env");
+        KOIKA_CHECK(env != nullptr);
+        sim::StateReader r(*env);
+        s.load_env(r);
+    }
+}
+
+bool
+states_equal(const Subject& a, const Subject& b, size_t nregs,
+             int* first_reg)
+{
+    for (size_t r = 0; r < nregs; ++r) {
+        if (a.model->get_reg((int)r) != b.model->get_reg((int)r)) {
+            if (first_reg != nullptr)
+                *first_reg = (int)r;
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::string>
+fired_names(const sim::Model& m)
+{
+    std::vector<std::string> names;
+    if (const auto* rs =
+            dynamic_cast<const sim::RuleStatsModel*>(&m)) {
+        const std::vector<bool>& fired = rs->fired();
+        for (size_t r = 0; r < fired.size(); ++r)
+            if (fired[r])
+                names.push_back(rs->rule_name((int)r));
+    }
+    return names;
+}
+
+} // namespace
+
+DivergenceReport
+bisect_divergence(const Design& design, const SubjectFactory& make_a,
+                  const SubjectFactory& make_b,
+                  const BisectConfig& config)
+{
+    DivergenceReport rep;
+    const size_t nregs = design.num_registers();
+    uint64_t stride =
+        config.stride != 0
+            ? config.stride
+            : std::max<uint64_t>(1, config.horizon / 16);
+
+    // -- Scan: lockstep with periodic checkpoints, comparing only at
+    // stride boundaries until an interval (lo, hi] disagrees.
+    Subject a = make_a();
+    Subject b = make_b();
+    KOIKA_CHECK(a.model->num_regs() == nregs &&
+                b.model->num_regs() == nregs);
+    Checkpoint ck_a = capture_full(design, a);
+    Checkpoint ck_b = capture_full(design, b);
+    rep.checkpoints += 2;
+    uint64_t lo = 0, hi = 0;
+    bool bracketed = false;
+    for (uint64_t c = 0; c < config.horizon; ++c) {
+        run_boundary(a, c, nullptr);
+        run_boundary(b, c, config.perturb_b);
+        uint64_t done = c + 1;
+        if (done % stride != 0 && done != config.horizon)
+            continue;
+        ++rep.state_compares;
+        if (!states_equal(a, b, nregs, nullptr)) {
+            hi = done;
+            bracketed = true;
+            break;
+        }
+        ck_a = capture_full(design, a);
+        ck_b = capture_full(design, b);
+        rep.checkpoints += 2;
+        lo = done;
+    }
+    if (!bracketed)
+        return rep;
+
+    // -- Bisect: restore the pair from the last agreeing checkpoints
+    // and replay to the midpoint; each probe halves (lo, hi].
+    while (hi - lo > 1) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        Subject pa = make_a();
+        Subject pb = make_b();
+        restore_full(design, pa, ck_a);
+        restore_full(design, pb, ck_b);
+        for (uint64_t c = lo; c < mid; ++c) {
+            run_boundary(pa, c, nullptr);
+            run_boundary(pb, c, config.perturb_b);
+        }
+        rep.replayed_cycles += 2 * (mid - lo);
+        ++rep.state_compares;
+        if (states_equal(pa, pb, nregs, nullptr)) {
+            ck_a = capture_full(design, pa);
+            ck_b = capture_full(design, pb);
+            rep.checkpoints += 2;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    // -- Attribute: replay the single divergent cycle to capture the
+    // first disagreeing register and both firing sets.
+    Subject fa = make_a();
+    Subject fb = make_b();
+    restore_full(design, fa, ck_a);
+    restore_full(design, fb, ck_b);
+    for (uint64_t c = lo; c < hi; ++c) {
+        run_boundary(fa, c, nullptr);
+        run_boundary(fb, c, config.perturb_b);
+    }
+    rep.replayed_cycles += 2 * (hi - lo);
+    int first_reg = -1;
+    ++rep.state_compares;
+    bool equal = states_equal(fa, fb, nregs, &first_reg);
+    KOIKA_CHECK(!equal);
+    rep.diverged = true;
+    rep.cycle = hi;
+    rep.reg = first_reg;
+    rep.reg_name = design.reg(first_reg).name;
+    rep.value_a = fa.model->get_reg(first_reg).str();
+    rep.value_b = fb.model->get_reg(first_reg).str();
+    rep.fired_a = fired_names(*fa.model);
+    rep.fired_b = fired_names(*fb.model);
+    return rep;
+}
+
+obs::Json
+DivergenceReport::to_json() const
+{
+    obs::Json j = obs::Json::object();
+    j["schema"] = "cuttlesim-bisect-v1";
+    j["engine_a"] = engine_a;
+    j["engine_b"] = engine_b;
+    j["diverged"] = diverged;
+    if (diverged) {
+        j["cycle"] = cycle;
+        j["reg"] = (int64_t)reg;
+        j["reg_name"] = reg_name;
+        j["value_a"] = value_a;
+        j["value_b"] = value_b;
+        obs::Json fa = obs::Json::array();
+        for (const std::string& n : fired_a)
+            fa.push_back(n);
+        j["fired_a"] = std::move(fa);
+        obs::Json fb = obs::Json::array();
+        for (const std::string& n : fired_b)
+            fb.push_back(n);
+        j["fired_b"] = std::move(fb);
+    }
+    obs::Json effort = obs::Json::object();
+    effort["checkpoints"] = checkpoints;
+    effort["replayed_cycles"] = replayed_cycles;
+    effort["state_compares"] = state_compares;
+    j["search"] = std::move(effort);
+    return j;
+}
+
+std::string
+DivergenceReport::to_text() const
+{
+    std::ostringstream os;
+    std::string pair = engine_a.empty() && engine_b.empty()
+                           ? std::string("engines")
+                           : engine_a + " vs " + engine_b;
+    if (!diverged) {
+        os << "bisect: " << pair << ": no divergence found\n";
+    } else {
+        os << "bisect: " << pair << ": first divergence at cycle "
+           << cycle << ": register '" << reg_name << "' (index " << reg
+           << ")\n"
+           << "  " << (engine_a.empty() ? "A" : engine_a) << " = "
+           << value_a << ", " << (engine_b.empty() ? "B" : engine_b)
+           << " = " << value_b << "\n";
+        auto list = [&](const char* label,
+                        const std::vector<std::string>& names) {
+            os << "  fired(" << label << "):";
+            if (names.empty())
+                os << " (none)";
+            for (const std::string& n : names)
+                os << " " << n;
+            os << "\n";
+        };
+        list(engine_a.empty() ? "A" : engine_a.c_str(), fired_a);
+        list(engine_b.empty() ? "B" : engine_b.c_str(), fired_b);
+    }
+    os << "  search: " << checkpoints << " checkpoints, "
+       << replayed_cycles << " replayed cycles, " << state_compares
+       << " full-state compares\n";
+    return os.str();
+}
+
+} // namespace koika::replay

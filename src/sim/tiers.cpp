@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "analysis/analysis.hpp"
+#include "base/error.hpp"
+#include "sim/state.hpp"
 
 namespace koika::sim {
 
@@ -649,7 +651,7 @@ class PolicyT5
 // The shared expression evaluator, templated on the transaction policy.
 // ---------------------------------------------------------------------------
 template <typename Policy>
-class TierEngine final : public TierModel
+class TierEngine final : public TierModel, public CheckpointableModel
 {
   public:
     TierEngine(const Design& d, Policy policy)
@@ -763,6 +765,62 @@ class TierEngine final : public TierModel
     const std::vector<uint64_t>& branch_not_taken_counts() const override
     {
         return cov_not_taken_;
+    }
+
+    // -- CheckpointableModel. Every tier keeps the same auxiliary
+    // state (the policies differ only in transaction mechanics, which
+    // is transient within a cycle), so checkpoints move freely between
+    // tiers: a T5 checkpoint resumes byte-identically on T0.
+    std::string state_key() const override { return "tier-v1"; }
+
+    void
+    save_extra_state(StateWriter& w) const override
+    {
+        w.put_u64(cycles_);
+        w.put_bool_vec(fired_);
+        w.put_u64_vec(commits_);
+        w.put_u64_vec(aborts_);
+        w.put_u64_vec(reasons_);
+        w.put_u64(cov_on_ ? 1 : 0);
+        if (cov_on_) {
+            w.put_u64_vec(cov_stmt_);
+            w.put_u64_vec(cov_taken_);
+            w.put_u64_vec(cov_not_taken_);
+        }
+    }
+
+    void
+    load_extra_state(StateReader& r) override
+    {
+        cycles_ = r.get_u64();
+        std::vector<bool> fired = r.get_bool_vec();
+        std::vector<uint64_t> commits = r.get_u64_vec();
+        std::vector<uint64_t> aborts = r.get_u64_vec();
+        std::vector<uint64_t> reasons = r.get_u64_vec();
+        if (fired.size() != fired_.size() ||
+            commits.size() != commits_.size() ||
+            aborts.size() != aborts_.size() ||
+            reasons.size() != reasons_.size())
+            fatal("checkpoint engine state does not match this "
+                  "design's rule count");
+        fired_ = std::move(fired);
+        commits_ = std::move(commits);
+        aborts_ = std::move(aborts);
+        reasons_ = std::move(reasons);
+        if (r.get_u64() != 0) {
+            enable_coverage();
+            std::vector<uint64_t> stmt = r.get_u64_vec();
+            std::vector<uint64_t> taken = r.get_u64_vec();
+            std::vector<uint64_t> not_taken = r.get_u64_vec();
+            if (stmt.size() != cov_stmt_.size() ||
+                taken.size() != cov_taken_.size() ||
+                not_taken.size() != cov_not_taken_.size())
+                fatal("checkpoint coverage state does not match this "
+                      "design's node count");
+            cov_stmt_ = std::move(stmt);
+            cov_taken_ = std::move(taken);
+            cov_not_taken_ = std::move(not_taken);
+        }
     }
 
   private:

@@ -184,10 +184,13 @@ TEST(Debugger, ReverseWatchpointFindsLastWrite)
     for (int i = 0; i < 50; ++i)
         dbg.step();
     // x changes every cycle, so its last change is 0 cycles ago.
-    EXPECT_EQ(dbg.last_change("x"), 0);
+    LastChange x_change = dbg.last_change("x");
+    EXPECT_EQ(x_change.status, LastChange::kFound);
+    EXPECT_EQ(x_change.ago, 0u);
     // The LFSR has not changed yet (no reload in the first 50 steps of
-    // the 27 trajectory).
-    EXPECT_EQ(dbg.last_change("lfsr"), -1);
+    // the 27 trajectory); the whole run is recorded, so the debugger
+    // can say "never changed" rather than "unknown".
+    EXPECT_EQ(dbg.last_change("lfsr").status, LastChange::kNeverChanged);
     // Step history: exactly one rule fired last cycle.
     EXPECT_EQ(dbg.fired_rules_ago(0).size(), 1u);
     // Value inspection in the past matches re-simulation.
