@@ -11,11 +11,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
+
+#include <dirent.h>
 
 #include "codegen/compile.hpp"
 #include "codegen/generated_model.hpp"
 #include "designs/designs.hpp"
 #include "designs/rv32.hpp"
+#include "obs/prof.hpp"
 #include "obs/stats.hpp"
 #include "riscv/programs.hpp"
 
@@ -82,6 +86,45 @@ cache_options()
     opts.cache.dir =
         no_cache ? "" : koika::codegen::default_cache_dir();
     return opts;
+}
+
+/**
+ * The `host` block of every BENCH_*.json: which machine and toolchain
+ * produced the numbers, so bench trajectories are comparable across
+ * checkouts and boxes. Fields: compiler (path + --version banner, the
+ * same identity the compiled-model cache keys on), hw_concurrency,
+ * cache_dir / cache_enabled / cache_entries (warm-cache state explains
+ * why fig3's compile column collapsed), and smoke.
+ */
+inline koika::obs::Json
+host_json()
+{
+    koika::obs::Json h = koika::obs::Json::object();
+    std::string compiler = koika::codegen::compiler_identity();
+    for (char& c : compiler)
+        if (c == '\n')
+            c = ' ';
+    h["compiler"] = compiler;
+    h["hw_concurrency"] =
+        (uint64_t)std::thread::hardware_concurrency();
+    std::string cache_dir = cache_options().cache.dir;
+    h["cache_enabled"] = !cache_dir.empty();
+    h["cache_dir"] = cache_dir;
+    uint64_t entries = 0;
+    if (!cache_dir.empty()) {
+        if (DIR* dir = opendir(cache_dir.c_str())) {
+            while (struct dirent* ent = readdir(dir)) {
+                std::string name = ent->d_name;
+                if (name.size() >= 5 &&
+                    name.compare(name.size() - 4, 4, ".bin") == 0)
+                    entries++;
+            }
+            closedir(dir);
+        }
+    }
+    h["cache_entries"] = entries;
+    h["smoke"] = smoke();
+    return h;
 }
 
 /** Default prime-sieve bound for the CPU workload (paper: "a simple
@@ -209,6 +252,17 @@ class BenchReport
             s.export_to(metrics, s.label);
         }
         root["entries"] = std::move(arr);
+        root["host"] = host_json();
+        // Where the bench's own wall time went (cuttlesim-prof-v1,
+        // embedded): report_init() arms the span profiler, so every
+        // BENCH_*.json carries its host-side phase breakdown, mirrored
+        // into the metrics registry under "prof/...".
+        koika::obs::Profiler& prof = koika::obs::Profiler::instance();
+        if (prof.enabled()) {
+            auto rep = prof.report();
+            root["prof"] = rep.to_json();
+            rep.export_to(metrics, "prof");
+        }
         root["metrics"] = metrics.to_json();
         std::string path = "BENCH_" + name_ + ".json";
         std::ofstream out(path);
@@ -235,6 +289,17 @@ inline void
 report_init(const std::string& name)
 {
     report().set_name(name);
+    // Arm the host span profiler so the report's `prof` block is
+    // populated. KOIKA_BENCH_NO_PROF=1 opts out — that is the A/B knob
+    // behind the "profiling disabled costs <2%" overhead claim
+    // (bench_parallel measures both arms).
+    const char* env = std::getenv("KOIKA_BENCH_NO_PROF");
+    bool no_prof = env != nullptr && *env != '\0' &&
+                   std::string(env) != "0";
+    if (!no_prof) {
+        koika::obs::Profiler::instance().enable();
+        koika::obs::Profiler::instance().set_thread_name("main");
+    }
 }
 
 } // namespace bench

@@ -25,6 +25,12 @@
 // in trial order after the workers join, so — like the verdict — the
 // database is byte-identical at any worker count and can be merged with
 // databases from other producers via `cuttlec --coverage-merge`.
+//
+// With KOIKA_PROF=FILE set, the host span profiler is armed and a
+// cuttlesim-prof-v1 report (docs/OBSERVABILITY.md) is written to FILE
+// at exit: per-trial setup vs. run attribution plus worker-pool
+// utilization, the data that tells a slow fuzz run apart from an
+// underfed one.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,12 +38,14 @@
 #include <memory>
 #include <random>
 
+#include "base/io.hpp"
 #include "designs/designs.hpp"
 #include "designs/msi.hpp"
 #include "designs/rv32.hpp"
 #include "harness/memory.hpp"
 #include "harness/parallel.hpp"
 #include "obs/coverage.hpp"
+#include "obs/prof.hpp"
 #include "riscv/goldensim.hpp"
 #include "riscv/programs.hpp"
 #include "sim/tiers.hpp"
@@ -94,6 +102,7 @@ fuzz_closed(const std::string& name, int cycles, int trials)
     if (!fuzz_cov_prefix.empty())
         cov.resize((size_t)trials);
     harness::parallel_for((uint64_t)trials, fuzz_jobs, [&](uint64_t t) {
+        obs::ProfScope setup_span("trial/setup");
         std::mt19937_64 rng(harness::derive_seed(42, t));
         auto e = sim::make_engine(*d, sim::Tier::kT4MergedData);
         std::unique_ptr<obs::CoverageCollector> collector;
@@ -101,6 +110,8 @@ fuzz_closed(const std::string& name, int cycles, int trials)
             collector =
                 std::make_unique<obs::CoverageCollector>(*d, *e);
         std::vector<int> order = identity_order(*d);
+        setup_span.close();
+        obs::ProfScope run_span("trial/run");
         for (int c = 0; c < cycles; ++c) {
             std::shuffle(order.begin(), order.end(), rng);
             e->cycle_with_order(order);
@@ -143,6 +154,7 @@ fuzz_rv32(int trials)
     if (!fuzz_cov_prefix.empty())
         cov.resize((size_t)trials);
     harness::parallel_for((uint64_t)trials, fuzz_jobs, [&](uint64_t t) {
+        obs::ProfScope setup_span("trial/setup");
         std::mt19937_64 rng(harness::derive_seed(7, t));
         auto e = sim::make_engine(*d, sim::Tier::kT4MergedData);
         std::unique_ptr<obs::CoverageCollector> collector;
@@ -153,6 +165,8 @@ fuzz_rv32(int trials)
         mem.load_words(prog.words, prog.base);
         harness::MemPort imem(mem, ports.imem), dmem(mem, ports.dmem);
         std::vector<int> order = identity_order(*d);
+        setup_span.close();
+        obs::ProfScope run_span("trial/run");
         for (int c = 0; c < 500'000; ++c) {
             std::shuffle(order.begin(), order.end(), rng);
             e->cycle_with_order(order);
@@ -193,6 +207,13 @@ main(int argc, char** argv)
         harness::resolve_jobs(argc > 2 ? std::atoi(argv[2]) : 0);
     if (const char* prefix = std::getenv("KOIKA_FUZZ_COVERAGE"))
         fuzz_cov_prefix = prefix;
+    std::string prof_file;
+    if (const char* pf = std::getenv("KOIKA_PROF"))
+        prof_file = pf;
+    if (!prof_file.empty()) {
+        obs::Profiler::instance().enable();
+        obs::Profiler::instance().set_thread_name("main");
+    }
     std::printf("Case study 2: scheduler randomization.\n"
                 "Rules run in a fresh random order every cycle; designs "
                 "must not depend on\nthe scheduler for correctness.\n"
@@ -202,6 +223,13 @@ main(int argc, char** argv)
     ok &= fuzz_closed("collatz", 500, 20 * scale);
     ok &= fuzz_closed("fir", 300, 10 * scale);
     ok &= fuzz_rv32(5 * scale);
+    if (!prof_file.empty()) {
+        write_file_atomic(
+            prof_file,
+            obs::Profiler::instance().report().to_json().dump(2) + "\n");
+        std::fprintf(stderr, "profile report written to %s\n",
+                     prof_file.c_str());
+    }
     std::printf("\n%s\n",
                 ok ? "All randomized schedules preserved functional "
                      "behaviour."

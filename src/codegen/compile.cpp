@@ -22,6 +22,7 @@
 
 #include "base/sha256.hpp"
 #include "codegen/cpp_emit.hpp"
+#include "obs/prof.hpp"
 
 #ifndef CUTTLESIM_RUNTIME_DIR
 #error "CUTTLESIM_RUNTIME_DIR must be defined by the build system"
@@ -386,6 +387,12 @@ compile_metrics()
     return *registry;
 }
 
+const std::string&
+compiler_identity()
+{
+    return compiler_id();
+}
+
 std::string
 RunResult::describe() const
 {
@@ -440,6 +447,7 @@ compile_cpp(const std::string& workdir,
     result.binary = binary;
     bool caching = !opts.cache.dir.empty();
     if (caching) {
+        obs::ProfScope probe("compile/cache-probe");
         result.cache_key = cache_key_for(files, main_file, flags);
         if (cache_lookup(opts.cache, result.cache_key, binary)) {
             cache_count("compile.cache_hits");
@@ -454,7 +462,9 @@ compile_cpp(const std::string& workdir,
     run_opts.timeout_seconds = opts.timeout_seconds;
     run_opts.retries = opts.retries;
     run_opts.backoff_seconds = opts.backoff_seconds;
+    obs::ProfScope fork_span("compile/external");
     RunResult run = run_command(cmd, run_opts);
+    fork_span.close();
     cache_count("compile.external_compiles");
     if (!run.ok())
         fatal_diag(Diagnostic{.phase = "compile",
@@ -467,8 +477,10 @@ compile_cpp(const std::string& workdir,
 
     result.compile_seconds = run.seconds;
     result.attempts = run.attempts;
-    if (caching)
+    if (caching) {
+        obs::ProfScope store_span("compile/cache-store");
         cache_store(opts.cache, result.cache_key, binary);
+    }
     return result;
 }
 
@@ -483,8 +495,11 @@ compile_model_driver(const Design& design, const std::string& workdir,
         with_design.design = design.name();
     EmitOptions eopts = opts.emit;
     eopts.class_name.clear(); // the file is named after the design
+    obs::ProfScope emit_span("compile/emit");
+    std::string model = emit_model(design, eopts);
+    emit_span.close();
     return compile_cpp(workdir,
-                       {{cls + ".model.hpp", emit_model(design, eopts)},
+                       {{cls + ".model.hpp", std::move(model)},
                         {cls + ".driver.cpp", driver_cpp}},
                        cls + ".driver.cpp", flags, with_design);
 }
@@ -528,7 +543,9 @@ run_binary(const std::string& binary, const std::string& args,
     // decoded as the binary's own signal death, not as the shell's
     // 128+N exit-code convention.
     std::string cmd = "exec " + binary + " " + args;
+    obs::ProfScope span("binary/run");
     RunResult run = run_command(cmd, opts);
+    span.close();
     if (!run.ok())
         fatal_diag(Diagnostic{.phase = "run",
                               .command = cmd,
@@ -543,7 +560,9 @@ time_binary(const std::string& binary, const std::string& args,
             const RunOptions& opts)
 {
     std::string cmd = "exec " + binary + " " + args + " > /dev/null";
+    obs::ProfScope span("binary/run");
     RunResult run = run_command(cmd, opts);
+    span.close();
     if (!run.ok())
         fatal_diag(Diagnostic{.phase = "run",
                               .command = cmd,

@@ -119,6 +119,16 @@ std::string default_cache_dir();
  */
 obs::MetricsRegistry& compile_metrics();
 
+/**
+ * The compiler's identity string — absolute path plus the first line of
+ * its `--version` banner, newline-separated. This is the same string
+ * the cache key hashes (so two processes agree on identity iff they
+ * would share cache entries); benches embed it in their `host` block so
+ * results are comparable across machines. Computed once per process
+ * (the first call forks the compiler).
+ */
+const std::string& compiler_identity();
+
 struct CompileResult
 {
     /** Path of the produced executable. */

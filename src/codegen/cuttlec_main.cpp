@@ -64,6 +64,15 @@
  * --no-cache disables). A warm hit skips the external compiler
  * entirely; the compile.cache_* counters in the output say which path
  * ran.
+ *
+ * Host-side profiling (docs/OBSERVABILITY.md): --profile=FILE writes a
+ * cuttlesim-prof-v1 wall-clock report of the run itself (per-phase
+ * totals, per-worker busy/idle, pool utilization), --profile-trace=FILE
+ * writes the matching Chrome trace-event host timeline, and --progress
+ * paints a live trials/sec + ETA heartbeat on stderr during fault
+ * campaigns. All three observe only the host; every deterministic
+ * artifact (reports, coverage, checkpoints) is byte-identical with or
+ * without them.
  */
 #include <chrono>
 #include <cstdio>
@@ -86,6 +95,7 @@
 #include "interp/reference_model.hpp"
 #include "koika/print.hpp"
 #include "obs/coverage.hpp"
+#include "obs/prof.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "replay/bisect.hpp"
@@ -172,6 +182,8 @@ usage()
            "               [--jobs=N] [--cache-dir=DIR] [--no-cache]\n"
            "               [--checkpoint=FILE] [--checkpoint-every=N]\n"
            "               [--restore=FILE] [--run-to=CYCLE]\n"
+           "               [--profile=FILE] [--profile-trace=FILE]\n"
+           "               [--progress]\n"
            "       cuttlec --design NAME --bisect-divergence A B\n"
            "               [--perturb=CYCLE:REG:BIT] [--cycles N]\n"
            "               [--bisect-report=FILE]\n"
@@ -249,6 +261,19 @@ usage()
            "                ~/.cache/cuttlesim; a warm hit skips the\n"
            "                external compiler)\n"
            "  --no-cache    disable the compiled-model cache\n"
+           "  --profile=FILE\n"
+           "                write a cuttlesim-prof-v1 host wall-clock\n"
+           "                profile of this invocation: per-phase\n"
+           "                total/count/mean/max, per-worker busy vs.\n"
+           "                idle, pool utilization. Structure is\n"
+           "                identical at any --jobs value\n"
+           "  --profile-trace=FILE\n"
+           "                write the matching Chrome trace-event host\n"
+           "                timeline (one lane per worker thread; open\n"
+           "                in ui.perfetto.dev)\n"
+           "  --progress    live heartbeat on stderr during fault\n"
+           "                campaigns: injections done, trials/sec, ETA,\n"
+           "                worker busy % (with --profile*)\n"
            "  --instrument  emit only NAME_instr.model.hpp: a model with\n"
            "                counters, abort-reason attribution, and\n"
            "                statement/branch coverage arrays\n";
@@ -369,6 +394,10 @@ make_target_factory(const koika::Design& design,
     using koika::designs::Rv32CorePorts;
     if (design.name().rfind("rv32", 0) != 0)
         return [&design, engine]() {
+            // Engine construction is the suspected per-trial cost in
+            // parallel campaigns (ROADMAP item 2) — give it its own
+            // phase so the profile can prove or refute that.
+            koika::obs::ProfScope span("engine/build");
             koika::fault::FaultTarget t;
             t.model = make_model(design, engine);
             return t;
@@ -389,6 +418,7 @@ make_target_factory(const koika::Design& design,
             std::vector<std::unique_ptr<koika::harness::MemPort>>
                 mem_ports;
         };
+        koika::obs::ProfScope span("engine/build");
         auto ctx = std::make_shared<Ctx>();
         for (const Rv32CorePorts& p : *ports) {
             auto mem =
@@ -430,7 +460,7 @@ make_target_factory(const koika::Design& design,
 int
 fault_campaign(const koika::Design& design, const std::string& engine,
                uint64_t seed, int count, uint64_t cycles, int jobs,
-               const std::string& report_file,
+               bool progress, const std::string& report_file,
                const std::string& checkpoint_file, const RunOutputs& out)
 {
     koika::fault::CampaignConfig config;
@@ -438,6 +468,7 @@ fault_campaign(const koika::Design& design, const std::string& engine,
     config.count = count;
     config.cycles = cycles;
     config.jobs = jobs;
+    config.progress = progress;
     config.collect_coverage = out.wants_coverage();
     config.checkpoint_file = checkpoint_file;
 
@@ -452,6 +483,7 @@ fault_campaign(const koika::Design& design, const std::string& engine,
     koika::obs::MetricsRegistry metrics;
     report.export_to(metrics, "fault/" + design.name());
 
+    koika::obs::ProfScope write_span("campaign/report-write");
     if (report.has_coverage) {
         report.coverage.add_engine(report.engine);
         write_coverage_outputs(design, report.coverage, out);
@@ -464,6 +496,7 @@ fault_campaign(const koika::Design& design, const std::string& engine,
             j["coverage"] = report.coverage.summary_json();
         write_file(report_file, j.dump(2) + "\n");
     }
+    write_span.close();
     std::cout << report.to_text() << metrics.to_text();
     return 0;
 }
@@ -863,6 +896,7 @@ simulate(const koika::Design& design, const std::string& engine,
     // Same stimulus routing as fault campaigns and golden runs: rv32
     // designs run the primes program out of magic memories, closed
     // designs run bare.
+    koika::obs::ProfScope setup_span("sim/setup");
     koika::fault::FaultTarget target =
         make_target_factory(design, engine)();
     koika::sim::Model& model = *target.model;
@@ -945,6 +979,8 @@ simulate(const koika::Design& design, const std::string& engine,
                 koika::obs::Json::parse(*s));
     }
 
+    setup_span.close();
+    koika::obs::ProfScope run_span("sim/run");
     auto t0 = std::chrono::steady_clock::now();
     for (uint64_t c = start; c < end; ++c) {
         model.cycle();
@@ -970,6 +1006,8 @@ simulate(const koika::Design& design, const std::string& engine,
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    run_span.close();
+    koika::obs::ProfScope out_span("sim/write-output");
 
     if (trace != nullptr) {
         trace->finish();
@@ -1116,9 +1154,11 @@ main(int argc, char** argv)
     std::string cache_dir = koika::codegen::default_cache_dir();
     std::string fault_checkpoint;
     std::string bisect_a, bisect_b, perturb, bisect_report;
+    std::string profile_file, profile_trace;
     RunOutputs outputs;
     bool stats = false, print_koika = false, counters = true;
     bool instrument = false, fault = false, bisect = false;
+    bool progress = false;
     uint64_t cycles = 1000, fault_seed = 1;
     int fault_count = 100, jobs = 1;
     for (int i = 1; i < argc; ++i) {
@@ -1192,6 +1232,12 @@ main(int argc, char** argv)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             jobs = (int)std::strtol(arg.c_str() + std::strlen("--jobs="),
                                     nullptr, 10);
+        } else if (arg.rfind("--profile=", 0) == 0) {
+            profile_file = arg.substr(std::strlen("--profile="));
+        } else if (arg.rfind("--profile-trace=", 0) == 0) {
+            profile_trace = arg.substr(std::strlen("--profile-trace="));
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg.rfind("--cache-dir=", 0) == 0) {
             cache_dir = arg.substr(std::strlen("--cache-dir="));
         } else if (arg == "--no-cache") {
@@ -1219,8 +1265,21 @@ main(int argc, char** argv)
         return usage();
     }
 
-    try {
-        auto design = koika::designs::build_design(design_name);
+    // Arm the profiler before any profiled work (design build included)
+    // so the report accounts for the whole invocation.
+    bool profiling = !profile_file.empty() || !profile_trace.empty();
+    if (profiling) {
+        koika::obs::Profiler::instance().enable();
+        koika::obs::Profiler::instance().set_thread_name("main");
+    }
+    // Every command path funnels through this lambda so the profile
+    // artifacts can be written once, after the command finishes,
+    // whatever return statement it took.
+    auto dispatch = [&]() -> int {
+        auto design = [&] {
+            koika::obs::ProfScope span("design-build");
+            return koika::designs::build_design(design_name);
+        }();
         std::string cls = koika::codegen::model_class_name(*design);
 
         if (print_koika) {
@@ -1248,7 +1307,7 @@ main(int argc, char** argv)
                 engine = "T5";
             }
             return fault_campaign(*design, engine, fault_seed,
-                                  fault_count, cycles, jobs,
+                                  fault_count, cycles, jobs, progress,
                                   fault_report, fault_checkpoint,
                                   outputs);
         }
@@ -1314,8 +1373,38 @@ main(int argc, char** argv)
         write_file(out_dir + "/" + cls + ".v",
                    koika::rtl::emit_verilog(netlist, cls));
         return 0;
+    };
+
+    int rc;
+    try {
+        rc = dispatch();
     } catch (const koika::FatalError& err) {
         std::cerr << "cuttlec: " << err.what() << "\n";
-        return 1;
+        rc = 1;
     }
+
+    // Profile artifacts are written even when the command failed: a
+    // profile of the part that did run is exactly what a slow-or-stuck
+    // investigation needs.
+    if (profiling) {
+        try {
+            koika::obs::Profiler& prof =
+                koika::obs::Profiler::instance();
+            if (!profile_file.empty()) {
+                write_file(profile_file,
+                           prof.report().to_json().dump(2) + "\n");
+                std::cerr << "cuttlec: wrote host profile '"
+                          << profile_file << "'\n";
+            }
+            if (!profile_trace.empty()) {
+                write_file(profile_trace, prof.trace_json());
+                std::cerr << "cuttlec: wrote host timeline '"
+                          << profile_trace << "'\n";
+            }
+        } catch (const koika::FatalError& err) {
+            std::cerr << "cuttlec: " << err.what() << "\n";
+            rc = 1;
+        }
+    }
+    return rc;
 }

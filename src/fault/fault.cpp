@@ -1,12 +1,17 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <random>
 #include <sstream>
+#include <thread>
 
 #include "base/io.hpp"
 #include "harness/parallel.hpp"
+#include "obs/prof.hpp"
 
 namespace koika::fault {
 
@@ -259,6 +264,10 @@ run_injection(const Design& design, const TargetFactory& factory,
     rec.spec = spec;
     rec.reg_name = design.reg(spec.reg).name;
 
+    // Per-trial setup vs. run split: the ratio of these two phases is
+    // what decides whether parallel campaigns are worth their fork
+    // overhead (ROADMAP item 2).
+    obs::ProfScope setup_span("trial/setup");
     FaultTarget golden = factory();
     FaultTarget faulted = factory();
 
@@ -281,6 +290,9 @@ run_injection(const Design& design, const TargetFactory& factory,
         gprev_r = gstats->rule_abort_reason_counts();
         fprev_r = fstats->rule_abort_reason_counts();
     }
+
+    setup_span.close();
+    obs::ProfScope run_span("trial/run");
 
     bool injected = false;
     bool engine_fault = false;
@@ -429,7 +441,9 @@ run_campaign(const Design& design, const TargetFactory& factory,
     // workers cannot change what gets injected; writing each record
     // into its own slot keeps the report order identical to a serial
     // run. Outcome tallying happens after the join, in list order.
+    obs::ProfScope gen_span("campaign/generate-faults");
     std::vector<FaultSpec> faults = generate_faults(design, config);
+    gen_span.close();
     report.injections.resize(faults.size());
     if (config.collect_coverage) {
         report.coverage = obs::CoverageMap::for_design(design);
@@ -455,28 +469,110 @@ run_campaign(const Design& design, const TargetFactory& factory,
     std::vector<obs::CoverageMap> shard_cov;
     if (config.collect_coverage)
         shard_cov.resize(faults.size());
-    while (completed < faults.size()) {
-        size_t end = std::min(completed + chunk, faults.size());
-        harness::parallel_for(
-            end - completed, config.jobs, [&](uint64_t k) {
-                size_t i = completed + k;
-                report.injections[i] = run_injection(
-                    design, factory, faults[i], config.cycles,
-                    config.collect_coverage ? &shard_cov[i] : nullptr);
-            });
-        // Fold per-injection maps in fault-list order after the join;
-        // merge() is commutative addition, so the database matches a
-        // serial run byte for byte at any job count.
-        if (config.collect_coverage)
-            for (size_t i = completed; i < end; ++i)
-                report.coverage.merge(shard_cov[i]);
-        completed = end;
-        if (!config.checkpoint_file.empty())
-            save_progress(config.checkpoint_file, report.design,
-                          config, report.injections, completed,
-                          config.collect_coverage ? &report.coverage
-                                                  : nullptr);
+
+    // Heartbeat: one monitor thread repaints a stderr status line about
+    // once a second. It reads two atomics (completed count, profiler
+    // busy aggregate) and never touches campaign state, so the report
+    // stays byte-identical with or without it.
+    std::atomic<uint64_t> done{(uint64_t)completed};
+    std::atomic<bool> stop_monitor{false};
+    bool monitor_printed = false;
+    std::thread monitor;
+    if (config.progress) {
+        uint64_t total = (uint64_t)faults.size();
+        int jobs = harness::resolve_jobs(config.jobs);
+        monitor = std::thread([&done, &stop_monitor, &monitor_printed,
+                               total, jobs] {
+            obs::Profiler& prof = obs::Profiler::instance();
+            auto start = std::chrono::steady_clock::now();
+            uint64_t first = done.load(std::memory_order_relaxed);
+            double prev_busy = prof.busy_seconds();
+            auto prev_t = start;
+            while (!stop_monitor.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+                auto now = std::chrono::steady_clock::now();
+                if (now - prev_t < std::chrono::milliseconds(900))
+                    continue;
+                double elapsed =
+                    std::chrono::duration<double>(now - start).count();
+                double interval =
+                    std::chrono::duration<double>(now - prev_t).count();
+                prev_t = now;
+                uint64_t d = done.load(std::memory_order_relaxed);
+                double rate =
+                    elapsed > 0 ? (double)(d - first) / elapsed : 0;
+                char line[160];
+                int len = std::snprintf(
+                    line, sizeof line,
+                    "\rfault campaign: %llu/%llu injections",
+                    (unsigned long long)d, (unsigned long long)total);
+                if (rate > 0) {
+                    len += std::snprintf(
+                        line + len, sizeof line - (size_t)len,
+                        "  %.1f/s  ETA %.0fs", rate,
+                        (double)(total - d) / rate);
+                }
+                if (prof.enabled() && jobs > 0 && interval > 0) {
+                    double busy = prof.busy_seconds();
+                    double util = (busy - prev_busy) /
+                                  (interval * (double)jobs);
+                    prev_busy = busy;
+                    len += std::snprintf(
+                        line + len, sizeof line - (size_t)len,
+                        "  workers %.0f%% busy",
+                        100.0 * std::min(1.0, std::max(0.0, util)));
+                }
+                std::fprintf(stderr, "%-79s", line);
+                std::fflush(stderr);
+                monitor_printed = true;
+            }
+        });
     }
+
+    auto stop_heartbeat = [&] {
+        if (!monitor.joinable())
+            return;
+        stop_monitor.store(true, std::memory_order_relaxed);
+        monitor.join();
+        if (monitor_printed)
+            std::fprintf(stderr, "\n");
+    };
+
+    try {
+        while (completed < faults.size()) {
+            size_t end = std::min(completed + chunk, faults.size());
+            harness::parallel_for(
+                end - completed, config.jobs, [&](uint64_t k) {
+                    size_t i = completed + k;
+                    report.injections[i] = run_injection(
+                        design, factory, faults[i], config.cycles,
+                        config.collect_coverage ? &shard_cov[i]
+                                                : nullptr);
+                    done.fetch_add(1, std::memory_order_relaxed);
+                });
+            // Fold per-injection maps in fault-list order after the
+            // join; merge() is commutative addition, so the database
+            // matches a serial run byte for byte at any job count.
+            if (config.collect_coverage) {
+                obs::ProfScope merge_span("campaign/merge");
+                for (size_t i = completed; i < end; ++i)
+                    report.coverage.merge(shard_cov[i]);
+            }
+            completed = end;
+            if (!config.checkpoint_file.empty()) {
+                obs::ProfScope save_span("campaign/progress-save");
+                save_progress(config.checkpoint_file, report.design,
+                              config, report.injections, completed,
+                              config.collect_coverage ? &report.coverage
+                                                      : nullptr);
+            }
+        }
+    } catch (...) {
+        stop_heartbeat();
+        throw;
+    }
+    stop_heartbeat();
     for (const InjectionRecord& rec : report.injections) {
         switch (rec.outcome) {
           case Outcome::kMasked: report.masked++; break;

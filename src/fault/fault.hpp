@@ -172,6 +172,14 @@ struct CampaignConfig
     std::string checkpoint_file;
     /** Injections per progress-save chunk (with checkpoint_file). */
     int checkpoint_every = 16;
+    /**
+     * Live heartbeat for long campaigns: a monitor thread rewrites one
+     * stderr line (~1/s) with completed/total injections, trials/sec,
+     * ETA, and — when the span profiler is enabled — worker busy
+     * percentage. stderr only; the JSON report is unaffected, so the
+     * byte-identity contracts above still hold.
+     */
+    bool progress = false;
 };
 
 struct CampaignReport

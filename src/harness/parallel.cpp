@@ -1,13 +1,29 @@
 #include "harness/parallel.hpp"
 
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "base/error.hpp"
+#include "obs/prof.hpp"
 
 namespace koika::harness {
+
+namespace {
+
+/** Canonical worker lane name: zero-padded so report ordering is
+ *  lexicographic == numeric ("worker-003"). */
+std::string
+worker_lane_name(int id)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "worker-%03d", id);
+    return name;
+}
+
+} // namespace
 
 int
 resolve_jobs(int jobs)
@@ -52,10 +68,16 @@ struct ThreadPool::Impl
     worker(int id, int jobs)
     {
         uint64_t seen = 0;
+        bool lane_named = false;
         for (;;) {
             uint64_t batch_n;
             const std::function<void(uint64_t, int)>* batch_fn;
             {
+                // Queue wait is measured idleness (SpanKind::kIdle): it
+                // shows on the worker's timeline lane and in its
+                // wait_seconds, but stays out of the phase table so the
+                // report structure is --jobs-independent.
+                obs::ProfScope wait("pool/wait", obs::SpanKind::kIdle);
                 std::unique_lock<std::mutex> lock(mutex);
                 start_cv.wait(lock, [&] {
                     return shutdown || generation != seen;
@@ -66,8 +88,14 @@ struct ThreadPool::Impl
                 batch_n = n;
                 batch_fn = fn;
             }
+            if (!lane_named && obs::Profiler::instance().enabled()) {
+                obs::Profiler::instance().set_thread_name(
+                    worker_lane_name(id));
+                lane_named = true;
+            }
             for (uint64_t item = (uint64_t)id; item < batch_n;
                  item += (uint64_t)jobs) {
+                obs::ProfScope span("pool/item");
                 try {
                     (*batch_fn)(item, id);
                 } catch (...) {
@@ -125,6 +153,9 @@ ThreadPool::run(uint64_t n,
         // jobs=1 and jobs=N are observably identical.
         std::exception_ptr first_inline;
         for (uint64_t item = 0; item < n; ++item) {
+            // Same "pool/item" span as the threaded path, so a jobs=1
+            // profile has the identical phase set.
+            obs::ProfScope span("pool/item");
             try {
                 fn(item, 0);
             } catch (...) {
@@ -184,6 +215,7 @@ parallel_for_metrics(
     pool.run(n, [&fn, &shards](uint64_t item, int worker) {
         fn(item, shards[(size_t)worker]);
     });
+    obs::ProfScope span("pool/merge");
     for (const obs::MetricsRegistry& shard : shards)
         merged.merge_from(shard);
 }

@@ -15,6 +15,7 @@
 
 #include <functional>
 
+#include "obs/prof.hpp"
 #include "sim/model.hpp"
 #include "sim/state.hpp"
 
@@ -46,6 +47,9 @@ run_system(sim::Model& model, const std::vector<Peripheral*>& peripherals,
            uint64_t max_cycles,
            const std::function<bool(sim::Model&)>& stop = nullptr)
 {
+    // One span per system run (never per cycle): the engines' top-level
+    // run loop shows up on the host profile without per-cycle overhead.
+    obs::ProfScope span("sim/system-run");
     for (uint64_t c = 0; c < max_cycles; ++c) {
         model.cycle();
         for (Peripheral* p : peripherals)

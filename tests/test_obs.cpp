@@ -296,3 +296,94 @@ TEST(Trace, RecordCycleExplicitPath)
     EXPECT_TRUE(events->is_array());
     EXPECT_EQ(tw.cycles_recorded(), 2u);
 }
+
+TEST(Trace, EmptyRuleSetStillEmitsValidJson)
+{
+    // A design with no rules (or a trace closed before any cycle) must
+    // still produce a parseable document with the process metadata.
+    std::ostringstream out;
+    {
+        TraceWriter tw(out, {}, "empty");
+        tw.record_cycle({}, {});
+        tw.finish();
+    }
+    Json doc = Json::parse(out.str());
+    const Json* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    bool saw_process = false;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json* ph = events->at(i).find("ph");
+        ASSERT_NE(ph, nullptr);
+        // Only metadata can exist without rules.
+        EXPECT_EQ(ph->as_string(), "M");
+        saw_process = true;
+    }
+    EXPECT_TRUE(saw_process);
+}
+
+TEST(Trace, RuleNamesAreJsonEscaped)
+{
+    // Rule names are user-controlled strings; quotes, backslashes, and
+    // control characters must round-trip through the emitted JSON.
+    std::ostringstream out;
+    {
+        TraceWriter tw(out, {"we\"ird\\rule\tname"}, "esc\"proc");
+        tw.record_cycle({true}, {nullptr});
+        tw.record_cycle({false}, {"gu\"ard"});
+        tw.finish();
+    }
+    Json doc = Json::parse(out.str()); // throws on malformed output
+    const Json* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool found_slice = false, found_lane = false, found_reason = false;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json& e = events->at(i);
+        const Json* name = e.find("name");
+        if (name != nullptr && name->kind() == Json::Kind::kString &&
+            name->as_string() == "we\"ird\\rule\tname")
+            found_slice = true; // the commit slice carries the raw name
+        const Json* args = e.find("args");
+        if (args == nullptr)
+            continue;
+        const Json* aname = args->find("name");
+        if (aname != nullptr &&
+            aname->as_string() == "rule we\"ird\\rule\tname")
+            found_lane = true; // the lane metadata prefixes "rule "
+        const Json* reason = args->find("reason");
+        if (reason != nullptr && reason->as_string() == "gu\"ard")
+            found_reason = true;
+    }
+    EXPECT_TRUE(found_slice)
+        << "escaped rule name did not survive the JSON round-trip";
+    EXPECT_TRUE(found_lane);
+    EXPECT_TRUE(found_reason);
+}
+
+TEST(Trace, StreamsInConstantMemory)
+{
+    // The writer must stream: events of early cycles land in the output
+    // before finish(), and the document only becomes valid at finish().
+    std::ostringstream out;
+    TraceWriter tw(out, {"r"});
+    tw.record_cycle({true}, {nullptr});
+    size_t after_one = out.str().size();
+    EXPECT_GT(after_one, 0u) << "nothing streamed before finish()";
+    for (int c = 0; c < 999; ++c)
+        tw.record_cycle({true}, {nullptr});
+    // Monotone growth cycle by cycle — the buffered-until-finish
+    // anti-pattern would keep the stream empty until the end.
+    EXPECT_GT(out.str().size(), after_one);
+    tw.finish();
+    Json doc = Json::parse(out.str());
+    const Json* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    size_t slices = 0;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json* ph = events->at(i).find("ph");
+        if (ph != nullptr && ph->as_string() == "X")
+            ++slices;
+    }
+    EXPECT_EQ(slices, 1000u);
+    EXPECT_EQ(tw.cycles_recorded(), 1000u);
+}

@@ -13,7 +13,11 @@ Exits 0 when every file validates; prints one line per problem.
 """
 
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_prof_schema  # the embedded `prof` block is cuttlesim-prof-v1
 
 
 def err(problems, path, msg):
@@ -75,6 +79,22 @@ def check_entry(problems, path, i, entry):
         err(problems, where, "'extra' must be an object")
 
 
+def check_host(problems, path, host):
+    """The `host` block: which machine/toolchain produced the numbers."""
+    where = f"{path} host"
+    if not isinstance(host, dict):
+        err(problems, where, "'host' must be an object "
+                             "(bench_util.hpp host_json)")
+        return
+    check_string(problems, where, host, "compiler")
+    check_string(problems, where, host, "cache_dir")
+    check_number(problems, where, host, "hw_concurrency")
+    check_number(problems, where, host, "cache_entries")
+    for key in ("cache_enabled", "smoke"):
+        if not isinstance(host.get(key), bool):
+            err(problems, where, f"field '{key}' must be a boolean")
+
+
 def check_file(problems, path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -99,6 +119,11 @@ def check_file(problems, path):
                             "nothing")
     for i, entry in enumerate(entries):
         check_entry(problems, path, i, entry)
+    check_host(problems, path, root.get("host"))
+    # `prof` is optional (KOIKA_BENCH_NO_PROF=1 suppresses it) but must
+    # be a valid cuttlesim-prof-v1 report when present.
+    if "prof" in root:
+        check_prof_schema.validate(problems, f"{path} prof", root["prof"])
     metrics = root.get("metrics")
     if not isinstance(metrics, dict):
         err(problems, path, "'metrics' must be an object "

@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""Validate cuttlesim-prof-v1 host-profile reports.
+
+The span profiler (src/obs/prof.hpp, documented field by field in
+docs/OBSERVABILITY.md) summarises where a run's host wall-clock went:
+
+    schema          "cuttlesim-prof-v1"
+    wall_seconds    wall time since the profiler was enabled
+    phases          object keyed by '/'-separated phase path, each
+                    {count, total_seconds, mean_seconds, max_seconds}
+    workers         array sorted by thread name, each {name, spans,
+                    busy_seconds, wait_seconds, idle_seconds,
+                    utilization}
+    pool            {workers, busy_seconds, idle_seconds, utilization}
+
+This checker is the executable form of that schema: ctest runs it over
+reports the CLI writes (label: prof), so a drifting writer fails the
+suite instead of silently producing unreadable profiles.
+
+Usage: check_prof_schema.py FILE.json [FILE.json ...]
+       check_prof_schema.py --min-phase-fraction=F FILE.json
+           additionally require sum(phase total_seconds) >= F *
+           wall_seconds — the "the profile accounts for the run"
+           coverage gate (phases nest, so the sum may exceed wall).
+       check_prof_schema.py --compare-phases A.json B.json
+           require the two reports be structurally identical modulo
+           timings: same phase key set, same per-worker and pool field
+           sets. This is the any-`--jobs` structure contract.
+       check_prof_schema.py --self-test
+Exits 0 when every file validates; prints one line per problem.
+"""
+
+import json
+import sys
+
+SCHEMA = "cuttlesim-prof-v1"
+
+PHASE_FIELDS = ("count", "total_seconds", "mean_seconds", "max_seconds")
+WORKER_NUM_FIELDS = ("spans", "busy_seconds", "wait_seconds",
+                     "idle_seconds", "utilization")
+POOL_FIELDS = ("workers", "busy_seconds", "idle_seconds", "utilization")
+
+
+def is_number(v):
+    return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+def validate(problems, where, root):
+    """Validate one parsed cuttlesim-prof-v1 report."""
+    before = len(problems)
+
+    def err(msg):
+        problems.append(f"{where}: {msg}")
+
+    if not isinstance(root, dict):
+        err("root must be an object")
+        return False
+    if root.get("schema") != SCHEMA:
+        err(f"schema tag must be '{SCHEMA}', got {root.get('schema')!r}")
+    if not is_number(root.get("wall_seconds")) or \
+            root.get("wall_seconds", -1) < 0:
+        err("'wall_seconds' must be a non-negative number")
+
+    phases = root.get("phases")
+    if not isinstance(phases, dict):
+        err("'phases' must be an object keyed by phase path")
+        phases = {}
+    for name, ph in phases.items():
+        pwhere = f"phases[{name!r}]"
+        if not isinstance(ph, dict):
+            err(f"{pwhere} must be an object")
+            continue
+        for field in PHASE_FIELDS:
+            if not is_number(ph.get(field)) or ph.get(field, -1) < 0:
+                err(f"{pwhere}.{field} must be a non-negative number")
+        if is_number(ph.get("count")) and ph["count"] == 0:
+            err(f"{pwhere} has count 0 — empty phases must be omitted")
+        if all(is_number(ph.get(f)) for f in
+               ("count", "total_seconds", "mean_seconds")) and ph["count"]:
+            expect = ph["total_seconds"] / ph["count"]
+            if abs(ph["mean_seconds"] - expect) > 1e-6 + 1e-3 * expect:
+                err(f"{pwhere}.mean_seconds inconsistent with "
+                    f"total_seconds/count")
+
+    workers = root.get("workers")
+    if not isinstance(workers, list):
+        err("'workers' must be an array")
+        workers = []
+    names = []
+    for i, w in enumerate(workers):
+        wwhere = f"workers[{i}]"
+        if not isinstance(w, dict):
+            err(f"{wwhere} must be an object")
+            continue
+        if not isinstance(w.get("name"), str) or not w.get("name"):
+            err(f"{wwhere}.name must be a non-empty string")
+        else:
+            names.append(w["name"])
+        for field in WORKER_NUM_FIELDS:
+            if not is_number(w.get(field)) or w.get(field, -1) < 0:
+                err(f"{wwhere}.{field} must be a non-negative number")
+        if is_number(w.get("utilization")) and w["utilization"] > 1.0 + 1e-9:
+            err(f"{wwhere}.utilization must be <= 1")
+    if names != sorted(names):
+        err("workers must be sorted by name")
+    if len(set(names)) != len(names):
+        err("duplicate worker name — same-named threads must be merged")
+
+    pool = root.get("pool")
+    if not isinstance(pool, dict):
+        err("'pool' must be an object")
+        pool = {}
+    for field in POOL_FIELDS:
+        if not is_number(pool.get(field)) or pool.get(field, -1) < 0:
+            err(f"pool.{field} must be a non-negative number")
+    if is_number(pool.get("workers")) and workers and \
+            pool["workers"] != len(workers):
+        err(f"pool.workers ({pool['workers']}) disagrees with the "
+            f"workers array ({len(workers)})")
+    return len(problems) == before
+
+
+def load(problems, path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"{path}: unreadable or invalid JSON: {e}")
+        return None
+
+
+def check_min_fraction(problems, path, root, fraction):
+    """sum(phase total_seconds) must cover `fraction` of wall time."""
+    phases = root.get("phases", {})
+    wall = root.get("wall_seconds", 0)
+    if not isinstance(phases, dict) or not is_number(wall):
+        return  # validate() already reported the structural problem
+    total = sum(ph.get("total_seconds", 0) for ph in phases.values()
+                if isinstance(ph, dict) and
+                is_number(ph.get("total_seconds")))
+    if wall > 0 and total < fraction * wall:
+        problems.append(
+            f"{path}: phases account for {total:.3f}s of {wall:.3f}s "
+            f"wall ({100 * total / wall:.1f}%), below the required "
+            f"{100 * fraction:.0f}%")
+
+
+def structure(root):
+    """The timing-independent shape of a report."""
+    return {
+        "schema": root.get("schema"),
+        "phases": sorted(root.get("phases", {})
+                         if isinstance(root.get("phases"), dict) else []),
+        "phase_fields": sorted({f for ph in root.get("phases", {}).values()
+                                if isinstance(ph, dict) for f in ph}
+                               if isinstance(root.get("phases"), dict)
+                               else []),
+        "worker_fields": sorted({f for w in root.get("workers", [])
+                                 if isinstance(w, dict) for f in w}
+                                if isinstance(root.get("workers"), list)
+                                else []),
+        "pool_fields": sorted(root.get("pool", {})
+                              if isinstance(root.get("pool"), dict)
+                              else []),
+    }
+
+
+def compare_phases(problems, path_a, path_b):
+    a = load(problems, path_a)
+    b = load(problems, path_b)
+    if a is None or b is None:
+        return
+    validate(problems, path_a, a)
+    validate(problems, path_b, b)
+    sa, sb = structure(a), structure(b)
+    for key in sa:
+        if sa[key] != sb[key]:
+            problems.append(
+                f"{path_a} vs {path_b}: {key} differ: "
+                f"{sorted(set(map(str, sa[key])) ^ set(map(str, sb[key])))}")
+
+
+def build_test_report():
+    return {
+        "schema": SCHEMA,
+        "wall_seconds": 2.0,
+        "phases": {
+            "pool/item": {"count": 4, "total_seconds": 1.6,
+                          "mean_seconds": 0.4, "max_seconds": 0.5},
+            "trial/run": {"count": 4, "total_seconds": 1.2,
+                          "mean_seconds": 0.3, "max_seconds": 0.4},
+            "trial/setup": {"count": 4, "total_seconds": 0.4,
+                            "mean_seconds": 0.1, "max_seconds": 0.2},
+        },
+        "workers": [
+            {"name": "main", "spans": 2, "busy_seconds": 0.2,
+             "wait_seconds": 0.0, "idle_seconds": 1.8,
+             "utilization": 0.1},
+            {"name": "worker-000", "spans": 12, "busy_seconds": 1.6,
+             "wait_seconds": 0.1, "idle_seconds": 0.4,
+             "utilization": 0.8},
+        ],
+        "pool": {"workers": 2, "busy_seconds": 1.8, "idle_seconds": 2.2,
+                 "utilization": 0.45},
+    }
+
+
+def self_test():
+    ok = build_test_report()
+    problems = []
+    validate(problems, "valid", ok)
+    check_min_fraction(problems, "valid", ok, 0.9)
+    if problems:
+        print("self-test: pristine report failed validation:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+
+    import copy
+
+    def corrupted(label, mutate):
+        bad = copy.deepcopy(ok)
+        mutate(bad)
+        p = []
+        validate(p, label, bad)
+        if not p:
+            print(f"self-test: corruption not detected: {label}")
+            return False
+        return True
+
+    def strip_schema(r):
+        r["schema"] = "cuttlesim-cov-v1"
+
+    def negative_wall(r):
+        r["wall_seconds"] = -1
+
+    def bad_phase(r):
+        r["phases"]["trial/run"]["total_seconds"] = "fast"
+
+    def bad_mean(r):
+        r["phases"]["trial/run"]["mean_seconds"] = 99.0
+
+    def unsorted_workers(r):
+        r["workers"].reverse()
+
+    def duplicate_worker(r):
+        r["workers"].append(dict(r["workers"][0]))
+        r["workers"].sort(key=lambda w: w["name"])
+        r["pool"]["workers"] = 3
+
+    def pool_disagrees(r):
+        r["pool"]["workers"] = 7
+
+    def over_utilized(r):
+        r["workers"][0]["utilization"] = 1.5
+
+    cases = [
+        ("wrong schema tag", strip_schema),
+        ("negative wall_seconds", negative_wall),
+        ("non-numeric phase total", bad_phase),
+        ("inconsistent mean_seconds", bad_mean),
+        ("unsorted workers", unsorted_workers),
+        ("unmerged duplicate worker", duplicate_worker),
+        ("pool/workers disagrees with array", pool_disagrees),
+        ("utilization above 1", over_utilized),
+    ]
+    if not all(corrupted(label, m) for label, m in cases):
+        return 1
+
+    starved = copy.deepcopy(ok)
+    for ph in starved["phases"].values():
+        ph["total_seconds"] *= 0.01
+        ph["mean_seconds"] *= 0.01
+        ph["max_seconds"] *= 0.01
+    p = []
+    check_min_fraction(p, "starved", starved, 0.9)
+    if not p:
+        print("self-test: --min-phase-fraction did not flag a report "
+              "covering 1% of wall time")
+        return 1
+
+    other = copy.deepcopy(ok)
+    del other["phases"]["trial/setup"]
+    p = []
+    sa, sb = structure(ok), structure(other)
+    if sa["phases"] == sb["phases"]:
+        print("self-test: --compare-phases structure diff is blind")
+        return 1
+
+    print(f"self-test: {SCHEMA} validator detects all {len(cases)} "
+          f"corruption cases plus the coverage and structure gates")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+
+    fraction = None
+    args = []
+    compare = False
+    for a in argv[1:]:
+        if a.startswith("--min-phase-fraction="):
+            fraction = float(a.split("=", 1)[1])
+        elif a == "--compare-phases":
+            compare = True
+        else:
+            args.append(a)
+
+    if compare:
+        if len(args) != 2:
+            print("--compare-phases needs exactly two files",
+                  file=sys.stderr)
+            return 2
+        problems = []
+        compare_phases(problems, args[0], args[1])
+        for p in problems:
+            print(p)
+        if not problems:
+            print(f"{args[0]} and {args[1]} are structurally identical "
+                  f"{SCHEMA} reports")
+        return 1 if problems else 0
+
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    for path in args:
+        root = load(problems, path)
+        if root is None:
+            continue
+        validate(problems, path, root)
+        if fraction is not None:
+            check_min_fraction(problems, path, root, fraction)
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"{len(args)} profile report(s) validate against {SCHEMA}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
