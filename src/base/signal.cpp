@@ -1,0 +1,54 @@
+#include "base/signal.hpp"
+
+#include <csignal>
+
+#include <unistd.h>
+
+namespace koika {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void
+handle_shutdown(int signo)
+{
+    if (g_shutdown_signal != 0)
+        _exit(128 + signo); // second signal: stop waiting, die now
+    g_shutdown_signal = signo;
+}
+
+} // namespace
+
+void
+install_shutdown_handlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = handle_shutdown;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: blocking reads/sleeps in the work loop should wake
+    // with EINTR so the shutdown flag gets polled promptly.
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+shutdown_requested()
+{
+    return g_shutdown_signal != 0;
+}
+
+int
+shutdown_signal()
+{
+    return (int)g_shutdown_signal;
+}
+
+void
+request_shutdown(int signo)
+{
+    g_shutdown_signal = signo;
+}
+
+} // namespace koika

@@ -9,7 +9,9 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include <dirent.h>
 #include <fcntl.h>
@@ -272,16 +274,22 @@ copy_binary(const std::string& src, const std::string& dst)
 }
 
 /**
+ * A store temp is stale once it is older than this: no healthy
+ * copy_binary keeps one alive for more than seconds, so an hour-old
+ * temp can only be the leavings of a killed process.
+ */
+constexpr time_t kStaleTempSeconds = 3600;
+
+/**
  * Enforce the size cap: delete the oldest entries (mtime order; hits
  * re-touch their entry) until the directory fits. Racing invocations
  * may both try to delete the same entry; unlink of a missing file is
- * harmless.
+ * harmless. The same scan sweeps stale `*.tmp.*` files orphaned by
+ * processes killed mid-store, so crashes cannot leak disk here.
  */
 void
 cache_evict(const CacheConfig& cache)
 {
-    if (cache.max_bytes == 0)
-        return;
     struct Entry
     {
         std::string path;
@@ -290,15 +298,24 @@ cache_evict(const CacheConfig& cache)
     };
     std::vector<Entry> entries;
     uint64_t total = 0;
+    time_t now = time(nullptr);
     DIR* dir = opendir(cache.dir.c_str());
     if (dir == nullptr)
         return;
     while (struct dirent* ent = readdir(dir)) {
         std::string name = ent->d_name;
+        std::string path = cache.dir + "/" + name;
+        if (name.find(".tmp.") != std::string::npos) {
+            struct stat st;
+            if (stat(path.c_str(), &st) == 0 &&
+                now - st.st_mtime > kStaleTempSeconds &&
+                unlink(path.c_str()) == 0)
+                cache_count("compile.cache_stale_temps_swept");
+            continue;
+        }
         if (name.size() < 5 ||
             name.compare(name.size() - 4, 4, ".bin") != 0)
             continue;
-        std::string path = cache.dir + "/" + name;
         struct stat st;
         if (stat(path.c_str(), &st) != 0)
             continue;
@@ -306,7 +323,7 @@ cache_evict(const CacheConfig& cache)
         total += (uint64_t)st.st_size;
     }
     closedir(dir);
-    if (total <= cache.max_bytes)
+    if (cache.max_bytes == 0 || total <= cache.max_bytes)
         return;
     std::sort(entries.begin(), entries.end(),
               [](const Entry& a, const Entry& b) {
@@ -427,9 +444,113 @@ run_command(const std::string& command, const RunOptions& opts)
         bool transient = result.timed_out || result.term_signal != 0;
         if (!transient)
             return result;
-        sleep_seconds(backoff);
+        cache_count("compile.transient_retries");
+        // Jitter [0.5, 1.5)x so a herd of retriers (parallel campaign
+        // workers all OOM-killed by the same spike) de-synchronizes
+        // instead of re-colliding in lockstep.
+        static thread_local std::mt19937_64 rng(
+            std::random_device{}() ^
+            ((uint64_t)getpid() << 17) ^
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+        double jitter =
+            0.5 + (double)(rng() >> 11) / (double)(1ull << 53);
+        sleep_seconds(backoff * jitter);
         backoff *= 2;
     }
+}
+
+ChildProcess
+spawn_process(const std::vector<std::string>& argv,
+              const std::string& log_path)
+{
+    KOIKA_CHECK(!argv.empty());
+    ChildProcess child;
+    for (const std::string& a : argv) {
+        if (!child.command.empty())
+            child.command += ' ';
+        child.command += a;
+    }
+    int log_fd = -1;
+    if (!log_path.empty()) {
+        log_fd = open(log_path.c_str(),
+                      O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (log_fd < 0)
+            fatal("cannot open log file %s: %s", log_path.c_str(),
+                  std::strerror(errno));
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+        if (log_fd >= 0)
+            close(log_fd);
+        fatal("fork failed: %s", std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: own process group, same containment as run_once, so a
+        // kill of the group takes out anything the worker spawned too.
+        setpgid(0, 0);
+        int devnull = open("/dev/null", O_RDWR);
+        if (devnull >= 0)
+            dup2(devnull, STDIN_FILENO);
+        int out = log_fd >= 0 ? log_fd : devnull;
+        if (out >= 0) {
+            dup2(out, STDOUT_FILENO);
+            dup2(out, STDERR_FILENO);
+        }
+        if (devnull >= 0 && devnull > STDERR_FILENO)
+            close(devnull);
+        if (log_fd >= 0 && log_fd > STDERR_FILENO)
+            close(log_fd);
+        std::vector<char*> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const std::string& a : argv)
+            cargv.push_back(const_cast<char*>(a.c_str()));
+        cargv.push_back(nullptr);
+        execv(cargv[0], cargv.data());
+        _exit(127);
+    }
+    if (log_fd >= 0)
+        close(log_fd);
+    // Both sides race to setpgid so the group exists before any kill.
+    setpgid(pid, pid);
+    child.pid = pid;
+    return child;
+}
+
+void
+kill_process_group(const ChildProcess& child)
+{
+    if (child.pid <= 0)
+        return;
+    kill(-child.pid, SIGKILL);
+    kill(child.pid, SIGKILL);
+}
+
+bool
+try_reap(ChildProcess& child, int* exit_code, int* term_signal)
+{
+    *exit_code = -1;
+    *term_signal = 0;
+    if (child.pid <= 0)
+        return false;
+    int status = 0;
+    pid_t rv = waitpid(child.pid, &status, WNOHANG);
+    if (rv == 0)
+        return false;
+    if (rv < 0) {
+        // Already reaped elsewhere (shouldn't happen): report SIGKILL
+        // so the caller never mistakes it for a clean exit.
+        *term_signal = SIGKILL;
+        child.pid = -1;
+        return true;
+    }
+    if (WIFEXITED(status))
+        *exit_code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        *term_signal = WTERMSIG(status);
+    else
+        *term_signal = SIGKILL;
+    child.pid = -1;
+    return true;
 }
 
 CompileResult

@@ -29,6 +29,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
+
+#include <sys/types.h>
 
 #include "codegen/cpp_emit.hpp"
 #include "koika/design.hpp"
@@ -76,10 +79,47 @@ struct RunResult
 /**
  * Run `command` through /bin/sh under the watchdog, capturing
  * stdout+stderr. Never throws on command failure: decode `RunResult`.
- * Retries (per `opts`) apply only to transient failures.
+ * Retries (per `opts`) apply only to transient failures; each retry
+ * sleeps the (jittered, doubling) backoff and increments the
+ * `compile.transient_retries` counter in compile_metrics().
  */
 RunResult run_command(const std::string& command,
                       const RunOptions& opts = {});
+
+/**
+ * A supervised child process, for callers that manage several children
+ * concurrently (the campaign orchestrator) instead of blocking in
+ * run_command. The child runs in its own process group — the same
+ * containment run_command's watchdog uses — so kill_process_group
+ * takes out the child and everything it spawned in one shot.
+ */
+struct ChildProcess
+{
+    pid_t pid = -1;
+    /** The argv[0]..argv[n] line, for diagnostics. */
+    std::string command;
+};
+
+/**
+ * fork/exec `argv` (argv[0] is the executable path; no shell) with
+ * stdin from /dev/null and stdout+stderr appended to `log_path` (or
+ * /dev/null when empty). The child is its own process group leader.
+ * Throws FatalError when the fork/open fails; an exec failure surfaces
+ * as the child exiting 127.
+ */
+ChildProcess spawn_process(const std::vector<std::string>& argv,
+                           const std::string& log_path);
+
+/** SIGKILL the child's whole process group (idempotent, best effort). */
+void kill_process_group(const ChildProcess& child);
+
+/**
+ * Non-blocking reap: false while the child is still running. On true,
+ * `exit_code` is the exit status (-1 if signaled) and `term_signal`
+ * the terminating signal (0 if exited) — the same decoding RunResult
+ * uses. A child may be reaped exactly once.
+ */
+bool try_reap(ChildProcess& child, int* exit_code, int* term_signal);
 
 /**
  * The compiled-model cache. Content addressed: key = SHA-256 of the
@@ -94,7 +134,13 @@ RunResult run_command(const std::string& command,
  *
  * Activity is observable through compile_metrics(): counters
  * `compile.cache_hits`, `compile.cache_misses`, `compile.cache_stores`,
- * `compile.cache_evictions`, and `compile.external_compiles`.
+ * `compile.cache_evictions`, `compile.cache_stale_temps_swept`, and
+ * `compile.external_compiles`.
+ *
+ * A process killed mid-store leaves its `*.tmp.<pid>.<n>` file behind;
+ * eviction also sweeps temps older than an hour (counted under
+ * `compile.cache_stale_temps_swept`), so crashes cannot leak disk in
+ * the shared cache directory.
  */
 struct CacheConfig
 {

@@ -58,6 +58,16 @@
  *       stays byte-identical to a serial run (same seed ⇒ same bytes).
  *       Adding --coverage=FILE accumulates a coverage database over the
  *       faulted runs, also byte-identical at any job count.
+ *   cuttlec --design rv32i --fault-orchestrate=DIR --fault-count=400 \
+ *           --workers=4 --fault-report=rv32i-faults.json
+ *       the same campaign drained by a supervised fleet of worker
+ *       *processes* over a shared campaign directory (lease-claimed
+ *       chunks, heartbeats, crash/hang reclaim with retry + backoff;
+ *       src/orchestrate). The merged report is byte-identical to the
+ *       single-process run; --chaos=P makes the workers crash/hang on
+ *       purpose to prove it. Interrupting either flavor with SIGINT or
+ *       SIGTERM shuts down gracefully (exit 75): in-flight progress is
+ *       flushed and a rerun with the same flags resumes.
  *
  * Scaling: --engine=compiled reuses previously compiled models through
  * a content-addressed cache (--cache-dir, default ~/.cache/cuttlesim;
@@ -84,10 +94,12 @@
 #include <unistd.h>
 
 #include "base/io.hpp"
+#include "base/signal.hpp"
 #include "codegen/compile.hpp"
 #include "codegen/cpp_emit.hpp"
 #include "designs/designs.hpp"
 #include "designs/rv32.hpp"
+#include "designs/targets.hpp"
 #include "fault/fault.hpp"
 #include "harness/coverage.hpp"
 #include "harness/memory.hpp"
@@ -98,6 +110,7 @@
 #include "obs/prof.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "orchestrate/orchestrator.hpp"
 #include "replay/bisect.hpp"
 #include "replay/checkpoint.hpp"
 #include "riscv/programs.hpp"
@@ -179,6 +192,9 @@ usage()
            "               [--engine=T0..T5|ref|compiled] [--cxxflags=FLAGS]\n"
            "               [--fault-campaign=SEED] [--fault-count=N]\n"
            "               [--fault-report=FILE] [--fault-checkpoint=FILE]\n"
+           "               [--fault-orchestrate=DIR] [--workers=N]\n"
+           "               [--chunk-size=N] [--worker-timeout=SEC]\n"
+           "               [--max-retries=K] [--chaos=P]\n"
            "               [--jobs=N] [--cache-dir=DIR] [--no-cache]\n"
            "               [--checkpoint=FILE] [--checkpoint-every=N]\n"
            "               [--restore=FILE] [--run-to=CYCLE]\n"
@@ -236,6 +252,28 @@ usage()
            "                FILE after each chunk of injections and a\n"
            "                matching file resumes instead of re-running;\n"
            "                the final report is byte-identical either way\n"
+           "  --fault-orchestrate=DIR\n"
+           "                drain the campaign with a supervised fleet of\n"
+           "                worker processes over campaign directory DIR\n"
+           "                (lease-claimed chunks, heartbeats, crash/hang\n"
+           "                reclaim). The merged report is byte-identical\n"
+           "                to the single-process run; exit 4 when chunks\n"
+           "                exhausted their retries (see DIR/orchestrate\n"
+           "                .json's `incomplete` block). A rerun with the\n"
+           "                same flags resumes from the completed chunks.\n"
+           "                --jobs= is the per-worker thread count here\n"
+           "  --workers=N   worker processes to supervise (default 2)\n"
+           "  --chunk-size=N    injections per lease-claimed chunk\n"
+           "                (default 16)\n"
+           "  --worker-timeout=SEC   reclaim a chunk whose worker's\n"
+           "                heartbeat is older than SEC (default 10)\n"
+           "  --max-retries=K   per-chunk reclaim budget and per-slot\n"
+           "                respawn budget (default 3); past it the chunk\n"
+           "                is marked failed and the report degrades\n"
+           "                gracefully instead of aborting\n"
+           "  --chaos=P     self-test: workers crash mid-chunk, hang, or\n"
+           "                crash after publishing with probability P per\n"
+           "                claim (default 0)\n"
            "  --checkpoint=FILE\n"
            "                save a cuttlesim-ckpt-v1 checkpoint of the\n"
            "                full simulation state (registers, engine\n"
@@ -280,16 +318,9 @@ usage()
     return 2;
 }
 
-bool
-parse_tier(const std::string& engine, koika::sim::Tier* tier)
-{
-    if (engine.size() == 2 && engine[0] == 'T' && engine[1] >= '0' &&
-        engine[1] <= '5') {
-        *tier = (koika::sim::Tier)(engine[1] - '0');
-        return true;
-    }
-    return false;
-}
+using koika::designs::engine_label;
+using koika::designs::make_target_factory;
+using koika::designs::parse_tier;
 
 /** Files one simulation run should produce (empty = not asked for). */
 struct RunOutputs
@@ -350,112 +381,6 @@ write_coverage_outputs(const koika::Design& design,
     return map.summary_json();
 }
 
-/**
- * Build an in-process model for an engine name: an interpreter tier
- * (T0..T5) or the reference interpreter ("ref").
- */
-std::unique_ptr<koika::sim::Model>
-make_model(const koika::Design& design, const std::string& engine)
-{
-    if (engine == "ref")
-        return std::make_unique<koika::ReferenceModel>(design);
-    koika::sim::Tier tier;
-    if (!parse_tier(engine, &tier))
-        koika::fatal("unknown in-process engine '%s' (expected T0..T5 "
-                     "or 'ref')",
-                     engine.c_str());
-    return koika::sim::make_engine(design, tier);
-}
-
-/** Display label for an in-process engine (stats/report "engine"). */
-std::string
-engine_label(const std::string& engine)
-{
-    if (engine == "ref")
-        return "reference";
-    koika::sim::Tier tier;
-    if (parse_tier(engine, &tier))
-        return koika::sim::tier_name(tier);
-    return engine;
-}
-
-/**
- * A fresh-system factory for fault campaigns, golden runs, and plain
- * simulation. RISC-V designs get per-instance magic memories preloaded
- * with a small primes program (the design is meaningless without a
- * stimulus); every other registry design is closed and needs none.
- * RISC-V targets carry save_env/load_env hooks serializing the
- * memories and ports, so checkpoints capture the whole system.
- */
-koika::fault::TargetFactory
-make_target_factory(const koika::Design& design,
-                    const std::string& engine)
-{
-    using koika::designs::Rv32CorePorts;
-    if (design.name().rfind("rv32", 0) != 0)
-        return [&design, engine]() {
-            // Engine construction is the suspected per-trial cost in
-            // parallel campaigns (ROADMAP item 2) — give it its own
-            // phase so the profile can prove or refute that.
-            koika::obs::ProfScope span("engine/build");
-            koika::fault::FaultTarget t;
-            t.model = make_model(design, engine);
-            return t;
-        };
-
-    int cores = design.name().find("-mc") != std::string::npos ? 2 : 1;
-    auto program = std::make_shared<koika::riscv::Program>(
-        koika::riscv::build_program(koika::riscv::primes_source(20)));
-    auto ports = std::make_shared<std::vector<Rv32CorePorts>>();
-    for (int core = 0; core < cores; ++core)
-        ports->push_back(koika::designs::rv32_ports(design, core, cores));
-
-    return [&design, engine, program, ports]() {
-        struct Ctx
-        {
-            std::vector<std::unique_ptr<koika::harness::MemoryDevice>>
-                mems;
-            std::vector<std::unique_ptr<koika::harness::MemPort>>
-                mem_ports;
-        };
-        koika::obs::ProfScope span("engine/build");
-        auto ctx = std::make_shared<Ctx>();
-        for (const Rv32CorePorts& p : *ports) {
-            auto mem =
-                std::make_unique<koika::harness::MemoryDevice>();
-            mem->load_words(program->words, program->base);
-            ctx->mem_ports.push_back(
-                std::make_unique<koika::harness::MemPort>(*mem,
-                                                          p.imem));
-            ctx->mem_ports.push_back(
-                std::make_unique<koika::harness::MemPort>(*mem,
-                                                          p.dmem));
-            ctx->mems.push_back(std::move(mem));
-        }
-        koika::fault::FaultTarget t;
-        t.model = make_model(design, engine);
-        t.stimulus = [ctx](koika::sim::Model& m, uint64_t) {
-            for (auto& port : ctx->mem_ports)
-                port->tick(m);
-        };
-        // Fixed serialization order: every memory, then every port.
-        t.save_env = [ctx](koika::sim::StateWriter& w) {
-            for (auto& mem : ctx->mems)
-                mem->save_state(w);
-            for (auto& port : ctx->mem_ports)
-                port->save_state(w);
-        };
-        t.load_env = [ctx](koika::sim::StateReader& r) {
-            for (auto& mem : ctx->mems)
-                mem->load_state(r);
-            for (auto& port : ctx->mem_ports)
-                port->load_state(r);
-        };
-        t.context = ctx;
-        return t;
-    };
-}
-
 /** Seeded fault-injection campaign against a golden copy. */
 int
 fault_campaign(const koika::Design& design, const std::string& engine,
@@ -472,6 +397,7 @@ fault_campaign(const koika::Design& design, const std::string& engine,
     config.collect_coverage = out.wants_coverage();
     config.checkpoint_file = checkpoint_file;
 
+    koika::install_shutdown_handlers();
     koika::fault::CampaignReport report = koika::fault::run_campaign(
         design, make_target_factory(design, engine), config);
     report.engine = engine_label(engine);
@@ -480,8 +406,21 @@ fault_campaign(const koika::Design& design, const std::string& engine,
                   << checkpoint_file << "' (" << report.resumed << "/"
                   << count << " injections already done)\n";
 
-    koika::obs::MetricsRegistry metrics;
-    report.export_to(metrics, "fault/" + design.name());
+    if (report.interrupted) {
+        // Completed records up to the chunk boundary are already
+        // flushed to the checkpoint file (atomically); the final
+        // artifacts must not be written from a partial record set.
+        std::cerr << "cuttlec: fault campaign interrupted";
+        if (!checkpoint_file.empty())
+            std::cerr << "; progress saved — rerun with the same flags "
+                         "to resume from '"
+                      << checkpoint_file << "'";
+        std::cerr << "\n";
+        return koika::kExitInterrupted;
+    }
+
+    koika::obs::MetricsRegistry metrics =
+        koika::fault::campaign_metrics(report);
 
     koika::obs::ProfScope write_span("campaign/report-write");
     if (report.has_coverage) {
@@ -489,16 +428,83 @@ fault_campaign(const koika::Design& design, const std::string& engine,
         write_coverage_outputs(design, report.coverage, out);
     }
 
-    if (!report_file.empty()) {
-        koika::obs::Json j = report.to_json();
-        j["metrics"] = metrics.to_json();
-        if (report.has_coverage)
-            j["coverage"] = report.coverage.summary_json();
-        write_file(report_file, j.dump(2) + "\n");
-    }
+    if (!report_file.empty())
+        write_file(report_file,
+                   koika::fault::campaign_report_json(report, metrics)
+                           .dump(2) +
+                       "\n");
     write_span.close();
     std::cout << report.to_text() << metrics.to_text();
     return 0;
+}
+
+/**
+ * `cuttlec --fault-orchestrate=DIR`: the same campaign, drained by a
+ * supervised multi-process worker fleet (src/orchestrate). The merged
+ * --fault-report bytes are identical to fault_campaign's because both
+ * paths assemble them with fault::campaign_report_json over the same
+ * record set; here the report is only written when the campaign is
+ * complete (a degraded campaign's partial report lives in
+ * DIR/orchestrate.json under its `incomplete` block).
+ */
+int
+fault_orchestrate_cmd(const koika::Design& design,
+                      const std::string& engine, const std::string& dir,
+                      uint64_t seed, int count, uint64_t cycles, int jobs,
+                      int workers, int chunk_size, double worker_timeout,
+                      int max_retries, double chaos,
+                      const std::string& report_file, const RunOutputs& out)
+{
+    koika::orchestrate::OrchestratorConfig config;
+    config.dir = dir;
+    config.design = design.name();
+    config.engine = engine;
+    config.campaign.seed = seed;
+    config.campaign.count = count;
+    config.campaign.cycles = cycles;
+    config.campaign.jobs = jobs;
+    config.campaign.collect_coverage = out.wants_coverage();
+    config.workers = workers;
+    config.chunk_size = chunk_size;
+    config.worker_timeout_seconds = worker_timeout;
+    config.max_retries = max_retries;
+    config.chaos = chaos;
+
+    koika::orchestrate::OrchestratorReport report =
+        koika::orchestrate::run_orchestrator(config);
+
+    if (report.interrupted) {
+        std::cerr << "cuttlec: orchestrated campaign interrupted; "
+                     "completed chunks are kept — rerun with the same "
+                     "flags to resume from '"
+                  << dir << "'\n";
+        std::cout << report.to_text();
+        return koika::kExitInterrupted;
+    }
+
+    koika::obs::ProfScope write_span("campaign/report-write");
+    if (report.campaign.has_coverage)
+        write_coverage_outputs(design, report.campaign.coverage, out);
+
+    if (!report_file.empty()) {
+        if (report.complete()) {
+            write_file(report_file,
+                       koika::fault::campaign_report_json(
+                           report.campaign,
+                           koika::fault::campaign_metrics(report.campaign))
+                               .dump(2) +
+                           "\n");
+        } else {
+            std::cerr << "cuttlec: warning: campaign incomplete ("
+                      << report.missing_injections.size()
+                      << " injections missing); '" << report_file
+                      << "' not written — see " << dir
+                      << "/orchestrate.json\n";
+        }
+    }
+    write_span.close();
+    std::cout << report.to_text() << report.metrics.to_text();
+    return report.complete() ? 0 : koika::orchestrate::kExitIncomplete;
 }
 
 /**
@@ -980,9 +986,21 @@ simulate(const koika::Design& design, const std::string& engine,
     }
 
     setup_span.close();
+    koika::install_shutdown_handlers();
+    bool interrupted = false;
+    uint64_t reached = start;
     koika::obs::ProfScope run_span("sim/run");
     auto t0 = std::chrono::steady_clock::now();
     for (uint64_t c = start; c < end; ++c) {
+        if (koika::shutdown_requested()) {
+            // Stop at a committed-cycle boundary: every artifact below
+            // (trace, VCD, checkpoint, stats, coverage) is flushed
+            // atomically for the cycles that did run, and --restore on
+            // the checkpoint resumes from exactly here.
+            interrupted = true;
+            break;
+        }
+        reached = c + 1;
         model.cycle();
         if (target.stimulus)
             target.stimulus(model, c);
@@ -1036,6 +1054,16 @@ simulate(const koika::Design& design, const std::string& engine,
         write_file(out.stats, j.dump(2) + "\n");
     }
     std::cout << stats.to_text();
+    if (interrupted) {
+        std::cerr << "cuttlec: interrupted at cycle " << reached
+                  << " of " << end << "; artifacts cover the cycles "
+                     "that ran";
+        if (!out.checkpoint.empty())
+            std::cerr << " — resume with --restore=" << out.checkpoint
+                      << " --run-to=" << end;
+        std::cerr << "\n";
+        return koika::kExitInterrupted;
+    }
     return 0;
 }
 
@@ -1152,7 +1180,7 @@ main(int argc, char** argv)
     std::string design_name, out_dir;
     std::string engine = "T5", cxxflags = "-O2", fault_report;
     std::string cache_dir = koika::codegen::default_cache_dir();
-    std::string fault_checkpoint;
+    std::string fault_checkpoint, fault_orchestrate, fault_worker;
     std::string bisect_a, bisect_b, perturb, bisect_report;
     std::string profile_file, profile_trace;
     RunOutputs outputs;
@@ -1161,6 +1189,8 @@ main(int argc, char** argv)
     bool progress = false;
     uint64_t cycles = 1000, fault_seed = 1;
     int fault_count = 100, jobs = 1;
+    int worker_id = 0, workers = 2, chunk_size = 16, max_retries = 3;
+    double worker_timeout = 10, chaos = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
@@ -1208,6 +1238,30 @@ main(int argc, char** argv)
         } else if (arg.rfind("--fault-checkpoint=", 0) == 0) {
             fault_checkpoint =
                 arg.substr(std::strlen("--fault-checkpoint="));
+        } else if (arg.rfind("--fault-orchestrate=", 0) == 0) {
+            fault = true;
+            fault_orchestrate =
+                arg.substr(std::strlen("--fault-orchestrate="));
+        } else if (arg.rfind("--fault-worker=", 0) == 0) {
+            fault_worker = arg.substr(std::strlen("--fault-worker="));
+        } else if (arg.rfind("--worker-id=", 0) == 0) {
+            worker_id = (int)std::strtol(
+                arg.c_str() + std::strlen("--worker-id="), nullptr, 10);
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            workers = (int)std::strtol(
+                arg.c_str() + std::strlen("--workers="), nullptr, 10);
+        } else if (arg.rfind("--chunk-size=", 0) == 0) {
+            chunk_size = (int)std::strtol(
+                arg.c_str() + std::strlen("--chunk-size="), nullptr, 10);
+        } else if (arg.rfind("--worker-timeout=", 0) == 0) {
+            worker_timeout = std::strtod(
+                arg.c_str() + std::strlen("--worker-timeout="), nullptr);
+        } else if (arg.rfind("--max-retries=", 0) == 0) {
+            max_retries = (int)std::strtol(
+                arg.c_str() + std::strlen("--max-retries="), nullptr, 10);
+        } else if (arg.rfind("--chaos=", 0) == 0) {
+            chaos = std::strtod(arg.c_str() + std::strlen("--chaos="),
+                                nullptr);
         } else if (arg.rfind("--checkpoint=", 0) == 0) {
             outputs.checkpoint =
                 arg.substr(std::strlen("--checkpoint="));
@@ -1254,8 +1308,28 @@ main(int argc, char** argv)
             return usage();
         }
     }
+    // Worker mode: everything the worker needs (design, engine, fault
+    // list, chunking) comes from the campaign directory's manifest, so
+    // it is handled before the --design requirement below.
+    if (!fault_worker.empty()) {
+        try {
+            return koika::orchestrate::run_worker(fault_worker, worker_id);
+        } catch (const koika::FatalError& err) {
+            std::cerr << "cuttlec[worker " << worker_id
+                      << "]: " << err.what() << "\n";
+            return 1;
+        }
+    }
+
     if (design_name.empty())
         return usage();
+
+    if (!fault_orchestrate.empty() && !fault_checkpoint.empty()) {
+        std::cerr << "cuttlec: --fault-orchestrate manages its own "
+                     "progress (the chunk files in the campaign "
+                     "directory); --fault-checkpoint does not apply\n";
+        return usage();
+    }
 
     koika::sim::Tier tier = koika::sim::Tier::kT5StaticAnalysis;
     bool compiled_engine = engine == "compiled";
@@ -1306,6 +1380,12 @@ main(int argc, char** argv)
                              "interpreter tiers; using T5\n";
                 engine = "T5";
             }
+            if (!fault_orchestrate.empty())
+                return fault_orchestrate_cmd(
+                    *design, engine, fault_orchestrate, fault_seed,
+                    fault_count, cycles, jobs, workers, chunk_size,
+                    worker_timeout, max_retries, chaos, fault_report,
+                    outputs);
             return fault_campaign(*design, engine, fault_seed,
                                   fault_count, cycles, jobs, progress,
                                   fault_report, fault_checkpoint,

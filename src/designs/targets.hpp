@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Engine construction and fresh-system factories for registry designs.
+ *
+ * Everything that runs a design — cuttlec's simulate/fault/bisect
+ * paths, the campaign orchestrator's worker processes, benches — needs
+ * the same two ingredients: "build me the model for engine E" and
+ * "build me a complete, identically-initialized system (model +
+ * stimulus + peripherals) for design D". They used to live inside
+ * cuttlec's main; they are a library now so out-of-process workers can
+ * reconstruct byte-identical campaign targets from a manifest alone.
+ *
+ * Engine names follow the CLI convention: "T0".."T5" interpreter
+ * tiers, "ref" the reference interpreter. (The out-of-process
+ * "compiled" engine is not constructible here — it has no in-process
+ * sim::Model.)
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "koika/design.hpp"
+#include "sim/model.hpp"
+#include "sim/tiers.hpp"
+
+namespace koika::designs {
+
+/** Parse "T0".."T5" into a tier. False for anything else. */
+bool parse_tier(const std::string& engine, sim::Tier* tier);
+
+/**
+ * Build an in-process model for an engine name: an interpreter tier
+ * (T0..T5) or the reference interpreter ("ref"). FatalError on an
+ * unknown name.
+ */
+std::unique_ptr<sim::Model> make_model(const Design& design,
+                                       const std::string& engine);
+
+/** Display label for an in-process engine (stats/report "engine"). */
+std::string engine_label(const std::string& engine);
+
+/**
+ * A fresh-system factory for fault campaigns, golden runs, and plain
+ * simulation. RISC-V designs get per-instance magic memories preloaded
+ * with a small primes program (the design is meaningless without a
+ * stimulus); every other registry design is closed and needs none.
+ * RISC-V targets carry save_env/load_env hooks serializing the
+ * memories and ports, so checkpoints capture the whole system.
+ *
+ * Deterministic by construction: two factories built from the same
+ * (design, engine) produce targets that simulate byte-identically —
+ * the property that lets orchestrated campaign workers rebuild their
+ * targets from a manifest and still merge into the bytes a
+ * single-process run would have produced.
+ */
+fault::TargetFactory make_target_factory(const Design& design,
+                                         const std::string& engine);
+
+} // namespace koika::designs

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "base/io.hpp"
+#include "base/signal.hpp"
 #include "harness/parallel.hpp"
 #include "obs/prof.hpp"
 
@@ -43,6 +44,8 @@ flip_bit(sim::Model& model, int reg, uint32_t bit)
     model.set_reg(reg, v.with_bit(bit, !v.bit(bit)));
 }
 
+} // namespace
+
 obs::Json
 injection_to_json(size_t index, const InjectionRecord& r)
 {
@@ -70,6 +73,8 @@ injection_to_json(size_t index, const InjectionRecord& r)
     return e;
 }
 
+namespace {
+
 const obs::Json&
 jfield(const obs::Json& j, const char* key)
 {
@@ -78,6 +83,8 @@ jfield(const obs::Json& j, const char* key)
         fatal("fault checkpoint: missing field '%s'", key);
     return *v;
 }
+
+} // namespace
 
 InjectionRecord
 injection_from_json(const obs::Json& e)
@@ -114,7 +121,7 @@ injection_from_json(const obs::Json& e)
 }
 
 obs::Json
-config_echo(const CampaignConfig& config)
+campaign_config_echo(const CampaignConfig& config)
 {
     obs::Json cfg = obs::Json::object();
     cfg["seed"] = config.seed;
@@ -124,6 +131,8 @@ config_echo(const CampaignConfig& config)
     cfg["max_stuck_cycles"] = config.max_stuck_cycles;
     return cfg;
 }
+
+namespace {
 
 /** Write campaign progress (completed prefix) atomically. */
 void
@@ -135,7 +144,7 @@ save_progress(const std::string& path, const std::string& design,
     obs::Json j = obs::Json::object();
     j["schema"] = kFaultCkptSchema;
     j["design"] = design;
-    j["config"] = config_echo(config);
+    j["config"] = campaign_config_echo(config);
     j["completed"] = (uint64_t)completed;
     obs::Json list = obs::Json::array();
     for (size_t i = 0; i < completed; ++i)
@@ -166,7 +175,7 @@ load_progress(const std::string& path, const std::string& design,
         fatal("fault checkpoint '%s': not a %s file", path.c_str(),
               kFaultCkptSchema);
     if (jfield(j, "design").as_string() != design ||
-        jfield(j, "config").dump() != config_echo(config).dump())
+        jfield(j, "config").dump() != campaign_config_echo(config).dump())
         fatal("fault checkpoint '%s' was written by a different "
               "campaign (design or config mismatch); delete it or "
               "match the original flags",
@@ -541,6 +550,13 @@ run_campaign(const Design& design, const TargetFactory& factory,
 
     try {
         while (completed < faults.size()) {
+            // Graceful shutdown: stop at the chunk boundary — progress
+            // up to here is already flushed to the checkpoint file, so
+            // the campaign resumes exactly where it left off.
+            if (shutdown_requested()) {
+                report.interrupted = true;
+                break;
+            }
             size_t end = std::min(completed + chunk, faults.size());
             harness::parallel_for(
                 end - completed, config.jobs, [&](uint64_t k) {
@@ -592,7 +608,7 @@ CampaignReport::to_json() const
     if (!config.label.empty())
         j["label"] = config.label;
 
-    j["config"] = config_echo(config);
+    j["config"] = campaign_config_echo(config);
 
     obs::Json summary = obs::Json::object();
     summary["injections"] = (uint64_t)injections.size();
@@ -653,6 +669,25 @@ closed_target(
         t.model = make_model();
         return t;
     };
+}
+
+obs::MetricsRegistry
+campaign_metrics(const CampaignReport& report)
+{
+    obs::MetricsRegistry metrics;
+    report.export_to(metrics, "fault/" + report.design);
+    return metrics;
+}
+
+obs::Json
+campaign_report_json(const CampaignReport& report,
+                     const obs::MetricsRegistry& metrics)
+{
+    obs::Json j = report.to_json();
+    j["metrics"] = metrics.to_json();
+    if (report.has_coverage)
+        j["coverage"] = report.coverage.summary_json();
+    return j;
 }
 
 } // namespace koika::fault

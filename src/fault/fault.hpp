@@ -205,6 +205,17 @@ struct CampaignReport
     uint64_t resumed = 0;
 
     /**
+     * The campaign stopped early at a chunk boundary because a
+     * shutdown signal arrived (base/signal.hpp). Completed records up
+     * to that boundary are flushed to config.checkpoint_file; the
+     * records past it are default-initialized, so an interrupted
+     * report must NOT be published as a final artifact — resume the
+     * campaign (same flags) and the eventual report is byte-identical
+     * to an uninterrupted run.
+     */
+    bool interrupted = false;
+
+    /**
      * Deterministic report: config echo, per-injection records, and
      * summary counts. Contains no timestamps or wall-clock data, so two
      * runs with the same seed dump byte-identical JSON.
@@ -259,5 +270,40 @@ CampaignReport run_campaign(const Design& design,
  */
 TargetFactory
 closed_target(const std::function<std::unique_ptr<sim::Model>()>& make_model);
+
+// -- Report-assembly helpers (shared with the campaign orchestrator) ---------
+//
+// Orchestrated multi-process campaigns must produce bytes identical to
+// a single-process run. Instead of asking two code paths to agree by
+// convention, the serialization of one injection record, the config
+// echo, and the final report+metrics assembly are THE functions below,
+// used by run_campaign, the checkpoint format, cuttlec, and
+// src/orchestrate alike.
+
+/** One injection record as it appears in reports, checkpoints, and
+ *  orchestrator chunk files (index = position in the fault list). */
+obs::Json injection_to_json(size_t index, const InjectionRecord& rec);
+
+/** Inverse of injection_to_json; FatalError on missing fields. */
+InjectionRecord injection_from_json(const obs::Json& e);
+
+/** The `config` block reports and checkpoints echo: seed, count,
+ *  cycles, stuck_at, max_stuck_cycles (exactly the fields that change
+ *  what gets injected). */
+obs::Json campaign_config_echo(const CampaignConfig& config);
+
+/** The metrics registry a standalone campaign exports: outcome counts
+ *  under "fault/<design>" (see CampaignReport::export_to). */
+obs::MetricsRegistry campaign_metrics(const CampaignReport& report);
+
+/**
+ * The full fault-report JSON artifact cuttlec writes for
+ * --fault-report=: report.to_json() plus the `metrics` block and — for
+ * coverage-collecting campaigns — the coverage summary. Byte-identical
+ * inputs produce byte-identical artifacts, whichever process (or how
+ * many) ran the injections.
+ */
+obs::Json campaign_report_json(const CampaignReport& report,
+                               const obs::MetricsRegistry& metrics);
 
 } // namespace koika::fault

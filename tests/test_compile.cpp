@@ -8,7 +8,9 @@
 #include <chrono>
 #include <csignal>
 
+#include <sys/stat.h>
 #include <unistd.h>
+#include <utime.h>
 
 #include "base/error.hpp"
 #include "codegen/compile.hpp"
@@ -293,6 +295,70 @@ TEST(CompileCache, SizeCapEvictsOldestEntries)
         "main.cpp", "-O0", opts);
     EXPECT_GT(compile_metrics().counter("compile.cache_evictions"),
               evict0);
+}
+
+TEST(RunCommand, TransientRetriesAreCounted)
+{
+    // Same marker trick as RetriesTransientSignalDeath, but checking
+    // the observability side: each transient retry bumps the
+    // compile.transient_retries counter (deterministic failures and
+    // clean runs must not).
+    uint64_t retries0 =
+        compile_metrics().counter("compile.transient_retries");
+    std::string marker = workdir();
+    RunOptions opts;
+    opts.retries = 1;
+    opts.backoff_seconds = 0.01;
+    RunResult r = run_command("if [ -e " + marker +
+                                  " ]; then echo recovered; "
+                                  "else touch " +
+                                  marker + "; kill -KILL $$; fi",
+                              opts);
+    unlink(marker.c_str());
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(compile_metrics().counter("compile.transient_retries"),
+              retries0 + 1);
+
+    run_command("exit 1", opts); // deterministic: no retry, no count
+    run_command("true", opts);   // clean: no count
+    EXPECT_EQ(compile_metrics().counter("compile.transient_retries"),
+              retries0 + 1);
+}
+
+TEST(CompileCache, StaleStoreTempsAreSweptDuringEviction)
+{
+    // A process killed mid-store leaves a `*.tmp.*` file behind; the
+    // eviction scan reclaims it once it is an hour old, but must leave
+    // fresh temps (a store racing right now) alone.
+    std::string cache = workdir();
+    ASSERT_EQ(mkdir(cache.c_str(), 0755), 0);
+    std::string stale = cache + "/deadbeef.bin.tmp.12345.0";
+    std::string fresh = cache + "/cafef00d.bin.tmp.12345.1";
+    {
+        std::ofstream(stale) << "orphaned partial store";
+        std::ofstream(fresh) << "in-flight store";
+    }
+    // Backdate the stale temp past kStaleTempSeconds (one hour).
+    struct stat st;
+    ASSERT_EQ(stat(stale.c_str(), &st), 0);
+    struct utimbuf times;
+    times.actime = st.st_atime - 7200;
+    times.modtime = st.st_mtime - 7200;
+    ASSERT_EQ(utime(stale.c_str(), &times), 0);
+
+    uint64_t swept0 =
+        compile_metrics().counter("compile.cache_stale_temps_swept");
+    // Any successful store triggers the eviction scan.
+    compile_cpp(workdir(), kHello, "main.cpp", "-O0",
+                cached_opts(cache));
+
+    EXPECT_EQ(
+        compile_metrics().counter("compile.cache_stale_temps_swept"),
+        swept0 + 1);
+    struct stat st2;
+    EXPECT_NE(stat(stale.c_str(), &st2), 0); // swept
+    EXPECT_EQ(stat(fresh.c_str(), &st2), 0); // spared
+    unlink(fresh.c_str());
 }
 
 TEST(CompileCache, FailedCompilesAreNotCached)

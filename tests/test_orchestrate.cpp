@@ -1,0 +1,237 @@
+// Orchestrator protocol tests: lease-claim arbitration (exactly one
+// concurrent winner), heartbeat staleness and reclamation after a
+// simulated hang, and the supervisor's graceful degradation when the
+// worker fleet can never make progress. The full drain — real worker
+// processes, chaos crashes, byte-identity against the single-process
+// report — is exercised by the cuttlec_orchestrate_* CLI tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include "base/error.hpp"
+#include "base/io.hpp"
+#include "obs/json.hpp"
+#include "orchestrate/orchestrator.hpp"
+
+using namespace koika;
+using namespace koika::orchestrate;
+
+namespace {
+
+std::string
+fresh_campaign_dir()
+{
+    char tmpl[] = "/tmp/cuttlesim_orch_test_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    std::string d = dir;
+    mkdir((d + "/chunks").c_str(), 0755);
+    mkdir((d + "/leases").c_str(), 0755);
+    mkdir((d + "/logs").c_str(), 0755);
+    return d;
+}
+
+bool
+exists(const std::string& path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** Backdate a file's mtime by `seconds` (simulates a stale heartbeat
+ *  without waiting out a real timeout). */
+void
+backdate(const std::string& path, long seconds)
+{
+    struct stat st;
+    ASSERT_EQ(::stat(path.c_str(), &st), 0) << path;
+    struct utimbuf times;
+    times.actime = st.st_atime - seconds;
+    times.modtime = st.st_mtime - seconds;
+    ASSERT_EQ(::utime(path.c_str(), &times), 0) << path;
+}
+
+} // namespace
+
+TEST(LeaseClaim, ExactlyOneConcurrentClaimerWins)
+{
+    std::string dir = fresh_campaign_dir();
+    constexpr int kClaimers = 8;
+    for (int chunk = 0; chunk < 6; ++chunk) {
+        std::atomic<int> ready{0};
+        std::atomic<int> winners{0};
+        std::atomic<int> winner_id{-1};
+        std::vector<std::thread> threads;
+        for (int w = 0; w < kClaimers; ++w)
+            threads.emplace_back([&, w] {
+                // Spin barrier: maximize the real race window.
+                ready.fetch_add(1);
+                while (ready.load() < kClaimers) {
+                }
+                if (try_claim_lease(dir, chunk, w)) {
+                    winners.fetch_add(1);
+                    winner_id.store(w);
+                }
+            });
+        for (std::thread& t : threads)
+            t.join();
+        EXPECT_EQ(winners.load(), 1) << "chunk " << chunk;
+        // The lease on disk names the one winner.
+        LeaseInfo lease;
+        ASSERT_TRUE(read_lease(lease_path(dir, chunk), &lease));
+        EXPECT_EQ(lease.chunk, chunk);
+        EXPECT_EQ(lease.worker, winner_id.load());
+        EXPECT_EQ(lease.pid, getpid());
+    }
+}
+
+TEST(LeaseClaim, ReadRoundtripReleaseAndReclaim)
+{
+    std::string dir = fresh_campaign_dir();
+
+    LeaseInfo lease;
+    EXPECT_FALSE(read_lease(lease_path(dir, 0), &lease)); // no file yet
+
+    ASSERT_TRUE(try_claim_lease(dir, 0, 3));
+    EXPECT_FALSE(try_claim_lease(dir, 0, 4)); // held: second claim loses
+    ASSERT_TRUE(read_lease(lease_path(dir, 0), &lease));
+    EXPECT_EQ(lease.chunk, 0);
+    EXPECT_EQ(lease.worker, 3);
+
+    release_lease(dir, 0);
+    release_lease(dir, 0); // idempotent
+    EXPECT_FALSE(exists(lease_path(dir, 0)));
+    EXPECT_TRUE(try_claim_lease(dir, 0, 4)); // claimable again
+
+    // Malformed lease content parses as "no lease" (the supervisor
+    // falls back to mtime-based staleness for those).
+    write_file_atomic(lease_path(dir, 1), "not json\n");
+    EXPECT_FALSE(read_lease(lease_path(dir, 1), &lease));
+}
+
+TEST(Heartbeat, AgeTracksBeatsAndFallsBackToLeaseMtime)
+{
+    std::string dir = fresh_campaign_dir();
+
+    EXPECT_LT(heartbeat_age_seconds(dir, 0), 0); // neither file exists
+
+    // Before the first beat the lease's own mtime bounds the age.
+    ASSERT_TRUE(try_claim_lease(dir, 0, 1));
+    double age = heartbeat_age_seconds(dir, 0);
+    EXPECT_GE(age, 0);
+    EXPECT_LT(age, 30);
+
+    touch_heartbeat(dir, 0);
+    EXPECT_LT(heartbeat_age_seconds(dir, 0), 30);
+
+    backdate(heartbeat_path(dir, 0), 100);
+    EXPECT_GT(heartbeat_age_seconds(dir, 0), 50);
+
+    release_lease(dir, 0);
+    EXPECT_LT(heartbeat_age_seconds(dir, 0), 0);
+}
+
+TEST(Heartbeat, StaleLeaseIsReclaimableAfterRelease)
+{
+    std::string dir = fresh_campaign_dir();
+
+    // Worker 1 claims, beats once, then "hangs" (stops beating).
+    ASSERT_TRUE(try_claim_lease(dir, 0, 1));
+    touch_heartbeat(dir, 0);
+    backdate(lease_path(dir, 0), 100);
+    backdate(heartbeat_path(dir, 0), 100);
+
+    // Supervisor side: the heartbeat is stale past any sane timeout,
+    // so the lease is reclaimed (released) and another worker wins it.
+    EXPECT_GT(heartbeat_age_seconds(dir, 0), 10);
+    release_lease(dir, 0);
+    ASSERT_TRUE(try_claim_lease(dir, 0, 2));
+    LeaseInfo lease;
+    ASSERT_TRUE(read_lease(lease_path(dir, 0), &lease));
+    EXPECT_EQ(lease.worker, 2);
+}
+
+TEST(Orchestrator, DegradesGracefullyWhenWorkersNeverWork)
+{
+    // A fleet that exits immediately without claiming anything (the
+    // worker binary is /bin/false) exhausts its respawn budget; the
+    // supervisor must mark every chunk failed and still produce a
+    // well-formed orchestrate.json with an `incomplete` block instead
+    // of hanging or aborting.
+    std::string dir = fresh_campaign_dir();
+    OrchestratorConfig config;
+    config.dir = dir;
+    config.design = "collatz";
+    config.engine = "T5";
+    config.campaign.count = 8;
+    config.campaign.cycles = 100;
+    config.chunk_size = 4;
+    config.workers = 2;
+    config.max_retries = 0;
+    config.worker_timeout_seconds = 1;
+    config.worker_binary = "/bin/false";
+
+    OrchestratorReport report = run_orchestrator(config);
+
+    EXPECT_FALSE(report.complete());
+    EXPECT_FALSE(report.interrupted);
+    EXPECT_EQ(report.chunks_total, 2u);
+    EXPECT_EQ(report.chunks_completed, 0u);
+    EXPECT_EQ(report.chunks_failed, 2u);
+    EXPECT_EQ(report.failed_chunks, (std::vector<int>{0, 1}));
+    EXPECT_EQ(report.missing_injections.size(), 8u);
+    EXPECT_EQ(report.metrics.counter("orch/chunks_failed"), 2u);
+    EXPECT_GE(report.metrics.counter("orch/workers_spawned"), 2u);
+
+    EXPECT_TRUE(exists(chunk_failed_path(dir, 0)));
+    EXPECT_TRUE(exists(chunk_failed_path(dir, 1)));
+
+    // The report file exists and names the missing work.
+    obs::Json j = obs::Json::parse(read_file(dir + "/orchestrate.json"));
+    EXPECT_EQ(j["schema"].as_string(), "cuttlesim-orch-v1");
+    EXPECT_EQ(j["summary"]["missing"].as_u64(), 8u);
+    ASSERT_NE(j.find("incomplete"), nullptr);
+    EXPECT_EQ(j["incomplete"]["failed_chunks"].size(), 2u);
+    EXPECT_EQ(j["incomplete"]["missing_injections"].size(), 8u);
+    // The embedded fault report carries no fabricated records.
+    EXPECT_EQ(j["report"]["injections"].size(), 0u);
+}
+
+TEST(Orchestrator, ManifestMismatchIsFatalOnResume)
+{
+    std::string dir = fresh_campaign_dir();
+    OrchestratorConfig config;
+    config.dir = dir;
+    config.design = "collatz";
+    config.engine = "T5";
+    config.campaign.count = 4;
+    config.campaign.cycles = 50;
+    config.chunk_size = 4;
+    config.workers = 1;
+    config.max_retries = 0;
+    config.worker_binary = "/bin/false";
+    run_orchestrator(config); // seeds the manifest (and fails fast)
+
+    // Same directory, different fault list: must refuse, not corrupt.
+    OrchestratorConfig other = config;
+    other.campaign.seed = 99;
+    EXPECT_THROW(run_orchestrator(other), FatalError);
+    other = config;
+    other.chunk_size = 2;
+    EXPECT_THROW(run_orchestrator(other), FatalError);
+
+    // Supervision knobs are not identity: changing them is fine.
+    OrchestratorConfig tweaked = config;
+    tweaked.max_retries = 1;
+    tweaked.worker_timeout_seconds = 2;
+    OrchestratorReport report = run_orchestrator(tweaked);
+    EXPECT_EQ(report.chunks_total, 1u);
+}

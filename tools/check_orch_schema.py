@@ -1,0 +1,433 @@
+#!/usr/bin/env python3
+"""Validate cuttlesim-orch-v1 orchestrated-campaign reports.
+
+The crash-resilient campaign orchestrator (src/orchestrate/, documented
+field by field in EXPERIMENTS.md) writes DIR/orchestrate.json:
+
+    schema          "cuttlesim-orch-v1"
+    design, engine  what ran
+    config          the fault-campaign config echo (same shape as the
+                    single-process cuttlesim-fault-v1 report's)
+    orchestration   {workers, chunk_size, worker_timeout_seconds,
+                    max_retries, chaos} — supervision knobs
+    chunks          {total, completed, failed}, total = completed+failed
+                    = ceil(config.count / orchestration.chunk_size)
+    summary         {injections, masked, sdc, detected, missing};
+                    injections + missing = config.count and the three
+                    outcome counts sum to injections
+    incomplete      present iff anything failed: {failed_chunks,
+                    missing_injections}, counts matching the summary
+    report          the merged fault report — byte-identical to the
+                    --jobs=1 single-process report when complete; its
+                    per-injection outcomes must re-tally to the summary
+    metrics         registry dump; fault/<design>/outcome/* and
+                    orch/chunks_* must agree with the summary/chunks
+    wall_seconds    supervisor wall time
+
+This checker is the executable form of those invariants: ctest runs it
+over reports the CLI writes (label: orch), so a drifting writer — or a
+merge that fabricates, drops, or double-counts records — fails the
+suite instead of silently shipping a wrong campaign verdict.
+
+Usage: check_orch_schema.py FILE.json [FILE.json ...]
+       check_orch_schema.py --self-test
+Exits 0 when every file validates; prints one line per problem.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA = "cuttlesim-orch-v1"
+
+CONFIG_FIELDS = ("seed", "count", "cycles", "stuck_at",
+                 "max_stuck_cycles")
+ORCH_FIELDS = ("workers", "chunk_size", "worker_timeout_seconds",
+               "max_retries", "chaos")
+OUTCOMES = ("masked", "sdc", "detected")
+
+
+def is_number(v):
+    return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+def is_count(v):
+    return not isinstance(v, bool) and isinstance(v, int) and v >= 0
+
+
+def validate(problems, where, root):
+    """Validate one parsed cuttlesim-orch-v1 report."""
+    before = len(problems)
+
+    def err(msg):
+        problems.append(f"{where}: {msg}")
+
+    if not isinstance(root, dict):
+        err("root must be an object")
+        return False
+    if root.get("schema") != SCHEMA:
+        err(f"schema tag must be '{SCHEMA}', got {root.get('schema')!r}")
+    for field in ("design", "engine"):
+        if not isinstance(root.get(field), str) or not root.get(field):
+            err(f"'{field}' must be a non-empty string")
+    if not is_number(root.get("wall_seconds")) or \
+            root.get("wall_seconds", -1) < 0:
+        err("'wall_seconds' must be a non-negative number")
+
+    config = root.get("config")
+    if not isinstance(config, dict):
+        err("'config' must be an object (campaign config echo)")
+        config = {}
+    for field in CONFIG_FIELDS:
+        if field not in config:
+            err(f"config.{field} missing")
+    count = config.get("count")
+    if not is_count(count):
+        err("config.count must be a non-negative integer")
+        count = None
+
+    orch = root.get("orchestration")
+    if not isinstance(orch, dict):
+        err("'orchestration' must be an object")
+        orch = {}
+    for field in ORCH_FIELDS:
+        if field not in orch:
+            err(f"orchestration.{field} missing")
+    for field in ("workers", "chunk_size"):
+        if field in orch and (not is_count(orch[field]) or
+                              orch[field] < 1):
+            err(f"orchestration.{field} must be a positive integer")
+    if "chaos" in orch and (not is_number(orch["chaos"]) or
+                            not 0 <= orch["chaos"] <= 1):
+        err("orchestration.chaos must be a number in [0, 1]")
+
+    chunks = root.get("chunks")
+    if not isinstance(chunks, dict):
+        err("'chunks' must be an object")
+        chunks = {}
+    for field in ("total", "completed", "failed"):
+        if not is_count(chunks.get(field)):
+            err(f"chunks.{field} must be a non-negative integer")
+    if all(is_count(chunks.get(f)) for f in ("total", "completed",
+                                             "failed")):
+        if chunks["total"] != chunks["completed"] + chunks["failed"]:
+            err(f"chunks.total ({chunks['total']}) != completed "
+                f"({chunks['completed']}) + failed ({chunks['failed']})")
+        if count is not None and is_count(orch.get("chunk_size")) and \
+                orch["chunk_size"] >= 1 and \
+                chunks["total"] != math.ceil(count / orch["chunk_size"]):
+            err(f"chunks.total ({chunks['total']}) != "
+                f"ceil(config.count / orchestration.chunk_size) "
+                f"({math.ceil(count / orch['chunk_size'])})")
+
+    summary = root.get("summary")
+    if not isinstance(summary, dict):
+        err("'summary' must be an object")
+        summary = {}
+    for field in ("injections", "missing") + OUTCOMES:
+        if not is_count(summary.get(field)):
+            err(f"summary.{field} must be a non-negative integer")
+    have_summary = all(is_count(summary.get(f))
+                       for f in ("injections", "missing") + OUTCOMES)
+    if have_summary:
+        if count is not None and \
+                summary["injections"] + summary["missing"] != count:
+            err(f"summary.injections + summary.missing "
+                f"({summary['injections']} + {summary['missing']}) "
+                f"!= config.count ({count})")
+        tally = sum(summary[o] for o in OUTCOMES)
+        if tally != summary["injections"]:
+            err(f"summary outcome counts sum to {tally}, not "
+                f"summary.injections ({summary['injections']})")
+
+    incomplete = root.get("incomplete")
+    failed = chunks.get("failed")
+    missing = summary.get("missing")
+    if is_count(failed) and is_count(missing):
+        if (failed > 0 or missing > 0) and not isinstance(incomplete,
+                                                          dict):
+            err("campaign has failed chunks or missing injections but "
+                "no 'incomplete' block")
+        if failed == 0 and missing == 0 and incomplete is not None:
+            err("'incomplete' block present on a complete campaign")
+    if isinstance(incomplete, dict):
+        fc = incomplete.get("failed_chunks")
+        mi = incomplete.get("missing_injections")
+        if not isinstance(fc, list) or not isinstance(mi, list):
+            err("incomplete.failed_chunks and .missing_injections must "
+                "be arrays")
+        else:
+            if is_count(failed) and len(fc) != failed:
+                err(f"incomplete.failed_chunks has {len(fc)} entries, "
+                    f"chunks.failed says {failed}")
+            if is_count(missing) and len(mi) != missing:
+                err(f"incomplete.missing_injections has {len(mi)} "
+                    f"entries, summary.missing says {missing}")
+
+    report = root.get("report")
+    if not isinstance(report, dict):
+        err("'report' must be an object (the merged fault report)")
+        report = {}
+    for field in ("design", "engine"):
+        if field in report and report.get(field) != root.get(field):
+            err(f"report.{field} ({report.get(field)!r}) disagrees "
+                f"with top-level {field} ({root.get(field)!r})")
+    if isinstance(report.get("config"), dict) and config and \
+            report["config"] != config:
+        err("report.config disagrees with top-level config")
+    injections = report.get("injections")
+    if not isinstance(injections, list):
+        err("report.injections must be an array")
+        injections = []
+    if have_summary and len(injections) != summary["injections"]:
+        err(f"report.injections has {len(injections)} records, "
+            f"summary.injections says {summary['injections']}")
+    # Re-tally per-record outcomes: a summary count that was edited (or
+    # a merge that dropped/duplicated records) cannot re-balance.
+    tallied = dict.fromkeys(OUTCOMES, 0)
+    last_index = -1
+    for i, rec in enumerate(injections):
+        rwhere = f"report.injections[{i}]"
+        if not isinstance(rec, dict):
+            err(f"{rwhere} must be an object")
+            continue
+        idx = rec.get("index")
+        if not is_count(idx):
+            err(f"{rwhere}.index must be a non-negative integer")
+        else:
+            if idx <= last_index:
+                err(f"{rwhere}.index ({idx}) not strictly increasing "
+                    f"(previous {last_index}) — merge order broken")
+            last_index = idx
+        outcome = rec.get("outcome")
+        if outcome not in OUTCOMES:
+            err(f"{rwhere}.outcome must be one of {OUTCOMES}, "
+                f"got {outcome!r}")
+        else:
+            tallied[outcome] += 1
+    if have_summary:
+        for o in OUTCOMES:
+            if tallied[o] != summary[o]:
+                err(f"summary.{o} ({summary[o]}) disagrees with the "
+                    f"record tally ({tallied[o]})")
+
+    metrics = root.get("metrics")
+    if not isinstance(metrics, dict) or \
+            not isinstance(metrics.get("counters"), dict):
+        err("'metrics' must be a registry dump with a counters object")
+        counters = {}
+    else:
+        counters = metrics["counters"]
+    design = root.get("design")
+    if isinstance(design, str) and design and have_summary:
+        for o in OUTCOMES:
+            key = f"fault/{design}/outcome/{o}"
+            if counters.get(key, 0) != summary[o]:
+                err(f"metrics counter {key} ({counters.get(key, 0)}) "
+                    f"disagrees with summary.{o} ({summary[o]})")
+        key = f"fault/{design}/injections"
+        if counters.get(key, 0) != summary["injections"]:
+            err(f"metrics counter {key} ({counters.get(key, 0)}) "
+                f"disagrees with summary.injections "
+                f"({summary['injections']})")
+    if is_count(chunks.get("completed")) and \
+            counters.get("orch/chunks_completed", 0) != \
+            chunks["completed"]:
+        err(f"metrics counter orch/chunks_completed "
+            f"({counters.get('orch/chunks_completed', 0)}) disagrees "
+            f"with chunks.completed ({chunks['completed']})")
+    return len(problems) == before
+
+
+def load(problems, path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"{path}: unreadable or invalid JSON: {e}")
+        return None
+
+
+def build_test_report():
+    recs = [
+        {"index": 0, "cycle": 10, "reg": 0, "reg_name": "x", "bit": 1,
+         "kind": "bit_flip", "outcome": "masked", "diverged": False,
+         "detected": False, "final_state_matches": True},
+        {"index": 1, "cycle": 20, "reg": 1, "reg_name": "y", "bit": 2,
+         "kind": "bit_flip", "outcome": "sdc", "diverged": True,
+         "detected": False, "final_state_matches": False},
+        {"index": 2, "cycle": 30, "reg": 0, "reg_name": "x", "bit": 0,
+         "kind": "stuck_at_1", "outcome": "detected", "diverged": True,
+         "detected": True, "final_state_matches": False},
+    ]
+    config = {"seed": 7, "count": 3, "cycles": 100, "stuck_at": True,
+              "max_stuck_cycles": 8}
+    return {
+        "schema": SCHEMA,
+        "design": "collatz",
+        "engine": "T5-static-analysis",
+        "config": config,
+        "orchestration": {"workers": 2, "chunk_size": 2,
+                          "worker_timeout_seconds": 10,
+                          "max_retries": 3, "chaos": 0},
+        "chunks": {"total": 2, "completed": 2, "failed": 0},
+        "summary": {"injections": 3, "masked": 1, "sdc": 1,
+                    "detected": 1, "missing": 0},
+        "report": {
+            "design": "collatz",
+            "engine": "T5-static-analysis",
+            "config": dict(config),
+            "summary": {"injections": 3, "masked": 1, "sdc": 1,
+                        "detected": 1},
+            "injections": recs,
+        },
+        "metrics": {
+            "counters": {
+                "fault/collatz/injections": 3,
+                "fault/collatz/outcome/masked": 1,
+                "fault/collatz/outcome/sdc": 1,
+                "fault/collatz/outcome/detected": 1,
+                "orch/chunks_claimed": 2,
+                "orch/chunks_completed": 2,
+                "orch/workers_spawned": 2,
+            },
+            "gauges": {},
+            "histograms": {},
+        },
+        "wall_seconds": 1.25,
+    }
+
+
+def self_test():
+    ok = build_test_report()
+    problems = []
+    validate(problems, "valid", ok)
+    if problems:
+        print("self-test: pristine report failed validation:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+
+    # An honestly-incomplete report (failed chunk, missing work
+    # accounted for everywhere) must also validate.
+    import copy
+    inc = copy.deepcopy(ok)
+    inc["chunks"] = {"total": 2, "completed": 1, "failed": 1}
+    inc["summary"] = {"injections": 2, "masked": 1, "sdc": 1,
+                      "detected": 0, "missing": 1}
+    inc["incomplete"] = {"failed_chunks": [1],
+                         "missing_injections": [2]}
+    inc["report"]["injections"] = inc["report"]["injections"][:2]
+    inc["report"]["summary"]["missing"] = 1
+    inc["metrics"]["counters"].update({
+        "fault/collatz/injections": 2,
+        "fault/collatz/outcome/detected": 0,
+        "orch/chunks_completed": 1,
+        "orch/chunks_failed": 1,
+    })
+    problems = []
+    validate(problems, "incomplete", inc)
+    if problems:
+        print("self-test: honest incomplete report failed validation:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+
+    def corrupted(label, mutate):
+        bad = copy.deepcopy(ok)
+        mutate(bad)
+        p = []
+        validate(p, label, bad)
+        if not p:
+            print(f"self-test: corruption not detected: {label}")
+            return False
+        return True
+
+    def wrong_schema(r):
+        r["schema"] = "cuttlesim-fault-v1"
+
+    def chunks_dont_sum(r):
+        r["chunks"]["completed"] = 1
+
+    def chunk_count_wrong(r):
+        r["chunks"] = {"total": 5, "completed": 5, "failed": 0}
+
+    def summary_bumped(r):
+        r["summary"]["masked"] += 1  # the tamper-gate case
+
+    def record_dropped(r):
+        r["report"]["injections"] = r["report"]["injections"][1:]
+
+    def record_duplicated(r):
+        r["report"]["injections"].append(
+            dict(r["report"]["injections"][-1]))
+
+    def indices_unsorted(r):
+        r["report"]["injections"].reverse()
+
+    def silent_missing(r):
+        # Claims complete but a record vanished and counts re-balanced:
+        # the config.count cross-check must notice.
+        r["report"]["injections"] = r["report"]["injections"][1:]
+        r["summary"]["injections"] = 2
+        r["summary"]["masked"] = 0
+
+    def metrics_disagree(r):
+        r["metrics"]["counters"]["fault/collatz/outcome/sdc"] = 9
+
+    def phantom_incomplete(r):
+        r["incomplete"] = {"failed_chunks": [], "missing_injections": []}
+
+    def bad_chaos(r):
+        r["orchestration"]["chaos"] = 1.5
+
+    def negative_wall(r):
+        r["wall_seconds"] = -1
+
+    cases = [
+        ("wrong schema tag", wrong_schema),
+        ("chunks total != completed + failed", chunks_dont_sum),
+        ("chunk count disagrees with count/chunk_size",
+         chunk_count_wrong),
+        ("tampered summary count", summary_bumped),
+        ("dropped injection record", record_dropped),
+        ("duplicated injection record", record_duplicated),
+        ("unsorted injection indices", indices_unsorted),
+        ("silently re-balanced missing record", silent_missing),
+        ("metrics disagree with summary", metrics_disagree),
+        ("incomplete block on a complete campaign", phantom_incomplete),
+        ("chaos outside [0, 1]", bad_chaos),
+        ("negative wall_seconds", negative_wall),
+    ]
+    if not all(corrupted(label, m) for label, m in cases):
+        return 1
+
+    print(f"self-test: {SCHEMA} validator detects all {len(cases)} "
+          f"corruption cases and accepts honest complete and "
+          f"incomplete reports")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    args = [a for a in argv[1:]]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    for path in args:
+        root = load(problems, path)
+        if root is None:
+            continue
+        validate(problems, path, root)
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"{len(args)} orchestrated-campaign report(s) validate "
+              f"against {SCHEMA}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
