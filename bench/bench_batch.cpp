@@ -1,0 +1,191 @@
+// Batched multi-instance simulation: scalar vs. lockstep-lane fault
+// campaigns (src/fault/batch.cpp).
+//
+// Not a paper figure — this bench guards the batched execution mode.
+// It runs the same rv32 fault-injection campaign three ways: scalar
+// (batch=1, jobs=1), batched on one thread (batch=N, jobs=1), and
+// batched across one worker per hardware thread (batch=N, jobs=hw;
+// each pool worker drives one whole lockstep batch). Every run must
+// produce byte-identical reports and coverage databases — that is the
+// contract documented in fault::CampaignConfig::batch and the hard
+// check here; the bench panics on any mismatch. Wall-clock speedups
+// are reported per entry, with the aggregate (batch * jobs vs. scalar)
+// expected to clear 4x on a multi-core host: lanes share one golden
+// run and fork from its live state at each injection boundary, so the
+// per-trial cycle cost drops from 2*C to roughly C/2 before thread
+// scaling even starts.
+//
+// Writes BENCH_batch.json. Each entry's `extra` map carries lanes,
+// jobs, trials_per_sec, speedup_vs_scalar, and the batch-phase
+// wall-clock split (batch_pack_seconds / batch_step_seconds /
+// batch_unpack_seconds, diffed from the span profiler's
+// batch/pack|step|unpack phases). The report's `metrics` block carries
+// the batch.* family (batch.lanes, batch.trials, batch.speedup_single,
+// batch.speedup_aggregate) via BenchReport::user_metrics().
+// KOIKA_BENCH_SMOKE=1 shrinks the campaign to a seconds-long run whose
+// numbers are not meaningful but whose identity checks still bite.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+#include "harness/parallel.hpp"
+#include "sim/tiers.hpp"
+
+namespace {
+
+/** Wall time spent inside the batched engine's three phases
+ *  (cpu-seconds summed across workers at jobs>1). */
+struct BatchPhases
+{
+    double pack = 0, step = 0, unpack = 0;
+
+    static BatchPhases
+    now()
+    {
+        koika::obs::Profiler& p = koika::obs::Profiler::instance();
+        BatchPhases s;
+        s.pack = p.phase_total_seconds("batch/pack");
+        s.step = p.phase_total_seconds("batch/step");
+        s.unpack = p.phase_total_seconds("batch/unpack");
+        return s;
+    }
+
+    BatchPhases
+    operator-(const BatchPhases& base) const
+    {
+        return {pack - base.pack, step - base.step, unpack - base.unpack};
+    }
+};
+
+koika::fault::CampaignReport
+run_campaign(const koika::Design& d, int batch, int jobs, int count,
+             uint64_t cycles, double* wall, BatchPhases* phases)
+{
+    koika::fault::CampaignConfig config;
+    config.seed = 0xBA7C4;
+    config.count = count;
+    config.cycles = cycles;
+    config.batch = batch;
+    config.jobs = jobs;
+    config.label = "bench_batch";
+    // Coverage rides along: the per-trial databases unpacked from the
+    // lanes must merge to the same bytes as the scalar run's.
+    config.collect_coverage = true;
+    auto factory = koika::fault::closed_target([&d] {
+        return koika::sim::make_engine(
+            d, koika::sim::Tier::kT5StaticAnalysis);
+    });
+    BatchPhases before = BatchPhases::now();
+    bench::Timer timer;
+    koika::fault::CampaignReport report =
+        koika::fault::run_campaign(d, factory, config);
+    *wall = timer.seconds();
+    *phases = BatchPhases::now() - before;
+    report.engine = "T5";
+    return report;
+}
+
+void
+record(const std::string& label, int count, uint64_t horizon, double wall,
+       int lanes, int jobs, double speedup, const BatchPhases& phases,
+       const koika::obs::Json& coverage)
+{
+    koika::obs::SimStats s;
+    s.label = label;
+    s.engine = "T5";
+    s.cycles = (uint64_t)count * horizon * 2; // scalar-equivalent work
+    s.wall_seconds = wall;
+    s.extra["lanes"] = (double)lanes;
+    s.extra["jobs"] = (double)jobs;
+    s.extra["trials_per_sec"] = wall > 0 ? (double)count / wall : 0;
+    s.extra["speedup_vs_scalar"] = speedup;
+    s.extra["batch_pack_seconds"] = phases.pack;
+    s.extra["batch_step_seconds"] = phases.step;
+    s.extra["batch_unpack_seconds"] = phases.unpack;
+    s.coverage = coverage;
+    bench::report().add(std::move(s));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::report_init("batch");
+    const int jobs = koika::harness::resolve_jobs(0);
+    const int lanes = 8;
+    const int count = bench::scaled(64, 12);
+    const uint64_t horizon = bench::scaled<uint64_t>(2'000, 150);
+    const koika::Design& d = bench::design("rv32i");
+
+    std::printf("Batched simulation bench (%d lanes, %d hardware jobs)\n\n",
+                lanes, jobs);
+
+    double wall_scalar = 0, wall_batch = 0, wall_both = 0;
+    BatchPhases ph_scalar, ph_batch, ph_both;
+    koika::fault::CampaignReport scalar = run_campaign(
+        d, 1, 1, count, horizon, &wall_scalar, &ph_scalar);
+    koika::fault::CampaignReport batched = run_campaign(
+        d, lanes, 1, count, horizon, &wall_batch, &ph_batch);
+    koika::fault::CampaignReport both = run_campaign(
+        d, lanes, jobs, count, horizon, &wall_both, &ph_both);
+
+    // The hard check: batching is a pure throughput transform. Reports
+    // and coverage databases must not move by a byte at any lane count
+    // or job count.
+    std::string want = scalar.to_json().dump(2);
+    if (batched.to_json().dump(2) != want)
+        koika::panic("batched campaign report differs from scalar run");
+    if (both.to_json().dump(2) != want)
+        koika::panic(
+            "batched+jobs campaign report differs from scalar run");
+    std::string want_cov = scalar.coverage.to_json().dump(2);
+    if (batched.coverage.to_json().dump(2) != want_cov)
+        koika::panic("batched coverage database differs from scalar run");
+    if (both.coverage.to_json().dump(2) != want_cov)
+        koika::panic(
+            "batched+jobs coverage database differs from scalar run");
+
+    double speedup_single =
+        wall_batch > 0 ? wall_scalar / wall_batch : 0;
+    double speedup_aggregate =
+        wall_both > 0 ? wall_scalar / wall_both : 0;
+
+    record("batch/fault-campaign/scalar", count, horizon, wall_scalar, 1,
+           1, 1.0, ph_scalar, scalar.coverage.summary_json());
+    record("batch/fault-campaign/batched", count, horizon, wall_batch,
+           lanes, 1, speedup_single, ph_batch,
+           batched.coverage.summary_json());
+    record("batch/fault-campaign/batched-jobs", count, horizon, wall_both,
+           lanes, jobs, speedup_aggregate, ph_both,
+           both.coverage.summary_json());
+
+    koika::obs::MetricsRegistry& m = bench::report().user_metrics();
+    m.set_gauge("batch.lanes", (double)lanes);
+    m.inc("batch.trials", (uint64_t)count * 3);
+    m.set_gauge("batch.speedup_single", speedup_single);
+    m.set_gauge("batch.speedup_aggregate", speedup_aggregate);
+
+    std::printf("fault campaign  %4d injections x %llu cycles\n", count,
+                (unsigned long long)horizon);
+    std::printf("  scalar            %8.3fs  %8.1f trials/s\n",
+                wall_scalar,
+                wall_scalar > 0 ? count / wall_scalar : 0.0);
+    std::printf("  batch=%-2d jobs=1   %8.3fs  %8.1f trials/s  %5.2fx\n",
+                lanes, wall_batch,
+                wall_batch > 0 ? count / wall_batch : 0.0,
+                speedup_single);
+    std::printf("  batch=%-2d jobs=%-2d  %8.3fs  %8.1f trials/s  %5.2fx\n",
+                lanes, jobs, wall_both,
+                wall_both > 0 ? count / wall_both : 0.0,
+                speedup_aggregate);
+    std::printf("  reports and coverage byte-identical across all runs\n");
+    if (!bench::smoke() && speedup_aggregate < 4.0)
+        std::printf("  WARNING: aggregate speedup %.2fx below the 4x "
+                    "target\n",
+                    speedup_aggregate);
+
+    bench::report().write();
+    return 0;
+}

@@ -238,6 +238,18 @@ class BenchReport
         add(std::move(s));
     }
 
+    /**
+     * Bench-authored metrics merged into the report's `metrics` block
+     * alongside the per-entry exports and `prof/...` — how bench_batch
+     * publishes its `batch.*` family (lanes, trials, speedup) into the
+     * same registry the campaign metrics live in.
+     */
+    koika::obs::MetricsRegistry&
+    user_metrics()
+    {
+        return user_metrics_;
+    }
+
     void
     write()
     {
@@ -251,6 +263,7 @@ class BenchReport
             arr.push_back(s.to_json());
             s.export_to(metrics, s.label);
         }
+        metrics.merge_from(user_metrics_);
         root["entries"] = std::move(arr);
         root["host"] = host_json();
         // Where the bench's own wall time went (cuttlesim-prof-v1,
@@ -274,6 +287,7 @@ class BenchReport
   private:
     std::string name_;
     std::vector<koika::obs::SimStats> entries_;
+    koika::obs::MetricsRegistry user_metrics_;
     bool written_ = false;
 };
 

@@ -195,7 +195,8 @@ usage()
            "               [--fault-orchestrate=DIR] [--workers=N]\n"
            "               [--chunk-size=N] [--worker-timeout=SEC]\n"
            "               [--max-retries=K] [--chaos=P]\n"
-           "               [--jobs=N] [--cache-dir=DIR] [--no-cache]\n"
+           "               [--jobs=N] [--batch=N]\n"
+           "               [--cache-dir=DIR] [--no-cache]\n"
            "               [--checkpoint=FILE] [--checkpoint-every=N]\n"
            "               [--restore=FILE] [--run-to=CYCLE]\n"
            "               [--profile=FILE] [--profile-trace=FILE]\n"
@@ -247,6 +248,11 @@ usage()
            "                threads (0 = one per hardware thread;\n"
            "                default 1). Reports and coverage databases\n"
            "                are byte-identical at any job count\n"
+           "  --batch=N     advance N fault trials per worker in lockstep\n"
+           "                lanes sharing one golden run (finished or\n"
+           "                faulted lanes are masked out). Composes with\n"
+           "                --jobs; reports and coverage databases stay\n"
+           "                byte-identical at any lane count (default 1)\n"
            "  --fault-checkpoint=FILE\n"
            "                resumable campaigns: progress is saved to\n"
            "                FILE after each chunk of injections and a\n"
@@ -385,7 +391,7 @@ write_coverage_outputs(const koika::Design& design,
 int
 fault_campaign(const koika::Design& design, const std::string& engine,
                uint64_t seed, int count, uint64_t cycles, int jobs,
-               bool progress, const std::string& report_file,
+               int batch, bool progress, const std::string& report_file,
                const std::string& checkpoint_file, const RunOutputs& out)
 {
     koika::fault::CampaignConfig config;
@@ -393,6 +399,7 @@ fault_campaign(const koika::Design& design, const std::string& engine,
     config.count = count;
     config.cycles = cycles;
     config.jobs = jobs;
+    config.batch = batch;
     config.progress = progress;
     config.collect_coverage = out.wants_coverage();
     config.checkpoint_file = checkpoint_file;
@@ -451,7 +458,8 @@ int
 fault_orchestrate_cmd(const koika::Design& design,
                       const std::string& engine, const std::string& dir,
                       uint64_t seed, int count, uint64_t cycles, int jobs,
-                      int workers, int chunk_size, double worker_timeout,
+                      int batch, int workers, int chunk_size,
+                      double worker_timeout,
                       int max_retries, double chaos,
                       const std::string& report_file, const RunOutputs& out)
 {
@@ -463,6 +471,7 @@ fault_orchestrate_cmd(const koika::Design& design,
     config.campaign.count = count;
     config.campaign.cycles = cycles;
     config.campaign.jobs = jobs;
+    config.campaign.batch = batch;
     config.campaign.collect_coverage = out.wants_coverage();
     config.workers = workers;
     config.chunk_size = chunk_size;
@@ -1188,7 +1197,7 @@ main(int argc, char** argv)
     bool instrument = false, fault = false, bisect = false;
     bool progress = false;
     uint64_t cycles = 1000, fault_seed = 1;
-    int fault_count = 100, jobs = 1;
+    int fault_count = 100, jobs = 1, batch = 1;
     int worker_id = 0, workers = 2, chunk_size = 16, max_retries = 3;
     double worker_timeout = 10, chaos = 0;
     for (int i = 1; i < argc; ++i) {
@@ -1286,6 +1295,9 @@ main(int argc, char** argv)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             jobs = (int)std::strtol(arg.c_str() + std::strlen("--jobs="),
                                     nullptr, 10);
+        } else if (arg.rfind("--batch=", 0) == 0) {
+            batch = (int)std::strtol(
+                arg.c_str() + std::strlen("--batch="), nullptr, 10);
         } else if (arg.rfind("--profile=", 0) == 0) {
             profile_file = arg.substr(std::strlen("--profile="));
         } else if (arg.rfind("--profile-trace=", 0) == 0) {
@@ -1383,13 +1395,13 @@ main(int argc, char** argv)
             if (!fault_orchestrate.empty())
                 return fault_orchestrate_cmd(
                     *design, engine, fault_orchestrate, fault_seed,
-                    fault_count, cycles, jobs, workers, chunk_size,
-                    worker_timeout, max_retries, chaos, fault_report,
-                    outputs);
+                    fault_count, cycles, jobs, batch, workers,
+                    chunk_size, worker_timeout, max_retries, chaos,
+                    fault_report, outputs);
             return fault_campaign(*design, engine, fault_seed,
-                                  fault_count, cycles, jobs, progress,
-                                  fault_report, fault_checkpoint,
-                                  outputs);
+                                  fault_count, cycles, jobs, batch,
+                                  progress, fault_report,
+                                  fault_checkpoint, outputs);
         }
 
         if (outputs.wants_run()) {

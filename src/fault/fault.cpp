@@ -558,15 +558,35 @@ run_campaign(const Design& design, const TargetFactory& factory,
                 break;
             }
             size_t end = std::min(completed + chunk, faults.size());
-            harness::parallel_for(
-                end - completed, config.jobs, [&](uint64_t k) {
-                    size_t i = completed + k;
-                    report.injections[i] = run_injection(
-                        design, factory, faults[i], config.cycles,
-                        config.collect_coverage ? &shard_cov[i]
-                                                : nullptr);
-                    done.fetch_add(1, std::memory_order_relaxed);
-                });
+            size_t lanes = (size_t)std::max(config.batch, 1);
+            if (lanes <= 1) {
+                harness::parallel_for(
+                    end - completed, config.jobs, [&](uint64_t k) {
+                        size_t i = completed + k;
+                        report.injections[i] = run_injection(
+                            design, factory, faults[i], config.cycles,
+                            config.collect_coverage ? &shard_cov[i]
+                                                    : nullptr);
+                        done.fetch_add(1, std::memory_order_relaxed);
+                    });
+            } else {
+                // Batched execution: consecutive faults share one
+                // lockstep batch, one batch per pool item. Records and
+                // per-injection coverage land in the same slots as the
+                // scalar path, so the report and database stay
+                // byte-identical at any (batch, jobs).
+                harness::parallel_for_groups(
+                    end - completed, lanes, config.jobs,
+                    [&](uint64_t first, uint64_t n) {
+                        size_t i = completed + first;
+                        run_injection_batch(
+                            design, factory, &faults[i], (size_t)n,
+                            config.cycles, &report.injections[i],
+                            config.collect_coverage ? &shard_cov[i]
+                                                    : nullptr);
+                        done.fetch_add(n, std::memory_order_relaxed);
+                    });
+            }
             // Fold per-injection maps in fault-list order after the
             // join; merge() is commutative addition, so the database
             // matches a serial run byte for byte at any job count.

@@ -151,6 +151,16 @@ struct CampaignConfig
      */
     int jobs = 1;
     /**
+     * Trials per lockstep batch: 1 = scalar (run_injection per fault),
+     * N > 1 packs N consecutive injections into one batch that shares
+     * a single golden model and forks each faulted lane from the
+     * golden's live state at its injection boundary
+     * (run_injection_batch). Like `jobs`, deliberately NOT echoed into
+     * the JSON report: per-trial records and the coverage database are
+     * byte-identical at any lane count (tested: `ctest -L batch`).
+     */
+    int batch = 1;
+    /**
      * Also accumulate a design-coverage database over the campaign's
      * faulted runs (fault campaigns double as coverage-amplifying
      * stimulus: forced bad state exercises guard/conflict paths a clean
@@ -255,10 +265,35 @@ InjectionRecord run_injection(const Design& design,
                               obs::CoverageMap* coverage = nullptr);
 
 /**
+ * Run `count` injections as one lockstep batch (src/fault/batch.cpp).
+ * One golden model is shared by all lanes (every golden run in a
+ * campaign is identical); each faulted lane forks from the golden's
+ * live state at its injection boundary when the engine supports it
+ * (sim::CheckpointableModel plus serializable peripherals), so
+ * pre-injection cycles are never re-simulated. Lanes whose engine
+ * faults are masked out and skipped for the rest of the batch.
+ *
+ * `records` receives `count` InjectionRecords and — when `coverage` is
+ * non-null — `coverage` receives `count` per-trial maps, all
+ * byte-identical to what run_injection would have produced for the
+ * same specs. Engines that cannot fork fall back to running their
+ * lanes from cycle 0 against the shared golden (slower, still
+ * byte-identical).
+ */
+void run_injection_batch(const Design& design,
+                         const TargetFactory& factory,
+                         const FaultSpec* specs, size_t count,
+                         uint64_t cycles, InjectionRecord* records,
+                         obs::CoverageMap* coverage = nullptr);
+
+/**
  * Run a whole campaign: generate_faults, then run_injection per fault,
  * sharded across config.jobs worker threads (src/harness/parallel.hpp;
  * injections stay in fault-list order, so the report matches a serial
- * run byte for byte).
+ * run byte for byte). With config.batch > 1, consecutive faults are
+ * packed into lockstep batches (run_injection_batch) and each pool
+ * worker drives one whole batch; records and coverage land in the same
+ * slots, so the report stays byte-identical at any (batch, jobs).
  */
 CampaignReport run_campaign(const Design& design,
                             const TargetFactory& factory,

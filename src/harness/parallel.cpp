@@ -1,5 +1,6 @@
 #include "harness/parallel.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
@@ -203,6 +204,20 @@ parallel_for(uint64_t n, int jobs,
 {
     ThreadPool pool(jobs);
     pool.run(n, [&fn](uint64_t item, int) { fn(item); });
+}
+
+void
+parallel_for_groups(uint64_t n, uint64_t group, int jobs,
+                    const std::function<void(uint64_t, uint64_t)>& fn)
+{
+    if (group < 1)
+        group = 1;
+    uint64_t groups = (n + group - 1) / group;
+    ThreadPool pool(jobs);
+    pool.run(groups, [&fn, n, group](uint64_t g, int) {
+        uint64_t first = g * group;
+        fn(first, std::min(group, n - first));
+    });
 }
 
 void

@@ -92,6 +92,19 @@ void parallel_for(uint64_t n, int jobs,
                   const std::function<void(uint64_t item)>& fn);
 
 /**
+ * Sharded loop over contiguous groups: items [0, n) are cut into
+ * ceil(n / group) consecutive groups of `group` items (the last group
+ * may be short) and fn(first, count) runs once per group, group g on
+ * worker (g % jobs). This is the batched-execution shard shape: each
+ * pool worker drives one whole lockstep batch (src/fault/batch.cpp),
+ * and because groups are contiguous index ranges the caller's
+ * per-item result slots are filled exactly as a serial run would.
+ */
+void parallel_for_groups(
+    uint64_t n, uint64_t group, int jobs,
+    const std::function<void(uint64_t first, uint64_t count)>& fn);
+
+/**
  * Sharded loop with per-worker metrics: fn(i, registry) writes into its
  * worker's private registry; at join the shards are folded into
  * `merged` in worker order (deterministic merge).

@@ -171,6 +171,7 @@ manifest_json(const OrchestratorConfig& config, int num_chunks)
     m["chunk_size"] = (int64_t)config.chunk_size;
     m["num_chunks"] = (int64_t)num_chunks;
     m["worker_jobs"] = (int64_t)config.campaign.jobs;
+    m["worker_batch"] = (int64_t)config.campaign.batch;
     m["worker_timeout_seconds"] = config.worker_timeout_seconds;
     m["chaos"] = config.chaos;
     return m;
@@ -399,7 +400,28 @@ run_claimed_chunk(WorkerContext& ctx, int chunk, std::mt19937_64& chaos_rng)
             *ctx.design, ctx.factory, ctx.faults[(size_t)first + k],
             ctx.campaign.cycles, collect ? &coverage[k] : nullptr);
     };
-    if (ctx.campaign.jobs == 1) {
+    if (ctx.campaign.batch > 1) {
+        // Batched lanes: one lockstep batch per pool item. Chaos
+        // mid-chunk crashes still fire when the crashing index falls
+        // inside a group, so reclaim/retry is exercised either way.
+        auto run_group = [&](uint64_t k0, uint64_t n) {
+            if (shutdown_requested()) {
+                interrupted.store(true);
+                return;
+            }
+            if (mode == kChaosCrashMid && (uint64_t)(count / 2) >= k0 &&
+                (uint64_t)(count / 2) < k0 + n)
+                _exit(43);
+            fault::run_injection_batch(
+                *ctx.design, ctx.factory,
+                &ctx.faults[(size_t)first + k0], (size_t)n,
+                ctx.campaign.cycles, &records[k0],
+                collect ? &coverage[k0] : nullptr);
+        };
+        harness::parallel_for_groups((uint64_t)count,
+                                     (uint64_t)ctx.campaign.batch,
+                                     ctx.campaign.jobs, run_group);
+    } else if (ctx.campaign.jobs == 1) {
         for (uint64_t k = 0; k < (uint64_t)count; ++k)
             run_one(k);
     } else {
@@ -476,6 +498,10 @@ run_worker(const std::string& dir, int worker_id)
     ctx.campaign.collect_coverage =
         jget(m, "collect_coverage", mpath).as_bool();
     ctx.campaign.jobs = (int)jget(m, "worker_jobs", mpath).as_int();
+    // Operational like worker_jobs (absent from the identity check and
+    // from pre-batching manifests): lane count per lockstep batch.
+    if (const obs::Json* wb = m.find("worker_batch"))
+        ctx.campaign.batch = (int)wb->as_int();
     ctx.chunk_size = (int)jget(m, "chunk_size", mpath).as_int();
     ctx.num_chunks = (int)jget(m, "num_chunks", mpath).as_int();
     ctx.worker_timeout = jget(m, "worker_timeout_seconds", mpath).as_double();
