@@ -100,11 +100,7 @@ inline koika::obs::Json
 host_json()
 {
     koika::obs::Json h = koika::obs::Json::object();
-    std::string compiler = koika::codegen::compiler_identity();
-    for (char& c : compiler)
-        if (c == '\n')
-            c = ' ';
-    h["compiler"] = compiler;
+    h["compiler"] = koika::codegen::compiler_identity_line();
     h["hw_concurrency"] =
         (uint64_t)std::thread::hardware_concurrency();
     std::string cache_dir = cache_options().cache.dir;

@@ -410,6 +410,19 @@ compiler_identity()
     return compiler_id();
 }
 
+const std::string&
+compiler_identity_line()
+{
+    static const std::string* line = [] {
+        std::string* s = new std::string(compiler_identity());
+        for (char& c : *s)
+            if (c == '\n')
+                c = ' ';
+        return s;
+    }();
+    return *line;
+}
+
 std::string
 RunResult::describe() const
 {

@@ -175,6 +175,13 @@ obs::MetricsRegistry& compile_metrics();
  */
 const std::string& compiler_identity();
 
+/**
+ * compiler_identity() flattened to one line (newlines become spaces) —
+ * the form embedded in single-line contexts: bench `host` blocks and
+ * telemetry meta records.
+ */
+const std::string& compiler_identity_line();
+
 struct CompileResult
 {
     /** Path of the produced executable. */

@@ -109,6 +109,7 @@
 #include "obs/coverage.hpp"
 #include "obs/prof.hpp"
 #include "obs/stats.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "orchestrate/orchestrator.hpp"
 #include "replay/bisect.hpp"
@@ -127,6 +128,33 @@ void
 write_file(const std::string& path, const std::string& text)
 {
     koika::write_file_atomic(path, text);
+}
+
+/**
+ * Registry every command path merges its final counters into, so
+ * --metrics=FILE can dump the whole invocation whatever dispatch path
+ * ran (the compile metrics are merged in at write time).
+ */
+koika::obs::MetricsRegistry&
+run_metrics()
+{
+    static koika::obs::MetricsRegistry r;
+    return r;
+}
+
+/** `cuttlec --metrics=FILE`: the standalone cuttlesim-metrics-v1 dump. */
+void
+publish_metrics(const std::string& file, const std::string& design,
+                const std::string& engine)
+{
+    koika::obs::MetricsRegistry merged;
+    merged.merge_from(run_metrics());
+    merged.merge_from(koika::codegen::compile_metrics());
+    write_file(file,
+               koika::obs::metrics_artifact(design, engine, merged)
+                       .dump(2) +
+                   "\n");
+    std::cerr << "cuttlec: wrote metrics '" << file << "'\n";
 }
 
 /**
@@ -200,11 +228,12 @@ usage()
            "               [--checkpoint=FILE] [--checkpoint-every=N]\n"
            "               [--restore=FILE] [--run-to=CYCLE]\n"
            "               [--profile=FILE] [--profile-trace=FILE]\n"
-           "               [--progress]\n"
+           "               [--progress] [--metrics=FILE]\n"
            "       cuttlec --design NAME --bisect-divergence A B\n"
            "               [--perturb=CYCLE:REG:BIT] [--cycles N]\n"
            "               [--bisect-report=FILE]\n"
            "       cuttlec --coverage-merge OUT IN...\n"
+           "       cuttlec --fault-status=DIR\n"
            "       cuttlec --list\n"
            "\n"
            "  --stats=FILE  simulate and write per-rule commit/abort/\n"
@@ -280,6 +309,12 @@ usage()
            "  --chaos=P     self-test: workers crash mid-chunk, hang, or\n"
            "                crash after publishing with probability P per\n"
            "                claim (default 0)\n"
+           "  --fault-status=DIR\n"
+           "                pretty-print the live status.json a running\n"
+           "                --fault-orchestrate supervisor publishes in\n"
+           "                DIR (state, trials/sec, ETA, per-worker\n"
+           "                utilization, incomplete chunks); exit 1 when\n"
+           "                no status has been published yet\n"
            "  --checkpoint=FILE\n"
            "                save a cuttlesim-ckpt-v1 checkpoint of the\n"
            "                full simulation state (registers, engine\n"
@@ -318,6 +353,13 @@ usage()
            "  --progress    live heartbeat on stderr during fault\n"
            "                campaigns: injections done, trials/sec, ETA,\n"
            "                worker busy % (with --profile*)\n"
+           "  --metrics=FILE\n"
+           "                write the invocation's metrics registry (run\n"
+           "                counters merged with the compile metrics) as\n"
+           "                a standalone cuttlesim-metrics-v1 JSON\n"
+           "                artifact; works with every engine and\n"
+           "                subcommand, and is written even when the\n"
+           "                command fails\n"
            "  --instrument  emit only NAME_instr.model.hpp: a model with\n"
            "                counters, abort-reason attribution, and\n"
            "                statement/branch coverage arrays\n";
@@ -441,6 +483,7 @@ fault_campaign(const koika::Design& design, const std::string& engine,
                            .dump(2) +
                        "\n");
     write_span.close();
+    run_metrics().merge_from(metrics);
     std::cout << report.to_text() << metrics.to_text();
     return 0;
 }
@@ -512,6 +555,7 @@ fault_orchestrate_cmd(const koika::Design& design,
         }
     }
     write_span.close();
+    run_metrics().merge_from(report.metrics);
     std::cout << report.to_text() << report.metrics.to_text();
     return report.complete() ? 0 : koika::orchestrate::kExitIncomplete;
 }
@@ -1062,6 +1106,7 @@ simulate(const koika::Design& design, const std::string& engine,
         j["metrics"] = metrics.to_json();
         write_file(out.stats, j.dump(2) + "\n");
     }
+    run_metrics().merge_from(metrics);
     std::cout << stats.to_text();
     if (interrupted) {
         std::cerr << "cuttlec: interrupted at cycle " << reached
@@ -1192,6 +1237,7 @@ main(int argc, char** argv)
     std::string fault_checkpoint, fault_orchestrate, fault_worker;
     std::string bisect_a, bisect_b, perturb, bisect_report;
     std::string profile_file, profile_trace;
+    std::string fault_status, metrics_file;
     RunOutputs outputs;
     bool stats = false, print_koika = false, counters = true;
     bool instrument = false, fault = false, bisect = false;
@@ -1200,15 +1246,28 @@ main(int argc, char** argv)
     int fault_count = 100, jobs = 1, batch = 1;
     int worker_id = 0, workers = 2, chunk_size = 16, max_retries = 3;
     double worker_timeout = 10, chaos = 0;
+    // --metrics= is pre-scanned so the subcommands that return straight
+    // out of the parse loop (--list, --coverage-merge) still honor it.
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--metrics=", 0) == 0)
+            metrics_file = arg.substr(std::strlen("--metrics="));
+    }
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
             for (const auto& name : koika::designs::design_names())
                 std::cout << name << "\n";
+            if (!metrics_file.empty())
+                publish_metrics(metrics_file, "", "");
             return 0;
         }
-        if (arg == "--coverage-merge")
-            return coverage_merge(argc, argv, i);
+        if (arg == "--coverage-merge") {
+            int rc = coverage_merge(argc, argv, i);
+            if (!metrics_file.empty())
+                publish_metrics(metrics_file, "", "");
+            return rc;
+        }
         if (arg == "--design" && i + 1 < argc) {
             design_name = argv[++i];
         } else if (arg == "--out" && i + 1 < argc) {
@@ -1302,6 +1361,10 @@ main(int argc, char** argv)
             profile_file = arg.substr(std::strlen("--profile="));
         } else if (arg.rfind("--profile-trace=", 0) == 0) {
             profile_trace = arg.substr(std::strlen("--profile-trace="));
+        } else if (arg.rfind("--fault-status=", 0) == 0) {
+            fault_status = arg.substr(std::strlen("--fault-status="));
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            // already pre-scanned above
         } else if (arg == "--progress") {
             progress = true;
         } else if (arg.rfind("--cache-dir=", 0) == 0) {
@@ -1318,6 +1381,21 @@ main(int argc, char** argv)
             instrument = true;
         } else {
             return usage();
+        }
+    }
+    // Live campaign introspection: pretty-print the status.json a
+    // running (or finished) supervisor published. Like worker mode it
+    // needs no --design; everything comes from the campaign directory.
+    if (!fault_status.empty()) {
+        try {
+            koika::obs::Json s = koika::obs::Json::parse(koika::read_file(
+                koika::orchestrate::status_path(fault_status)));
+            std::cout << koika::obs::render_status_text(s);
+            return 0;
+        } catch (const std::exception& err) {
+            std::cerr << "cuttlec: cannot read campaign status from '"
+                      << fault_status << "': " << err.what() << "\n";
+            return 1;
         }
     }
     // Worker mode: everything the worker needs (design, engine, fault
@@ -1493,6 +1571,18 @@ main(int argc, char** argv)
                 std::cerr << "cuttlec: wrote host timeline '"
                           << profile_trace << "'\n";
             }
+        } catch (const koika::FatalError& err) {
+            std::cerr << "cuttlec: " << err.what() << "\n";
+            rc = 1;
+        }
+    }
+
+    // Like the profile artifacts, the metrics dump is written even when
+    // the command failed: the counters of the part that ran are data.
+    if (!metrics_file.empty()) {
+        try {
+            publish_metrics(metrics_file, design_name,
+                            engine_label(engine));
         } catch (const koika::FatalError& err) {
             std::cerr << "cuttlec: " << err.what() << "\n";
             rc = 1;

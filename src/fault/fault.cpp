@@ -437,6 +437,50 @@ run_injection(const Design& design, const TargetFactory& factory,
     return rec;
 }
 
+bool
+run_injection_range(const Design& design, const TargetFactory& factory,
+                    const std::vector<FaultSpec>& faults, size_t first,
+                    size_t count, uint64_t cycles, int jobs, int batch,
+                    InjectionRecord* records, obs::CoverageMap* coverage,
+                    const std::function<void(uint64_t, uint64_t)>& before_item)
+{
+    std::atomic<bool> interrupted{false};
+    auto run_one = [&](uint64_t k) {
+        if (shutdown_requested()) {
+            interrupted.store(true);
+            return;
+        }
+        if (before_item)
+            before_item(k, 1);
+        records[k] = run_injection(design, factory, faults[first + k],
+                                   cycles, coverage ? &coverage[k] : nullptr);
+    };
+    if (batch > 1) {
+        // Batched lanes: one lockstep batch per pool item. before_item
+        // sees the whole group, so a chaos crash aimed at injection i
+        // fires whichever group i lands in.
+        auto run_group = [&](uint64_t k0, uint64_t n) {
+            if (shutdown_requested()) {
+                interrupted.store(true);
+                return;
+            }
+            if (before_item)
+                before_item(k0, n);
+            run_injection_batch(design, factory, &faults[first + k0],
+                                (size_t)n, cycles, &records[k0],
+                                coverage ? &coverage[k0] : nullptr);
+        };
+        harness::parallel_for_groups((uint64_t)count, (uint64_t)batch, jobs,
+                                     run_group);
+    } else if (jobs == 1) {
+        for (uint64_t k = 0; k < (uint64_t)count; ++k)
+            run_one(k);
+    } else {
+        harness::parallel_for((uint64_t)count, jobs, run_one);
+    }
+    return !interrupted.load();
+}
+
 CampaignReport
 run_campaign(const Design& design, const TargetFactory& factory,
              const CampaignConfig& config)

@@ -287,6 +287,29 @@ void run_injection_batch(const Design& design,
                          obs::CoverageMap* coverage = nullptr);
 
 /**
+ * Run the slice faults[first, first + count) through exactly the
+ * scalar / thread-sharded / batched dispatch run_campaign uses, writing
+ * into records[0..count) (and coverage[0..count) when non-null; both
+ * indexed relative to the slice). This is the unit of work an
+ * orchestrator worker executes per leased chunk — sharing it with the
+ * in-process paths is what keeps the orchestrated report byte-identical
+ * to the single-process run by construction.
+ *
+ * Returns false when a shutdown signal (base/signal.hpp) interrupted
+ * the slice; records past the interruption are default-initialized and
+ * must not be published. `before_item` (may be empty) runs at the start
+ * of every pool item with its [k, n) sub-slice (k relative to the slice
+ * start) — the hook the orchestrator's chaos self-test uses to crash a
+ * worker mid-chunk.
+ */
+bool run_injection_range(
+    const Design& design, const TargetFactory& factory,
+    const std::vector<FaultSpec>& faults, size_t first, size_t count,
+    uint64_t cycles, int jobs, int batch, InjectionRecord* records,
+    obs::CoverageMap* coverage = nullptr,
+    const std::function<void(uint64_t, uint64_t)>& before_item = {});
+
+/**
  * Run a whole campaign: generate_faults, then run_injection per fault,
  * sharded across config.jobs worker threads (src/harness/parallel.hpp;
  * injections stay in fault-list order, so the report matches a serial

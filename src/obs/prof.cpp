@@ -251,6 +251,46 @@ Profiler::report() const
     return rep;
 }
 
+std::vector<Profiler::ThreadSpans>
+Profiler::drain_since(std::map<const void*, uint64_t>& cursors) const
+{
+    std::vector<std::pair<std::string, const ThreadBuf*>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const ThreadBuf* b : bufs_)
+            bufs.emplace_back(b->name, b);
+    }
+    std::vector<ThreadSpans> out;
+    for (const auto& [name, buf] : bufs) {
+        uint64_t committed = buf->committed.load(std::memory_order_acquire);
+        uint64_t& from = cursors[(const void*)buf];
+        if (from >= committed)
+            continue;
+        ThreadSpans ts;
+        ts.thread = name;
+        // Chunks are immortal while recording (only reset() frees them,
+        // under the quiescence contract), so replaying the walk from
+        // head and skipping the already-drained prefix is safe.
+        const ThreadBuf::Chunk* chunk = buf->head;
+        for (uint64_t i = 0; i < committed; ++i) {
+            size_t slot = (size_t)(i % ThreadBuf::kChunkSpans);
+            if (i >= from)
+                ts.spans.push_back(chunk->spans[slot]);
+            if (slot + 1 == ThreadBuf::kChunkSpans && i + 1 < committed)
+                chunk = chunk->next.load(std::memory_order_acquire);
+        }
+        from = committed;
+        out.push_back(std::move(ts));
+    }
+    return out;
+}
+
+uint64_t
+Profiler::epoch_monotonic_ns() const
+{
+    return (uint64_t)epoch_ns_.load(std::memory_order_relaxed);
+}
+
 double
 Profiler::phase_total_seconds(const std::string& phase) const
 {

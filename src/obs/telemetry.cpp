@@ -1,0 +1,617 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <exception>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/error.hpp"
+#include "base/io.hpp"
+
+namespace koika::obs {
+
+namespace {
+
+/** A span parsed back from a snapshot record (phase owned here, start
+ *  already shifted onto the supervisor's clock). */
+struct MergedSpan
+{
+    std::string phase;
+    int64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+    uint32_t depth = 0;
+    bool idle = false;
+};
+
+/** A journal entry parsed from an event record (ts aligned). */
+struct MergedEvent
+{
+    int64_t ts_ns = 0;
+    std::string proc;
+    uint64_t seq = 0;
+    std::string name;
+    Json args;
+};
+
+/** One process's contribution to the fleet trace. */
+struct ProcStream
+{
+    std::string proc;
+    /** lane (thread name) -> aligned spans, in commit order. */
+    std::map<std::string, std::vector<MergedSpan>> lanes;
+    std::vector<MergedEvent> events;
+};
+
+/** Trace track id: supervisor is pid 1, worker slot K is pid K + 2,
+ *  anything else lands past 1000 in name order. */
+int
+proc_pid(const std::string& proc, int* next_other)
+{
+    if (proc == "supervisor")
+        return 1;
+    if (proc.rfind("worker-", 0) == 0) {
+        const char* digits = proc.c_str() + 7;
+        char* end = nullptr;
+        long slot = std::strtol(digits, &end, 10);
+        if (end != digits && *end == '\0' && slot >= 0)
+            return (int)slot + 2;
+    }
+    return (*next_other)++;
+}
+
+const Json*
+jfind(const Json& j, const char* key)
+{
+    return j.find(key);
+}
+
+uint64_t
+ju64(const Json& j, const char* key)
+{
+    const Json* v = j.find(key);
+    if (v == nullptr || !v->is_number())
+        throw FatalError(std::string("telemetry: missing field ") + key);
+    return v->as_u64();
+}
+
+const std::string&
+jstr(const Json& j, const char* key)
+{
+    const Json* v = j.find(key);
+    if (v == nullptr)
+        throw FatalError(std::string("telemetry: missing field ") + key);
+    return v->as_string();
+}
+
+} // namespace
+
+std::string
+telemetry_dir(const std::string& campaign_dir)
+{
+    return campaign_dir + "/telemetry";
+}
+
+std::string
+telemetry_path(const std::string& campaign_dir, const std::string& proc)
+{
+    return telemetry_dir(campaign_dir) + "/" + proc + ".jsonl";
+}
+
+TelemetryWriter::TelemetryWriter(const std::string& campaign_dir,
+                                 const std::string& proc,
+                                 const std::string& compiler_identity)
+{
+    // Best-effort directory creation: the supervisor normally makes
+    // these, but a worker racing a fresh campaign dir must not die over
+    // telemetry. EEXIST and every other failure fall through to the
+    // open(2), whose failure just disarms the writer.
+    ::mkdir(campaign_dir.c_str(), 0777);
+    ::mkdir(telemetry_dir(campaign_dir).c_str(), 0777);
+    std::string path = telemetry_path(campaign_dir, proc);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0)
+        return;
+    Profiler& prof = Profiler::instance();
+    Json meta = Json::object();
+    meta["schema"] = kTelemetrySchema;
+    meta["kind"] = "meta";
+    meta["proc"] = proc;
+    meta["pid"] = (uint64_t)::getpid();
+    meta["epoch_monotonic_ns"] = prof.epoch_monotonic_ns();
+    meta["start_unix"] = (uint64_t)::time(nullptr);
+    meta["compiler"] = compiler_identity;
+    append_line(meta.dump());
+}
+
+TelemetryWriter::~TelemetryWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+TelemetryWriter::append_line(const std::string& line)
+{
+    if (fd_ < 0)
+        return;
+    // One write(2) per record: a crash tears at most the final line,
+    // which the merger skips and counts.
+    std::string bytes = line;
+    bytes += '\n';
+    ssize_t rc = ::write(fd_, bytes.data(), bytes.size());
+    (void)rc;
+}
+
+void
+TelemetryWriter::event(const std::string& name, Json args)
+{
+    if (fd_ < 0)
+        return;
+    Profiler& prof = Profiler::instance();
+    Json rec = Json::object();
+    rec["kind"] = "event";
+    rec["seq"] = seq_++;
+    rec["ts_ns"] = prof.now_ns();
+    rec["name"] = name;
+    rec["args"] = std::move(args);
+    append_line(rec.dump());
+}
+
+void
+TelemetryWriter::snapshot(const MetricsRegistry& metrics)
+{
+    if (fd_ < 0)
+        return;
+    Profiler& prof = Profiler::instance();
+    Json rec = Json::object();
+    rec["kind"] = "snapshot";
+    rec["seq"] = seq_++;
+    rec["ts_ns"] = prof.now_ns();
+    rec["busy_seconds"] = prof.busy_seconds();
+    rec["wall_seconds"] = (double)prof.now_ns() * 1e-9;
+    Json threads = Json::array();
+    for (const Profiler::ThreadSpans& ts : prof.drain_since(cursors_)) {
+        Json t = Json::object();
+        t["name"] = ts.thread;
+        Json spans = Json::array();
+        for (const ProfSpan& s : ts.spans) {
+            Json span = Json::array();
+            span.push_back(std::string(s.phase));
+            span.push_back(s.start_ns);
+            span.push_back(s.dur_ns);
+            span.push_back((uint64_t)s.depth);
+            span.push_back((uint64_t)(s.kind == SpanKind::kIdle ? 1 : 0));
+            spans.push_back(std::move(span));
+        }
+        t["spans"] = std::move(spans);
+        threads.push_back(std::move(t));
+    }
+    rec["threads"] = std::move(threads);
+    rec["metrics"] = metrics.to_json();
+    append_line(rec.dump());
+}
+
+FleetTelemetry
+merge_fleet_telemetry(const std::string& campaign_dir)
+{
+    FleetTelemetry fleet;
+
+    // Collect the telemetry files, sorted by process name so the merge
+    // (and thus every artifact) is deterministic.
+    std::vector<std::string> procs;
+    if (DIR* dir = opendir(telemetry_dir(campaign_dir).c_str())) {
+        while (struct dirent* ent = readdir(dir)) {
+            std::string name = ent->d_name;
+            if (name.size() > 6 &&
+                name.compare(name.size() - 6, 6, ".jsonl") == 0)
+                procs.push_back(name.substr(0, name.size() - 6));
+        }
+        closedir(dir);
+    }
+    std::sort(procs.begin(), procs.end());
+
+    // Pass 1: read everything and find the alignment base — the
+    // supervisor's first epoch, falling back to the earliest epoch seen
+    // (a merge of worker files alone still lines up).
+    std::vector<std::pair<std::string, std::string>> contents;
+    uint64_t base_epoch = 0;
+    bool base_from_supervisor = false;
+    bool base_set = false;
+    for (const std::string& proc : procs) {
+        std::string bytes;
+        try {
+            bytes = read_file(telemetry_path(campaign_dir, proc));
+        } catch (const std::exception&) {
+            fleet.corrupt_records++;
+            continue;
+        }
+        fleet.files++;
+        size_t pos = 0;
+        while (pos < bytes.size()) {
+            size_t nl = bytes.find('\n', pos);
+            if (nl == std::string::npos)
+                break;
+            std::string line = bytes.substr(pos, nl - pos);
+            pos = nl + 1;
+            try {
+                Json rec = Json::parse(line);
+                const Json* kind = jfind(rec, "kind");
+                if (kind == nullptr || kind->as_string() != "meta")
+                    continue;
+                uint64_t epoch = ju64(rec, "epoch_monotonic_ns");
+                bool is_sup = proc == "supervisor";
+                if (!base_set || (is_sup && !base_from_supervisor) ||
+                    (is_sup == base_from_supervisor && epoch < base_epoch)) {
+                    base_epoch = epoch;
+                    base_from_supervisor = is_sup;
+                    base_set = true;
+                }
+            } catch (const std::exception&) {
+                // Counted in pass 2.
+            }
+        }
+        contents.emplace_back(proc, std::move(bytes));
+    }
+
+    // Pass 2: parse records, shifting timestamps onto the base clock.
+    std::map<std::string, ProcStream> streams;
+    for (const auto& [proc, bytes] : contents) {
+        ProcStream& stream = streams[proc];
+        stream.proc = proc;
+        int64_t shift = 0;
+        bool have_epoch = false;
+        size_t pos = 0;
+        while (pos <= bytes.size()) {
+            size_t nl = bytes.find('\n', pos);
+            std::string line = nl == std::string::npos
+                                   ? bytes.substr(pos)
+                                   : bytes.substr(pos, nl - pos);
+            pos = nl == std::string::npos ? bytes.size() + 1 : nl + 1;
+            if (line.empty())
+                continue;
+            try {
+                Json rec = Json::parse(line);
+                const std::string& kind = jstr(rec, "kind");
+                if (kind == "meta") {
+                    if (jstr(rec, "schema") != kTelemetrySchema)
+                        throw FatalError("telemetry: wrong schema");
+                    uint64_t epoch = ju64(rec, "epoch_monotonic_ns");
+                    shift = (int64_t)epoch - (int64_t)base_epoch;
+                    have_epoch = true;
+                    continue;
+                }
+                if (!have_epoch)
+                    throw FatalError("telemetry: record before meta");
+                if (kind == "event") {
+                    MergedEvent ev;
+                    ev.ts_ns = (int64_t)ju64(rec, "ts_ns") + shift;
+                    ev.proc = proc;
+                    ev.seq = ju64(rec, "seq");
+                    ev.name = jstr(rec, "name");
+                    if (const Json* args = jfind(rec, "args"))
+                        ev.args = *args;
+                    stream.events.push_back(std::move(ev));
+                    continue;
+                }
+                if (kind != "snapshot")
+                    throw FatalError("telemetry: unknown record kind");
+                const Json* threads = jfind(rec, "threads");
+                if (threads == nullptr || !threads->is_array())
+                    throw FatalError("telemetry: snapshot without threads");
+                // Parse fully before appending: a torn or tampered
+                // snapshot is skipped whole, never half-folded.
+                std::map<std::string, std::vector<MergedSpan>> parsed;
+                for (size_t t = 0; t < threads->size(); ++t) {
+                    const Json& thread = threads->at(t);
+                    const std::string& lane = jstr(thread, "name");
+                    const Json* spans = jfind(thread, "spans");
+                    if (spans == nullptr || !spans->is_array())
+                        throw FatalError("telemetry: thread without spans");
+                    std::vector<MergedSpan>& out = parsed[lane];
+                    for (size_t i = 0; i < spans->size(); ++i) {
+                        const Json& s = spans->at(i);
+                        if (!s.is_array() || s.size() != 5)
+                            throw FatalError("telemetry: malformed span");
+                        MergedSpan span;
+                        span.phase = s.at(0).as_string();
+                        span.start_ns = (int64_t)s.at(1).as_u64() + shift;
+                        span.dur_ns = s.at(2).as_u64();
+                        span.depth = (uint32_t)s.at(3).as_u64();
+                        span.idle = s.at(4).as_u64() != 0;
+                        out.push_back(std::move(span));
+                    }
+                }
+                for (auto& [lane, spans] : parsed) {
+                    std::vector<MergedSpan>& dst = stream.lanes[lane];
+                    for (MergedSpan& s : spans)
+                        dst.push_back(std::move(s));
+                }
+                fleet.snapshots++;
+            } catch (const std::exception&) {
+                fleet.corrupt_records++;
+            }
+        }
+    }
+
+    // Fleet cuttlesim-prof-v1 report: lanes merge by *thread name*
+    // across processes (every incarnation of every worker process names
+    // its main thread "worker"), so the worker set — and with it the
+    // report structure — is independent of worker count and crash
+    // schedule, exactly like pool generations within one process.
+    std::map<std::string, Profiler::WorkerStats> workers;
+    int64_t max_end_ns = 0;
+    for (const auto& [proc, stream] : streams) {
+        for (const auto& [lane, spans] : stream.lanes) {
+            Profiler::WorkerStats& w = workers[lane];
+            w.name = lane;
+            for (const MergedSpan& s : spans) {
+                double secs = (double)s.dur_ns * 1e-9;
+                w.spans++;
+                max_end_ns = std::max(max_end_ns,
+                                      s.start_ns + (int64_t)s.dur_ns);
+                if (s.idle) {
+                    w.wait_seconds += secs;
+                    continue;
+                }
+                if (s.depth == 0)
+                    w.busy_seconds += secs;
+                Profiler::PhaseStats& ph = fleet.report.phases[s.phase];
+                ph.count++;
+                ph.total_seconds += secs;
+                ph.max_seconds = std::max(ph.max_seconds, secs);
+            }
+        }
+        for (const MergedEvent& ev : stream.events)
+            max_end_ns = std::max(max_end_ns, ev.ts_ns);
+    }
+    double wall = (double)std::max<int64_t>(max_end_ns, 0) * 1e-9;
+    fleet.report.wall_seconds = wall;
+    for (auto& [lane, w] : workers) {
+        w.idle_seconds = std::max(0.0, wall - w.busy_seconds);
+        w.utilization = wall > 0 ? w.busy_seconds / wall : 0.0;
+        fleet.report.pool_busy_seconds += w.busy_seconds;
+        fleet.report.pool_idle_seconds += w.idle_seconds;
+        fleet.report.workers.push_back(w);
+    }
+    double capacity = (double)fleet.report.workers.size() * wall;
+    fleet.report.pool_utilization =
+        capacity > 0 ? fleet.report.pool_busy_seconds / capacity : 0.0;
+
+    // The events journal: one global timeline, ordered by aligned
+    // timestamp (ties broken by process then sequence, so the order is
+    // total and deterministic).
+    // Copy, not move: the trace builder below re-reads stream.events to
+    // render the per-track instants.
+    std::vector<MergedEvent> journal;
+    for (auto& [proc, stream] : streams)
+        for (const MergedEvent& ev : stream.events)
+            journal.push_back(ev);
+    std::sort(journal.begin(), journal.end(),
+              [](const MergedEvent& a, const MergedEvent& b) {
+                  if (a.ts_ns != b.ts_ns)
+                      return a.ts_ns < b.ts_ns;
+                  if (a.proc != b.proc)
+                      return a.proc < b.proc;
+                  return a.seq < b.seq;
+              });
+    fleet.events = Json::object();
+    fleet.events["schema"] = kEventsSchema;
+    Json jevents = Json::array();
+    for (const MergedEvent& ev : journal) {
+        Json e = Json::object();
+        e["ts_ns"] = (int64_t)std::max<int64_t>(ev.ts_ns, 0);
+        e["proc"] = ev.proc;
+        e["seq"] = ev.seq;
+        e["name"] = ev.name;
+        e["args"] = ev.args;
+        jevents.push_back(std::move(e));
+    }
+    fleet.events["events"] = std::move(jevents);
+
+    // The fleet Chrome trace: one process track per participant
+    // (supervisor pid 1, worker slot K pid K+2), one lane per thread
+    // within the track, journal events rendered as instant events on
+    // the owning track.
+    Json trace_events = Json::array();
+    int next_other = 1001;
+    std::vector<std::pair<int, const ProcStream*>> tracks;
+    for (const auto& [proc, stream] : streams)
+        tracks.emplace_back(proc_pid(proc, &next_other), &stream);
+    std::sort(tracks.begin(), tracks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [pid, stream] : tracks) {
+        Json pmeta = Json::object();
+        pmeta["ph"] = "M";
+        pmeta["pid"] = (uint64_t)pid;
+        pmeta["tid"] = (uint64_t)0;
+        pmeta["name"] = "process_name";
+        Json pargs = Json::object();
+        pargs["name"] = stream->proc;
+        pmeta["args"] = std::move(pargs);
+        trace_events.push_back(std::move(pmeta));
+
+        int tid = 0;
+        if (!stream->events.empty()) {
+            Json tmeta = Json::object();
+            tmeta["ph"] = "M";
+            tmeta["pid"] = (uint64_t)pid;
+            tmeta["tid"] = (uint64_t)0;
+            tmeta["name"] = "thread_name";
+            Json targs = Json::object();
+            targs["name"] = "events";
+            tmeta["args"] = std::move(targs);
+            trace_events.push_back(std::move(tmeta));
+        }
+        for (const auto& [lane, spans] : stream->lanes) {
+            ++tid;
+            Json tmeta = Json::object();
+            tmeta["ph"] = "M";
+            tmeta["pid"] = (uint64_t)pid;
+            tmeta["tid"] = (uint64_t)tid;
+            tmeta["name"] = "thread_name";
+            Json targs = Json::object();
+            targs["name"] = lane;
+            tmeta["args"] = std::move(targs);
+            trace_events.push_back(std::move(tmeta));
+            for (const MergedSpan& s : spans) {
+                Json e = Json::object();
+                e["ph"] = "X";
+                e["pid"] = (uint64_t)pid;
+                e["tid"] = (uint64_t)tid;
+                e["ts"] = (double)std::max<int64_t>(s.start_ns, 0) * 1e-3;
+                e["dur"] = (double)s.dur_ns * 1e-3;
+                e["name"] = s.phase;
+                if (s.idle)
+                    e["cat"] = "idle";
+                trace_events.push_back(std::move(e));
+            }
+        }
+        for (const MergedEvent& ev : stream->events) {
+            Json e = Json::object();
+            e["ph"] = "i";
+            e["pid"] = (uint64_t)pid;
+            e["tid"] = (uint64_t)0;
+            e["ts"] = (double)std::max<int64_t>(ev.ts_ns, 0) * 1e-3;
+            e["s"] = "t";
+            e["name"] = ev.name;
+            e["args"] = ev.args;
+            trace_events.push_back(std::move(e));
+        }
+    }
+    Json trace = Json::object();
+    trace["displayTimeUnit"] = "ms";
+    trace["traceEvents"] = std::move(trace_events);
+    fleet.trace_json = trace.dump();
+    fleet.trace_json += '\n';
+    return fleet;
+}
+
+Json
+metrics_artifact(const std::string& design, const std::string& engine,
+                 const MetricsRegistry& metrics)
+{
+    Json root = Json::object();
+    root["schema"] = kMetricsSchema;
+    root["design"] = design;
+    root["engine"] = engine;
+    root["metrics"] = metrics.to_json();
+    return root;
+}
+
+std::string
+render_status_text(const Json& status)
+{
+    auto num = [&](const char* key, const Json& j) -> double {
+        const Json* v = j.find(key);
+        return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+    };
+    auto str = [&](const char* key, const Json& j) -> std::string {
+        const Json* v = j.find(key);
+        return v != nullptr && v->kind() == Json::Kind::kString
+                   ? v->as_string()
+                   : std::string("?");
+    };
+
+    std::string out;
+    char line[256];
+    std::string state = str("state", status);
+    std::string campaign = str("campaign", status);
+    uint64_t done = 0, total = 0;
+    if (const Json* inj = status.find("injections")) {
+        done = (uint64_t)num("done", *inj);
+        total = (uint64_t)num("total", *inj);
+    }
+    double pct = total > 0 ? 100.0 * (double)done / (double)total : 0.0;
+    std::snprintf(line, sizeof line,
+                  "campaign %s: %s — %" PRIu64 "/%" PRIu64
+                  " injections (%.1f%%)\n",
+                  campaign.c_str(), state.c_str(), done, total, pct);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  %.1f trials/sec, ETA %.1fs, wall %.1fs\n",
+                  num("trials_per_sec", status), num("eta_seconds", status),
+                  num("wall_seconds", status));
+    out += line;
+    if (const Json* chunks = status.find("chunks")) {
+        std::snprintf(line, sizeof line,
+                      "  chunks: %" PRIu64 "/%" PRIu64
+                      " complete, %" PRIu64 " failed, %" PRIu64
+                      " in flight\n",
+                      (uint64_t)num("completed", *chunks),
+                      (uint64_t)num("total", *chunks),
+                      (uint64_t)num("failed", *chunks),
+                      (uint64_t)num("in_flight", *chunks));
+        out += line;
+    }
+    if (const Json* workers = status.find("workers");
+        workers != nullptr && workers->is_array()) {
+        for (size_t i = 0; i < workers->size(); ++i) {
+            const Json& w = workers->at(i);
+            const Json* up = w.find("up");
+            // pid 0 = reaped and not (yet) respawned.
+            char pid_text[24] = "-";
+            if (num("pid", w) > 0)
+                std::snprintf(pid_text, sizeof pid_text, "%" PRIu64,
+                              (uint64_t)num("pid", w));
+            std::snprintf(line, sizeof line,
+                          "  worker-%03d  pid %-7s %-5s restarts "
+                          "%" PRIu64 "  busy %5.1f%%\n",
+                          (int)num("slot", w), pid_text,
+                          up != nullptr && up->as_bool() ? "up" : "down",
+                          (uint64_t)num("restarts", w),
+                          num("utilization", w) * 100.0);
+            out += line;
+        }
+    }
+    if (const Json* inc = status.find("incomplete_chunks");
+        inc != nullptr && inc->is_array() && inc->size() > 0) {
+        out += "  incomplete chunks:";
+        for (size_t i = 0; i < inc->size(); ++i) {
+            std::snprintf(line, sizeof line, " %" PRIu64,
+                          inc->at(i).as_u64());
+            out += line;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+Json
+latest_snapshot(const std::string& campaign_dir, const std::string& proc)
+{
+    std::string bytes;
+    try {
+        bytes = read_file(telemetry_path(campaign_dir, proc));
+    } catch (const std::exception&) {
+        return Json();
+    }
+    Json latest;
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+        size_t nl = bytes.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        std::string line = bytes.substr(pos, nl - pos);
+        pos = nl + 1;
+        try {
+            Json rec = Json::parse(line);
+            const Json* kind = rec.find("kind");
+            if (kind != nullptr && kind->as_string() == "snapshot")
+                latest = std::move(rec);
+        } catch (const std::exception&) {
+            // Torn tail or tampering: the previous snapshot stands.
+        }
+    }
+    return latest;
+}
+
+} // namespace koika::obs

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fleet-wide telemetry for multi-process campaigns.
+ *
+ * The span profiler (obs/prof.hpp) and the metrics registry observe one
+ * process; the orchestrator (src/orchestrate/) runs many. This module
+ * closes the gap: every process in a campaign — the supervisor and each
+ * worker incarnation — appends its prof spans, metrics snapshots, and
+ * structured lifecycle events to an append-only JSONL file under
+ * `<campaign_dir>/telemetry/`, and the supervisor merges the files
+ * after the drain into
+ *
+ *   - one Chrome trace with a track per worker process plus supervisor
+ *     lanes (`fleet.trace.json`), journal events rendered as instant
+ *     events for crash forensics,
+ *   - one fleet-wide `cuttlesim-prof-v1` report (`fleet.prof.json`)
+ *     whose phase/worker structure is identical at any worker count,
+ *     chunk size, or crash schedule (workers merge by *thread name*
+ *     across processes, exactly like pool generations merge by lane
+ *     name within one process),
+ *   - a `cuttlesim-events-v1` journal (`events.json`): lease claims
+ *     and conflicts, worker spawn/exit/signal, chunk retries and
+ *     reclaim backoff, interruption — globally ordered on one aligned
+ *     clock.
+ *
+ * Clock alignment: CLOCK_MONOTONIC (std::steady_clock on Linux) is
+ * machine-wide, so each process's `meta` record carries its raw
+ * profiler epoch (Profiler::epoch_monotonic_ns) and the merge step
+ * shifts every timestamp onto the supervisor's timeline. No
+ * cross-process handshake is needed.
+ *
+ * Crash tolerance is the same discipline as the rest of
+ * src/orchestrate/: files are append-only and each record is written
+ * with a single write(2), so a crashed worker leaves at most one torn
+ * final line. The merger skips malformed records and *counts* them
+ * (FleetTelemetry::corrupt_records -> the `orch/telemetry_corrupt`
+ * metric); it never throws on bad telemetry.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+
+namespace koika::obs {
+
+/** Schema tags of the four telemetry artifacts. */
+inline constexpr const char* kTelemetrySchema = "cuttlesim-telemetry-v1";
+inline constexpr const char* kEventsSchema = "cuttlesim-events-v1";
+inline constexpr const char* kStatusSchema = "cuttlesim-status-v1";
+inline constexpr const char* kMetricsSchema = "cuttlesim-metrics-v1";
+
+/** `<campaign_dir>/telemetry` (created on demand by TelemetryWriter). */
+std::string telemetry_dir(const std::string& campaign_dir);
+
+/** The per-process snapshot file, `<campaign_dir>/telemetry/<proc>.jsonl`.
+ *  `proc` is "supervisor" or "worker-NNN"; every incarnation of a worker
+ *  slot appends to the same file (each writes its own meta record). */
+std::string telemetry_path(const std::string& campaign_dir,
+                           const std::string& proc);
+
+/**
+ * Appends one process's telemetry stream (cuttlesim-telemetry-v1).
+ *
+ * Construction opens the file O_APPEND and writes a `meta` record
+ * carrying the process identity, its profiler epoch, and the compiler
+ * identity (passed in by the caller: src/obs/ does not link against
+ * src/codegen/). Each event() / snapshot() appends one complete JSON
+ * line with a single write(2). All methods are no-ops when the file
+ * could not be opened (telemetry must never take a campaign down).
+ */
+class TelemetryWriter
+{
+  public:
+    TelemetryWriter(const std::string& campaign_dir,
+                    const std::string& proc,
+                    const std::string& compiler_identity);
+    ~TelemetryWriter();
+
+    TelemetryWriter(const TelemetryWriter&) = delete;
+    TelemetryWriter& operator=(const TelemetryWriter&) = delete;
+
+    bool ok() const { return fd_ >= 0; }
+
+    /** Append a structured event ("lease/claim", "worker/spawn", ...).
+     *  ts_ns is the profiler's now_ns() at the time of the call. */
+    void event(const std::string& name, Json args = Json::object());
+
+    /**
+     * Append a snapshot record: every prof span committed since the
+     * previous snapshot (incremental via Profiler::drain_since), the
+     * profiler's busy/wall aggregate, and the full metrics registry
+     * (cumulative: the merge step keeps the last snapshot per
+     * incarnation).
+     */
+    void snapshot(const MetricsRegistry& metrics);
+
+  private:
+    void append_line(const std::string& line);
+
+    int fd_ = -1;
+    uint64_t seq_ = 0;
+    std::map<const void*, uint64_t> cursors_;
+};
+
+/** The result of merging every telemetry file of a campaign. */
+struct FleetTelemetry
+{
+    /** Fleet-wide cuttlesim-prof-v1 summary: spans from every process
+     *  merged by thread name onto the supervisor's clock. */
+    Profiler::Report report;
+    /** Chrome trace: one process track per worker slot plus the
+     *  supervisor, journal events as instant events. */
+    std::string trace_json;
+    /** cuttlesim-events-v1 journal (globally time-ordered). */
+    Json events;
+    /** Telemetry files read. */
+    uint64_t files = 0;
+    /** Snapshot records folded in. */
+    uint64_t snapshots = 0;
+    /** Malformed / torn / unknown records skipped (not a failure: the
+     *  caller surfaces this as the `orch/telemetry_corrupt` counter). */
+    uint64_t corrupt_records = 0;
+};
+
+/**
+ * Merge every `.jsonl` file under `campaign_dir`/telemetry. Never throws on
+ * malformed telemetry (corrupt records are skipped and counted); an
+ * absent telemetry directory yields an empty result.
+ */
+FleetTelemetry merge_fleet_telemetry(const std::string& campaign_dir);
+
+/**
+ * The standalone cuttlesim-metrics-v1 artifact written by
+ * `cuttlec --metrics=FILE`: the full registry of a run plus the
+ * design/engine identity (either may be empty for modes without one,
+ * e.g. --list).
+ */
+Json metrics_artifact(const std::string& design, const std::string& engine,
+                      const MetricsRegistry& metrics);
+
+/**
+ * Pretty-print a cuttlesim-status-v1 document (the supervisor's
+ * periodically-published `status.json`) for `cuttlec --fault-status=`.
+ */
+std::string render_status_text(const Json& status);
+
+/**
+ * The last parseable snapshot record of one process's telemetry file
+ * (kNull when the file is absent or holds none). This is how the
+ * supervisor reads live per-worker busy/utilization for status.json
+ * without any channel beyond the shared directory.
+ */
+Json latest_snapshot(const std::string& campaign_dir,
+                     const std::string& proc);
+
+} // namespace koika::obs

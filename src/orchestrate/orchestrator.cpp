@@ -37,6 +37,8 @@
 #include <sstream>
 #include <thread>
 
+#include <ctime>
+
 #include <errno.h>
 #include <signal.h>
 #include <sys/stat.h>
@@ -52,6 +54,7 @@
 #include "harness/parallel.hpp"
 #include "obs/coverage.hpp"
 #include "obs/prof.hpp"
+#include "obs/telemetry.hpp"
 
 namespace koika::orchestrate {
 
@@ -213,6 +216,18 @@ manifest_path(const std::string& dir)
 }
 
 std::string
+worker_log_path(const std::string& dir, int slot)
+{
+    return dir + "/workers/worker-" + std::to_string(slot) + ".log";
+}
+
+std::string
+status_path(const std::string& dir)
+{
+    return dir + "/status.json";
+}
+
+std::string
 chunk_result_path(const std::string& dir, int chunk)
 {
     return dir + "/chunks/chunk-" + chunk_tag(chunk) + ".json";
@@ -312,6 +327,10 @@ struct WorkerContext
     /** Lost claim races since this worker's last published chunk;
      *  echoed into the next chunk record for the merged counter. */
     uint64_t lease_conflicts = 0;
+    /** This process's telemetry stream (owned by run_worker). */
+    obs::TelemetryWriter* telemetry = nullptr;
+    /** Worker-local counters published in telemetry snapshots. */
+    obs::MetricsRegistry* wmetrics = nullptr;
 };
 
 enum class ChunkStatus { kDone, kInterrupted };
@@ -388,47 +407,23 @@ run_claimed_chunk(WorkerContext& ctx, int chunk, std::mt19937_64& chaos_rng)
     if (collect)
         coverage.resize((size_t)count);
 
-    std::atomic<bool> interrupted{false};
-    auto run_one = [&](uint64_t k) {
-        if (shutdown_requested()) {
-            interrupted.store(true);
-            return;
-        }
-        if (mode == kChaosCrashMid && (int)k == count / 2)
+    // The injections themselves run through the exact dispatch
+    // run_campaign uses (fault::run_injection_range); the chaos
+    // mid-chunk crash rides in on the per-item hook so it still fires
+    // when the crashing index falls inside a lockstep batch.
+    auto chaos_crash = [&](uint64_t k0, uint64_t n) {
+        if (mode == kChaosCrashMid && (uint64_t)(count / 2) >= k0 &&
+            (uint64_t)(count / 2) < k0 + n)
             _exit(43);
-        records[k] = fault::run_injection(
-            *ctx.design, ctx.factory, ctx.faults[(size_t)first + k],
-            ctx.campaign.cycles, collect ? &coverage[k] : nullptr);
     };
-    if (ctx.campaign.batch > 1) {
-        // Batched lanes: one lockstep batch per pool item. Chaos
-        // mid-chunk crashes still fire when the crashing index falls
-        // inside a group, so reclaim/retry is exercised either way.
-        auto run_group = [&](uint64_t k0, uint64_t n) {
-            if (shutdown_requested()) {
-                interrupted.store(true);
-                return;
-            }
-            if (mode == kChaosCrashMid && (uint64_t)(count / 2) >= k0 &&
-                (uint64_t)(count / 2) < k0 + n)
-                _exit(43);
-            fault::run_injection_batch(
-                *ctx.design, ctx.factory,
-                &ctx.faults[(size_t)first + k0], (size_t)n,
-                ctx.campaign.cycles, &records[k0],
-                collect ? &coverage[k0] : nullptr);
-        };
-        harness::parallel_for_groups((uint64_t)count,
-                                     (uint64_t)ctx.campaign.batch,
-                                     ctx.campaign.jobs, run_group);
-    } else if (ctx.campaign.jobs == 1) {
-        for (uint64_t k = 0; k < (uint64_t)count; ++k)
-            run_one(k);
-    } else {
-        harness::parallel_for((uint64_t)count, ctx.campaign.jobs, run_one);
-    }
+    obs::ProfScope chunk_span("orch/chunk");
+    bool ok = fault::run_injection_range(
+        *ctx.design, ctx.factory, ctx.faults, (size_t)first, (size_t)count,
+        ctx.campaign.cycles, ctx.campaign.jobs, ctx.campaign.batch,
+        records.data(), collect ? coverage.data() : nullptr, chaos_crash);
+    chunk_span.close();
 
-    if (interrupted.load()) {
+    if (!ok) {
         stop_heartbeat();
         release_lease(dir, chunk);
         return ChunkStatus::kInterrupted;
@@ -459,6 +454,20 @@ run_claimed_chunk(WorkerContext& ctx, int chunk, std::mt19937_64& chaos_rng)
     write_file_atomic(chunk_result_path(dir, chunk), cj.dump(2) + "\n");
     ctx.lease_conflicts = 0;
 
+    // Telemetry flush straddles the chaos exit below on purpose: a
+    // publish-then-crash worker still leaves its spans and counters in
+    // the journal, which is exactly the autopsy story the fleet merge
+    // exists for.
+    if (ctx.telemetry != nullptr) {
+        ctx.wmetrics->inc("worker/chunks_published");
+        ctx.wmetrics->inc("worker/trials", (uint64_t)count);
+        obs::Json args = obs::Json::object();
+        args["chunk"] = (int64_t)chunk;
+        args["count"] = (int64_t)count;
+        ctx.telemetry->event("chunk/publish", std::move(args));
+        ctx.telemetry->snapshot(*ctx.wmetrics);
+    }
+
     if (mode == kChaosCrashAfterPublish)
         _exit(45); // result published, lease left behind
 
@@ -474,6 +483,16 @@ run_worker(const std::string& dir, int worker_id)
 {
     install_shutdown_handlers();
 
+    // Fleet telemetry: the worker's main thread is always named
+    // "worker" — NOT worker-<id> — so the merged fleet report's lane
+    // set is independent of worker count, respawns, and crash
+    // schedule; every incarnation of every slot folds into one
+    // logical lane.
+    obs::Profiler& prof = obs::Profiler::instance();
+    if (!prof.enabled())
+        prof.enable();
+    prof.set_thread_name("worker");
+
     std::string mpath = manifest_path(dir);
     obs::Json m = read_json_file(mpath);
     check_schema(m, kManifestSchema, mpath);
@@ -481,6 +500,26 @@ run_worker(const std::string& dir, int worker_id)
     WorkerContext ctx;
     ctx.dir = dir;
     ctx.worker_id = worker_id;
+
+    obs::TelemetryWriter telemetry(dir,
+                                   "worker-" + std::to_string(worker_id),
+                                   codegen::compiler_identity_line());
+    obs::MetricsRegistry wmetrics;
+    ctx.telemetry = &telemetry;
+    ctx.wmetrics = &wmetrics;
+    {
+        obs::Json args = obs::Json::object();
+        args["worker"] = (int64_t)worker_id;
+        args["pid"] = (int64_t)::getpid();
+        telemetry.event("worker/start", std::move(args));
+    }
+    auto finish = [&](int code, const char* what) {
+        obs::Json args = obs::Json::object();
+        args["exit"] = (int64_t)code;
+        telemetry.event(what, std::move(args));
+        telemetry.snapshot(wmetrics);
+        return code;
+    };
 
     std::string design_name = jget(m, "design", mpath).as_string();
     std::string engine = jget(m, "engine", mpath).as_string();
@@ -517,7 +556,7 @@ run_worker(const std::string& dir, int worker_id)
 
     for (;;) {
         if (shutdown_requested())
-            return kExitInterrupted;
+            return finish(kExitInterrupted, "worker/interrupted");
         bool all_resolved = true;
         bool claimed_any = false;
         for (int c = 0; c < ctx.num_chunks; ++c) {
@@ -526,20 +565,29 @@ run_worker(const std::string& dir, int worker_id)
                 continue;
             all_resolved = false;
             if (shutdown_requested())
-                return kExitInterrupted;
+                return finish(kExitInterrupted, "worker/interrupted");
             if (file_exists(lease_path(dir, c)))
                 continue; // held (or in reclaim backoff) — skip
             if (!try_claim_lease(dir, c, worker_id)) {
                 ctx.lease_conflicts++;
+                wmetrics.inc("worker/lease_conflicts");
+                obs::Json args = obs::Json::object();
+                args["chunk"] = (int64_t)c;
+                telemetry.event("lease/conflict", std::move(args));
                 continue; // lost the race; not an error
             }
             claimed_any = true;
+            {
+                obs::Json args = obs::Json::object();
+                args["chunk"] = (int64_t)c;
+                telemetry.event("lease/claim", std::move(args));
+            }
             if (run_claimed_chunk(ctx, c, chaos_rng) ==
                 ChunkStatus::kInterrupted)
-                return kExitInterrupted;
+                return finish(kExitInterrupted, "worker/interrupted");
         }
         if (all_resolved)
-            return 0;
+            return finish(0, "worker/done");
         if (!claimed_any)
             sleep_ms(100); // everything leased out; wait for reclaims
     }
@@ -573,17 +621,31 @@ resolve_worker_binary(const OrchestratorConfig& config)
 
 codegen::ChildProcess
 spawn_worker(const OrchestratorConfig& config, const std::string& binary,
-             int slot_id, obs::MetricsRegistry& metrics)
+             int slot_id, int attempt, obs::MetricsRegistry& metrics,
+             obs::TelemetryWriter& telemetry)
 {
     obs::ProfScope span("orch/spawn");
+    std::string log = worker_log_path(config.dir, slot_id);
+    if (attempt > 0) {
+        // Rotate the dead incarnation's stderr out of the way so each
+        // attempt's last words survive: worker-K.log.N is attempt N's
+        // capture, worker-K.log the live one.
+        std::rename(log.c_str(),
+                    (log + "." + std::to_string(attempt - 1)).c_str());
+    }
     std::vector<std::string> argv = {
         binary,
         "--fault-worker=" + config.dir,
         "--worker-id=" + std::to_string(slot_id),
     };
-    codegen::ChildProcess child = codegen::spawn_process(
-        argv, config.dir + "/logs/worker-" + std::to_string(slot_id) + ".log");
+    codegen::ChildProcess child = codegen::spawn_process(argv, log);
     metrics.inc("orch/workers_spawned");
+    obs::Json args = obs::Json::object();
+    args["slot"] = (int64_t)slot_id;
+    args["pid"] = (int64_t)child.pid;
+    args["attempt"] = (int64_t)attempt;
+    args["log"] = log;
+    telemetry.event("worker/spawn", std::move(args));
     return child;
 }
 
@@ -752,11 +814,23 @@ run_orchestrator(const OrchestratorConfig& config)
 
     OrchestratorReport report;
     report.chunks_total = (uint64_t)num_chunks;
+    report.dir = config.dir;
     obs::MetricsRegistry& metrics = report.metrics;
 
     mkdir_p(config.dir + "/chunks");
     mkdir_p(config.dir + "/leases");
-    mkdir_p(config.dir + "/logs");
+    mkdir_p(config.dir + "/workers");
+
+    // Fleet telemetry: the supervisor always records spans (lane
+    // "supervisor"), appends its own telemetry stream, publishes a
+    // live status.json, and merges every process's stream into the
+    // fleet artifacts after the drain.
+    obs::Profiler& prof = obs::Profiler::instance();
+    if (!prof.enabled())
+        prof.enable();
+    prof.set_thread_name("supervisor");
+    obs::TelemetryWriter telemetry(config.dir, "supervisor",
+                                   codegen::compiler_identity_line());
 
     {
         obs::ProfScope span("orch/setup");
@@ -776,7 +850,8 @@ run_orchestrator(const OrchestratorConfig& config)
     std::string binary = resolve_worker_binary(config);
     std::vector<Slot> slots((size_t)config.workers);
     for (int k = 0; k < config.workers; ++k) {
-        slots[(size_t)k].child = spawn_worker(config, binary, k, metrics);
+        slots[(size_t)k].child =
+            spawn_worker(config, binary, k, 0, metrics, telemetry);
         slots[(size_t)k].up = true;
     }
 
@@ -787,6 +862,79 @@ run_orchestrator(const OrchestratorConfig& config)
     std::set<pid_t> dead_pids;
     int unresolved = num_chunks;
     uint64_t reclaimed = 0;
+    uint64_t injections_done = 0;
+
+    // Live introspection: an atomic cuttlesim-status-v1 snapshot of
+    // the drain, rewritten throughout and readable mid-campaign by
+    // `cuttlec --fault-status=DIR` (schema in docs/OBSERVABILITY.md).
+    auto publish_status = [&](const char* state) {
+        obs::Json s = obs::Json::object();
+        s["schema"] = obs::kStatusSchema;
+        s["state"] = state;
+        s["campaign"] = config.design;
+        s["design"] = config.design;
+        s["engine"] = config.engine;
+        s["updated_unix"] = (uint64_t)::time(nullptr);
+        double wall = monotonic_seconds() - t0;
+        s["wall_seconds"] = wall;
+        obs::Json inj = obs::Json::object();
+        inj["total"] = (uint64_t)config.campaign.count;
+        inj["done"] = injections_done;
+        s["injections"] = std::move(inj);
+        double rate = wall > 0 ? (double)injections_done / wall : 0.0;
+        s["trials_per_sec"] = rate;
+        uint64_t remaining =
+            (uint64_t)config.campaign.count - injections_done;
+        s["eta_seconds"] = rate > 0 ? (double)remaining / rate : 0.0;
+        obs::Json ch = obs::Json::object();
+        ch["total"] = (uint64_t)num_chunks;
+        ch["completed"] = report.chunks_completed;
+        ch["failed"] = report.chunks_failed;
+        uint64_t in_flight = 0;
+        obs::Json inc = obs::Json::array();
+        for (int c = 0; c < num_chunks; ++c) {
+            if (resolved[(size_t)c] == 0 &&
+                file_exists(lease_path(config.dir, c)))
+                in_flight++;
+            if (resolved[(size_t)c] != 1)
+                inc.push_back((int64_t)c);
+        }
+        ch["in_flight"] = in_flight;
+        s["chunks"] = std::move(ch);
+        s["incomplete_chunks"] = std::move(inc);
+        obs::Json ws = obs::Json::array();
+        for (size_t k = 0; k < slots.size(); ++k) {
+            const Slot& slot = slots[k];
+            obs::Json w = obs::Json::object();
+            w["slot"] = (int64_t)k;
+            w["pid"] = (int64_t)std::max<pid_t>(slot.child.pid, 0);
+            w["up"] = slot.up;
+            w["restarts"] = (int64_t)slot.restarts;
+            // Utilization comes from the worker's own last telemetry
+            // snapshot (busy vs wall inside that process), not from
+            // the supervisor's guess.
+            obs::Json snap = obs::latest_snapshot(
+                config.dir, "worker-" + std::to_string(k));
+            double busy = 0, wwall = 0;
+            if (const obs::Json* b = snap.find("busy_seconds"))
+                busy = b->as_double();
+            if (const obs::Json* ww = snap.find("wall_seconds"))
+                wwall = ww->as_double();
+            w["busy_seconds"] = busy;
+            w["utilization"] = wwall > 0 ? busy / wwall : 0.0;
+            ws.push_back(std::move(w));
+        }
+        s["workers"] = std::move(ws);
+        write_file_atomic(status_path(config.dir), s.dump(2) + "\n");
+    };
+    {
+        // Publish under the same span as the periodic refresh so the
+        // merged fleet profile has an orch/status phase even when the
+        // drain finishes before the first 0.5 s refresh fires.
+        obs::ProfScope span("orch/status");
+        publish_status("running");
+    }
+    double last_status = monotonic_seconds();
 
     auto mark_failed = [&](int c, const char* reason) {
         obs::Json f = obs::Json::object();
@@ -802,6 +950,11 @@ run_orchestrator(const OrchestratorConfig& config)
         report.failed_chunks.push_back(c);
         report.chunks_failed++;
         metrics.inc("orch/chunks_failed");
+        obs::Json args = obs::Json::object();
+        args["chunk"] = (int64_t)c;
+        args["attempts"] = (int64_t)attempts[(size_t)c];
+        args["reason"] = reason;
+        telemetry.event("chunk/failed", std::move(args));
     };
 
     while (unresolved > 0) {
@@ -824,6 +977,12 @@ run_orchestrator(const OrchestratorConfig& config)
                 unresolved--;
                 report.chunks_completed++;
                 metrics.inc("orch/chunks_completed");
+                injections_done += (uint64_t)std::min(
+                    config.chunk_size,
+                    config.campaign.count - c * config.chunk_size);
+                obs::Json args = obs::Json::object();
+                args["chunk"] = (int64_t)c;
+                telemetry.event("chunk/complete", std::move(args));
                 // Publish-then-crash leaves the lease behind; the
                 // result supersedes it.
                 release_lease(config.dir, c);
@@ -838,13 +997,27 @@ run_orchestrator(const OrchestratorConfig& config)
                     continue;
                 dead_pids.insert(pid);
                 slot.up = false;
+                int slot_id = (int)(&slot - slots.data());
+                {
+                    obs::Json args = obs::Json::object();
+                    args["slot"] = (int64_t)slot_id;
+                    args["pid"] = (int64_t)pid;
+                    if (term_signal != 0)
+                        args["signal"] = (int64_t)term_signal;
+                    else
+                        args["exit"] = (int64_t)exit_code;
+                    args["log"] = worker_log_path(config.dir, slot_id);
+                    telemetry.event(term_signal != 0 ? "worker/signal"
+                                                     : "worker/exit",
+                                    std::move(args));
+                }
                 if (unresolved > 0 && !shutdown_requested() &&
                     slot.restarts < config.max_retries) {
                     slot.restarts++;
                     metrics.inc("orch/worker_restarts");
-                    int slot_id = (int)(&slot - slots.data());
                     slot.child = spawn_worker(config, binary, slot_id,
-                                              metrics);
+                                              slot.restarts, metrics,
+                                              telemetry);
                     slot.up = true;
                 }
             }
@@ -871,8 +1044,9 @@ run_orchestrator(const OrchestratorConfig& config)
                     continue;
                 LeaseInfo lease;
                 bool parsed = read_lease(lp, &lease);
-                bool stale =
+                bool owner_dead =
                     parsed && lease.pid > 0 && dead_pids.count(lease.pid) > 0;
+                bool stale = owner_dead;
                 if (!stale) {
                     double age = heartbeat_age_seconds(config.dir, c);
                     stale = age > config.worker_timeout_seconds;
@@ -890,6 +1064,14 @@ run_orchestrator(const OrchestratorConfig& config)
                 reclaimed++;
                 metrics.inc("orch/chunks_reclaimed");
                 attempts[(size_t)c]++;
+                {
+                    obs::Json args = obs::Json::object();
+                    args["chunk"] = (int64_t)c;
+                    args["attempts"] = (int64_t)attempts[(size_t)c];
+                    args["reason"] = owner_dead ? "owner-dead"
+                                                : "stale-heartbeat";
+                    telemetry.event("chunk/reclaim", std::move(args));
+                }
                 if (attempts[(size_t)c] > config.max_retries) {
                     mark_failed(c, "retry budget exhausted");
                 } else {
@@ -897,6 +1079,11 @@ run_orchestrator(const OrchestratorConfig& config)
                     double backoff = std::min(
                         0.1 * std::ldexp(1.0, attempts[(size_t)c] - 1), 5.0);
                     hold_until[(size_t)c] = now + backoff;
+                    obs::Json args = obs::Json::object();
+                    args["chunk"] = (int64_t)c;
+                    args["attempt"] = (int64_t)attempts[(size_t)c];
+                    args["backoff_seconds"] = backoff;
+                    telemetry.event("chunk/retry", std::move(args));
                 }
             }
         }
@@ -911,6 +1098,12 @@ run_orchestrator(const OrchestratorConfig& config)
             break;
         }
 
+        if (monotonic_seconds() - last_status >= 0.5) {
+            obs::ProfScope span("orch/status");
+            publish_status("running");
+            last_status = monotonic_seconds();
+        }
+
         if (unresolved > 0 && !shutdown_requested())
             sleep_ms(50);
     }
@@ -918,8 +1111,16 @@ run_orchestrator(const OrchestratorConfig& config)
     terminate_workers(slots);
 
     report.wall_seconds = monotonic_seconds() - t0;
-    if (report.interrupted)
-        return report; // nothing merged; rerun with the same flags
+    if (report.interrupted) {
+        // Flush what we have: the per-process telemetry streams and a
+        // final status are the partial artifacts an interrupted drain
+        // leaves behind (nothing merged; rerun with the same flags).
+        telemetry.event("drain/interrupted");
+        telemetry.snapshot(metrics);
+        publish_status("interrupted");
+        return report;
+    }
+    telemetry.event("drain/done");
 
     uint64_t lease_conflicts = 0;
     merge_chunks(config, num_chunks, resolved, report, &lease_conflicts);
@@ -935,6 +1136,25 @@ run_orchestrator(const OrchestratorConfig& config)
 
     metrics.merge_from(fault::campaign_metrics(
         present_only(report.campaign, report.missing_injections)));
+
+    {
+        // Fleet merge: final supervisor snapshot first (so the merge
+        // lane includes orch/merge), then fold every process's stream
+        // into the three campaign-level artifacts. The merge span
+        // itself is deliberately NOT in them — it is still open — so
+        // the fleet phase set is identical for chaos and clean drains.
+        obs::ProfScope span("orch/telemetry-merge");
+        telemetry.snapshot(metrics);
+        obs::FleetTelemetry fleet = obs::merge_fleet_telemetry(config.dir);
+        metrics.inc("orch/telemetry_corrupt", fleet.corrupt_records);
+        write_file_atomic(config.dir + "/fleet.prof.json",
+                          fleet.report.to_json().dump(2) + "\n");
+        write_file_atomic(config.dir + "/fleet.trace.json",
+                          fleet.trace_json);
+        write_file_atomic(config.dir + "/events.json",
+                          fleet.events.dump(2) + "\n");
+    }
+    publish_status(report.chunks_failed > 0 ? "degraded" : "complete");
 
     {
         obs::ProfScope span("orch/report-write");
@@ -1036,6 +1256,10 @@ OrchestratorReport::to_text() const
     if (!missing_injections.empty())
         os << "  INCOMPLETE: " << missing_injections.size()
            << " injections missing (see the report's `incomplete` block)\n";
+    if (chunks_failed > 0 && !dir.empty())
+        os << "  autopsy:    worker stderr in " << dir
+           << "/workers/worker-*.log, event journal in " << dir
+           << "/events.json\n";
     os << campaign.to_text();
     return os.str();
 }

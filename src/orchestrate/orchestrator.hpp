@@ -52,6 +52,15 @@
  * *orchestrator* is recoverable too: a rerun with the same flags keeps
  * completed chunks, clears orphan leases and failed markers, and
  * finishes the remainder.
+ *
+ * The fleet is observable while it runs and after it dies
+ * (src/obs/telemetry.hpp): every process appends spans, metrics
+ * snapshots, and lifecycle events to `telemetry/<proc>.jsonl`; worker
+ * stderr lands in `workers/worker-K.log` (rotated to `.log.N` per
+ * respawn); the supervisor publishes an atomic `status.json`
+ * (cuttlesim-status-v1, read live by `cuttlec --fault-status=`) and,
+ * after the drain, merges the telemetry into `fleet.prof.json`,
+ * `fleet.trace.json`, and `events.json`.
  */
 #pragma once
 
@@ -133,6 +142,10 @@ struct OrchestratorReport
     /** Supervisor wall clock, spawn to merge. */
     double wall_seconds = 0;
 
+    /** Campaign directory the drain ran over (for diagnostics: worker
+     *  logs and telemetry artifacts live under it). */
+    std::string dir;
+
     /** A shutdown signal stopped the drain early; nothing was merged
      *  and no orchestrator report file was written. Rerun with the
      *  same flags to resume from the completed chunks. */
@@ -179,6 +192,11 @@ struct LeaseInfo
 };
 
 std::string manifest_path(const std::string& dir);
+/** `<dir>/workers/worker-K.log`: the slot's current stderr capture
+ *  (earlier incarnations are rotated to `.log.N`). */
+std::string worker_log_path(const std::string& dir, int slot);
+/** `<dir>/status.json`: the supervisor's live cuttlesim-status-v1. */
+std::string status_path(const std::string& dir);
 std::string chunk_result_path(const std::string& dir, int chunk);
 std::string chunk_failed_path(const std::string& dir, int chunk);
 std::string lease_path(const std::string& dir, int chunk);

@@ -1,0 +1,294 @@
+// Fleet telemetry tests (src/obs/telemetry.hpp): writer/merge round
+// trip, clock alignment of hand-written streams with differing epochs,
+// corrupt-record counting (torn tails must not fail the merge), the
+// --fault-status renderer, the --metrics artifact, and latest_snapshot
+// (the supervisor's live per-worker utilization read).
+//
+// Like test_prof.cpp, every test arms the process-wide profiler first;
+// the TelemetryWriter drains spans from it incrementally.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/telemetry.hpp"
+
+using namespace koika;
+using namespace koika::obs;
+
+namespace {
+
+/** Fresh, enabled profiler state (singleton shared across tests). */
+void
+arm()
+{
+    Profiler& p = Profiler::instance();
+    p.disable();
+    p.reset();
+    p.enable();
+    p.set_thread_name("main");
+}
+
+std::string
+fresh_campaign_dir()
+{
+    char tmpl[] = "/tmp/cuttlesim_telemetry_test_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir;
+}
+
+/** Append raw bytes to a telemetry file (hand-crafted records). */
+void
+append_raw(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    ASSERT_TRUE(out.good()) << path;
+    out << text;
+}
+
+/** A meta line with a chosen epoch, as the writer would emit it. */
+std::string
+meta_line(const std::string& proc, uint64_t epoch_ns)
+{
+    Json m = Json::object();
+    m["schema"] = kTelemetrySchema;
+    m["kind"] = "meta";
+    m["proc"] = proc;
+    m["pid"] = (uint64_t)4242;
+    m["epoch_monotonic_ns"] = epoch_ns;
+    m["start_unix"] = (uint64_t)1700000000;
+    m["compiler"] = "cc (Test) 1.0";
+    return m.dump() + "\n";
+}
+
+std::string
+event_line(uint64_t seq, uint64_t ts_ns, const std::string& name)
+{
+    Json e = Json::object();
+    e["kind"] = "event";
+    e["seq"] = seq;
+    e["ts_ns"] = ts_ns;
+    e["name"] = name;
+    e["args"] = Json::object();
+    return e.dump() + "\n";
+}
+
+} // namespace
+
+TEST(Telemetry, WriterMergeRoundTrip)
+{
+    arm();
+    std::string dir = fresh_campaign_dir();
+    MetricsRegistry metrics;
+    metrics.inc("worker/trials", 8);
+    {
+        TelemetryWriter w(dir, "worker-0", "cc (Test) 1.0");
+        ASSERT_TRUE(w.ok());
+        w.event("worker/start");
+        {
+            ProfScope s("orch/chunk");
+        }
+        w.snapshot(metrics);
+    }
+    {
+        TelemetryWriter sup(dir, "supervisor", "cc (Test) 1.0");
+        ASSERT_TRUE(sup.ok());
+        sup.event("drain/done");
+        sup.snapshot(metrics);
+    }
+
+    FleetTelemetry fleet = merge_fleet_telemetry(dir);
+    EXPECT_EQ(fleet.files, 2u);
+    EXPECT_EQ(fleet.corrupt_records, 0u);
+    EXPECT_GE(fleet.snapshots, 2u);
+    // The chunk span recorded between the two snapshots lands in the
+    // fleet-wide phase table; metrics fold in.
+    Json rep = Json::parse(fleet.report.to_json().dump());
+    const Json* phases = rep.find("phases");
+    ASSERT_NE(phases, nullptr);
+    EXPECT_NE(phases->find("orch/chunk"), nullptr);
+
+    // The trace is valid JSON with a slice for the chunk span and a
+    // journal instant for the events.
+    Json trace = Json::parse(fleet.trace_json);
+    const Json* events = trace.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool chunk_slice = false, start_instant = false;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json* name = events->at(i).find("name");
+        if (name == nullptr)
+            continue;
+        if (name->as_string() == "orch/chunk")
+            chunk_slice = true;
+        if (name->as_string() == "worker/start")
+            start_instant = true;
+    }
+    EXPECT_TRUE(chunk_slice);
+    EXPECT_TRUE(start_instant);
+
+    // The journal carries both processes' events, time-sorted.
+    const Json* evs = fleet.events.find("events");
+    ASSERT_NE(evs, nullptr);
+    ASSERT_GE(evs->size(), 2u);
+    uint64_t prev = 0;
+    for (size_t i = 0; i < evs->size(); ++i) {
+        uint64_t ts = evs->at(i).find("ts_ns")->as_u64();
+        EXPECT_GE(ts, prev) << "journal must be time-sorted";
+        prev = ts;
+    }
+}
+
+TEST(Telemetry, ClockAlignmentShiftsOntoSupervisorEpoch)
+{
+    std::string dir = fresh_campaign_dir();
+    std::string tdir = telemetry_dir(dir);
+    mkdir(tdir.c_str(), 0755);
+    // Supervisor booted at machine-time 1ms; its event at local 100ns
+    // is machine-time 1'000'100ns. The worker booted 4ms later; its
+    // event at local 100ns is machine-time 5'000'100ns — so it must
+    // sort AFTER the supervisor's even though the raw ts match.
+    append_raw(telemetry_path(dir, "supervisor"),
+               meta_line("supervisor", 1000000) +
+                   event_line(0, 100, "sup/event"));
+    append_raw(telemetry_path(dir, "worker-0"),
+               meta_line("worker-0", 5000000) +
+                   event_line(0, 100, "worker/event"));
+
+    FleetTelemetry fleet = merge_fleet_telemetry(dir);
+    EXPECT_EQ(fleet.corrupt_records, 0u);
+    const Json* evs = fleet.events.find("events");
+    ASSERT_NE(evs, nullptr);
+    ASSERT_EQ(evs->size(), 2u);
+    EXPECT_EQ(evs->at(0).find("name")->as_string(), "sup/event");
+    EXPECT_EQ(evs->at(0).find("ts_ns")->as_u64(), 100u);
+    EXPECT_EQ(evs->at(1).find("name")->as_string(), "worker/event");
+    // Shifted by the 4ms epoch difference onto the supervisor's clock.
+    EXPECT_EQ(evs->at(1).find("ts_ns")->as_u64(), 4000100u);
+}
+
+TEST(Telemetry, CorruptRecordsAreCountedNotFatal)
+{
+    std::string dir = fresh_campaign_dir();
+    std::string tdir = telemetry_dir(dir);
+    mkdir(tdir.c_str(), 0755);
+    append_raw(telemetry_path(dir, "worker-0"),
+               meta_line("worker-0", 1000) +
+                   event_line(0, 10, "worker/start") +
+                   "{\"kind\": \"event\", \"seq\": 1, TORN" // torn line
+                   "\n" +
+                   event_line(2, 30, "worker/done") +
+                   "{\"kind\": \"snapsh"); // torn tail, no newline
+
+    FleetTelemetry fleet = merge_fleet_telemetry(dir);
+    EXPECT_EQ(fleet.files, 1u);
+    EXPECT_EQ(fleet.corrupt_records, 2u);
+    const Json* evs = fleet.events.find("events");
+    ASSERT_NE(evs, nullptr);
+    EXPECT_EQ(evs->size(), 2u) << "healthy records must survive";
+}
+
+TEST(Telemetry, MergeOfAbsentDirectoryIsEmpty)
+{
+    std::string dir = fresh_campaign_dir(); // no telemetry/ inside
+    FleetTelemetry fleet = merge_fleet_telemetry(dir);
+    EXPECT_EQ(fleet.files, 0u);
+    EXPECT_EQ(fleet.corrupt_records, 0u);
+    const Json* evs = fleet.events.find("events");
+    ASSERT_NE(evs, nullptr);
+    EXPECT_EQ(evs->size(), 0u);
+    Json trace = Json::parse(fleet.trace_json); // still valid JSON
+    EXPECT_NE(trace.find("traceEvents"), nullptr);
+}
+
+TEST(Telemetry, MetricsArtifactShape)
+{
+    MetricsRegistry m;
+    m.inc("fault/trials", 54);
+    m.set_gauge("orch/wall", 1.5);
+    Json a = metrics_artifact("collatz", "T5", m);
+    EXPECT_EQ(a.find("schema")->as_string(), kMetricsSchema);
+    EXPECT_EQ(a.find("design")->as_string(), "collatz");
+    EXPECT_EQ(a.find("engine")->as_string(), "T5");
+    const Json* counters = a.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("fault/trials")->as_u64(), 54u);
+    // Design/engine may be empty (e.g. --list) but must be present.
+    Json b = metrics_artifact("", "", m);
+    ASSERT_NE(b.find("design"), nullptr);
+    EXPECT_EQ(b.find("design")->as_string(), "");
+}
+
+TEST(Telemetry, RenderStatusTextShowsDrainState)
+{
+    Json s = Json::object();
+    s["schema"] = kStatusSchema;
+    s["state"] = "running";
+    s["campaign"] = "collatz";
+    s["design"] = "collatz";
+    s["engine"] = "T5";
+    s["wall_seconds"] = 1.5;
+    s["trials_per_sec"] = 12.0;
+    s["eta_seconds"] = 3.0;
+    Json inj = Json::object();
+    inj["done"] = (uint64_t)18;
+    inj["total"] = (uint64_t)54;
+    s["injections"] = inj;
+    Json chunks = Json::object();
+    chunks["total"] = (uint64_t)14;
+    chunks["completed"] = (uint64_t)4;
+    chunks["failed"] = (uint64_t)1;
+    chunks["in_flight"] = (uint64_t)2;
+    s["chunks"] = chunks;
+    Json workers = Json::array();
+    Json w = Json::object();
+    w["slot"] = (uint64_t)0;
+    w["pid"] = (uint64_t)100;
+    w["up"] = true;
+    w["restarts"] = (uint64_t)1;
+    w["busy_seconds"] = 1.2;
+    w["utilization"] = 0.8;
+    workers.push_back(w);
+    s["workers"] = workers;
+
+    std::string text = render_status_text(s);
+    EXPECT_NE(text.find("running"), std::string::npos);
+    EXPECT_NE(text.find("collatz"), std::string::npos);
+    EXPECT_NE(text.find("18"), std::string::npos);
+    EXPECT_NE(text.find("54"), std::string::npos);
+
+    // Partial documents render with placeholders, never throw.
+    Json partial = Json::object();
+    partial["schema"] = kStatusSchema;
+    partial["state"] = "running";
+    EXPECT_FALSE(render_status_text(partial).empty());
+}
+
+TEST(Telemetry, LatestSnapshotReturnsLastParseableRecord)
+{
+    arm();
+    std::string dir = fresh_campaign_dir();
+    EXPECT_EQ(latest_snapshot(dir, "worker-0").kind(),
+              Json::Kind::kNull);
+
+    MetricsRegistry m;
+    TelemetryWriter w(dir, "worker-0", "cc");
+    w.snapshot(m);
+    m.inc("worker/chunks_published", 3);
+    w.snapshot(m);
+    append_raw(telemetry_path(dir, "worker-0"), "{\"kind\": \"sn");
+
+    Json snap = latest_snapshot(dir, "worker-0");
+    ASSERT_EQ(snap.kind(), Json::Kind::kObject);
+    const Json* counters = snap.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("worker/chunks_published")->as_u64(), 3u)
+        << "must be the LAST snapshot, torn tail skipped";
+}

@@ -1,0 +1,512 @@
+#!/usr/bin/env python3
+"""Validate the fleet-telemetry artifacts of an orchestrated campaign.
+
+src/obs/telemetry.hpp (documented field by field in
+docs/OBSERVABILITY.md) defines four schemas; this checker dispatches on
+the file: a `.jsonl` path is validated as a per-process
+cuttlesim-telemetry-v1 stream, anything else is parsed and dispatched
+on its `schema` tag:
+
+    cuttlesim-telemetry-v1   telemetry/<proc>.jsonl — one JSON record
+                             per line: a `meta` record per process
+                             incarnation (proc, pid, epoch, compiler),
+                             then `event` and `snapshot` records with
+                             per-incarnation increasing `seq`.
+                             Snapshot spans are 5-element arrays
+                             [phase, start_ns, dur_ns, depth, idle].
+                             A torn FINAL line is legal (crashed
+                             writer); torn interior lines are not.
+    cuttlesim-events-v1      events.json — the merged journal, events
+                             sorted by (ts_ns, proc, seq)
+    cuttlesim-status-v1      status.json — the supervisor's live
+                             drain status
+    cuttlesim-metrics-v1     cuttlec --metrics=FILE dump
+
+(The merged fleet.prof.json is cuttlesim-prof-v1 — validate it with
+tools/check_prof_schema.py.)
+
+Usage: check_telemetry_schema.py FILE [FILE ...]
+       check_telemetry_schema.py --self-test
+Exits 0 when every file validates; prints one line per problem.
+"""
+
+import json
+import sys
+
+TELEMETRY_SCHEMA = "cuttlesim-telemetry-v1"
+EVENTS_SCHEMA = "cuttlesim-events-v1"
+STATUS_SCHEMA = "cuttlesim-status-v1"
+METRICS_SCHEMA = "cuttlesim-metrics-v1"
+
+STATES = ("running", "complete", "degraded", "interrupted")
+
+
+def is_number(v):
+    return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+def is_uint(v):
+    return not isinstance(v, bool) and isinstance(v, int) and v >= 0
+
+
+def check_metrics_block(err, where, m):
+    if not isinstance(m, dict):
+        err(f"{where} must be an object")
+        return
+    counters = m.get("counters")
+    if not isinstance(counters, dict):
+        err(f"{where}.counters must be an object")
+    else:
+        for name, v in counters.items():
+            if not is_uint(v):
+                err(f"{where}.counters[{name!r}] must be a non-negative "
+                    f"integer")
+    gauges = m.get("gauges")
+    if not isinstance(gauges, dict):
+        err(f"{where}.gauges must be an object")
+    else:
+        for name, v in gauges.items():
+            if not is_number(v):
+                err(f"{where}.gauges[{name!r}] must be a number")
+    if not isinstance(m.get("histograms"), dict):
+        err(f"{where}.histograms must be an object")
+
+
+def check_event_fields(err, where, e, want_proc):
+    if not isinstance(e, dict):
+        err(f"{where} must be an object")
+        return
+    if not is_uint(e.get("ts_ns")):
+        err(f"{where}.ts_ns must be a non-negative integer")
+    if not is_uint(e.get("seq")):
+        err(f"{where}.seq must be a non-negative integer")
+    if not isinstance(e.get("name"), str) or not e.get("name"):
+        err(f"{where}.name must be a non-empty string")
+    if not isinstance(e.get("args"), dict):
+        err(f"{where}.args must be an object")
+    if want_proc and (not isinstance(e.get("proc"), str) or
+                      not e.get("proc")):
+        err(f"{where}.proc must be a non-empty string")
+
+
+def check_span(err, where, s):
+    if not isinstance(s, list) or len(s) != 5:
+        err(f"{where} must be a 5-element array "
+            f"[phase, start_ns, dur_ns, depth, idle]")
+        return
+    phase, start, dur, depth, idle = s
+    if not isinstance(phase, str) or not phase:
+        err(f"{where}[0] (phase) must be a non-empty string")
+    for i, v in ((1, start), (2, dur), (3, depth)):
+        if not is_uint(v):
+            err(f"{where}[{i}] must be a non-negative integer")
+    if idle not in (0, 1):
+        err(f"{where}[4] (idle) must be 0 or 1")
+
+
+def validate_telemetry_stream(problems, where, text):
+    """One telemetry/<proc>.jsonl stream (raw bytes, line-oriented)."""
+    before = len(problems)
+
+    def err(msg):
+        problems.append(f"{where}: {msg}")
+
+    lines = text.split("\n")
+    torn_tail = lines and lines[-1] != ""
+    if not torn_tail:
+        lines = lines[:-1]
+    have_meta = False
+    last_seq = None
+    saw_record = False
+    for i, line in enumerate(lines):
+        lwhere = f"line {i + 1}"
+        if line == "":
+            err(f"{lwhere}: empty line")
+            continue
+        final = torn_tail and i == len(lines) - 1
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if final:
+                continue  # torn tail from a crashed writer: legal
+            err(f"{lwhere}: invalid JSON in the interior of the stream")
+            continue
+        if final:
+            err(f"{lwhere}: final record has no trailing newline")
+        if not isinstance(rec, dict):
+            err(f"{lwhere}: record must be an object")
+            continue
+        kind = rec.get("kind")
+        if kind == "meta":
+            # One per process incarnation; resets the seq counter.
+            have_meta = True
+            last_seq = None
+            if rec.get("schema") != TELEMETRY_SCHEMA:
+                err(f"{lwhere}: meta schema must be "
+                    f"'{TELEMETRY_SCHEMA}', got {rec.get('schema')!r}")
+            if not isinstance(rec.get("proc"), str) or not rec.get("proc"):
+                err(f"{lwhere}: meta.proc must be a non-empty string")
+            if not is_uint(rec.get("pid")):
+                err(f"{lwhere}: meta.pid must be a non-negative integer")
+            if not is_uint(rec.get("epoch_monotonic_ns")):
+                err(f"{lwhere}: meta.epoch_monotonic_ns must be a "
+                    f"non-negative integer")
+            if not is_uint(rec.get("start_unix")):
+                err(f"{lwhere}: meta.start_unix must be a non-negative "
+                    f"integer")
+            if not isinstance(rec.get("compiler"), str):
+                err(f"{lwhere}: meta.compiler must be a string")
+            continue
+        if not have_meta:
+            err(f"{lwhere}: {kind!r} record before the incarnation's "
+                f"meta record")
+            continue
+        if kind == "event":
+            check_event_fields(err, lwhere, rec, want_proc=False)
+        elif kind == "snapshot":
+            saw_record = True
+            if not is_uint(rec.get("ts_ns")):
+                err(f"{lwhere}: snapshot.ts_ns must be a non-negative "
+                    f"integer")
+            if not is_uint(rec.get("seq")):
+                err(f"{lwhere}: snapshot.seq must be a non-negative "
+                    f"integer")
+            for field in ("busy_seconds", "wall_seconds"):
+                if not is_number(rec.get(field)) or rec.get(field) < 0:
+                    err(f"{lwhere}: snapshot.{field} must be a "
+                        f"non-negative number")
+            threads = rec.get("threads")
+            if not isinstance(threads, list):
+                err(f"{lwhere}: snapshot.threads must be an array")
+                threads = []
+            for t, thread in enumerate(threads):
+                twhere = f"{lwhere}: threads[{t}]"
+                if not isinstance(thread, dict):
+                    err(f"{twhere} must be an object")
+                    continue
+                if not isinstance(thread.get("name"), str) or \
+                        not thread.get("name"):
+                    err(f"{twhere}.name must be a non-empty string")
+                spans = thread.get("spans")
+                if not isinstance(spans, list):
+                    err(f"{twhere}.spans must be an array")
+                    continue
+                for k, s in enumerate(spans):
+                    check_span(err, f"{twhere}.spans[{k}]", s)
+            check_metrics_block(err, f"{lwhere}: snapshot.metrics",
+                                rec.get("metrics"))
+        else:
+            err(f"{lwhere}: unknown record kind {kind!r}")
+            continue
+        saw_record = True
+        seq = rec.get("seq")
+        if is_uint(seq):
+            if last_seq is not None and seq <= last_seq:
+                err(f"{lwhere}: seq {seq} not increasing within the "
+                    f"incarnation (previous {last_seq})")
+            last_seq = seq
+    if not have_meta and not saw_record:
+        problems.append(f"{where}: stream holds no meta record")
+    return len(problems) == before
+
+
+def validate_events(problems, where, root):
+    """The merged events.json journal."""
+    before = len(problems)
+
+    def err(msg):
+        problems.append(f"{where}: {msg}")
+
+    if not isinstance(root, dict):
+        err("root must be an object")
+        return False
+    if root.get("schema") != EVENTS_SCHEMA:
+        err(f"schema tag must be '{EVENTS_SCHEMA}', got "
+            f"{root.get('schema')!r}")
+    events = root.get("events")
+    if not isinstance(events, list):
+        err("'events' must be an array")
+        return False
+    keys = []
+    for i, e in enumerate(events):
+        check_event_fields(err, f"events[{i}]", e, want_proc=True)
+        if isinstance(e, dict) and is_uint(e.get("ts_ns")):
+            keys.append((e["ts_ns"], str(e.get("proc")),
+                         e.get("seq") if is_uint(e.get("seq")) else 0))
+    if keys != sorted(keys):
+        err("events must be sorted by (ts_ns, proc, seq)")
+    return len(problems) == before
+
+
+def validate_status(problems, where, root):
+    """The supervisor's live status.json."""
+    before = len(problems)
+
+    def err(msg):
+        problems.append(f"{where}: {msg}")
+
+    if not isinstance(root, dict):
+        err("root must be an object")
+        return False
+    if root.get("schema") != STATUS_SCHEMA:
+        err(f"schema tag must be '{STATUS_SCHEMA}', got "
+            f"{root.get('schema')!r}")
+    if root.get("state") not in STATES:
+        err(f"'state' must be one of {STATES}, got {root.get('state')!r}")
+    for field in ("campaign", "design", "engine"):
+        if not isinstance(root.get(field), str):
+            err(f"'{field}' must be a string")
+    for field in ("wall_seconds", "trials_per_sec", "eta_seconds"):
+        if not is_number(root.get(field)) or root.get(field) < 0:
+            err(f"'{field}' must be a non-negative number")
+    inj = root.get("injections")
+    if not isinstance(inj, dict) or not is_uint(inj.get("done")) or \
+            not is_uint(inj.get("total")):
+        err("'injections' must be {done, total} with non-negative "
+            "integers")
+    elif inj["done"] > inj["total"]:
+        err(f"injections.done ({inj['done']}) exceeds injections.total "
+            f"({inj['total']})")
+    chunks = root.get("chunks")
+    if not isinstance(chunks, dict) or not all(
+            is_uint(chunks.get(f))
+            for f in ("total", "completed", "failed", "in_flight")):
+        err("'chunks' must be {total, completed, failed, in_flight} "
+            "with non-negative integers")
+    elif chunks["completed"] + chunks["failed"] > chunks["total"]:
+        err(f"chunks.completed + chunks.failed "
+            f"({chunks['completed']} + {chunks['failed']}) exceeds "
+            f"chunks.total ({chunks['total']})")
+    workers = root.get("workers")
+    if not isinstance(workers, list):
+        err("'workers' must be an array")
+        workers = []
+    for i, w in enumerate(workers):
+        wwhere = f"workers[{i}]"
+        if not isinstance(w, dict):
+            err(f"{wwhere} must be an object")
+            continue
+        for field in ("slot", "pid", "restarts"):
+            if not is_uint(w.get(field)):
+                err(f"{wwhere}.{field} must be a non-negative integer")
+        if not isinstance(w.get("up"), bool):
+            err(f"{wwhere}.up must be a boolean")
+        if not is_number(w.get("busy_seconds")) or w.get("busy_seconds",
+                                                         -1) < 0:
+            err(f"{wwhere}.busy_seconds must be a non-negative number")
+        u = w.get("utilization")
+        if not is_number(u) or u < 0 or u > 1.0 + 1e-9:
+            err(f"{wwhere}.utilization must be a number in [0, 1]")
+    inc = root.get("incomplete_chunks")
+    if not isinstance(inc, list) or not all(is_uint(c) for c in inc):
+        err("'incomplete_chunks' must be an array of non-negative "
+            "integers")
+    return len(problems) == before
+
+
+def validate_metrics(problems, where, root):
+    """The cuttlec --metrics=FILE artifact."""
+    before = len(problems)
+
+    def err(msg):
+        problems.append(f"{where}: {msg}")
+
+    if not isinstance(root, dict):
+        err("root must be an object")
+        return False
+    if root.get("schema") != METRICS_SCHEMA:
+        err(f"schema tag must be '{METRICS_SCHEMA}', got "
+            f"{root.get('schema')!r}")
+    for field in ("design", "engine"):
+        if not isinstance(root.get(field), str):
+            err(f"'{field}' must be a string (may be empty)")
+    check_metrics_block(err, "metrics", root.get("metrics"))
+    return len(problems) == before
+
+
+def validate_file(problems, path):
+    if path.endswith(".jsonl"):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            problems.append(f"{path}: unreadable: {e}")
+            return
+        validate_telemetry_stream(problems, path, text)
+        return
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+    schema = root.get("schema") if isinstance(root, dict) else None
+    if schema == EVENTS_SCHEMA:
+        validate_events(problems, path, root)
+    elif schema == STATUS_SCHEMA:
+        validate_status(problems, path, root)
+    elif schema == METRICS_SCHEMA:
+        validate_metrics(problems, path, root)
+    else:
+        problems.append(
+            f"{path}: unknown schema {schema!r} (this tool validates "
+            f"{TELEMETRY_SCHEMA} streams, {EVENTS_SCHEMA}, "
+            f"{STATUS_SCHEMA}, {METRICS_SCHEMA})")
+
+
+# -- Self-test ---------------------------------------------------------------
+
+def build_stream():
+    meta = {"schema": TELEMETRY_SCHEMA, "kind": "meta",
+            "proc": "worker-0", "pid": 4242,
+            "epoch_monotonic_ns": 1000, "start_unix": 1700000000,
+            "compiler": "cc (Test) 1.0"}
+    event = {"kind": "event", "seq": 0, "ts_ns": 500,
+             "name": "worker/start", "args": {"worker": 0}}
+    snap = {"kind": "snapshot", "seq": 1, "ts_ns": 900,
+            "busy_seconds": 0.4, "wall_seconds": 0.9,
+            "threads": [{"name": "worker",
+                         "spans": [["orch/chunk", 100, 700, 0, 0]]}],
+            "metrics": {"counters": {"worker/trials": 8}, "gauges": {},
+                        "histograms": {}}}
+    return "".join(json.dumps(r) + "\n" for r in (meta, event, snap))
+
+
+def build_events():
+    return {"schema": EVENTS_SCHEMA, "events": [
+        {"ts_ns": 10, "proc": "supervisor", "seq": 0,
+         "name": "worker/spawn", "args": {"slot": 0}},
+        {"ts_ns": 20, "proc": "worker-0", "seq": 0,
+         "name": "lease/claim", "args": {"chunk": 0}},
+        {"ts_ns": 30, "proc": "supervisor", "seq": 1,
+         "name": "chunk/complete", "args": {"chunk": 0}},
+    ]}
+
+
+def build_status():
+    return {"schema": STATUS_SCHEMA, "state": "running",
+            "campaign": "collatz", "design": "collatz",
+            "engine": "T5", "updated_unix": 1700000000,
+            "wall_seconds": 1.5, "trials_per_sec": 12.0,
+            "eta_seconds": 3.0,
+            "injections": {"done": 18, "total": 54},
+            "chunks": {"total": 14, "completed": 4, "failed": 1,
+                       "in_flight": 2},
+            "workers": [{"slot": 0, "pid": 100, "up": True,
+                         "restarts": 1, "busy_seconds": 1.2,
+                         "utilization": 0.8}],
+            "incomplete_chunks": [4, 5, 6]}
+
+
+def build_metrics():
+    return {"schema": METRICS_SCHEMA, "design": "collatz",
+            "engine": "T5 static-analysis",
+            "metrics": {"counters": {"fault/trials": 54},
+                        "gauges": {"orch/wall": 1.5},
+                        "histograms": {}}}
+
+
+def self_test():
+    import copy
+
+    problems = []
+    validate_telemetry_stream(problems, "stream", build_stream())
+    validate_events(problems, "events", build_events())
+    validate_status(problems, "status", build_status())
+    validate_metrics(problems, "metrics", build_metrics())
+    # A crashed writer's torn tail must validate clean.
+    validate_telemetry_stream(problems, "torn-tail",
+                              build_stream() + '{"kind": "snap')
+    if problems:
+        print("self-test: pristine artifacts failed validation:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+
+    failures = []
+
+    def expect_bad(label, fn):
+        p = []
+        fn(p)
+        if not p:
+            failures.append(label)
+
+    expect_bad("record before meta", lambda p: validate_telemetry_stream(
+        p, "x", '{"kind": "event", "seq": 0, "ts_ns": 1, '
+                '"name": "e", "args": {}}\n' + build_stream()))
+    expect_bad("torn interior line", lambda p: validate_telemetry_stream(
+        p, "x", build_stream().replace(
+            '"kind": "event"', '"kind": "eve', 1)))
+    expect_bad("wrong stream schema", lambda p: validate_telemetry_stream(
+        p, "x", build_stream().replace(TELEMETRY_SCHEMA,
+                                       "cuttlesim-cov-v1")))
+    expect_bad("span not 5 elements", lambda p: validate_telemetry_stream(
+        p, "x", build_stream().replace('["orch/chunk", 100, 700, 0, 0]',
+                                       '["orch/chunk", 100, 700]')))
+    expect_bad("non-increasing seq", lambda p: validate_telemetry_stream(
+        p, "x", build_stream().replace('"seq": 1', '"seq": 0')))
+
+    def unsorted_events(p):
+        bad = copy.deepcopy(build_events())
+        bad["events"].reverse()
+        validate_events(p, "x", bad)
+    expect_bad("unsorted events", unsorted_events)
+
+    def negative_ts(p):
+        bad = copy.deepcopy(build_events())
+        bad["events"][0]["ts_ns"] = -5
+        validate_events(p, "x", bad)
+    expect_bad("negative ts_ns", negative_ts)
+
+    def bad_state(p):
+        bad = copy.deepcopy(build_status())
+        bad["state"] = "exploded"
+        validate_status(p, "x", bad)
+    expect_bad("unknown status state", bad_state)
+
+    def count_mismatch(p):
+        bad = copy.deepcopy(build_status())
+        bad["injections"]["done"] = 99
+        validate_status(p, "x", bad)
+    expect_bad("injections.done > total", count_mismatch)
+
+    def chunk_overflow(p):
+        bad = copy.deepcopy(build_status())
+        bad["chunks"]["completed"] = 20
+        validate_status(p, "x", bad)
+    expect_bad("chunks completed+failed > total", chunk_overflow)
+
+    def negative_counter(p):
+        bad = copy.deepcopy(build_metrics())
+        bad["metrics"]["counters"]["fault/trials"] = -1
+        validate_metrics(p, "x", bad)
+    expect_bad("negative counter", negative_counter)
+
+    if failures:
+        for label in failures:
+            print(f"self-test: corruption not detected: {label}")
+        return 1
+    print("self-test: telemetry validators detect all 11 corruption "
+          "cases across the four schemas")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if not args or len(args) != len(argv) - 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    for path in args:
+        validate_file(problems, path)
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"{len(args)} telemetry artifact(s) validate")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
