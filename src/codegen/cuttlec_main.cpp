@@ -265,7 +265,12 @@ usage()
            "                (T0..T5, default T5) or 'compiled' (emit,\n"
            "                compile with the system C++ compiler, run the\n"
            "                binary; falls back to T5 with a warning when\n"
-           "                the out-of-process pipeline fails)\n"
+           "                the out-of-process pipeline fails). Fault\n"
+           "                campaigns run 'compiled' in process: the\n"
+           "                instrumented model is built once, dlopened,\n"
+           "                and driven through the same trial loop as\n"
+           "                the tiers (byte-identical reports at any\n"
+           "                --jobs/--batch)\n"
            "  --cxxflags=F  flags for --engine=compiled (default -O2)\n"
            "  --fault-campaign=SEED\n"
            "                run a deterministic fault-injection campaign\n"
@@ -432,6 +437,7 @@ write_coverage_outputs(const koika::Design& design,
 /** Seeded fault-injection campaign against a golden copy. */
 int
 fault_campaign(const koika::Design& design, const std::string& engine,
+               const koika::codegen::DlModelOptions& dlopts,
                uint64_t seed, int count, uint64_t cycles, int jobs,
                int batch, bool progress, const std::string& report_file,
                const std::string& checkpoint_file, const RunOutputs& out)
@@ -448,7 +454,7 @@ fault_campaign(const koika::Design& design, const std::string& engine,
 
     koika::install_shutdown_handlers();
     koika::fault::CampaignReport report = koika::fault::run_campaign(
-        design, make_target_factory(design, engine), config);
+        design, make_target_factory(design, engine, dlopts), config);
     report.engine = engine_label(engine);
     if (report.resumed > 0)
         std::cerr << "cuttlec: resumed fault campaign from '"
@@ -1462,21 +1468,21 @@ main(int argc, char** argv)
         }
 
         if (fault) {
-            if (compiled_engine) {
-                // Fault injection pokes registers between cycles, which
-                // needs an in-process model; the out-of-process compiled
-                // engine cannot do that.
-                std::cerr << "cuttlec: warning: fault campaigns run on "
-                             "interpreter tiers; using T5\n";
-                engine = "T5";
-            }
+            // The compiled engine participates like any tier: the
+            // model is dlopened into the process (codegen/dlmodel.hpp)
+            // with full instrumentation, so register pokes, counters,
+            // and checkpoint-restore all work. --cxxflags/--cache-dir
+            // pick its build flavor.
+            koika::codegen::DlModelOptions dlopts;
+            dlopts.cxxflags = cxxflags;
+            dlopts.cache.dir = cache_dir;
             if (!fault_orchestrate.empty())
                 return fault_orchestrate_cmd(
                     *design, engine, fault_orchestrate, fault_seed,
                     fault_count, cycles, jobs, batch, workers,
                     chunk_size, worker_timeout, max_retries, chaos,
                     fault_report, outputs);
-            return fault_campaign(*design, engine, fault_seed,
+            return fault_campaign(*design, engine, dlopts, fault_seed,
                                   fault_count, cycles, jobs, batch,
                                   progress, fault_report,
                                   fault_checkpoint, outputs);

@@ -20,14 +20,17 @@ parse_tier(const std::string& engine, sim::Tier* tier)
 }
 
 std::unique_ptr<sim::Model>
-make_model(const Design& design, const std::string& engine)
+make_model(const Design& design, const std::string& engine,
+           const codegen::DlModelOptions& dlopts)
 {
     if (engine == "ref")
         return std::make_unique<ReferenceModel>(design);
+    if (engine == "compiled")
+        return codegen::load_compiled_model(design, dlopts);
     sim::Tier tier;
     if (!parse_tier(engine, &tier))
-        fatal("unknown in-process engine '%s' (expected T0..T5 or "
-              "'ref')",
+        fatal("unknown in-process engine '%s' (expected T0..T5, 'ref', "
+              "or 'compiled')",
               engine.c_str());
     return sim::make_engine(design, tier);
 }
@@ -37,6 +40,8 @@ engine_label(const std::string& engine)
 {
     if (engine == "ref")
         return "reference";
+    if (engine == "compiled")
+        return "cuttlesim";
     sim::Tier tier;
     if (parse_tier(engine, &tier))
         return sim::tier_name(tier);
@@ -44,16 +49,17 @@ engine_label(const std::string& engine)
 }
 
 fault::TargetFactory
-make_target_factory(const Design& design, const std::string& engine)
+make_target_factory(const Design& design, const std::string& engine,
+                    const codegen::DlModelOptions& dlopts)
 {
     if (design.name().rfind("rv32", 0) != 0)
-        return [&design, engine]() {
+        return [&design, engine, dlopts]() {
             // Engine construction is the suspected per-trial cost in
             // parallel campaigns (ROADMAP item 2) — give it its own
             // phase so the profile can prove or refute that.
             obs::ProfScope span("engine/build");
             fault::FaultTarget t;
-            t.model = make_model(design, engine);
+            t.model = make_model(design, engine, dlopts);
             return t;
         };
 
@@ -64,7 +70,7 @@ make_target_factory(const Design& design, const std::string& engine)
     for (int core = 0; core < cores; ++core)
         ports->push_back(rv32_ports(design, core, cores));
 
-    return [&design, engine, program, ports]() {
+    return [&design, engine, dlopts, program, ports]() {
         struct Ctx
         {
             std::vector<std::unique_ptr<harness::MemoryDevice>> mems;
@@ -82,7 +88,7 @@ make_target_factory(const Design& design, const std::string& engine)
             ctx->mems.push_back(std::move(mem));
         }
         fault::FaultTarget t;
-        t.model = make_model(design, engine);
+        t.model = make_model(design, engine, dlopts);
         t.stimulus = [ctx](sim::Model& m, uint64_t) {
             for (auto& port : ctx->mem_ports)
                 port->tick(m);

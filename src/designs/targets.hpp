@@ -11,15 +11,17 @@
  * reconstruct byte-identical campaign targets from a manifest alone.
  *
  * Engine names follow the CLI convention: "T0".."T5" interpreter
- * tiers, "ref" the reference interpreter. (The out-of-process
- * "compiled" engine is not constructible here — it has no in-process
- * sim::Model.)
+ * tiers, "ref" the reference interpreter, and "compiled" the generated
+ * C++ model built by the system compiler and dlopened into the process
+ * (codegen/dlmodel.hpp) — fully instrumented, so it is a drop-in for
+ * the tiers everywhere, fault campaigns included.
  */
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "codegen/dlmodel.hpp"
 #include "fault/fault.hpp"
 #include "koika/design.hpp"
 #include "sim/model.hpp"
@@ -32,11 +34,14 @@ bool parse_tier(const std::string& engine, sim::Tier* tier);
 
 /**
  * Build an in-process model for an engine name: an interpreter tier
- * (T0..T5) or the reference interpreter ("ref"). FatalError on an
- * unknown name.
+ * (T0..T5), the reference interpreter ("ref"), or the dlopened
+ * generated model ("compiled"; `dlopts` picks its flags and cache, and
+ * only the first build per thread pays the compile pipeline).
+ * FatalError on an unknown name.
  */
-std::unique_ptr<sim::Model> make_model(const Design& design,
-                                       const std::string& engine);
+std::unique_ptr<sim::Model>
+make_model(const Design& design, const std::string& engine,
+           const codegen::DlModelOptions& dlopts = {});
 
 /** Display label for an in-process engine (stats/report "engine"). */
 std::string engine_label(const std::string& engine);
@@ -55,7 +60,8 @@ std::string engine_label(const std::string& engine);
  * targets from a manifest and still merge into the bytes a
  * single-process run would have produced.
  */
-fault::TargetFactory make_target_factory(const Design& design,
-                                         const std::string& engine);
+fault::TargetFactory
+make_target_factory(const Design& design, const std::string& engine,
+                    const codegen::DlModelOptions& dlopts = {});
 
 } // namespace koika::designs

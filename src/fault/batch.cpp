@@ -102,31 +102,30 @@ struct Lane
     std::vector<uint64_t> fprev, fprev_r;
 };
 
-} // namespace
-
+/** The batch body; callers wrap it to guarantee context poisoning on an
+ *  escaped exception. */
 void
-run_injection_batch(const Design& design, const TargetFactory& factory,
-                    const FaultSpec* specs, size_t count,
-                    uint64_t cycles, InjectionRecord* records,
-                    obs::CoverageMap* coverage)
+run_injection_batch_in(const Design& design, TrialContext& ctx,
+                       const FaultSpec* specs, size_t count,
+                       uint64_t cycles, InjectionRecord* records,
+                       obs::CoverageMap* coverage)
 {
     // -- Pack: the shared golden plus the lanes that cannot fork ------------
     std::optional<obs::ProfScope> pack_span;
     pack_span.emplace("batch/pack");
 
-    FaultTarget golden = factory();
+    // The context's golden arrives in pristine cycle-0 state: freshly
+    // built on the worker's first batch, restored in place afterwards.
+    FaultTarget& golden = ctx.golden();
     auto* gstats = dynamic_cast<sim::RuleStatsModel*>(golden.model.get());
     auto* gckpt =
         dynamic_cast<sim::CheckpointableModel*>(golden.model.get());
     // Forking needs the engine's auxiliary state (counters, coverage
     // arrays) and the peripherals' state to be serializable; a target
     // with live peripherals (context) but no env hooks cannot move
-    // them, so its lanes run from cycle 0 instead.
-    bool env_ok = (golden.save_env != nullptr) ==
-                  (golden.load_env != nullptr);
-    bool forkable = gckpt != nullptr && env_ok &&
-                    (golden.save_env != nullptr ||
-                     golden.context == nullptr);
+    // them, so its lanes run from cycle 0 instead. ctx.warm() is this
+    // exact condition evaluated on the same factory's output.
+    bool forkable = ctx.warm();
 
     // The golden's collector exists to seed forked lanes (its state at
     // any boundary is exactly what a faulted run's collector holds
@@ -151,7 +150,7 @@ run_injection_batch(const Design& design, const TargetFactory& factory,
             lane.shadow = true;
         } else if (!forkable) {
             lane.from_start = true;
-            lane.target = factory();
+            lane.target = ctx.acquire();
             lane.live = true;
             lane.stats = dynamic_cast<sim::RuleStatsModel*>(
                 lane.target.model.get());
@@ -173,7 +172,9 @@ run_injection_batch(const Design& design, const TargetFactory& factory,
     // identical counters/coverage (identical fault-free history), and
     // identical peripherals.
     auto fork_lane = [&](Lane& lane) {
-        lane.target = factory();
+        // No restore: every field copied below overwrites the spare's
+        // full state (registers, extra state, env, collector).
+        lane.target = ctx.acquire_unrestored();
         lane.live = true;
         for (size_t r = 0; r < nregs; ++r)
             lane.target.model->set_reg(
@@ -402,7 +403,43 @@ run_injection_batch(const Design& design, const TargetFactory& factory,
             coverage[l] = lane.shadow ? gcollector->take("")
                                       : lane.collector->take("");
         records[l] = rec;
+        // Retire the lane's model into the context's spare pool so the
+        // next batch (or scalar trial) on this worker reuses it via
+        // restore. Engine-faulted lanes may hold torn state — destroy.
+        if (lane.live)
+            ctx.release(std::move(lane.target), !lane.engine_fault);
     }
+}
+
+} // namespace
+
+void
+run_injection_batch(const Design& design, TrialContext& context,
+                    const FaultSpec* specs, size_t count,
+                    uint64_t cycles, InjectionRecord* records,
+                    obs::CoverageMap* coverage)
+{
+    try {
+        run_injection_batch_in(design, context, specs, count, cycles,
+                               records, coverage);
+    } catch (...) {
+        // Escaped exceptions (engine faults are handled per lane; this
+        // is a harness/setup failure) may leave the golden or spares
+        // mid-cycle — drop them so the next batch rebuilds cleanly.
+        context.poison();
+        throw;
+    }
+}
+
+void
+run_injection_batch(const Design& design, const TargetFactory& factory,
+                    const FaultSpec* specs, size_t count,
+                    uint64_t cycles, InjectionRecord* records,
+                    obs::CoverageMap* coverage)
+{
+    TrialContext context(factory);
+    run_injection_batch(design, context, specs, count, cycles, records,
+                        coverage);
 }
 
 } // namespace koika::fault

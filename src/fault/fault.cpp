@@ -13,6 +13,7 @@
 #include "base/signal.hpp"
 #include "harness/parallel.hpp"
 #include "obs/prof.hpp"
+#include "sim/state.hpp"
 
 namespace koika::fault {
 
@@ -262,10 +263,137 @@ generate_faults(const Design& design, const CampaignConfig& config)
     return faults;
 }
 
+// -- TrialContext ------------------------------------------------------------
+
+TrialContext::TrialContext(const TargetFactory& factory)
+    : factory_(factory)
+{
+    // The per-worker golden build (and snapshot) is still setup work —
+    // it just happens once per worker now instead of once per trial.
+    obs::ProfScope setup_span("trial/setup");
+    golden_ = factory_();
+    golden_live_ = true;
+    ++rebuilds_;
+    auto* ckpt =
+        dynamic_cast<sim::CheckpointableModel*>(golden_.model.get());
+    // Same condition as batch.cpp's forkable: the engine's auxiliary
+    // state must be serializable, and peripherals must either be
+    // serializable too or absent entirely.
+    bool env_ok = (golden_.save_env != nullptr) ==
+                  (golden_.load_env != nullptr);
+    warm_ = ckpt != nullptr && env_ok &&
+            (golden_.save_env != nullptr || golden_.context == nullptr);
+    if (!warm_)
+        return;
+
+    // Pristine cycle-0 snapshot, captured before the golden ever steps.
+    size_t nregs = golden_.model->num_regs();
+    regs0_.reserve(nregs);
+    for (size_t r = 0; r < nregs; ++r)
+        regs0_.push_back(golden_.model->get_reg((int)r));
+    state_key0_ = ckpt->state_key();
+    sim::StateWriter w;
+    ckpt->save_extra_state(w);
+    extra0_ = w.take();
+    has_env_ = golden_.save_env != nullptr;
+    if (has_env_) {
+        sim::StateWriter we;
+        golden_.save_env(we);
+        env0_ = we.take();
+    }
+}
+
+void
+TrialContext::restore(FaultTarget& target)
+{
+    for (size_t r = 0; r < regs0_.size(); ++r)
+        target.model->set_reg((int)r, regs0_[r]);
+    auto* ckpt =
+        dynamic_cast<sim::CheckpointableModel*>(target.model.get());
+    KOIKA_CHECK(ckpt != nullptr && ckpt->state_key() == state_key0_);
+    sim::StateReader extra(extra0_);
+    ckpt->load_extra_state(extra);
+    if (has_env_) {
+        sim::StateReader env(env0_);
+        target.load_env(env);
+    }
+    ++restores_;
+}
+
+FaultTarget&
+TrialContext::golden()
+{
+    if (!golden_live_ || (golden_dirty_ && !warm_)) {
+        golden_ = factory_();
+        golden_live_ = true;
+        ++rebuilds_;
+    } else if (golden_dirty_) {
+        restore(golden_);
+    }
+    golden_dirty_ = true;
+    return golden_;
+}
+
+FaultTarget
+TrialContext::acquire()
+{
+    if (warm_ && !spares_.empty()) {
+        FaultTarget target = std::move(spares_.back());
+        spares_.pop_back();
+        restore(target);
+        return target;
+    }
+    ++rebuilds_;
+    return factory_();
+}
+
+FaultTarget
+TrialContext::acquire_unrestored()
+{
+    if (warm_ && !spares_.empty()) {
+        FaultTarget target = std::move(spares_.back());
+        spares_.pop_back();
+        return target;
+    }
+    ++rebuilds_;
+    return factory_();
+}
+
+void
+TrialContext::release(FaultTarget&& target, bool healthy)
+{
+    if (warm_ && healthy)
+        spares_.push_back(std::move(target));
+    // Unhealthy (or cold) targets are destroyed here: an engine that
+    // threw mid-cycle may hold torn internal state no restore can fix.
+}
+
+void
+TrialContext::poison()
+{
+    golden_ = FaultTarget{};
+    golden_live_ = false;
+    golden_dirty_ = false;
+    spares_.clear();
+}
+
+// -- Scalar trials -----------------------------------------------------------
+
 InjectionRecord
 run_injection(const Design& design, const TargetFactory& factory,
               const FaultSpec& spec, uint64_t cycles,
               obs::CoverageMap* coverage)
+{
+    TrialContext context(factory);
+    return run_injection(design, context, spec, cycles, coverage);
+}
+
+namespace {
+
+InjectionRecord
+run_injection_in(const Design& design, TrialContext& ctx,
+                 const FaultSpec& spec, uint64_t cycles,
+                 obs::CoverageMap* coverage)
 {
     KOIKA_CHECK(spec.reg >= 0 &&
                 (size_t)spec.reg < design.num_registers());
@@ -275,13 +403,16 @@ run_injection(const Design& design, const TargetFactory& factory,
 
     // Per-trial setup vs. run split: the ratio of these two phases is
     // what decides whether parallel campaigns are worth their fork
-    // overhead (ROADMAP item 2).
+    // overhead (ROADMAP item 2). With a warm context, setup is two
+    // in-place restores instead of two model constructions.
     obs::ProfScope setup_span("trial/setup");
-    FaultTarget golden = factory();
-    FaultTarget faulted = factory();
+    FaultTarget& golden = ctx.golden();
+    FaultTarget faulted = ctx.acquire();
 
     // Coverage is harvested from the faulted run only: the golden copy
-    // exercises nothing an ordinary simulation would not.
+    // exercises nothing an ordinary simulation would not. The collector
+    // is built after the faulted target reached pristine state (its
+    // constructor snapshots registers for toggle detection).
     std::unique_ptr<obs::CoverageCollector> collector;
     if (coverage != nullptr)
         collector = std::make_unique<obs::CoverageCollector>(
@@ -292,12 +423,22 @@ run_injection(const Design& design, const TargetFactory& factory,
         dynamic_cast<sim::RuleStatsModel*>(faulted.model.get());
     bool track = gstats != nullptr && fstats != nullptr;
 
-    std::vector<uint64_t> gprev, fprev, gprev_r, fprev_r;
+    // Previous-cycle counter snapshots live in the context: same-size
+    // assigns below reuse their capacity, so the detection loop stops
+    // allocating four vectors per trial (let alone per cycle).
+    std::vector<uint64_t>& gprev = ctx.gprev;
+    std::vector<uint64_t>& fprev = ctx.fprev;
+    std::vector<uint64_t>& gprev_r = ctx.gprev_r;
+    std::vector<uint64_t>& fprev_r = ctx.fprev_r;
     if (track) {
-        gprev = gstats->rule_abort_counts();
-        fprev = fstats->rule_abort_counts();
-        gprev_r = gstats->rule_abort_reason_counts();
-        fprev_r = fstats->rule_abort_reason_counts();
+        const auto& g0 = gstats->rule_abort_counts();
+        const auto& f0 = fstats->rule_abort_counts();
+        const auto& g0r = gstats->rule_abort_reason_counts();
+        const auto& f0r = fstats->rule_abort_reason_counts();
+        gprev.assign(g0.begin(), g0.end());
+        fprev.assign(f0.begin(), f0.end());
+        gprev_r.assign(g0r.begin(), g0r.end());
+        fprev_r.assign(f0r.begin(), f0r.end());
     }
 
     setup_span.close();
@@ -330,8 +471,13 @@ run_injection(const Design& design, const TargetFactory& factory,
         // in the golden run during the same cycle — the design's guards
         // and port discipline noticing bad state.
         if (track) {
+            // One getter call per counter family per cycle; the prev
+            // refreshes are same-size assigns into context-owned
+            // buffers, so this loop allocates nothing steady-state.
             const auto& g = gstats->rule_abort_counts();
             const auto& f = fstats->rule_abort_counts();
+            const auto& gr = gstats->rule_abort_reason_counts();
+            const auto& fr = fstats->rule_abort_reason_counts();
             if (injected && !rec.detected) {
                 for (size_t r = 0; r < g.size() && r < f.size(); ++r) {
                     uint64_t gd = g[r] - gprev[r];
@@ -341,10 +487,6 @@ run_injection(const Design& design, const TargetFactory& factory,
                     rec.detected = true;
                     rec.detect_cycle = c;
                     std::string reason = "abort";
-                    const auto& gr =
-                        gstats->rule_abort_reason_counts();
-                    const auto& fr =
-                        fstats->rule_abort_reason_counts();
                     for (int k = 0; k < sim::kNumAbortReasons; ++k) {
                         size_t idx =
                             r * (size_t)sim::kNumAbortReasons +
@@ -365,10 +507,10 @@ run_injection(const Design& design, const TargetFactory& factory,
                     break;
                 }
             }
-            gprev = g;
-            fprev = f;
-            gprev_r = gstats->rule_abort_reason_counts();
-            fprev_r = fstats->rule_abort_reason_counts();
+            gprev.assign(g.begin(), g.end());
+            fprev.assign(f.begin(), f.end());
+            gprev_r.assign(gr.begin(), gr.end());
+            fprev_r.assign(fr.begin(), fr.end());
         }
 
         // Divergence scan before (re-)forcing, so it measures what the
@@ -434,8 +576,62 @@ run_injection(const Design& design, const TargetFactory& factory,
         rec.outcome = Outcome::kMasked;
     if (collector != nullptr)
         *coverage = collector->take("");
+
+    // An engine-faulted model may hold torn internal state; only
+    // cleanly-finished targets go back to the spare pool for reuse.
+    ctx.release(std::move(faulted), !engine_fault);
     return rec;
 }
+
+} // namespace
+
+InjectionRecord
+run_injection(const Design& design, TrialContext& context,
+              const FaultSpec& spec, uint64_t cycles,
+              obs::CoverageMap* coverage)
+{
+    try {
+        return run_injection_in(design, context, spec, cycles, coverage);
+    } catch (...) {
+        // An exception that escapes the trial (engine faults are caught
+        // inside; this is a harness/setup failure) may have left the
+        // context's cached targets mid-cycle — drop them all so the
+        // next trial rebuilds from the factory.
+        context.poison();
+        throw;
+    }
+}
+
+namespace {
+
+/** Per-pool-worker trial state: one warm TrialContext per worker, built
+ *  lazily on the worker's own thread and destroyed when the pool batch
+ *  ends (harness::WorkerContext lifetime contract). */
+struct TrialWorkerContext final : harness::WorkerContext
+{
+    explicit TrialWorkerContext(const TargetFactory& factory)
+        : trial(factory)
+    {
+    }
+
+    TrialContext trial;
+};
+
+harness::ContextFactory
+trial_context_factory(const TargetFactory& factory)
+{
+    return [&factory](int) -> std::unique_ptr<harness::WorkerContext> {
+        return std::make_unique<TrialWorkerContext>(factory);
+    };
+}
+
+TrialContext&
+trial_of(harness::WorkerContext* ctx)
+{
+    return static_cast<TrialWorkerContext*>(ctx)->trial;
+}
+
+} // namespace
 
 bool
 run_injection_range(const Design& design, const TargetFactory& factory,
@@ -445,38 +641,47 @@ run_injection_range(const Design& design, const TargetFactory& factory,
                     const std::function<void(uint64_t, uint64_t)>& before_item)
 {
     std::atomic<bool> interrupted{false};
-    auto run_one = [&](uint64_t k) {
+    auto run_one = [&](uint64_t k, TrialContext& trial) {
         if (shutdown_requested()) {
             interrupted.store(true);
             return;
         }
         if (before_item)
             before_item(k, 1);
-        records[k] = run_injection(design, factory, faults[first + k],
+        records[k] = run_injection(design, trial, faults[first + k],
                                    cycles, coverage ? &coverage[k] : nullptr);
     };
     if (batch > 1) {
-        // Batched lanes: one lockstep batch per pool item. before_item
-        // sees the whole group, so a chaos crash aimed at injection i
-        // fires whichever group i lands in.
-        auto run_group = [&](uint64_t k0, uint64_t n) {
+        // Batched lanes: one lockstep batch per pool item, forking from
+        // the worker's warm golden. before_item sees the whole group,
+        // so a chaos crash aimed at injection i fires whichever group i
+        // lands in.
+        auto run_group = [&](uint64_t k0, uint64_t n,
+                             harness::WorkerContext* ctx) {
             if (shutdown_requested()) {
                 interrupted.store(true);
                 return;
             }
             if (before_item)
                 before_item(k0, n);
-            run_injection_batch(design, factory, &faults[first + k0],
+            run_injection_batch(design, trial_of(ctx), &faults[first + k0],
                                 (size_t)n, cycles, &records[k0],
                                 coverage ? &coverage[k0] : nullptr);
         };
-        harness::parallel_for_groups((uint64_t)count, (uint64_t)batch, jobs,
-                                     run_group);
+        harness::parallel_for_groups_ctx((uint64_t)count, (uint64_t)batch,
+                                         jobs, trial_context_factory(factory),
+                                         run_group);
     } else if (jobs == 1) {
+        // Serial fast path: no pool, one warm context on this thread.
+        TrialContext trial(factory);
         for (uint64_t k = 0; k < (uint64_t)count; ++k)
-            run_one(k);
+            run_one(k, trial);
     } else {
-        harness::parallel_for((uint64_t)count, jobs, run_one);
+        harness::parallel_for_ctx(
+            (uint64_t)count, jobs, trial_context_factory(factory),
+            [&](uint64_t k, harness::WorkerContext* ctx) {
+                run_one(k, trial_of(ctx));
+            });
     }
     return !interrupted.load();
 }
@@ -603,12 +808,21 @@ run_campaign(const Design& design, const TargetFactory& factory,
             }
             size_t end = std::min(completed + chunk, faults.size());
             size_t lanes = (size_t)std::max(config.batch, 1);
+            // Each pool worker carries one warm TrialContext for the
+            // whole chunk: the golden/faulted pair is built (and, for
+            // compiled engines, the cache probed) once per worker, and
+            // every later trial restores the pristine cycle-0 snapshot
+            // in place. Restore reproduces construction exactly, so the
+            // records and coverage stay byte-identical to --jobs=1.
             if (lanes <= 1) {
-                harness::parallel_for(
-                    end - completed, config.jobs, [&](uint64_t k) {
+                harness::parallel_for_ctx(
+                    end - completed, config.jobs,
+                    trial_context_factory(factory),
+                    [&](uint64_t k, harness::WorkerContext* ctx) {
                         size_t i = completed + k;
                         report.injections[i] = run_injection(
-                            design, factory, faults[i], config.cycles,
+                            design, trial_of(ctx), faults[i],
+                            config.cycles,
                             config.collect_coverage ? &shard_cov[i]
                                                     : nullptr);
                         done.fetch_add(1, std::memory_order_relaxed);
@@ -619,12 +833,14 @@ run_campaign(const Design& design, const TargetFactory& factory,
                 // per-injection coverage land in the same slots as the
                 // scalar path, so the report and database stay
                 // byte-identical at any (batch, jobs).
-                harness::parallel_for_groups(
+                harness::parallel_for_groups_ctx(
                     end - completed, lanes, config.jobs,
-                    [&](uint64_t first, uint64_t n) {
+                    trial_context_factory(factory),
+                    [&](uint64_t first, uint64_t n,
+                        harness::WorkerContext* ctx) {
                         size_t i = completed + first;
                         run_injection_batch(
-                            design, factory, &faults[i], (size_t)n,
+                            design, trial_of(ctx), &faults[i], (size_t)n,
                             config.cycles, &report.injections[i],
                             config.collect_coverage ? &shard_cov[i]
                                                     : nullptr);

@@ -125,6 +125,105 @@ struct FaultTarget
 /** Builds a fresh, identically-initialized target per run. */
 using TargetFactory = std::function<FaultTarget()>;
 
+/**
+ * Reusable per-worker trial state: the fix for flat parallel scaling
+ * (ROADMAP item 2). A campaign trial needs a golden and a faulted
+ * target, and historically built BOTH from the factory for every
+ * injection — so `trial/setup` grew with the trial count and jobs=hw
+ * barely beat jobs=1. A TrialContext makes that a per-worker cost: it
+ * builds the golden once, captures a pristine cycle-0 checkpoint
+ * (registers via get_reg, engine counters via sim::CheckpointableModel,
+ * peripherals via the target's save_env), and every later trial
+ * *restores* that snapshot in place instead of reconstructing.
+ *
+ * Warmth requires exactly what batched lane-forking requires (the
+ * batch.cpp forkable condition): a checkpointable model and either
+ * serializable peripherals or no peripherals at all. Anything else is
+ * "cold" and transparently falls back to rebuilding through the
+ * factory — same results, original cost.
+ *
+ * The restore contract is the checkpoint subsystem's: registers +
+ * extra state + env restore is byte-identical to a fresh build, so
+ * reports and coverage stay byte-identical to factory-per-trial runs
+ * (enforced by the restore-vs-reconstruct ctest gates). Targets whose
+ * engine faulted mid-trial are NEVER reused — release(…, healthy=false)
+ * drops them, and poison() drops everything after an escaped exception.
+ *
+ * Not thread-safe: one TrialContext per pool worker
+ * (harness::WorkerContext hooks), living exactly as long as one run()
+ * batch.
+ */
+class TrialContext
+{
+  public:
+    explicit TrialContext(const TargetFactory& factory);
+
+    TrialContext(const TrialContext&) = delete;
+    TrialContext& operator=(const TrialContext&) = delete;
+
+    /** Checkpoint-restore available (the batch forkable condition)? */
+    bool warm() const { return warm_; }
+
+    /**
+     * The worker's golden target, in pristine cycle-0 state: restored
+     * in place when warm and previously handed out, rebuilt from the
+     * factory otherwise.
+     */
+    FaultTarget& golden();
+
+    /** A pristine target the caller owns for one trial: a restored
+     *  spare when warm, a fresh factory build otherwise. */
+    FaultTarget acquire();
+
+    /** Like acquire() but skips the restore — for callers that
+     *  overwrite the full state anyway (batch lane forking). */
+    FaultTarget acquire_unrestored();
+
+    /**
+     * Return a trial's target. Healthy targets become spares for the
+     * next acquire (when warm); unhealthy ones — the engine threw on
+     * corrupted state and may hold torn internals — are destroyed.
+     */
+    void release(FaultTarget&& target, bool healthy);
+
+    /** Drop the golden and every spare (after an escaped exception);
+     *  subsequent calls rebuild from the factory. */
+    void poison();
+
+    /** In-place restores performed (warm-path hits). */
+    uint64_t restores() const { return restores_; }
+    /** Factory invocations, the constructor's golden included. */
+    uint64_t rebuilds() const { return rebuilds_; }
+
+    /**
+     * Preallocated previous-cycle counter snapshots for run_injection's
+     * detection scan. Context-lifetime so the per-cycle refresh is a
+     * same-size element copy, never an allocation (and a campaign's
+     * trials stop allocating four vectors each).
+     */
+    std::vector<uint64_t> gprev, fprev, gprev_r, fprev_r;
+
+  private:
+    void restore(FaultTarget& target);
+
+    TargetFactory factory_;
+    FaultTarget golden_;
+    bool golden_live_ = false;
+    /** Golden handed out since its last restore (state may have moved). */
+    bool golden_dirty_ = false;
+    bool warm_ = false;
+    bool has_env_ = false;
+    /** Pristine cycle-0 snapshot (valid when warm_). */
+    std::vector<Bits> regs0_;
+    std::string state_key0_;
+    std::string extra0_;
+    std::string env0_;
+    /** Healthy retired targets awaiting restore-and-reuse. */
+    std::vector<FaultTarget> spares_;
+    uint64_t restores_ = 0;
+    uint64_t rebuilds_ = 0;
+};
+
 struct CampaignConfig
 {
     uint64_t seed = 1;
@@ -265,6 +364,18 @@ InjectionRecord run_injection(const Design& design,
                               obs::CoverageMap* coverage = nullptr);
 
 /**
+ * run_injection against a reusable TrialContext: the golden is the
+ * context's (restored to cycle 0), the faulted copy is a restored
+ * spare when available, and both are returned to the context for the
+ * next trial. Record and coverage bytes are identical to the factory
+ * overload (the warm-trial contract); the factory overload is in fact
+ * a transient-context wrapper around this one.
+ */
+InjectionRecord run_injection(const Design& design, TrialContext& context,
+                              const FaultSpec& spec, uint64_t cycles,
+                              obs::CoverageMap* coverage = nullptr);
+
+/**
  * Run `count` injections as one lockstep batch (src/fault/batch.cpp).
  * One golden model is shared by all lanes (every golden run in a
  * campaign is identical); each faulted lane forks from the golden's
@@ -282,6 +393,20 @@ InjectionRecord run_injection(const Design& design,
  */
 void run_injection_batch(const Design& design,
                          const TargetFactory& factory,
+                         const FaultSpec* specs, size_t count,
+                         uint64_t cycles, InjectionRecord* records,
+                         obs::CoverageMap* coverage = nullptr);
+
+/**
+ * run_injection_batch against a reusable TrialContext: the shared
+ * golden is the context's (restored to cycle 0), lanes fork from
+ * context spares, and healthy lanes are returned as spares for the
+ * worker's next batch. The context's warm() IS the batch's forkable
+ * condition, so a cold context degrades to the from-cycle-0 fallback
+ * exactly as before. Bytes identical to the factory overload (which
+ * wraps this one with a transient context).
+ */
+void run_injection_batch(const Design& design, TrialContext& context,
                          const FaultSpec* specs, size_t count,
                          uint64_t cycles, InjectionRecord* records,
                          obs::CoverageMap* coverage = nullptr);
@@ -313,10 +438,13 @@ bool run_injection_range(
  * Run a whole campaign: generate_faults, then run_injection per fault,
  * sharded across config.jobs worker threads (src/harness/parallel.hpp;
  * injections stay in fault-list order, so the report matches a serial
- * run byte for byte). With config.batch > 1, consecutive faults are
- * packed into lockstep batches (run_injection_batch) and each pool
- * worker drives one whole batch; records and coverage land in the same
- * slots, so the report stays byte-identical at any (batch, jobs).
+ * run byte for byte). Each pool worker owns one warm TrialContext for
+ * the whole campaign (harness per-worker context hooks), so model
+ * construction is paid per worker, not per trial. With config.batch >
+ * 1, consecutive faults are packed into lockstep batches
+ * (run_injection_batch) and each pool worker drives one whole batch;
+ * records and coverage land in the same slots, so the report stays
+ * byte-identical at any (batch, jobs).
  */
 CampaignReport run_campaign(const Design& design,
                             const TargetFactory& factory,

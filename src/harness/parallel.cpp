@@ -69,7 +69,12 @@ struct ThreadPool::Impl
     worker(int id, int jobs)
     {
         uint64_t seen = 0;
-        bool lane_named = false;
+        // Profiler enable-generation at the last naming (0 = never
+        // named). A plain once-latch would miss profilers enabled
+        // after this pool's first batch — or re-enabled between
+        // batches — leaving the lane as an anonymous "thread-N" id
+        // that breaks fleet lane-merge by name.
+        uint64_t named_gen = 0;
         for (;;) {
             uint64_t batch_n;
             const std::function<void(uint64_t, int)>* batch_fn;
@@ -89,10 +94,10 @@ struct ThreadPool::Impl
                 batch_n = n;
                 batch_fn = fn;
             }
-            if (!lane_named && obs::Profiler::instance().enabled()) {
-                obs::Profiler::instance().set_thread_name(
-                    worker_lane_name(id));
-                lane_named = true;
+            obs::Profiler& prof = obs::Profiler::instance();
+            if (prof.enabled() && named_gen != prof.enable_generation()) {
+                prof.set_thread_name(worker_lane_name(id));
+                named_gen = prof.enable_generation();
             }
             for (uint64_t item = (uint64_t)id; item < batch_n;
                  item += (uint64_t)jobs) {
@@ -199,6 +204,26 @@ ThreadPool::run(uint64_t n,
 }
 
 void
+ThreadPool::run(uint64_t n, const ContextFactory& make,
+                const std::function<void(uint64_t, int, WorkerContext*)>&
+                    fn)
+{
+    // Contexts are created lazily on each worker's own thread (inside
+    // its first item's "pool/item" span, so construction cost is
+    // attributed to that worker's lane) and destroyed when this frame
+    // unwinds — exactly one run() batch, even on rethrow. Worker w is
+    // the only writer of slot w while the batch is in flight, and the
+    // pool's join synchronizes the slots back to this thread.
+    std::vector<std::unique_ptr<WorkerContext>> contexts((size_t)jobs_);
+    run(n, [&](uint64_t item, int worker) {
+        std::unique_ptr<WorkerContext>& slot = contexts[(size_t)worker];
+        if (slot == nullptr && make != nullptr)
+            slot = make(worker);
+        fn(item, worker, slot.get());
+    });
+}
+
+void
 parallel_for(uint64_t n, int jobs,
              const std::function<void(uint64_t)>& fn)
 {
@@ -227,12 +252,51 @@ parallel_for_metrics(
 {
     ThreadPool pool(jobs);
     std::vector<obs::MetricsRegistry> shards((size_t)pool.jobs());
-    pool.run(n, [&fn, &shards](uint64_t item, int worker) {
-        fn(item, shards[(size_t)worker]);
+    // run() captures per-item failures and rethrows the lowest-indexed
+    // one after every item has executed — but the shards hold the
+    // counters of everything that DID finish. Merge before rethrowing
+    // so a failed campaign still reports accurate trial/* metrics.
+    std::exception_ptr failure;
+    try {
+        pool.run(n, [&fn, &shards](uint64_t item, int worker) {
+            fn(item, shards[(size_t)worker]);
+        });
+    } catch (...) {
+        failure = std::current_exception();
+    }
+    {
+        obs::ProfScope span("pool/merge");
+        for (const obs::MetricsRegistry& shard : shards)
+            merged.merge_from(shard);
+    }
+    if (failure != nullptr)
+        std::rethrow_exception(failure);
+}
+
+void
+parallel_for_ctx(uint64_t n, int jobs, const ContextFactory& make,
+                 const std::function<void(uint64_t, WorkerContext*)>& fn)
+{
+    ThreadPool pool(jobs);
+    pool.run(n, make, [&fn](uint64_t item, int, WorkerContext* ctx) {
+        fn(item, ctx);
     });
-    obs::ProfScope span("pool/merge");
-    for (const obs::MetricsRegistry& shard : shards)
-        merged.merge_from(shard);
+}
+
+void
+parallel_for_groups_ctx(
+    uint64_t n, uint64_t group, int jobs, const ContextFactory& make,
+    const std::function<void(uint64_t, uint64_t, WorkerContext*)>& fn)
+{
+    if (group < 1)
+        group = 1;
+    uint64_t groups = (n + group - 1) / group;
+    ThreadPool pool(jobs);
+    pool.run(groups, make,
+             [&fn, n, group](uint64_t g, int, WorkerContext* ctx) {
+                 uint64_t first = g * group;
+                 fn(first, std::min(group, n - first), ctx);
+             });
 }
 
 } // namespace koika::harness

@@ -30,10 +30,36 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "obs/metrics.hpp"
 
 namespace koika::harness {
+
+/**
+ * Base class for per-worker state that outlives a single item but not a
+ * run() batch: warm fault-trial model pairs (fault::TrialContext),
+ * opened compile-cache handles, scratch arenas. The pool creates one
+ * lazily per worker (on the worker's own thread, the first time that
+ * worker receives an item) and destroys all of them when run() returns
+ * — contexts live exactly as long as one run() batch, so state can
+ * never leak across campaigns that happen to reuse a pool.
+ */
+class WorkerContext
+{
+  public:
+    virtual ~WorkerContext() = default;
+};
+
+/**
+ * Builds worker `id`'s context. Called on the worker's own thread
+ * (thread-affine resources like dlopen handles or thread-local caches
+ * land on the thread that will use them). May return nullptr to run
+ * that worker context-free; a throwing factory fails the worker's first
+ * item (surfaced via the pool's usual lowest-index error contract).
+ */
+using ContextFactory =
+    std::function<std::unique_ptr<WorkerContext>(int worker)>;
 
 /**
  * Resolve a --jobs request: values >= 1 pass through; 0 (or negative)
@@ -77,6 +103,21 @@ class ThreadPool
     void run(uint64_t n,
              const std::function<void(uint64_t item, int worker)>& fn);
 
+    /**
+     * run() with per-worker contexts: worker w's context is created by
+     * make(w) on w's own thread just before its first item, passed to
+     * every fn(item, w, ctx) on that worker, and destroyed (all
+     * workers') when this call returns — normally or by rethrow. A
+     * null `make` passes nullptr contexts. Item→worker sharding,
+     * ordering, and the lowest-index error contract are unchanged, so
+     * any fn whose observable output does not depend on context reuse
+     * (the fault trial-loop restore contract) produces byte-identical
+     * results to the context-free overload.
+     */
+    void run(uint64_t n, const ContextFactory& make,
+             const std::function<void(uint64_t item, int worker,
+                                      WorkerContext* ctx)>& fn);
+
   private:
     struct Impl;
     Impl* impl_;
@@ -107,11 +148,32 @@ void parallel_for_groups(
 /**
  * Sharded loop with per-worker metrics: fn(i, registry) writes into its
  * worker's private registry; at join the shards are folded into
- * `merged` in worker order (deterministic merge).
+ * `merged` in worker order (deterministic merge). If items threw, the
+ * completed shards are still merged before the lowest-indexed failure
+ * is rethrown, so a failed campaign reports accurate counters for the
+ * work that did finish.
  */
 void parallel_for_metrics(
     uint64_t n, int jobs, obs::MetricsRegistry& merged,
     const std::function<void(uint64_t item, obs::MetricsRegistry& metrics)>&
         fn);
+
+/**
+ * parallel_for with per-worker contexts (ThreadPool::run context
+ * overload): one make(worker) per worker that receives items, contexts
+ * destroyed at return.
+ */
+void parallel_for_ctx(
+    uint64_t n, int jobs, const ContextFactory& make,
+    const std::function<void(uint64_t item, WorkerContext* ctx)>& fn);
+
+/**
+ * parallel_for_groups with per-worker contexts: group g runs on worker
+ * (g % jobs) with that worker's context.
+ */
+void parallel_for_groups_ctx(
+    uint64_t n, uint64_t group, int jobs, const ContextFactory& make,
+    const std::function<void(uint64_t first, uint64_t count,
+                             WorkerContext* ctx)>& fn);
 
 } // namespace koika::harness

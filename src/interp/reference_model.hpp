@@ -157,6 +157,14 @@ class ReferenceModel final : public sim::RuleStatsModel,
                       "design's node count");
             sim_.restore_coverage(std::move(stmt), std::move(taken),
                                   std::move(not_taken));
+        } else if (!sim_.coverage().empty()) {
+            // Full-overwrite contract: a snapshot taken before coverage
+            // was enabled restores to zero counts, clearing whatever a
+            // reused model accumulated since (warm trial contexts).
+            size_t nnodes = sim_.design().num_nodes();
+            sim_.restore_coverage(std::vector<uint64_t>(nnodes, 0),
+                                  std::vector<uint64_t>(nnodes, 0),
+                                  std::vector<uint64_t>(nnodes, 0));
         }
     }
 

@@ -123,6 +123,7 @@ Profiler::enable()
 {
     epoch_ns_.store((int64_t)steady_now_ns(), std::memory_order_relaxed);
     busy_ns_.store(0, std::memory_order_relaxed);
+    enable_gen_.fetch_add(1, std::memory_order_relaxed);
     enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -156,8 +157,9 @@ Profiler::local_buf()
 void
 Profiler::set_thread_name(const std::string& name)
 {
-    if (!enabled())
-        return;
+    // Deliberately NOT gated on enabled(): a lane named before (or
+    // between) recording epochs must keep its name, or the fleet
+    // lane-merge by name falls back to anonymous "thread-N" ids.
     ThreadBuf& buf = local_buf();
     std::lock_guard<std::mutex> lock(mutex_);
     buf.name = name;

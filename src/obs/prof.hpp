@@ -99,13 +99,28 @@ class Profiler
         return enabled_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Monotonic count of enable() calls. Long-lived threads (pool
+     * workers) cache this alongside their lane name: when the profiler
+     * is re-enabled mid-flight the generation moves, telling the worker
+     * its naming may predate the current recording epoch and should be
+     * re-asserted. Starts at 0 (never enabled).
+     */
+    uint64_t
+    enable_generation() const
+    {
+        return enable_gen_.load(std::memory_order_relaxed);
+    }
+
     /** Nanoseconds since the profiler epoch (monotonic). */
     uint64_t now_ns() const;
 
     /**
      * Name the calling thread's lane ("main", "worker-003"). Creates
-     * the thread buffer if needed; no-op while disabled. Threads that
-     * record without naming themselves appear as "thread-<index>".
+     * the thread buffer if needed and sticks even while the profiler is
+     * disabled (buffers are immortal, so a name set before enable() is
+     * what the eventual report sees). Threads that record without
+     * naming themselves appear as "thread-<index>".
      */
     void set_thread_name(const std::string& name);
 
@@ -229,6 +244,7 @@ class Profiler
                          std::vector<ProfSpan>& out);
 
     std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> enable_gen_{0};
     std::atomic<uint64_t> busy_ns_{0};
     std::atomic<int64_t> epoch_ns_{0};
     mutable std::mutex mutex_; ///< buffer registry + interned names

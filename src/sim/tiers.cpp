@@ -820,6 +820,15 @@ class TierEngine final : public TierModel, public CheckpointableModel
             cov_stmt_ = std::move(stmt);
             cov_taken_ = std::move(taken);
             cov_not_taken_ = std::move(not_taken);
+        } else if (cov_on_) {
+            // Full-overwrite contract: the snapshot predates coverage
+            // being enabled on this instance, so restoring it clears
+            // whatever was counted since. Without this, a model reused
+            // across fault trials (TrialContext restore) leaks counts
+            // from earlier trials into later databases.
+            cov_stmt_.assign(cov_stmt_.size(), 0);
+            cov_taken_.assign(cov_taken_.size(), 0);
+            cov_not_taken_.assign(cov_not_taken_.size(), 0);
         }
     }
 

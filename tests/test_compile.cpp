@@ -376,3 +376,75 @@ TEST(CompileCache, FailedCompilesAreNotCached)
                  koika::FatalError);
     EXPECT_EQ(compile_metrics().counter("compile.cache_hits"), hits0);
 }
+
+// -- In-process dlopened models (codegen/dlmodel.hpp): the compile
+// pipeline must be a per-thread cost, not a per-trial one. The metrics
+// registry exposes cache probes (hits + misses), so we can count them.
+
+#include <thread>
+
+#include "codegen/dlmodel.hpp"
+#include "koika/builder.hpp"
+#include "koika/typecheck.hpp"
+#include "sim/model.hpp"
+
+namespace {
+
+std::unique_ptr<Design>
+dl_counter_design()
+{
+    auto d = std::make_unique<Design>("dl_probe_counter");
+    Builder b(*d);
+    int x = b.reg("x", 8, 0);
+    d->add_rule("inc", b.write0(x, b.add(b.read0(x), b.k(8, 1))));
+    d->schedule("inc");
+    typecheck(*d);
+    return d;
+}
+
+uint64_t
+cache_probes()
+{
+    return compile_metrics().counter("compile.cache_hits") +
+           compile_metrics().counter("compile.cache_misses");
+}
+
+} // namespace
+
+TEST(DlModel, OneCacheProbePerThreadNotPerLoad)
+{
+    auto d = dl_counter_design();
+    DlModelOptions opts;
+    opts.cache.dir = workdir();
+    opts.workdir = workdir();
+
+    uint64_t probes0 = cache_probes();
+    auto m1 = load_compiled_model(*d, opts);
+    ASSERT_NE(m1, nullptr);
+    // First load on this thread: exactly one probe (a miss — the
+    // cache directory is fresh).
+    EXPECT_EQ(cache_probes(), probes0 + 1);
+
+    // Second load, same thread, same options: served from the
+    // thread-local library map with no cache probe and no compile.
+    auto m2 = load_compiled_model(*d, opts);
+    ASSERT_NE(m2, nullptr);
+    EXPECT_EQ(cache_probes(), probes0 + 1);
+
+    // A different thread (a new pool worker) probes once more — and
+    // hits the on-disk cache rather than recompiling.
+    uint64_t hits0 = compile_metrics().counter("compile.cache_hits");
+    std::thread([&]() {
+        auto m3 = load_compiled_model(*d, opts);
+        ASSERT_NE(m3, nullptr);
+    }).join();
+    EXPECT_EQ(cache_probes(), probes0 + 2);
+    EXPECT_EQ(compile_metrics().counter("compile.cache_hits"), hits0 + 1);
+
+    // Both handles are live, independent models.
+    m1->cycle();
+    m1->cycle();
+    EXPECT_EQ(m1->cycles_run(), 2u);
+    EXPECT_EQ(m2->cycles_run(), 0u);
+    EXPECT_EQ(m1->get_reg(0).to_u64(), 2u);
+}

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "designs/designs.hpp"
+#include "designs/targets.hpp"
 #include "fault/fault.hpp"
 #include "koika/builder.hpp"
 #include "koika/typecheck.hpp"
@@ -291,4 +292,152 @@ TEST(FaultCampaign, JobsZeroResolvesToHardwareAndStaysDeterministic)
     CampaignReport sharded = run_campaign(*d, factory, config);
     serial.engine = sharded.engine = "T5";
     EXPECT_EQ(serial.to_json().dump(2), sharded.to_json().dump(2));
+}
+
+// -- TrialContext: the warm-worker restore path (ROADMAP item 2 fix).
+// The contract under test: a trial run against a reused, checkpoint-
+// restored context produces the same bytes — records AND coverage —
+// as a trial that reconstructs both targets through the factory.
+
+namespace {
+
+/** Fault specs exercising divergence, masking, and the past-horizon
+ *  shadow lane, drawn deterministically from the campaign sampler. */
+std::vector<FaultSpec>
+sampled_specs(const Design& d, int count, uint64_t cycles)
+{
+    CampaignConfig config;
+    config.seed = 97;
+    config.count = count;
+    config.cycles = cycles;
+    return generate_faults(d, config);
+}
+
+/**
+ * Forwards the bare Model interface and nothing else: no
+ * RuleStatsModel, no CoverageModel, no CheckpointableModel. A
+ * TrialContext built over it must come up cold and fall back to
+ * factory rebuilds — byte-identically.
+ */
+class OpaqueModel final : public sim::Model
+{
+  public:
+    explicit OpaqueModel(std::unique_ptr<sim::Model> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    void cycle() override { inner_->cycle(); }
+    Bits get_reg(int reg) const override { return inner_->get_reg(reg); }
+    void set_reg(int reg, const Bits& value) override
+    {
+        inner_->set_reg(reg, value);
+    }
+    uint64_t cycles_run() const override { return inner_->cycles_run(); }
+    size_t num_regs() const override { return inner_->num_regs(); }
+
+  private:
+    std::unique_ptr<sim::Model> inner_;
+};
+
+} // namespace
+
+TEST(TrialContext, RestoreMatchesReconstructOnEveryInProcessEngine)
+{
+    // ref + T0..T5, on a registry design with real rule structure.
+    auto d = designs::build_design("collatz");
+    std::vector<FaultSpec> specs = sampled_specs(*d, 8, 120);
+    std::vector<std::string> engines = {"ref"};
+    for (int t = 0; t < sim::kNumTiers; ++t)
+        engines.push_back("T" + std::to_string(t));
+    for (const std::string& engine : engines) {
+        TargetFactory factory = designs::make_target_factory(*d, engine);
+        TrialContext ctx(factory);
+        EXPECT_TRUE(ctx.warm()) << engine;
+        for (size_t i = 0; i < specs.size(); ++i) {
+            obs::CoverageMap want_cov, got_cov;
+            InjectionRecord want =
+                run_injection(*d, factory, specs[i], 120, &want_cov);
+            InjectionRecord got =
+                run_injection(*d, ctx, specs[i], 120, &got_cov);
+            EXPECT_EQ(injection_to_json(i, want).dump(2),
+                      injection_to_json(i, got).dump(2))
+                << engine << " trial " << i;
+            EXPECT_EQ(want_cov.to_json().dump(2),
+                      got_cov.to_json().dump(2))
+                << engine << " trial " << i << " coverage";
+        }
+        // The whole point: the golden/faulted pair is built once per
+        // context; every later trial is restores only.
+        EXPECT_EQ(ctx.rebuilds(), 2u) << engine;
+        EXPECT_GT(ctx.restores(), 0u) << engine;
+    }
+}
+
+TEST(TrialContext, RestoreMatchesReconstructOnCompiledEngine)
+{
+    // The dlopened generated model is checkpointable too; the warm
+    // path must hold for it (and the model build is per-thread, so
+    // this test also exercises reuse of the dlopened library).
+    auto d = designs::build_design("collatz");
+    std::vector<FaultSpec> specs = sampled_specs(*d, 4, 100);
+    TargetFactory factory = designs::make_target_factory(*d, "compiled");
+    TrialContext ctx(factory);
+    EXPECT_TRUE(ctx.warm());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        obs::CoverageMap want_cov, got_cov;
+        InjectionRecord want =
+            run_injection(*d, factory, specs[i], 100, &want_cov);
+        InjectionRecord got =
+            run_injection(*d, ctx, specs[i], 100, &got_cov);
+        EXPECT_EQ(injection_to_json(i, want).dump(2),
+                  injection_to_json(i, got).dump(2))
+            << "trial " << i;
+        EXPECT_EQ(want_cov.to_json().dump(2), got_cov.to_json().dump(2))
+            << "trial " << i << " coverage";
+    }
+    EXPECT_EQ(ctx.rebuilds(), 2u);
+    EXPECT_GT(ctx.restores(), 0u);
+}
+
+TEST(TrialContext, NonCheckpointableTargetFallsBackToRebuilds)
+{
+    auto d = designs::build_design("collatz");
+    TargetFactory factory = closed_target([&d]() {
+        return std::make_unique<OpaqueModel>(
+            sim::make_engine(*d, sim::Tier::kT5StaticAnalysis));
+    });
+    std::vector<FaultSpec> specs = sampled_specs(*d, 5, 100);
+    TrialContext ctx(factory);
+    EXPECT_FALSE(ctx.warm());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        InjectionRecord want = run_injection(*d, factory, specs[i], 100);
+        InjectionRecord got = run_injection(*d, ctx, specs[i], 100);
+        EXPECT_EQ(injection_to_json(i, want).dump(2),
+                  injection_to_json(i, got).dump(2))
+            << "trial " << i;
+    }
+    // Cold context: no restores ever, a rebuild per golden handout.
+    EXPECT_EQ(ctx.restores(), 0u);
+    EXPECT_GT(ctx.rebuilds(), specs.size());
+}
+
+TEST(TrialContext, CampaignWithEnvCheckpointsMatchesFactoryPath)
+{
+    // rv32i targets carry save_env/load_env peripherals; a warm context
+    // must restore those too. The campaign runs the context path
+    // internally — compare against a fresh serial baseline re-run.
+    auto d = designs::build_design("rv32i");
+    TargetFactory factory = designs::make_target_factory(*d, "T3");
+    TrialContext ctx(factory);
+    EXPECT_TRUE(ctx.warm());
+
+    CampaignConfig config;
+    config.seed = 19;
+    config.count = 6;
+    config.cycles = 120;
+    CampaignReport a = run_campaign(*d, factory, config);
+    CampaignReport b = run_campaign(*d, factory, config);
+    a.engine = b.engine = "T3";
+    EXPECT_EQ(a.to_json().dump(2), b.to_json().dump(2));
 }

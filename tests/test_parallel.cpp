@@ -162,3 +162,125 @@ TEST(MetricsMerge, MergingAnEmptyRegistryIsIdentity)
     a.merge_from(empty);
     EXPECT_EQ(a.to_json().dump(2), before);
 }
+
+// -- Per-worker contexts (WorkerContext/ContextFactory): the hooks the
+// warm fault-trial loop hangs its per-worker state on. Contexts must be
+// created lazily on the owning worker, be stable for every item that
+// worker handles, and live exactly as long as one run() batch.
+
+namespace {
+
+struct CountingContext final : WorkerContext
+{
+    explicit CountingContext(std::atomic<int>* live) : live_(live)
+    {
+        ++*live_;
+    }
+    ~CountingContext() override { --*live_; }
+    std::atomic<int>* live_;
+};
+
+} // namespace
+
+TEST(ThreadPool, ContextsLiveExactlyOneRunBatch)
+{
+    std::atomic<int> live{0};
+    std::atomic<int> created{0};
+    ContextFactory make = [&](int) {
+        created++;
+        return std::make_unique<CountingContext>(&live);
+    };
+    ThreadPool pool(3);
+    for (int round = 0; round < 2; ++round) {
+        pool.run(12, make,
+                 [&](uint64_t, int, WorkerContext* ctx) {
+                     ASSERT_NE(ctx, nullptr);
+                     EXPECT_GE(live.load(), 1);
+                 });
+        // Teardown happens before run() returns — never later: a
+        // context may pin a whole model pair, and the next batch may
+        // use a different factory.
+        EXPECT_EQ(live.load(), 0) << "round " << round;
+    }
+    // Fresh contexts each round: 3 workers x 2 rounds.
+    EXPECT_EQ(created.load(), 6);
+}
+
+TEST(ThreadPool, EachWorkerSeesOneStableContextPerRun)
+{
+    std::atomic<int> live{0};
+    ThreadPool pool(4);
+    std::vector<WorkerContext*> ctx_of(40, nullptr);
+    pool.run(40,
+             [&](int) { return std::make_unique<CountingContext>(&live); },
+             [&](uint64_t i, int, WorkerContext* ctx) {
+                 ctx_of[i] = ctx;
+             });
+    // Static sharding: item i belongs to worker i % 4, and every item
+    // of a worker saw the same context object.
+    for (uint64_t i = 0; i < 40; ++i) {
+        ASSERT_NE(ctx_of[i], nullptr) << "item " << i;
+        EXPECT_EQ(ctx_of[i], ctx_of[i % 4]) << "item " << i;
+    }
+    std::set<WorkerContext*> distinct(ctx_of.begin(), ctx_of.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    EXPECT_EQ(live.load(), 0);
+}
+
+TEST(ThreadPool, SerialContextRunStaysInlineAndTearsDown)
+{
+    std::atomic<int> live{0};
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    bool inline_run = false;
+    pool.run(5,
+             [&](int) { return std::make_unique<CountingContext>(&live); },
+             [&](uint64_t, int, WorkerContext* ctx) {
+                 ASSERT_NE(ctx, nullptr);
+                 inline_run = std::this_thread::get_id() == caller;
+             });
+    EXPECT_TRUE(inline_run);
+    EXPECT_EQ(live.load(), 0);
+}
+
+TEST(ParallelForCtx, ContextsTornDownEvenWhenAnItemThrows)
+{
+    std::atomic<int> live{0};
+    try {
+        parallel_for_ctx(
+            16, 4,
+            [&](int) { return std::make_unique<CountingContext>(&live); },
+            [&](uint64_t i, WorkerContext*) {
+                if (i == 5)
+                    throw std::runtime_error("item 5");
+            });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "item 5");
+    }
+    EXPECT_EQ(live.load(), 0);
+}
+
+TEST(ParallelForMetrics, CompletedShardsMergeEvenWhenAnItemThrows)
+{
+    // A failed campaign must still report accurate trial counters:
+    // the merge happens before the lowest-item exception resurfaces.
+    obs::MetricsRegistry merged;
+    std::atomic<int> ran{0};
+    try {
+        parallel_for_metrics(24, 4, merged,
+                             [&](uint64_t i, obs::MetricsRegistry& m) {
+                                 ran++;
+                                 m.inc("trials");
+                                 if (i == 7)
+                                     throw std::runtime_error("item 7");
+                             });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "item 7");
+    }
+    // The pool joins before rethrowing, so every item ran and every
+    // shard's counters — the throwing one's included — are merged.
+    EXPECT_EQ(ran.load(), 24);
+    EXPECT_EQ(merged.counter("trials"), 24u);
+}
